@@ -1,0 +1,122 @@
+(* Benchmark harness: regenerates every figure and table of the
+   paper's evaluation (section 5 plus the section 3 comparisons).
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full scale
+     dune exec bench/main.exe -- --quick      # reduced workloads
+     dune exec bench/main.exe -- fig5 tab2    # selected experiments
+     dune exec bench/main.exe -- --micro      # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --list       # available ids *)
+
+let available =
+  [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "tab1"; "tab2"; "tab3"; "fig6";
+    "chains-dealloc"; "chains-cb"; "crash"; "soft-ablate"; "journal"; "nvram"; "aging" ]
+
+(* --- Bechamel micro-benchmarks of the core data structures ------------- *)
+
+let micro () =
+  let open Bechamel in
+  let heap_bench =
+    Test.make ~name:"heap push/pop x1000"
+      (Staged.stage (fun () ->
+           let h = Su_util.Heap.create ~cmp:compare in
+           for i = 0 to 999 do
+             Su_util.Heap.push h ((i * 7919) mod 1000)
+           done;
+           while not (Su_util.Heap.is_empty h) do
+             ignore (Su_util.Heap.pop h)
+           done))
+  in
+  let engine_bench =
+    Test.make ~name:"engine 1000 events"
+      (Staged.stage (fun () ->
+           let e = Su_sim.Engine.create () in
+           for i = 1 to 1000 do
+             Su_sim.Engine.at e (float_of_int i *. 0.001) (fun () -> ())
+           done;
+           Su_sim.Engine.run e))
+  in
+  let proc_bench =
+    Test.make ~name:"spawn/join 100 processes"
+      (Staged.stage (fun () ->
+           let e = Su_sim.Engine.create () in
+           for _ = 1 to 100 do
+             ignore (Su_sim.Proc.spawn e (fun () -> Su_sim.Proc.sleep e 0.01))
+           done;
+           Su_sim.Engine.run e))
+  in
+  let seek_bench =
+    Test.make ~name:"seek curve x10000"
+      (Staged.stage (fun () ->
+           let p = Su_disk.Disk_params.hp_c2447 in
+           for d = 0 to 9999 do
+             ignore (Su_disk.Disk_params.seek_time p (d mod 2000))
+           done))
+  in
+  let rng_bench =
+    Test.make ~name:"rng 10000 draws"
+      (Staged.stage (fun () ->
+           let r = Su_util.Rng.create 1 in
+           for _ = 1 to 10_000 do
+             ignore (Su_util.Rng.int r 1000)
+           done))
+  in
+  let tests =
+    Test.make_grouped ~name:"core"
+      [ heap_bench; engine_bench; proc_bench; seek_bench; rng_bench ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances tests
+  in
+  let results = benchmark () in
+  (* Bechamel's analysis: ordinary least squares against run count *)
+  let ols =
+    Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results =
+    Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock results
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-32s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    results
+
+(* --- main --------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let micro_only = List.mem "--micro" args in
+  if List.mem "--list" args then begin
+    List.iter print_endline available;
+    exit 0
+  end;
+  if micro_only then begin
+    micro ();
+    exit 0
+  end;
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let scale = if quick then `Quick else `Full in
+  let wanted = if selected = [] then available else selected in
+  let t_start = Unix.gettimeofday () in
+  Printf.printf
+    "# Metadata Update Performance in File Systems (Ganger & Patt, OSDI 94)\n";
+  Printf.printf "# simulated reproduction - %s scale\n\n"
+    (if quick then "quick" else "full");
+  List.iter
+    (fun id ->
+      match List.assoc_opt id (Su_experiments.Experiments.all scale) with
+      | None -> Printf.eprintf "unknown experiment %S (try --list)\n" id
+      | Some thunk ->
+        let t0 = Unix.gettimeofday () in
+        List.iter Su_util.Text_table.print (thunk ());
+        Printf.printf "[%s took %.1fs wall]\n\n%!" id (Unix.gettimeofday () -. t0))
+    wanted;
+  Printf.printf "# total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)

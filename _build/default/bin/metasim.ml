@@ -1,0 +1,256 @@
+(* metasim: command-line front end to the simulator.
+
+   Subcommands:
+     run    — run one benchmark under one scheme and print measurements
+     crash  — run a workload, crash at a given time, fsck the image
+     trace  — run a small workload and dump the I/O trace
+     exp    — run one named experiment (figure/table) at chosen scale *)
+
+open Cmdliner
+open Su_fs
+open Su_workload
+
+let scheme_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "conventional" | "conv" -> Ok Fs.Conventional
+    | "flag" -> Ok Fs.Scheduler_flag
+    | "chains" -> Ok (Fs.Scheduler_chains { barrier_dealloc = false })
+    | "chains-barrier" -> Ok (Fs.Scheduler_chains { barrier_dealloc = true })
+    | "soft" | "soft-updates" -> Ok Fs.Soft_updates
+    | "none" | "no-order" -> Ok Fs.No_order
+    | "journal" -> Ok (Fs.Journaled { group_commit = false })
+    | "journal-group" -> Ok (Fs.Journaled { group_commit = true })
+    | _ -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Fs.scheme_kind_name s) in
+  Arg.conv (parse, print)
+
+let scheme_arg =
+  let doc =
+    "Ordering scheme: conventional, flag, chains, chains-barrier, soft, \
+     no-order, journal, journal-group."
+  in
+  Arg.(value & opt scheme_conv Fs.Soft_updates & info [ "s"; "scheme" ] ~doc)
+
+let users_arg =
+  Arg.(value & opt int 4 & info [ "u"; "users" ] ~doc:"Concurrent users.")
+
+let seed_arg =
+  Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Workload seed.")
+
+let alloc_init_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "alloc-init" ]
+        ~doc:"Force allocation initialisation on/off (default: per scheme).")
+
+let nvram_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "nvram" ] ~doc:"Battery-backed disk write cache in MB (0 = none).")
+
+let make_cfg scheme alloc_init nvram =
+  let cfg = { (Fs.config ~scheme ()) with Fs.nvram_mb = nvram } in
+  match alloc_init with
+  | None -> cfg
+  | Some b -> { cfg with Fs.alloc_init = b }
+
+let print_measures (m : Runner.measures) =
+  Printf.printf "users:            %d\n" m.Runner.users;
+  Printf.printf "elapsed (avg):    %.2f s\n" m.Runner.elapsed_avg;
+  Printf.printf "elapsed (max):    %.2f s\n" m.Runner.elapsed_max;
+  Printf.printf "user CPU (sum):   %.2f s\n" m.Runner.cpu_total;
+  Printf.printf "disk requests:    %d (%d reads, %d writes)\n"
+    m.Runner.disk_requests m.Runner.disk_reads m.Runner.disk_writes;
+  Printf.printf "avg I/O response: %.1f ms\n" m.Runner.avg_response_ms;
+  Printf.printf "avg disk access:  %.1f ms\n" m.Runner.avg_access_ms;
+  match m.Runner.softdep with
+  | None -> ()
+  | Some s ->
+    Printf.printf
+      "soft updates:     %d dep records, %d rollbacks, %d cancelled \
+       create+remove pairs, %d workitems\n"
+      s.Su_core.Softdep.created s.Su_core.Softdep.rollbacks
+      s.Su_core.Softdep.cancelled_adds s.Su_core.Softdep.workitems
+
+let run_cmd =
+  let bench_arg =
+    let doc = "Benchmark: copy, remove, create, remove-files, create-remove, sdet, andrew." in
+    Arg.(value & pos 0 string "copy" & info [] ~docv:"BENCH" ~doc)
+  in
+  let files_arg =
+    Arg.(value & opt int 10_000 & info [ "files" ] ~doc:"Total files (throughput benchmarks).")
+  in
+  let run bench scheme users seed alloc_init nvram files =
+    let cfg = make_cfg scheme alloc_init nvram in
+    Printf.printf "# %s, %s, %d user(s)\n" bench (Fs.scheme_kind_name scheme) users;
+    match bench with
+    | "copy" -> print_measures (Benchmarks.copy ~cfg ~users ~seed ())
+    | "remove" -> print_measures (Benchmarks.remove ~cfg ~users ~seed ())
+    | "create" ->
+      let m = Benchmarks.create_files ~cfg ~users ~total_files:files in
+      print_measures m;
+      Printf.printf "throughput:       %.1f files/s\n"
+        (Benchmarks.files_per_second ~total_files:files m)
+    | "remove-files" ->
+      let m = Benchmarks.remove_files ~cfg ~users ~total_files:files in
+      print_measures m;
+      Printf.printf "throughput:       %.1f files/s\n"
+        (Benchmarks.files_per_second ~total_files:files m)
+    | "create-remove" ->
+      let m = Benchmarks.create_remove_files ~cfg ~users ~total_files:files in
+      print_measures m;
+      Printf.printf "throughput:       %.1f files/s\n"
+        (Benchmarks.files_per_second ~total_files:files m)
+    | "sdet" ->
+      let r = Sdet.run ~cfg ~concurrency:users () in
+      print_measures r.Sdet.measures;
+      Printf.printf "throughput:       %.1f scripts/hour\n" r.Sdet.scripts_per_hour
+    | "andrew" ->
+      let s = Andrew.run ~cfg ~reps:3 in
+      Array.iteri
+        (fun i v -> Printf.printf "phase %d: %.2f s (stdev %.2f)\n" (i + 1) v
+            s.Andrew.stdev.Andrew.phases.(i))
+        s.Andrew.mean.Andrew.phases;
+      Printf.printf "total:   %.2f s\n" s.Andrew.mean.Andrew.total
+    | other -> Printf.eprintf "unknown benchmark %S\n" other
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one benchmark under one ordering scheme.")
+    Term.(
+      const run $ bench_arg $ scheme_arg $ users_arg $ seed_arg
+      $ alloc_init_arg $ nvram_arg $ files_arg)
+
+let crash_cmd =
+  let time_arg =
+    Arg.(value & opt float 5.0 & info [ "t"; "time" ] ~doc:"Crash time (virtual seconds).")
+  in
+  let repair_arg =
+    Arg.(value & flag & info [ "repair" ] ~doc:"Run fsck repair on the crashed image.")
+  in
+  let run scheme seed time alloc_init do_repair =
+    let cfg =
+      { (make_cfg scheme alloc_init 0) with
+        Fs.geom = Su_fstypes.Geom.small;
+        cache_mb = 8 }
+    in
+    let w = Fs.make cfg in
+    let rng = Su_util.Rng.create seed in
+    for u = 1 to 2 do
+      ignore
+        (Su_sim.Proc.spawn w.Fs.engine
+           ~name:(Printf.sprintf "w%d" u)
+           (fun () ->
+             let dir = Printf.sprintf "/w%d" u in
+             Fsops.mkdir w.Fs.st dir;
+             let r = Su_util.Rng.split rng in
+             for i = 1 to 400 do
+               let p = Printf.sprintf "%s/f%d" dir i in
+               Fsops.create w.Fs.st p;
+               Fsops.append w.Fs.st p ~bytes:(1024 * Su_util.Rng.int_range r 1 8);
+               if Su_util.Rng.bool r then Fsops.unlink w.Fs.st p
+             done))
+    done;
+    let report = Crash.crash_and_check w time in
+    Printf.printf "# crash at t=%.2fs under %s\n" time (Fs.scheme_kind_name scheme);
+    Printf.printf "violations:     %d\n" (List.length report.Fsck.violations);
+    List.iter
+      (fun v -> Format.printf "  %a@." Fsck.pp_violation v)
+      report.Fsck.violations;
+    Printf.printf "live files:     %d\nlive dirs:      %d\n" report.Fsck.files
+      report.Fsck.dirs;
+    Printf.printf "leaked frags:   %d\nleaked inodes:  %d\nstale maps:     %d\n"
+      report.Fsck.leaked_frags report.Fsck.leaked_inodes report.Fsck.stale_free;
+    Printf.printf "nlink high:     %d\n" report.Fsck.nlink_high;
+    Printf.printf "%s\n" (if Fsck.ok report then "CONSISTENT" else "INTEGRITY VIOLATED");
+    if do_repair then begin
+      let image = Su_disk.Disk.image_snapshot w.Fs.disk in
+      Fs.recover_image cfg image;
+      let check_exposure =
+        match cfg.Fs.scheme with Fs.Journaled _ -> false | _ -> cfg.Fs.alloc_init
+      in
+      let actions, final = Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure in
+      Printf.printf "\n# repair\n";
+      List.iter (fun a -> Format.printf "  %a@." Fsck.pp_repair_action a) actions;
+      Printf.printf "after repair: %s (%d files, %d dirs)\n"
+        (if Fsck.ok final then "CONSISTENT" else "STILL BROKEN")
+        final.Fsck.files final.Fsck.dirs
+    end
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc:"Crash a workload mid-flight, fsck and optionally repair.")
+    Term.(const run $ scheme_arg $ seed_arg $ time_arg $ alloc_init_arg $ repair_arg)
+
+let trace_cmd =
+  let count_arg =
+    Arg.(value & opt int 30 & info [ "n" ] ~doc:"Trace records to print.")
+  in
+  let run scheme count =
+    let cfg =
+      { (Fs.config ~scheme ()) with
+        Fs.geom = Su_fstypes.Geom.small;
+        keep_trace_records = true }
+    in
+    let w = Fs.make cfg in
+    ignore
+      (Su_sim.Proc.spawn w.Fs.engine ~name:"user" (fun () ->
+           Fsops.mkdir w.Fs.st "/d";
+           for i = 1 to 10 do
+             let p = Printf.sprintf "/d/f%d" i in
+             Fsops.create w.Fs.st p;
+             Fsops.append w.Fs.st p ~bytes:4096
+           done;
+           Fsops.unlink w.Fs.st "/d/f1";
+           Fsops.sync w.Fs.st;
+           Fs.stop w));
+    Su_sim.Engine.run w.Fs.engine;
+    let records = Su_driver.Trace.records (Su_driver.Driver.trace w.Fs.driver) in
+    Printf.printf "# I/O trace under %s (%d requests; first %d shown)\n"
+      (Fs.scheme_kind_name scheme) (List.length records) count;
+    Printf.printf "%8s %5s %-5s %8s %6s %9s %9s\n" "issue" "id" "kind" "lbn"
+      "nfrag" "queue(ms)" "svc(ms)";
+    List.iteri
+      (fun i (r : Su_driver.Trace.record) ->
+        if i < count then
+          Printf.printf "%8.4f %5d %-5s %8d %6d %9.2f %9.2f\n"
+            r.Su_driver.Trace.r_issue r.Su_driver.Trace.r_id
+            (match r.Su_driver.Trace.r_kind with
+             | Su_driver.Request.Read -> "read"
+             | Su_driver.Request.Write -> "write")
+            r.Su_driver.Trace.r_lbn r.Su_driver.Trace.r_nfrags
+            (1000.0 *. (r.Su_driver.Trace.r_start -. r.Su_driver.Trace.r_issue))
+            (1000.0 *. (r.Su_driver.Trace.r_complete -. r.Su_driver.Trace.r_start)))
+      records
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump the I/O trace of a small workload.")
+    Term.(const run $ scheme_arg $ count_arg)
+
+let exp_cmd =
+  let name_arg =
+    Arg.(value & pos 0 string "tab2" & info [] ~docv:"EXPERIMENT"
+           ~doc:"fig1..fig6, tab1..tab3, chains-dealloc, chains-cb, crash, soft-ablate.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes.")
+  in
+  let run name quick =
+    let scale = if quick then `Quick else `Full in
+    match List.assoc_opt name (Su_experiments.Experiments.all scale) with
+    | Some thunk -> List.iter Su_util.Text_table.print (thunk ())
+    | None -> Printf.eprintf "unknown experiment %S\n" name
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run one named experiment (figure or table).")
+    Term.(const run $ name_arg $ quick_arg)
+
+let () =
+  let info =
+    Cmd.info "metasim"
+      ~doc:
+        "Simulated UNIX FFS with five metadata update ordering schemes \
+         (Ganger & Patt, OSDI 1994)."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; crash_cmd; trace_cmd; exp_cmd ]))

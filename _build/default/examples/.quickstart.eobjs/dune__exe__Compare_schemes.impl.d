@@ -1,0 +1,1 @@
+examples/compare_schemes.ml: Benchmarks Fs List Printf Runner Su_fs Su_util Su_workload Text_table

@@ -1,0 +1,1 @@
+examples/crash_consistency.ml: Crash Format Fs Fsck Fsops List Printf Proc Rng Su_fs Su_fstypes Su_sim Su_util Text_table

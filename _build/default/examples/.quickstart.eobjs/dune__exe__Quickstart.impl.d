@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Fs Fsck Fsops Printf Proc State String Su_core Su_disk Su_fs Su_fstypes Su_sim

@@ -1,0 +1,1 @@
+examples/recovery_tour.ml: Crash Engine Format Fs Fsck Fsops List Printf Proc Su_fs Su_fstypes Su_sim

@@ -1,0 +1,1 @@
+examples/trace_explorer.ml: Engine Fs Fsops List Printf Proc State Su_driver Su_fs Su_fstypes Su_sim

@@ -1,0 +1,79 @@
+(* Crash-consistency demo: run the same metadata-heavy workload under
+   every ordering scheme, pull the plug mid-flight, and fsck what is
+   left on the platters. The unsafe No Order baseline shows integrity
+   violations; every other scheme leaves only repairable debris.
+
+   Run with: dune exec examples/crash_consistency.exe *)
+
+open Su_sim
+open Su_fs
+open Su_util
+
+let workload st rng () =
+  Fsops.mkdir st "/work";
+  let live = ref [] in
+  for i = 1 to 250 do
+    match Rng.int rng 6 with
+    | 0 | 1 | 2 ->
+      let p = Printf.sprintf "/work/f%d" i in
+      Fsops.create st p;
+      Fsops.append st p ~bytes:(1024 * Rng.int_range rng 1 8);
+      live := p :: !live
+    | 3 ->
+      (match !live with
+       | p :: rest ->
+         Fsops.unlink st p;
+         live := rest
+       | [] -> ())
+    | 4 ->
+      let d = Printf.sprintf "/work/d%d" i in
+      Fsops.mkdir st d;
+      Fsops.create st (d ^ "/inner")
+    | _ -> (
+      match !live with p :: _ -> ignore (Fsops.read_file st p) | [] -> ())
+  done
+
+let () =
+  let crash_time = 6.0 in
+  Printf.printf
+    "Crashing the same workload at t=%.1fs under each scheme:\n\n" crash_time;
+  let t =
+    Text_table.create ~title:"fsck after the crash"
+      ~headers:
+        [ "scheme"; "violations"; "files"; "leaked frags"; "leaked inodes"; "verdict" ]
+  in
+  List.iter
+    (fun scheme ->
+      let cfg =
+        { (Fs.config ~scheme ()) with Fs.geom = Su_fstypes.Geom.small; cache_mb = 8 }
+      in
+      let w = Fs.make cfg in
+      ignore
+        (Proc.spawn w.Fs.engine ~name:"worker"
+           (workload w.Fs.st (Rng.create 42)));
+      (* journaled schemes replay their log inside crash_and_check *)
+      let r = Crash.crash_and_check w crash_time in
+      Text_table.add_row t
+        [
+          Fs.scheme_kind_name scheme;
+          string_of_int (List.length r.Fsck.violations);
+          string_of_int r.Fsck.files;
+          string_of_int r.Fsck.leaked_frags;
+          string_of_int r.Fsck.leaked_inodes;
+          (if Fsck.ok r then "consistent" else "INTEGRITY LOST");
+        ];
+      if not (Fsck.ok r) then begin
+        Printf.printf "%s violations:\n" (Fs.scheme_kind_name scheme);
+        List.iter
+          (fun v -> Format.printf "  - %a@." Fsck.pp_violation v)
+          r.Fsck.violations;
+        print_newline ()
+      end)
+    (Fs.all_schemes
+    @ [ Fs.Journaled { group_commit = false };
+        Fs.Journaled { group_commit = true } ]);
+  Text_table.print t;
+  print_endline
+    "Leaked resources and stale free maps are repaired by fsck; dangling\n\
+     entries, cross-allocated blocks and undercounted links are not — that\n\
+     is the integrity the update ordering buys."

@@ -1,0 +1,1 @@
+lib/cache/bcache.ml: Array Buf Engine Fun Hashtbl List Printf Proc Su_driver Su_fstypes Su_sim Sync

@@ -1,0 +1,1 @@
+lib/cache/bcache.mli: Buf Su_driver Su_sim

@@ -1,0 +1,1 @@
+lib/cache/buf.ml: Array Su_fstypes Su_sim Types

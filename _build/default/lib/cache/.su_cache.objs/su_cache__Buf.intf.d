@@ -1,0 +1,1 @@
+lib/cache/buf.mli: Su_fstypes Su_sim

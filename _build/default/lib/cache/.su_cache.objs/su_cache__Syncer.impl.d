@@ -1,0 +1,1 @@
+lib/cache/syncer.ml: Array Bcache Buf List Su_sim

@@ -1,0 +1,1 @@
+lib/cache/syncer.mli: Bcache Su_sim

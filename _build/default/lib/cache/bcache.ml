@@ -1,0 +1,334 @@
+open Su_sim
+
+type hooks = {
+  mutable pre_write : Buf.t -> Buf.content * bool;
+  mutable post_write : Buf.t -> unit;
+  mutable pre_invalidate : Buf.t -> unit;
+}
+
+type config = {
+  capacity_frags : int;
+  cb : bool;
+  copy_cost : int -> unit;
+}
+
+let default_config =
+  { capacity_frags = 32 * 1024; cb = false; copy_cost = (fun _ -> ()) }
+
+type t = {
+  engine : Engine.t;
+  driver : Su_driver.Driver.t;
+  config : config;
+  hooks : hooks;
+  tbl : (int, Buf.t) Hashtbl.t;
+  mutable used : int;
+  mutable copies : int;  (* fragments held by in-flight write snapshots *)
+  mutable ndirty : int;
+  mutable lru_counter : int;
+  space_waiters : Sync.Waitq.t;
+  mutable workitems : (unit -> unit) list;  (* reversed *)
+}
+
+let default_hooks () =
+  {
+    pre_write = (fun b -> (Buf.copy_content b.Buf.content, false));
+    post_write = (fun _ -> ());
+    pre_invalidate = (fun _ -> ());
+  }
+
+let create ~engine ~driver config =
+  {
+    engine;
+    driver;
+    config;
+    hooks = default_hooks ();
+    tbl = Hashtbl.create 4096;
+    used = 0;
+    copies = 0;
+    ndirty = 0;
+    lru_counter = 0;
+    space_waiters = Sync.Waitq.create engine;
+    workitems = [];
+  }
+
+let hooks t = t.hooks
+let engine t = t.engine
+let driver t = t.driver
+let cb_enabled t = t.config.cb
+let dirty_count t = t.ndirty
+let used_frags t = t.used
+
+let touch t (b : Buf.t) =
+  t.lru_counter <- t.lru_counter + 1;
+  b.Buf.lru_stamp <- t.lru_counter
+
+let lookup t lbn = Hashtbl.find_opt t.tbl lbn
+
+let all_bufs t = Hashtbl.fold (fun _ b acc -> b :: acc) t.tbl []
+
+let sorted_keys t =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] in
+  let arr = Array.of_list keys in
+  Array.sort compare arr;
+  arr
+
+let set_dirty t (b : Buf.t) v =
+  if b.Buf.dirty <> v then begin
+    b.Buf.dirty <- v;
+    t.ndirty <- t.ndirty + (if v then 1 else -1)
+  end
+
+let bdwrite t b = set_dirty t b true
+
+(* --- write-out ------------------------------------------------------ *)
+
+let finish_write t (b : Buf.t) =
+  b.Buf.io_count <- b.Buf.io_count - 1;
+  if b.Buf.io_count = 0 then begin
+    b.Buf.io_locked <- false;
+    Sync.Waitq.broadcast b.Buf.lock_waiters;
+    let ws = b.Buf.write_waiters in
+    b.Buf.write_waiters <- [];
+    List.iter (fun w -> Engine.soon t.engine w) ws
+  end;
+  if b.Buf.valid then t.hooks.post_write b;
+  Sync.Waitq.signal t.space_waiters
+
+let bawrite ?flagged ?deps ?(sync = false) ?notify t (b : Buf.t) =
+  (* The issue-time snapshot occupies real memory until the write
+     completes. When snapshots (plus the cache) exceed memory, the
+     writer must wait — the paper's observation that block copying
+     "does not behave well when system activity exceeds the available
+     memory". Only process-context callers can reach this point with
+     the budget exhausted (the syncer, scheme hooks, evictions). *)
+  if t.config.cb then begin
+    let attempts = ref 0 in
+    while
+      t.copies + b.Buf.nfrags > t.config.capacity_frags
+      && Su_sim.Proc.self_opt () <> None
+    do
+      incr attempts;
+      if !attempts > 1_000_000 then
+        failwith "Bcache: copy memory never freed";
+      Sync.Waitq.wait t.space_waiters
+    done;
+    t.copies <- t.copies + b.Buf.nfrags
+  end;
+  let payload, keep_dirty = t.hooks.pre_write b in
+  t.config.copy_cost b.Buf.nfrags;
+  let cells = Buf.to_cells payload ~nfrags:b.Buf.nfrags in
+  let flagged = match flagged with Some f -> f | None -> b.Buf.wflag in
+  let deps = match deps with Some d -> d | None -> b.Buf.wdeps in
+  b.Buf.wflag <- false;
+  b.Buf.wdeps <- [];
+  set_dirty t b keep_dirty;
+  b.Buf.io_count <- b.Buf.io_count + 1;
+  if not t.config.cb then b.Buf.io_locked <- true;
+  Su_driver.Driver.submit t.driver ~kind:Su_driver.Request.Write ~lbn:b.Buf.key
+    ~nfrags:b.Buf.nfrags ~flagged ~deps ~sync ~payload:cells
+    ~on_complete:(fun _ ->
+      if t.config.cb then begin
+        t.copies <- t.copies - b.Buf.nfrags;
+        Sync.Waitq.signal t.space_waiters
+      end;
+      finish_write t b;
+      match notify with Some f -> f () | None -> ())
+    ()
+
+let wait_write _t (b : Buf.t) =
+  if b.Buf.io_count > 0 then
+    Proc.suspend (fun resume ->
+        b.Buf.write_waiters <- resume :: b.Buf.write_waiters)
+
+let bwrite_sync t (b : Buf.t) =
+  (* Wait for in-flight writes of this buffer first: real systems
+     never have two writes of one buffer outstanding on this path, and
+     the soft-updates completion bookkeeping relies on single-flight
+     metadata writes. *)
+  while b.Buf.io_count > 0 do
+    wait_write t b
+  done;
+  let iv : unit Proc.Ivar.t = Proc.Ivar.create t.engine in
+  ignore (bawrite ~sync:true ~notify:(fun () -> Proc.Ivar.fill iv ()) t b);
+  Proc.Ivar.read iv
+
+let prepare_modify t (b : Buf.t) =
+  if not t.config.cb then
+    while b.Buf.io_locked do
+      Sync.Waitq.wait b.Buf.lock_waiters
+    done
+
+(* --- space management ----------------------------------------------- *)
+
+let remove_from_table t (b : Buf.t) =
+  if b.Buf.valid then begin
+    b.Buf.valid <- false;
+    Hashtbl.remove t.tbl b.Buf.key;
+    t.used <- t.used - b.Buf.nfrags;
+    if b.Buf.dirty then begin
+      b.Buf.dirty <- false;
+      t.ndirty <- t.ndirty - 1
+    end
+  end
+
+let invalidate t (b : Buf.t) =
+  if b.Buf.valid then begin
+    t.hooks.pre_invalidate b;
+    remove_from_table t b;
+    Sync.Waitq.signal t.space_waiters
+  end
+
+let evictable (b : Buf.t) =
+  b.Buf.valid && b.Buf.refcount = 0 && b.Buf.io_count = 0 && not b.Buf.sticky
+
+let pick_victim t =
+  (* Prefer the least-recently-used clean buffer; fall back to the
+     least-recently-used dirty one (which we must write first). *)
+  let best_clean = ref None and best_dirty = ref None in
+  let consider slot (b : Buf.t) =
+    match !slot with
+    | None -> slot := Some b
+    | Some cur -> if b.Buf.lru_stamp < cur.Buf.lru_stamp then slot := Some b
+  in
+  Hashtbl.iter
+    (fun _ b ->
+      if evictable b then
+        if b.Buf.dirty then consider best_dirty b else consider best_clean b)
+    t.tbl;
+  match !best_clean with Some b -> Some b | None -> !best_dirty
+
+let ensure_space t needed =
+  let attempts = ref 0 in
+  while t.used + needed > t.config.capacity_frags do
+    incr attempts;
+    if !attempts > 100_000 then
+      failwith "Bcache: cannot reclaim space (all buffers busy)";
+    match pick_victim t with
+    | None -> Sync.Waitq.wait t.space_waiters
+    | Some b ->
+      if b.Buf.dirty then begin
+        ignore (bawrite t b);
+        wait_write t b;
+        (* it may have been re-dirtied by a rollback; if so, it stays
+           and we try another victim *)
+        if (not b.Buf.dirty) && evictable b then invalidate t b
+      end
+      else invalidate t b
+  done
+
+(* --- lookup / read --------------------------------------------------- *)
+
+let new_buf t ~lbn ~nfrags content =
+  let b =
+    {
+      Buf.key = lbn;
+      nfrags;
+      content;
+      dirty = false;
+      io_count = 0;
+      io_locked = false;
+      valid = true;
+      refcount = 1;
+      lru_stamp = 0;
+      wflag = false;
+      wdeps = [];
+      aux = None;
+      sticky = false;
+      syncer_marked = false;
+      lock_waiters = Sync.Waitq.create t.engine;
+      write_waiters = [];
+    }
+  in
+  touch t b;
+  Hashtbl.replace t.tbl lbn b;
+  t.used <- t.used + nfrags;
+  b
+
+let getblk t ~lbn ~nfrags ~init =
+  match Hashtbl.find_opt t.tbl lbn with
+  | Some b ->
+    if b.Buf.nfrags <> nfrags then
+      invalid_arg
+        (Printf.sprintf "Bcache.getblk: extent mismatch at %d (%d vs %d)" lbn
+           b.Buf.nfrags nfrags);
+    b.Buf.refcount <- b.Buf.refcount + 1;
+    touch t b;
+    b
+  | None ->
+    ensure_space t nfrags;
+    new_buf t ~lbn ~nfrags (init ())
+
+let bread t ~lbn ~nfrags =
+  match Hashtbl.find_opt t.tbl lbn with
+  | Some b ->
+    if b.Buf.nfrags <> nfrags then
+      invalid_arg
+        (Printf.sprintf "Bcache.bread: extent mismatch at %d (%d vs %d)" lbn
+           b.Buf.nfrags nfrags);
+    b.Buf.refcount <- b.Buf.refcount + 1;
+    touch t b;
+    b
+  | None ->
+    ensure_space t nfrags;
+    let iv : Su_fstypes.Types.cell array Proc.Ivar.t = Proc.Ivar.create t.engine in
+    ignore
+      (Su_driver.Driver.submit t.driver ~kind:Su_driver.Request.Read ~lbn
+         ~nfrags ~sync:true
+         ~on_complete:(fun data ->
+           match data with
+           | Some cells -> Proc.Ivar.fill iv cells
+           | None -> invalid_arg "Bcache.bread: read returned no data")
+         ());
+    let cells = Proc.Ivar.read iv in
+    (* another process may have created the buffer while we waited *)
+    (match Hashtbl.find_opt t.tbl lbn with
+     | Some b ->
+       b.Buf.refcount <- b.Buf.refcount + 1;
+       touch t b;
+       b
+     | None -> new_buf t ~lbn ~nfrags (Buf.of_cells cells))
+
+let release t (b : Buf.t) =
+  if b.Buf.refcount <= 0 then invalid_arg "Bcache.release: not referenced";
+  b.Buf.refcount <- b.Buf.refcount - 1;
+  touch t b;
+  if b.Buf.refcount = 0 then Sync.Waitq.signal t.space_waiters
+
+let with_buf t b f = Fun.protect ~finally:(fun () -> release t b) (fun () -> f b)
+
+let set_extent t (b : Buf.t) ~nfrags content =
+  t.used <- t.used - b.Buf.nfrags + nfrags;
+  b.Buf.nfrags <- nfrags;
+  b.Buf.content <- content
+
+(* --- workitems ------------------------------------------------------- *)
+
+let add_workitem t f = t.workitems <- f :: t.workitems
+
+let take_workitems t =
+  let items = List.rev t.workitems in
+  t.workitems <- [];
+  items
+
+(* --- full flush ------------------------------------------------------ *)
+
+let sync_all t =
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr rounds;
+    if !rounds > 1000 then failwith "Bcache.sync_all: no convergence";
+    List.iter (fun item -> item ()) (take_workitems t);
+    let dirty =
+      List.filter
+        (fun (b : Buf.t) -> b.Buf.dirty && b.Buf.valid && b.Buf.io_count = 0)
+        (all_bufs t)
+    in
+    List.iter
+      (fun b ->
+        ignore (bawrite t b);
+        wait_write t b)
+      dirty;
+    Su_driver.Driver.quiesce t.driver;
+    continue_ := t.ndirty > 0 || t.workitems <> []
+  done

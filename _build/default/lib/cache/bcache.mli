@@ -1,0 +1,120 @@
+(** The buffer cache.
+
+    Provides the three UNIX write disciplines the paper compares:
+    synchronous ([bwrite_sync]), asynchronous ([bawrite]) and delayed
+    ([bdwrite], flushed later by the {!Syncer} daemon). Ordering
+    schemes influence the cache through {!hooks} (write-time rollback
+    for soft updates, post-write dependency processing) and through
+    the per-buffer [wflag]/[wdeps] fields picked up when a delayed
+    buffer is finally written.
+
+    Locking model: while a write is in flight its source buffer is
+    write-locked — updaters block in {!prepare_modify} — unless the
+    block-copy enhancement (-CB, §3.3 of the paper) is enabled, in
+    which case updaters proceed immediately (the payload was
+    snapshotted at issue). The block-copy CPU cost is charged by the
+    caller via the configured [copy_cost] callback. *)
+
+type hooks = {
+  mutable pre_write : Buf.t -> Buf.content * bool;
+      (** snapshot the write payload; [true] = keep the buffer dirty
+          (some updates were rolled back) *)
+  mutable post_write : Buf.t -> unit;
+      (** dependency processing after a write completes *)
+  mutable pre_invalidate : Buf.t -> unit;
+      (** scheme must detach any dependency state *)
+}
+
+type config = {
+  capacity_frags : int;  (** total cached fragments *)
+  cb : bool;  (** block-copy enhancement enabled *)
+  copy_cost : int -> unit;
+      (** charge CPU for copying [n] fragments (block-copy / rollback
+          copies); called in process or engine context, must not
+          block *)
+}
+
+val default_config : config
+(** 32 MB cache, no block copy, free copies. *)
+
+type t
+
+val create : engine:Su_sim.Engine.t -> driver:Su_driver.Driver.t -> config -> t
+
+val hooks : t -> hooks
+val engine : t -> Su_sim.Engine.t
+val driver : t -> Su_driver.Driver.t
+val cb_enabled : t -> bool
+
+val lookup : t -> int -> Buf.t option
+(** By extent start address; no I/O, no reference taken. *)
+
+val getblk : t -> lbn:int -> nfrags:int -> init:(unit -> Buf.content) -> Buf.t
+(** Find or create a buffer without reading the disk (used when the
+    caller will fully initialise it). Takes a reference.
+    @raise Invalid_argument if a cached buffer exists at [lbn] with a
+    different extent length. *)
+
+val bread : t -> lbn:int -> nfrags:int -> Buf.t
+(** Read through the cache (blocking on a miss). Takes a reference. *)
+
+val release : t -> Buf.t -> unit
+(** Drop a reference taken by [getblk]/[bread]. *)
+
+val with_buf : t -> Buf.t -> (Buf.t -> 'a) -> 'a
+(** Run [f] and release the buffer afterwards (also on exceptions). *)
+
+val prepare_modify : t -> Buf.t -> unit
+(** Block until the buffer may be mutated (write-lock wait unless
+    block-copy is enabled). Call before changing [content]. *)
+
+val bdwrite : t -> Buf.t -> unit
+(** Delayed write: mark dirty. *)
+
+val bawrite :
+  ?flagged:bool ->
+  ?deps:int list ->
+  ?sync:bool ->
+  ?notify:(unit -> unit) ->
+  t ->
+  Buf.t ->
+  int
+(** Issue an asynchronous write now; returns the request id.
+    [flagged]/[deps] override the buffer's pending [wflag]/[wdeps]
+    (which are consumed either way). Multiple writes of one buffer may
+    be in flight; the driver completes overlapping writes in issue
+    order. [notify] runs (in engine context) when this write
+    completes. *)
+
+val bwrite_sync : t -> Buf.t -> unit
+(** Synchronous write: issue and block until it reaches the disk. *)
+
+val wait_write : t -> Buf.t -> unit
+(** Block until the current in-flight write (if any) completes. *)
+
+val set_extent : t -> Buf.t -> nfrags:int -> Buf.content -> unit
+(** Change a buffer's extent length and content in place (fragment
+    extension); adjusts space accounting. *)
+
+val invalidate : t -> Buf.t -> unit
+(** Drop the buffer (even if dirty — the caller is deallocating the
+    storage). Runs the [pre_invalidate] hook first. *)
+
+val add_workitem : t -> (unit -> unit) -> unit
+(** Queue background work for the syncer daemon (may block when run). *)
+
+val take_workitems : t -> (unit -> unit) list
+(** Drain the queue (syncer only). *)
+
+val dirty_count : t -> int
+val used_frags : t -> int
+val all_bufs : t -> Buf.t list
+(** Valid buffers in unspecified order. *)
+
+val sorted_keys : t -> int array
+(** Extent start addresses in increasing order (syncer sweep). *)
+
+val sync_all : t -> unit
+(** Flush every dirty buffer and quiesce the driver, iterating until
+    dependency rollbacks converge.
+    @raise Failure if no progress is made (dependency cycle — a bug). *)

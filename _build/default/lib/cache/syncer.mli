@@ -1,0 +1,28 @@
+(** The syncer daemon.
+
+    UNIX SVR4 MP style (paper §2): the daemon wakes once per
+    [interval] (1 second), first services the background workitem
+    queue (deferred dependency processing for soft updates), then
+    sweeps a [1/passes] slice of the buffer cache, initiating an
+    asynchronous write for every dirty buffer it marked on the
+    previous pass and marking the dirty buffers it encounters now.
+    This spreads write-back smoothly instead of the classic bursty
+    "30-second sync". *)
+
+type t
+
+val start :
+  engine:Su_sim.Engine.t ->
+  cache:Bcache.t ->
+  ?interval:float ->
+  ?passes:int ->
+  unit ->
+  t
+(** Spawn the daemon process. Defaults: [interval = 1.0] s,
+    [passes = 30]. *)
+
+val stop : t -> unit
+(** The daemon exits at its next wake-up. *)
+
+val writes_issued : t -> int
+val workitems_run : t -> int

@@ -1,0 +1,1 @@
+lib/core/conventional.ml: Bcache Scheme_intf Su_cache

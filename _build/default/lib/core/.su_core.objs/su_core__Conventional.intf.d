@@ -1,0 +1,1 @@
+lib/core/conventional.mli: Scheme_intf Su_cache

@@ -1,0 +1,1 @@
+lib/core/journaled.ml: Array Bcache Buf Bytes Geom Hashtbl List Queue Scheme_intf Su_cache Su_driver Su_fstypes Su_sim Types

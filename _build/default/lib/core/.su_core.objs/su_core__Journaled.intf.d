@@ -1,0 +1,1 @@
+lib/core/journaled.mli: Scheme_intf Su_cache Su_fstypes

@@ -1,0 +1,1 @@
+lib/core/no_order.ml: Scheme_intf

@@ -1,0 +1,1 @@
+lib/core/no_order.mli: Scheme_intf Su_cache

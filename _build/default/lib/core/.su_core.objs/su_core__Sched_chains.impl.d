@@ -1,0 +1,1 @@
+lib/core/sched_chains.ml: Bcache Buf Hashtbl List Scheme_intf Su_cache Su_driver

@@ -1,0 +1,1 @@
+lib/core/sched_chains.mli: Scheme_intf Su_cache

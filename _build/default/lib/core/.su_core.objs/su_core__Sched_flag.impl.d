@@ -1,0 +1,1 @@
+lib/core/sched_flag.ml: Bcache Scheme_intf Su_cache

@@ -1,0 +1,1 @@
+lib/core/sched_flag.mli: Scheme_intf Su_cache

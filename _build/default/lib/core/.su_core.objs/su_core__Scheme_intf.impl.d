@@ -1,0 +1,1 @@
+lib/core/scheme_intf.ml: Bcache Buf Su_cache

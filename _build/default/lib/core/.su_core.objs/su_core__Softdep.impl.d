@@ -1,0 +1,1 @@
+lib/core/softdep.ml: Array Bcache Buf Geom Hashtbl List Scheme_intf Su_cache Su_fstypes Types

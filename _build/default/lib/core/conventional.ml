@@ -1,0 +1,36 @@
+open Su_cache
+
+let make cache =
+  {
+    Scheme_intf.name = "Conventional";
+    (* the new/updated inode must be on disk before the name; classic
+       FFS then also writes the directory block synchronously — the
+       "two synchronous writes per create" the paper's introduction
+       refers to *)
+    link_add =
+      (fun ~dir ~slot:_ ~ibuf ~inum:_ ->
+        Bcache.bwrite_sync cache ibuf;
+        Bcache.bwrite_sync cache dir);
+    (* the name must be gone from disk before the link count drops *)
+    link_remove =
+      (fun ~dir ~slot:_ ~inum:_ ~ibuf:_ ~decrement ->
+        Bcache.bwrite_sync cache dir;
+        decrement ());
+    block_alloc =
+      (fun req ->
+        if req.Scheme_intf.init_required then
+          Bcache.bwrite_sync cache req.Scheme_intf.data;
+        (* a fragment move: the stale extent may not be reused until
+           the relocated pointer is on disk, so force the owner out *)
+        if req.Scheme_intf.freed <> [] then
+          Bcache.bwrite_sync cache req.Scheme_intf.owner;
+        req.Scheme_intf.free_moved ());
+    (* reset pointers reach disk before the resources are freed *)
+    block_dealloc =
+      (fun ~ibuf ~inum:_ ~runs:_ ~inode_freed:_ ~do_free ->
+        Bcache.bwrite_sync cache ibuf;
+        do_free ());
+    reuse_frag_deps = (fun _ -> []);
+    reuse_inode_deps = (fun _ -> []);
+    fsync = Scheme_intf.sync_write_fsync cache;
+  }

@@ -1,0 +1,6 @@
+(** The conventional scheme: synchronous writes sequence metadata
+    updates, exactly as in classic FFS derivatives. The calling
+    process blocks for each prerequisite write; the last update in
+    every sequence remains a delayed write (paper §6.1). *)
+
+val make : Su_cache.Bcache.t -> Scheme_intf.t

@@ -1,0 +1,457 @@
+open Su_fstypes
+open Su_cache
+
+type commit_mode = Sync_commit | Group_commit
+
+type stats = {
+  mutable txns : int;
+  mutable records : int;
+  mutable log_writes : int;
+  mutable wraps : int;
+}
+
+type t = {
+  cache : Bcache.t;
+  geom : Geom.t;
+  log_start : int;
+  log_frags : int;
+  mode : commit_mode;
+  stats : stats;
+  mutable cursor : int;  (* next log fragment, relative *)
+  mutable seq : int;
+  mutable pending : Types.jrec list;  (* reversed; group mode *)
+  mutable guarded : Buf.t list;
+      (* metadata buffers with uncommitted records: pinned so an
+         eviction cannot write them ahead of their log records *)
+}
+
+let recs_per_frag = 24  (* a 1 KB log sector holds about this many records *)
+
+(* Append one committed transaction fragment; optionally wait. *)
+let append_frag t recs ~wait =
+  if t.cursor >= t.log_frags then begin
+    (* wrap-around checkpoint: flush everything so older records are
+       redundant before we overwrite them *)
+    t.stats.wraps <- t.stats.wraps + 1;
+    Bcache.sync_all t.cache;
+    t.cursor <- 0
+  end;
+  t.seq <- t.seq + 1;
+  t.stats.log_writes <- t.stats.log_writes + 1;
+  let lbn = t.log_start + t.cursor in
+  t.cursor <- t.cursor + 1;
+  let payload = [| Types.Jlog { seq = t.seq; recs } |] in
+  if wait then begin
+    let iv : unit Su_sim.Proc.Ivar.t =
+      Su_sim.Proc.Ivar.create (Bcache.engine t.cache)
+    in
+    ignore
+      (Su_driver.Driver.submit (Bcache.driver t.cache)
+         ~kind:Su_driver.Request.Write ~lbn ~nfrags:1 ~sync:true ~payload
+         ~on_complete:(fun _ -> Su_sim.Proc.Ivar.fill iv ())
+         ());
+    Su_sim.Proc.Ivar.read iv
+  end
+  else
+    ignore
+      (Su_driver.Driver.submit (Bcache.driver t.cache)
+         ~kind:Su_driver.Request.Write ~lbn ~nfrags:1 ~payload
+         ~on_complete:(fun _ -> ())
+         ())
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+    let rec take i acc rest =
+      if i = 0 then (List.rev acc, rest)
+      else match rest with [] -> (List.rev acc, []) | x :: r -> take (i - 1) (x :: acc) r
+    in
+    let c, rest = take n [] l in
+    c :: chunks n rest
+
+let commit t ?(bufs = []) recs =
+  if recs <> [] then begin
+    t.stats.txns <- t.stats.txns + 1;
+    t.stats.records <- t.stats.records + List.length recs;
+    match t.mode with
+    | Sync_commit ->
+      List.iter (fun c -> append_frag t c ~wait:true) (chunks recs_per_frag recs)
+    | Group_commit ->
+      t.pending <- List.rev_append recs t.pending;
+      List.iter
+        (fun (b : Buf.t) ->
+          if not b.Buf.sticky then begin
+            b.Buf.sticky <- true;
+            t.guarded <- b :: t.guarded
+          end)
+        bufs
+  end
+
+let flush_pending t ~wait =
+  let guarded = t.guarded in
+  t.guarded <- [];
+  match List.rev t.pending with
+  | [] -> List.iter (fun (b : Buf.t) -> b.Buf.sticky <- false) guarded
+  | recs ->
+    t.pending <- [];
+    let groups = chunks recs_per_frag recs in
+    let n = List.length groups in
+    List.iteri
+      (fun i c ->
+        if i = n - 1 then begin
+          (* release the pins once the whole batch is durable *)
+          if t.cursor >= t.log_frags then begin
+            t.stats.wraps <- t.stats.wraps + 1;
+            Bcache.sync_all t.cache;
+            t.cursor <- 0
+          end;
+          t.seq <- t.seq + 1;
+          t.stats.log_writes <- t.stats.log_writes + 1;
+          let lbn = t.log_start + t.cursor in
+          t.cursor <- t.cursor + 1;
+          let payload = [| Types.Jlog { seq = t.seq; recs = c } |] in
+          let finish () =
+            List.iter (fun (b : Buf.t) -> b.Buf.sticky <- false) guarded
+          in
+          if wait then begin
+            let iv : unit Su_sim.Proc.Ivar.t =
+              Su_sim.Proc.Ivar.create (Bcache.engine t.cache)
+            in
+            ignore
+              (Su_driver.Driver.submit (Bcache.driver t.cache)
+                 ~kind:Su_driver.Request.Write ~lbn ~nfrags:1 ~sync:true
+                 ~payload
+                 ~on_complete:(fun _ ->
+                   finish ();
+                   Su_sim.Proc.Ivar.fill iv ())
+                 ());
+            Su_sim.Proc.Ivar.read iv
+          end
+          else
+            ignore
+              (Su_driver.Driver.submit (Bcache.driver t.cache)
+                 ~kind:Su_driver.Request.Write ~lbn ~nfrags:1 ~payload
+                 ~on_complete:(fun _ -> finish ())
+                 ())
+        end
+        else append_frag t c ~wait:false)
+      groups
+
+(* --- record extraction -------------------------------------------------- *)
+
+let dinode_rec t (ibuf : Buf.t) inum =
+  match ibuf.Buf.content with
+  | Buf.Cmeta (Types.Inodes dinodes) ->
+    let din = dinodes.(Geom.inode_index_in_block t.geom inum) in
+    Types.J_dinode { inum; din = Types.copy_dinode din }
+  | Buf.Cmeta _ | Buf.Cdata _ -> invalid_arg "Journaled: bad inode block"
+
+let entry_rec (dir : Buf.t) slot =
+  match dir.Buf.content with
+  | Buf.Cmeta (Types.Dir entries) ->
+    Types.J_entry { blk = dir.Buf.key; slot; entry = entries.(slot) }
+  | Buf.Cmeta _ | Buf.Cdata _ -> invalid_arg "Journaled: bad directory block"
+
+(* --- recovery ------------------------------------------------------------ *)
+
+let ensure_meta image blk fresh =
+  match image.(blk) with
+  | Types.Meta m -> m
+  | Types.Empty | Types.Pad | Types.Frag _ | Types.Jlog _ ->
+    let m = fresh () in
+    image.(blk) <- Types.Meta m;
+    m
+
+let replay_rec geom image = function
+  | Types.J_dinode { inum; din } ->
+    let blk = Geom.inode_block_frag geom inum in
+    (match ensure_meta image blk (fun () -> Types.fresh_inode_block geom) with
+     | Types.Inodes dinodes ->
+       dinodes.(Geom.inode_index_in_block geom inum) <- Types.copy_dinode din
+     | _ -> ())
+  | Types.J_entry { blk; slot; entry } ->
+    (match
+       ensure_meta image blk (fun () -> Types.Dir (Types.fresh_dir_block geom))
+     with
+     | Types.Dir entries -> entries.(slot) <- entry
+     | _ -> ())
+  | Types.J_dir_init { blk } ->
+    (* the block is brand new: reset it, wiping any stale contents
+       from an earlier life (the same transaction re-adds the current
+       entries) *)
+    image.(blk) <- Types.Meta (Types.Dir (Types.fresh_dir_block geom))
+  | Types.J_ind_init { blk } ->
+    image.(blk) <- Types.Meta (Types.Indirect (Types.fresh_indirect geom))
+  | Types.J_ind_set { blk; slot; ptr } ->
+    (match
+       ensure_meta image blk (fun () ->
+           Types.Indirect (Types.fresh_indirect geom))
+     with
+     | Types.Indirect arr -> arr.(slot) <- ptr
+     | _ -> ())
+
+(* Rebuild the per-group bitmaps from the reachable tree: everything a
+   live inode references is in use, everything else in the data areas
+   is free. Unreachable (leaked) resources are thereby reclaimed — the
+   recovery-time equivalent of fsck's map rebuild. *)
+let rebuild_maps geom image =
+  let ncg = Geom.cg_count geom in
+  let cgs =
+    Array.init ncg (fun c ->
+        let cg = Types.fresh_cg geom in
+        let base = Geom.cg_base geom c in
+        let data_first, data_count = Geom.cg_data_area geom c in
+        for off = 0 to data_first - base - 1 do
+          Bytes.set cg.Types.frag_map off '\001'
+        done;
+        cg.Types.nffree <- data_count;
+        cg.Types.nifree <- geom.Geom.inodes_per_cg;
+        cg)
+  in
+  let claim_frags start len =
+    if start > 0 && start + len <= geom.Geom.nfrags then begin
+      let c = Geom.cg_of_frag geom start in
+      let cg = cgs.(c) in
+      let base = Geom.cg_base geom c in
+      for i = 0 to len - 1 do
+        if Bytes.get cg.Types.frag_map (start - base + i) = '\000' then begin
+          Bytes.set cg.Types.frag_map (start - base + i) '\001';
+          cg.Types.nffree <- cg.Types.nffree - 1
+        end
+      done
+    end
+  in
+  let claim_inode inum =
+    let c = Geom.cg_of_inode geom inum in
+    let j = inum - Geom.first_inum_of_cg geom c in
+    if Bytes.get cgs.(c).Types.inode_map j = '\000' then begin
+      Bytes.set cgs.(c).Types.inode_map j '\001';
+      cgs.(c).Types.nifree <- cgs.(c).Types.nifree - 1
+    end
+  in
+  let fpb = geom.Geom.frags_per_block in
+  let read_dinode inum =
+    if not (Geom.valid_inum geom inum) then None
+    else
+      match image.(Geom.inode_block_frag geom inum) with
+      | Types.Meta (Types.Inodes dinodes) ->
+        let d = dinodes.(Geom.inode_index_in_block geom inum) in
+        if d.Types.ftype = Types.F_free then None else Some d
+      | _ -> None
+  in
+  let extent_len ~size ~lbn =
+    let bb = Geom.block_bytes geom in
+    let partial =
+      if size <= lbn * bb then 0
+      else if size >= (lbn + 1) * bb then fpb
+      else Geom.frags_of_bytes geom (size - (lbn * bb))
+    in
+    if partial = 0 then fpb
+    else if partial < fpb && Geom.blocks_of_bytes geom size > geom.Geom.ndaddr
+    then fpb
+    else partial
+  in
+  let indirect_slots ptr =
+    match image.(ptr) with
+    | Types.Meta (Types.Indirect arr) -> Some arr
+    | _ -> None
+  in
+  let claim_file (din : Types.dinode) =
+    let size = din.Types.size in
+    Array.iteri
+      (fun i ptr -> if ptr <> 0 then claim_frags ptr (extent_len ~size ~lbn:i))
+      din.Types.db;
+    if din.Types.ib <> 0 then begin
+      claim_frags din.Types.ib fpb;
+      match indirect_slots din.Types.ib with
+      | Some arr ->
+        Array.iter (fun ptr -> if ptr <> 0 then claim_frags ptr fpb) arr
+      | None -> ()
+    end;
+    if din.Types.ib2 <> 0 then begin
+      claim_frags din.Types.ib2 fpb;
+      match indirect_slots din.Types.ib2 with
+      | Some arr2 ->
+        Array.iter
+          (fun l1 ->
+            if l1 <> 0 then begin
+              claim_frags l1 fpb;
+              match indirect_slots l1 with
+              | Some arr1 ->
+                Array.iter (fun ptr -> if ptr <> 0 then claim_frags ptr fpb) arr1
+              | None -> ()
+            end)
+          arr2
+      | None -> ()
+    end
+  in
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Queue.add Geom.root_inum queue;
+  Hashtbl.add seen Geom.root_inum ();
+  while not (Queue.is_empty queue) do
+    let dinum = Queue.pop queue in
+    match read_dinode dinum with
+    | None -> ()
+    | Some din ->
+      claim_inode dinum;
+      claim_file din;
+      if din.Types.ftype = Types.F_dir then begin
+        let nblocks = Geom.blocks_of_bytes geom din.Types.size in
+        let fetch ptr =
+          if ptr <> 0 then
+            match image.(ptr) with
+            | Types.Meta (Types.Dir entries) ->
+              Array.iter
+                (function
+                  | Some { Types.name; inum } ->
+                    if name <> "." && name <> ".." && not (Hashtbl.mem seen inum)
+                    then begin
+                      Hashtbl.add seen inum ();
+                      match read_dinode inum with
+                      | Some child when child.Types.ftype = Types.F_dir ->
+                        Queue.add inum queue
+                      | Some child ->
+                        claim_inode inum;
+                        claim_file child
+                      | None -> ()
+                    end
+                  | None -> ())
+                entries
+            | _ -> ()
+        in
+        for i = 0 to min (nblocks - 1) (geom.Geom.ndaddr - 1) do
+          fetch din.Types.db.(i)
+        done;
+        if nblocks > geom.Geom.ndaddr && din.Types.ib <> 0 then
+          match indirect_slots din.Types.ib with
+          | Some arr ->
+            for i = 0 to nblocks - geom.Geom.ndaddr - 1 do
+              if i < Array.length arr then fetch arr.(i)
+            done
+          | None -> ()
+      end
+  done;
+  Array.iteri
+    (fun c cg ->
+      image.(Geom.cg_header_frag geom c) <- Types.Meta (Types.Cgroup cg))
+    cgs
+
+let recover ~geom ~log_start ~log_frags image =
+  let txns = ref [] in
+  for i = 0 to log_frags - 1 do
+    if log_start + i < Array.length image then
+      match image.(log_start + i) with
+      | Types.Jlog { seq; recs } -> txns := (seq, recs) :: !txns
+      | _ -> ()
+  done;
+  let txns = List.sort (fun (a, _) (b, _) -> compare a b) !txns in
+  List.iter (fun (_, recs) -> List.iter (replay_rec geom image) recs) txns;
+  rebuild_maps geom image
+
+(* --- the scheme ----------------------------------------------------------- *)
+
+let make ~cache ~geom ~log_start ~log_frags ~mode ?(group_interval = 0.25) () =
+  let stats = { txns = 0; records = 0; log_writes = 0; wraps = 0 } in
+  let t =
+    { cache; geom; log_start; log_frags; mode; stats; cursor = 0; seq = 0;
+      pending = []; guarded = [] }
+  in
+  let stopped = ref false in
+  (match mode with
+   | Group_commit ->
+     let engine = Bcache.engine cache in
+     let rec flusher () =
+       Su_sim.Proc.sleep engine group_interval;
+       if not !stopped then begin
+         flush_pending t ~wait:false;
+         flusher ()
+       end
+     in
+     ignore (Su_sim.Proc.spawn engine ~name:"jflush" flusher)
+   | Sync_commit -> ());
+  let stop () =
+    stopped := true;
+    flush_pending t ~wait:false
+  in
+  let scheme =
+    {
+      Scheme_intf.name =
+        (match mode with
+         | Sync_commit -> "Journaled"
+         | Group_commit -> "Journaled (group commit)");
+      link_add =
+        (fun ~dir ~slot ~ibuf ~inum ->
+          commit t ~bufs:[ dir; ibuf ]
+            [ dinode_rec t ibuf inum; entry_rec dir slot ]);
+      link_remove =
+        (fun ~dir ~slot ~inum ~ibuf ~decrement ->
+          (* write-ahead discipline: the entry deletion must be
+             durable before the de-allocation records that [decrement]
+             commits (block_dealloc logs the cleared dinode); a crash
+             between them must not leave a logged-free inode behind a
+             still-logged name *)
+          commit t ~bufs:[ dir ]
+            [ Types.J_entry { blk = dir.Buf.key; slot; entry = None } ];
+          decrement ();
+          commit t ~bufs:[ ibuf ] [ dinode_rec t ibuf inum ]);
+      block_alloc =
+        (fun req ->
+          let init_recs =
+            if req.Scheme_intf.init_required then begin
+              let blk = req.Scheme_intf.data.Buf.key in
+              match req.Scheme_intf.data.Buf.content with
+              | Buf.Cmeta (Types.Dir entries) ->
+                (* reset-and-restate: the init wipes stale contents
+                   from the block's earlier lives, then re-adds the
+                   entries it currently holds *)
+                Types.J_dir_init { blk }
+                :: (Array.to_list
+                      (Array.mapi
+                         (fun slot entry -> Types.J_entry { blk; slot; entry })
+                         entries)
+                   |> List.filter (function
+                        | Types.J_entry { entry = Some _; _ } -> true
+                        | _ -> false))
+              | Buf.Cmeta (Types.Indirect arr) ->
+                Types.J_ind_init { blk }
+                :: (Array.to_list
+                      (Array.mapi
+                         (fun slot ptr -> Types.J_ind_set { blk; slot; ptr })
+                         arr)
+                   |> List.filter (function
+                        | Types.J_ind_set { ptr; _ } -> ptr <> 0
+                        | _ -> false))
+              | Buf.Cmeta _ | Buf.Cdata _ -> []
+            end
+            else []
+          in
+          let ptr_rec =
+            match req.Scheme_intf.loc with
+            | Scheme_intf.P_ind slot ->
+              Types.J_ind_set
+                { blk = req.Scheme_intf.owner.Buf.key; slot;
+                  ptr = req.Scheme_intf.new_ptr }
+            | Scheme_intf.P_direct _ | Scheme_intf.P_ib1 | Scheme_intf.P_ib2 ->
+              dinode_rec t req.Scheme_intf.owner req.Scheme_intf.inum
+          in
+          req.Scheme_intf.free_moved ();
+          commit t
+            ~bufs:[ req.Scheme_intf.owner; req.Scheme_intf.data ]
+            (init_recs @ [ ptr_rec ]));
+      block_dealloc =
+        (fun ~ibuf ~inum ~runs:_ ~inode_freed:_ ~do_free ->
+          do_free ();
+          commit t ~bufs:[ ibuf ] [ dinode_rec t ibuf inum ]);
+      reuse_frag_deps = (fun _ -> []);
+      reuse_inode_deps = (fun _ -> []);
+      fsync =
+        (fun ~inum:_ ~ibuf:_ ->
+          (* all metadata redo lives in the log: committing it is
+             enough to make the file durable *)
+          match t.mode with
+          | Sync_commit -> ()
+          | Group_commit -> flush_pending t ~wait:true);
+    }
+  in
+  (scheme, stats, stop)

@@ -1,0 +1,13 @@
+let make cache =
+  {
+    Scheme_intf.name = "No Order";
+    link_add = (fun ~dir:_ ~slot:_ ~ibuf:_ ~inum:_ -> ());
+    link_remove =
+      (fun ~dir:_ ~slot:_ ~inum:_ ~ibuf:_ ~decrement -> decrement ());
+    block_alloc = (fun req -> req.Scheme_intf.free_moved ());
+    block_dealloc =
+      (fun ~ibuf:_ ~inum:_ ~runs:_ ~inode_freed:_ ~do_free -> do_free ());
+    reuse_frag_deps = (fun _ -> []);
+    reuse_inode_deps = (fun _ -> []);
+    fsync = Scheme_intf.sync_write_fsync cache;
+  }

@@ -1,0 +1,5 @@
+(** The "No Order" baseline: delayed writes everywhere, ordering
+    constraints ignored. Fast and unsafe — equivalent to the paper's
+    delayed-mount baseline. *)
+
+val make : Su_cache.Bcache.t -> Scheme_intf.t

@@ -1,0 +1,87 @@
+open Su_cache
+
+type state = {
+  cache : Bcache.t;
+  freed_frags : (int, int) Hashtbl.t;  (* fragment -> request id *)
+  freed_inodes : (int, int) Hashtbl.t;  (* inum -> request id *)
+}
+
+let add_dep (b : Buf.t) id =
+  if not (List.mem id b.Buf.wdeps) then b.Buf.wdeps <- id :: b.Buf.wdeps
+
+let remember_frags st runs id =
+  List.iter
+    (fun (start, len) ->
+      for f = start to start + len - 1 do
+        Hashtbl.replace st.freed_frags f id
+      done)
+    runs
+
+let live_dep st tbl key =
+  match Hashtbl.find_opt tbl key with
+  | None -> None
+  | Some id ->
+    if Su_driver.Driver.completed (Bcache.driver st.cache) id then begin
+      Hashtbl.remove tbl key;
+      None
+    end
+    else Some id
+
+let frag_deps st runs =
+  List.fold_left
+    (fun acc (start, len) ->
+      let rec go f acc =
+        if f >= start + len then acc
+        else
+          match live_dep st st.freed_frags f with
+          | Some id when not (List.mem id acc) -> go (f + 1) (id :: acc)
+          | Some _ | None -> go (f + 1) acc
+      in
+      go start acc)
+    [] runs
+
+let make ?(barrier_dealloc = false) cache =
+  let st = { cache; freed_frags = Hashtbl.create 256; freed_inodes = Hashtbl.create 64 } in
+  {
+    Scheme_intf.name = "Scheduler Chains";
+    link_add =
+      (fun ~dir ~slot:_ ~ibuf ~inum:_ ->
+        let rid = Bcache.bawrite cache ibuf in
+        add_dep dir rid);
+    link_remove =
+      (fun ~dir ~slot:_ ~inum:_ ~ibuf ~decrement ->
+        let rid = Bcache.bawrite cache dir in
+        (* the link-count decrement (or cleared dinode) must follow the
+           directory write; deeper ordering happens inside decrement *)
+        add_dep ibuf rid;
+        decrement ());
+    block_alloc =
+      (fun req ->
+        if req.Scheme_intf.init_required then begin
+          let rid = Bcache.bawrite cache req.Scheme_intf.data in
+          add_dep req.Scheme_intf.owner rid
+        end;
+        if req.Scheme_intf.freed <> [] then begin
+          let rid = Bcache.bawrite cache req.Scheme_intf.owner in
+          remember_frags st req.Scheme_intf.freed rid
+        end;
+        req.Scheme_intf.free_moved ());
+    block_dealloc =
+      (fun ~ibuf ~inum ~runs ~inode_freed ~do_free ->
+        if barrier_dealloc then
+          (* §3.2 first approach: the pointer-reset write is a barrier *)
+          ignore (Bcache.bawrite ~flagged:true cache ibuf)
+        else begin
+          let rid = Bcache.bawrite cache ibuf in
+          remember_frags st runs rid;
+          if inode_freed then Hashtbl.replace st.freed_inodes inum rid
+        end;
+        do_free ());
+    reuse_frag_deps = (fun runs -> frag_deps st runs);
+    reuse_inode_deps =
+      (fun inum ->
+        match live_dep st st.freed_inodes inum with
+        | Some id -> [ id ]
+        | None -> []);
+    fsync = Scheme_intf.sync_write_fsync cache;
+  }

@@ -1,0 +1,12 @@
+(** The scheduler-chains scheme (§3.2): asynchronous writes tagged
+    with explicit lists of request ids they must follow.
+
+    De-allocated resources are reusable immediately, but the scheme
+    remembers which request re-initialises the old pointer; a new
+    owner of the resource (and the newly allocated block itself) is
+    made dependent on that request — the paper's better-performing
+    "second approach". [make ~barrier_dealloc:true] selects the
+    simpler fallback instead: the pointer-reset write is issued as a
+    flagged barrier (used for the §3.2 ablation). *)
+
+val make : ?barrier_dealloc:bool -> Su_cache.Bcache.t -> Scheme_intf.t

@@ -1,0 +1,24 @@
+open Su_cache
+
+let make cache =
+  let flagged_write b = ignore (Bcache.bawrite ~flagged:true cache b) in
+  {
+    Scheme_intf.name = "Scheduler Flag";
+    link_add = (fun ~dir:_ ~slot:_ ~ibuf ~inum:_ -> flagged_write ibuf);
+    link_remove =
+      (fun ~dir ~slot:_ ~inum:_ ~ibuf:_ ~decrement ->
+        flagged_write dir;
+        decrement ());
+    block_alloc =
+      (fun req ->
+        if req.Scheme_intf.init_required then flagged_write req.Scheme_intf.data;
+        if req.Scheme_intf.freed <> [] then flagged_write req.Scheme_intf.owner;
+        req.Scheme_intf.free_moved ());
+    block_dealloc =
+      (fun ~ibuf ~inum:_ ~runs:_ ~inode_freed:_ ~do_free ->
+        flagged_write ibuf;
+        do_free ());
+    reuse_frag_deps = (fun _ -> []);
+    reuse_inode_deps = (fun _ -> []);
+    fsync = Scheme_intf.sync_write_fsync cache;
+  }

@@ -1,0 +1,7 @@
+(** The scheduler-flag scheme (§3.1): writes that later updates depend
+    on are issued asynchronously with the one-bit ordering flag set;
+    the device driver's flag semantics (Full/Back/Part, ±NR) do the
+    sequencing. The flag's meaning lives in the driver configuration —
+    this module only decides {e which} writes carry the flag. *)
+
+val make : Su_cache.Bcache.t -> Scheme_intf.t

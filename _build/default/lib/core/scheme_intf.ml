@@ -1,0 +1,91 @@
+(** The ordering-scheme abstraction.
+
+    The file system performs every metadata mutation on in-memory
+    buffers first, marks the affected buffers dirty (delayed writes),
+    and then invokes one of the hooks below. Each scheme turns the
+    hook into its own persistence discipline:
+
+    - {e Conventional}: synchronous writes of the prerequisite buffers.
+    - {e Scheduler flag}: asynchronous writes with the ordering flag.
+    - {e Scheduler chains}: asynchronous writes carrying explicit
+      request-id dependency lists.
+    - {e Soft updates}: pure delayed writes plus fine-grained
+      dependency records with undo/redo at write time.
+    - {e No order}: nothing (unsafe baseline).
+
+    The four structural changes of §4.2 map onto the hooks: block
+    allocation → [block_alloc]; block de-allocation → [block_dealloc];
+    link addition → [link_add]; link removal → [link_remove].
+
+    All hooks run in simulated-process context and may block. *)
+
+open Su_cache
+
+(** Where a block pointer lives. *)
+type ptr_loc =
+  | P_direct of int  (** [dinode.db.(i)] *)
+  | P_ib1  (** [dinode.ib] *)
+  | P_ib2  (** [dinode.ib2] *)
+  | P_ind of int  (** slot of the owning indirect block *)
+
+(** One block/fragment allocation, as needed for ordering and undo. *)
+type alloc_req = {
+  inum : int;  (** owning file *)
+  owner : Buf.t;  (** inode block or indirect block buffer *)
+  loc : ptr_loc;
+  data : Buf.t;  (** buffer of the new extent (contents already current) *)
+  new_ptr : int;
+  old_ptr : int;  (** 0, or the extent start replaced by a fragment move *)
+  new_size : int;  (** file size after the allocation (inode-owned pointers) *)
+  old_size : int;
+  freed : (int * int) list;
+      (** fragment run(s) vacated by an extension move; must not be
+          reused before the new pointer is safe on disk *)
+  free_moved : unit -> unit;
+      (** actually frees [freed] in the maps; the scheme decides when
+          (may run in syncer context) *)
+  init_required : bool;
+      (** the extent contents must reach disk before the pointer *)
+}
+
+type t = {
+  name : string;
+  link_add : dir:Buf.t -> slot:int -> ibuf:Buf.t -> inum:int -> unit;
+      (** an entry pointing to [inum] was added at [slot] of directory
+          block [dir]; the (new or re-linked) inode lives in [ibuf].
+          Required order: inode block before directory block. *)
+  link_remove :
+    dir:Buf.t -> slot:int -> inum:int -> ibuf:Buf.t -> decrement:(unit -> unit) -> unit;
+      (** the entry at [slot] was removed from [dir]. [decrement]
+          performs the link-count decrement (and file release when it
+          reaches zero); it must not be applied to stable storage
+          before the directory block. May be deferred (soft updates)
+          or called inline after ordering is ensured. *)
+  block_alloc : alloc_req -> unit;
+      (** see {!alloc_req}; required order (when [init_required]):
+          extent contents before pointer. *)
+  block_dealloc :
+    ibuf:Buf.t ->
+    inum:int ->
+    runs:(int * int) list ->
+    inode_freed:bool ->
+    do_free:(unit -> unit) ->
+    unit;
+      (** pointers to [runs] were reset in the in-memory inode (and
+          the dinode cleared when [inode_freed]); [do_free] releases
+          the fragments (and inode) in the free maps. Required order:
+          reset pointers on disk before the resources are reusable. *)
+  reuse_frag_deps : (int * int) list -> int list;
+      (** chains only: request ids that writes of a newly allocated
+          extent (and its owner) must follow because the extent was
+          recently freed (§3.2's "second approach"). Empty for other
+          schemes. *)
+  reuse_inode_deps : int -> int list;
+      (** chains only: same, for inode reuse. *)
+  fsync : inum:int -> ibuf:Buf.t -> unit;
+      (** make the inode (and its ordering prerequisites) stable
+          before returning (SYNCIO support, §6.1). *)
+}
+
+(** Convenience used by several schemes: a synchronous-write fsync. *)
+let sync_write_fsync cache ~inum:_ ~ibuf = Bcache.bwrite_sync cache ibuf

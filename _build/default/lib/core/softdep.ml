@@ -1,0 +1,486 @@
+open Su_fstypes
+open Su_cache
+
+type stats = {
+  mutable created : int;
+  mutable rollbacks : int;
+  mutable cancelled_adds : int;
+  mutable workitems : int;
+}
+
+(* An allocdirect or allocindirect. *)
+type alloc = {
+  a_inum : int;
+  a_loc : Scheme_intf.ptr_loc;
+  a_owner_key : int;  (* lbn of the owning inode/indirect block *)
+  mutable a_new_ptr : int;
+  mutable a_old_ptr : int;
+  mutable a_new_size : int;
+  mutable a_old_size : int;
+  mutable a_data_key : int;  (* lbn of the newly allocated extent *)
+  mutable a_data_done : bool;  (* extent contents are on disk *)
+  mutable a_included : bool;  (* pointer is in the in-flight owner write *)
+  mutable a_free_moved : (unit -> unit) list;
+      (* deferred frees of extents vacated by fragment moves *)
+}
+
+type diradd = {
+  d_dir_key : int;
+  d_slot : int;
+  d_inum : int;
+  mutable d_covered : bool;  (* inode is in the in-flight inode-block write *)
+}
+
+type dirrem = {
+  r_decrement : unit -> unit;
+  r_slot : int;
+  mutable r_covered : bool;  (* removal is in the in-flight dir write *)
+}
+
+type freework = {
+  f_actions : (unit -> unit) list;  (* frees + detached dir completions *)
+  mutable f_covered : bool;  (* reset pointers are in the in-flight write *)
+}
+
+type inodedep = {
+  i_inum : int;
+  mutable i_allocs : alloc list;
+  mutable i_waiting_adds : diradd list;  (* diradds waiting for this inode *)
+  mutable i_freework : freework list;
+}
+
+type pagedep = {
+  mutable p_adds : diradd list;
+  mutable p_rems : dirrem list;
+}
+
+type indirdep = {
+  n_safe : int array;  (* on-disk-consistent pointer copy *)
+  mutable n_allocs : alloc list;
+}
+
+type t = {
+  cache : Bcache.t;
+  geom : Geom.t;
+  stats : stats;
+  inodedeps : (int, inodedep) Hashtbl.t;  (* by inum *)
+  pagedeps : (int, pagedep) Hashtbl.t;  (* by directory block lbn *)
+  indirdeps : (int, indirdep) Hashtbl.t;  (* by indirect block lbn *)
+  allocs_by_data : (int, alloc list) Hashtbl.t;  (* by new-extent lbn *)
+}
+
+let get_inodedep t inum =
+  match Hashtbl.find_opt t.inodedeps inum with
+  | Some d -> d
+  | None ->
+    let d = { i_inum = inum; i_allocs = []; i_waiting_adds = []; i_freework = [] } in
+    Hashtbl.replace t.inodedeps inum d;
+    d
+
+let get_pagedep t key =
+  match Hashtbl.find_opt t.pagedeps key with
+  | Some p -> p
+  | None ->
+    let p = { p_adds = []; p_rems = [] } in
+    Hashtbl.replace t.pagedeps key p;
+    p
+
+let drop_inodedep_if_empty t (d : inodedep) =
+  if d.i_allocs = [] && d.i_waiting_adds = [] && d.i_freework = [] then
+    Hashtbl.remove t.inodedeps d.i_inum
+
+let drop_pagedep_if_empty t key (p : pagedep) =
+  if p.p_adds = [] && p.p_rems = [] then Hashtbl.remove t.pagedeps key
+
+let enqueue t action =
+  t.stats.workitems <- t.stats.workitems + 1;
+  Bcache.add_workitem t.cache action
+
+(* ---------- write-time undo (pre_write hook) ------------------------- *)
+
+let first_inum_of_inode_block t key =
+  let g = t.geom in
+  let c = Geom.cg_of_frag g key in
+  let area_first, _ = Geom.cg_inode_area g c in
+  let blk = (key - area_first) / g.Geom.frags_per_block in
+  Geom.first_inum_of_cg g c + (blk * g.Geom.inodes_per_block)
+
+let apply_ptr_undo (din : Types.dinode) (a : alloc) =
+  match a.a_loc with
+  | Scheme_intf.P_direct i -> din.Types.db.(i) <- a.a_old_ptr
+  | Scheme_intf.P_ib1 -> din.Types.ib <- a.a_old_ptr
+  | Scheme_intf.P_ib2 -> din.Types.ib2 <- a.a_old_ptr
+  | Scheme_intf.P_ind _ -> invalid_arg "Softdep: indirect alloc on inodedep"
+
+let pre_write_inodes t (b : Buf.t) (dinodes : Types.dinode array) =
+  let copy = Array.map Types.copy_dinode dinodes in
+  let rolled = ref false in
+  let base = first_inum_of_inode_block t b.Buf.key in
+  Array.iteri
+    (fun idx _ ->
+      match Hashtbl.find_opt t.inodedeps (base + idx) with
+      | None -> ()
+      | Some dep ->
+        let din = copy.(idx) in
+        let rolled_size = ref max_int in
+        List.iter
+          (fun a ->
+            if a.a_data_done then a.a_included <- true
+            else begin
+              a.a_included <- false;
+              apply_ptr_undo din a;
+              if a.a_old_size < !rolled_size then rolled_size := a.a_old_size;
+              rolled := true;
+              t.stats.rollbacks <- t.stats.rollbacks + 1
+            end)
+          dep.i_allocs;
+        if !rolled_size < din.Types.size then din.Types.size <- !rolled_size;
+        List.iter (fun d -> d.d_covered <- true) dep.i_waiting_adds;
+        List.iter (fun f -> f.f_covered <- true) dep.i_freework)
+    copy;
+  (Buf.Cmeta (Types.Inodes copy), !rolled)
+
+let pre_write_dir t (b : Buf.t) (entries : Types.dirent option array) =
+  match Hashtbl.find_opt t.pagedeps b.Buf.key with
+  | None -> (Buf.Cmeta (Types.Dir (Array.copy entries)), false)
+  | Some p ->
+    let copy = Array.copy entries in
+    let rolled = ref false in
+    List.iter
+      (fun (d : diradd) ->
+        copy.(d.d_slot) <- None;
+        rolled := true;
+        t.stats.rollbacks <- t.stats.rollbacks + 1)
+      p.p_adds;
+    List.iter (fun r -> r.r_covered <- true) p.p_rems;
+    (Buf.Cmeta (Types.Dir copy), !rolled)
+
+let pre_write t (b : Buf.t) =
+  match b.Buf.content with
+  | Buf.Cmeta (Types.Inodes dinodes) -> pre_write_inodes t b dinodes
+  | Buf.Cmeta (Types.Dir entries) -> pre_write_dir t b entries
+  | Buf.Cmeta (Types.Indirect actual) ->
+    (match Hashtbl.find_opt t.indirdeps b.Buf.key with
+     | None -> (Buf.Cmeta (Types.Indirect (Array.copy actual)), false)
+     | Some n ->
+       (* the safe copy is the write source (appendix) *)
+       (Buf.Cmeta (Types.Indirect (Array.copy n.n_safe)), n.n_allocs <> []))
+  | Buf.Cmeta _ | Buf.Cdata _ -> (Buf.copy_content b.Buf.content, false)
+
+(* ---------- completion processing (post_write hook) ------------------ *)
+
+let remove_alloc_from_owner t (a : alloc) =
+  match a.a_loc with
+  | Scheme_intf.P_ind slot ->
+    (match Hashtbl.find_opt t.indirdeps a.a_owner_key with
+     | None -> ()
+     | Some n ->
+       n.n_safe.(slot) <- a.a_new_ptr;
+       n.n_allocs <- List.filter (fun x -> x != a) n.n_allocs;
+       if n.n_allocs = [] then begin
+         Hashtbl.remove t.indirdeps a.a_owner_key;
+         match Bcache.lookup t.cache a.a_owner_key with
+         | Some ob -> ob.Buf.sticky <- false
+         | None -> ()
+       end)
+  | Scheme_intf.P_direct _ | Scheme_intf.P_ib1 | Scheme_intf.P_ib2 ->
+    (match Hashtbl.find_opt t.inodedeps a.a_inum with
+     | None -> ()
+     | Some dep ->
+       dep.i_allocs <- List.filter (fun x -> x != a) dep.i_allocs;
+       drop_inodedep_if_empty t dep)
+
+let data_write_done t key =
+  match Hashtbl.find_opt t.allocs_by_data key with
+  | None -> ()
+  | Some allocs ->
+    Hashtbl.remove t.allocs_by_data key;
+    List.iter
+      (fun a ->
+        a.a_data_done <- true;
+        match a.a_loc with
+        | Scheme_intf.P_ind _ ->
+          (* allocindirect: merge into the safe copy; done *)
+          remove_alloc_from_owner t a;
+          List.iter (fun f -> enqueue t f) a.a_free_moved
+        | Scheme_intf.P_direct _ | Scheme_intf.P_ib1 | Scheme_intf.P_ib2 -> ())
+      allocs
+
+let complete_diradd t (d : diradd) =
+  (* the referenced inode is on disk: stop rolling the entry back *)
+  (match Hashtbl.find_opt t.pagedeps d.d_dir_key with
+   | None -> ()
+   | Some p ->
+     p.p_adds <- List.filter (fun x -> x != d) p.p_adds;
+     drop_pagedep_if_empty t d.d_dir_key p);
+  match Hashtbl.find_opt t.inodedeps d.d_inum with
+  | None -> ()
+  | Some dep ->
+    dep.i_waiting_adds <- List.filter (fun x -> x != d) dep.i_waiting_adds;
+    drop_inodedep_if_empty t dep
+
+let post_write_inodes t (b : Buf.t) (dinodes : Types.dinode array) =
+  let base = first_inum_of_inode_block t b.Buf.key in
+  Array.iteri
+    (fun idx _ ->
+      match Hashtbl.find_opt t.inodedeps (base + idx) with
+      | None -> ()
+      | Some dep ->
+        (* completed allocdirects: pointer and contents both on disk *)
+        let done_allocs, pending =
+          List.partition (fun a -> a.a_included && a.a_data_done) dep.i_allocs
+        in
+        dep.i_allocs <- pending;
+        List.iter
+          (fun a -> List.iter (fun f -> enqueue t f) a.a_free_moved)
+          done_allocs;
+        (* diradds covered by this write: the inode is now stable *)
+        let covered_adds =
+          List.filter (fun (d : diradd) -> d.d_covered) dep.i_waiting_adds
+        in
+        List.iter (complete_diradd t) covered_adds;
+        (* freework covered by this write: reset pointers are stable *)
+        let done_free, pending_free =
+          List.partition (fun f -> f.f_covered) dep.i_freework
+        in
+        dep.i_freework <- pending_free;
+        List.iter
+          (fun f -> List.iter (fun act -> enqueue t act) f.f_actions)
+          done_free;
+        drop_inodedep_if_empty t dep)
+    dinodes
+
+let post_write_dir t (b : Buf.t) =
+  match Hashtbl.find_opt t.pagedeps b.Buf.key with
+  | None -> ()
+  | Some p ->
+    let done_rems, pending_rems =
+      List.partition (fun r -> r.r_covered) p.p_rems
+    in
+    p.p_rems <- pending_rems;
+    List.iter (fun r -> enqueue t r.r_decrement) done_rems;
+    drop_pagedep_if_empty t b.Buf.key p
+
+let post_write t (b : Buf.t) =
+  data_write_done t b.Buf.key;
+  match b.Buf.content with
+  | Buf.Cmeta (Types.Inodes dinodes) -> post_write_inodes t b dinodes
+  | Buf.Cmeta (Types.Dir _) -> post_write_dir t b
+  | Buf.Cmeta _ | Buf.Cdata _ -> ()
+
+(* ---------- invalidation ---------------------------------------------- *)
+
+let pre_invalidate t (b : Buf.t) =
+  (* Deallocation purges dependencies before buffers are invalidated;
+     this is a defensive sweep for stragglers. *)
+  Hashtbl.remove t.allocs_by_data b.Buf.key;
+  match b.Buf.content with
+  | Buf.Cmeta (Types.Indirect _) -> Hashtbl.remove t.indirdeps b.Buf.key
+  | Buf.Cmeta _ | Buf.Cdata _ -> ()
+
+(* ---------- the four structural changes ------------------------------- *)
+
+let attach_alloc t (req : Scheme_intf.alloc_req) =
+  let a =
+    {
+      a_inum = req.Scheme_intf.inum;
+      a_loc = req.Scheme_intf.loc;
+      a_owner_key = req.Scheme_intf.owner.Buf.key;
+      a_new_ptr = req.Scheme_intf.new_ptr;
+      a_old_ptr = req.Scheme_intf.old_ptr;
+      a_new_size = req.Scheme_intf.new_size;
+      a_old_size = req.Scheme_intf.old_size;
+      a_data_key = req.Scheme_intf.data.Buf.key;
+      a_data_done = not req.Scheme_intf.init_required;
+      a_included = false;
+      a_free_moved =
+        (if req.Scheme_intf.freed = [] then []
+         else [ req.Scheme_intf.free_moved ]);
+    }
+  in
+  t.stats.created <- t.stats.created + 1;
+  (match a.a_loc with
+   | Scheme_intf.P_ind slot ->
+     let n =
+       match Hashtbl.find_opt t.indirdeps a.a_owner_key with
+       | Some n -> n
+       | None ->
+         (match req.Scheme_intf.owner.Buf.content with
+          | Buf.Cmeta (Types.Indirect actual) ->
+            (* the safe copy starts from the pointers already on disk:
+               current contents minus this (not yet applied) update *)
+            let safe = Array.copy actual in
+            let n = { n_safe = safe; n_allocs = [] } in
+            (* pending pointers must not leak into the safe copy *)
+            safe.(slot) <- a.a_old_ptr;
+            Hashtbl.replace t.indirdeps a.a_owner_key n;
+            req.Scheme_intf.owner.Buf.sticky <- true;
+            n
+          | Buf.Cmeta _ | Buf.Cdata _ ->
+            invalid_arg "Softdep: P_ind owner is not an indirect block")
+     in
+     n.n_safe.(slot) <- a.a_old_ptr;
+     n.n_allocs <- a :: n.n_allocs
+   | Scheme_intf.P_direct _ | Scheme_intf.P_ib1 | Scheme_intf.P_ib2 ->
+     let dep = get_inodedep t a.a_inum in
+     (* merge with a pending allocdirect for the same slot (fragment
+        extension): keep the original on-disk old value *)
+     let same_slot x = x.a_loc = a.a_loc in
+     (match List.find_opt same_slot dep.i_allocs with
+      | Some old ->
+        a.a_old_ptr <- old.a_old_ptr;
+        a.a_old_size <- old.a_old_size;
+        a.a_free_moved <- old.a_free_moved @ a.a_free_moved;
+        dep.i_allocs <- List.filter (fun x -> x != old) dep.i_allocs;
+        (* the superseded extent's record no longer guards anything *)
+        (match Hashtbl.find_opt t.allocs_by_data old.a_data_key with
+         | Some l ->
+           (match List.filter (fun x -> x != old) l with
+            | [] -> Hashtbl.remove t.allocs_by_data old.a_data_key
+            | l' -> Hashtbl.replace t.allocs_by_data old.a_data_key l')
+         | None -> ())
+      | None -> ());
+     dep.i_allocs <- a :: dep.i_allocs);
+  if not a.a_data_done then
+    Hashtbl.replace t.allocs_by_data a.a_data_key
+      (a
+      :: (match Hashtbl.find_opt t.allocs_by_data a.a_data_key with
+          | Some l -> l
+          | None -> []))
+
+let purge_for_runs t ~inum runs =
+  (* Deallocation: drop every dependency touching the freed extents and
+     return completion actions that must run when the freeing commits. *)
+  let extra = ref [] in
+  let in_runs key =
+    List.exists (fun (start, len) -> key >= start && key < start + len) runs
+  in
+  (* data-init guards for freed extents *)
+  Hashtbl.iter
+    (fun key allocs ->
+      if in_runs key then
+        List.iter (fun a -> remove_alloc_from_owner t a) allocs)
+    (Hashtbl.copy t.allocs_by_data);
+  let keys_to_remove =
+    Hashtbl.fold (fun k _ acc -> if in_runs k then k :: acc else acc)
+      t.allocs_by_data []
+  in
+  List.iter (Hashtbl.remove t.allocs_by_data) keys_to_remove;
+  (* remaining allocdirects of this inode (data already on disk) *)
+  (match Hashtbl.find_opt t.inodedeps inum with
+   | None -> ()
+   | Some dep ->
+     let cancelled, kept =
+       List.partition (fun a -> in_runs a.a_new_ptr) dep.i_allocs
+     in
+     dep.i_allocs <- kept;
+     List.iter (fun a -> extra := a.a_free_moved @ !extra) cancelled);
+  (* freed indirect blocks *)
+  Hashtbl.fold (fun k _ acc -> if in_runs k then k :: acc else acc)
+    t.indirdeps []
+  |> List.iter (fun k ->
+         Hashtbl.remove t.indirdeps k;
+         match Bcache.lookup t.cache k with
+         | Some ob -> ob.Buf.sticky <- false
+         | None -> ());
+  (* freed directory blocks: their page dependencies are considered
+     complete once the block is freed (appendix, block de-allocation) *)
+  Hashtbl.fold (fun k _ acc -> if in_runs k then k :: acc else acc)
+    t.pagedeps []
+  |> List.iter (fun k ->
+         match Hashtbl.find_opt t.pagedeps k with
+         | None -> ()
+         | Some p ->
+           List.iter (complete_diradd t) p.p_adds;
+           List.iter (fun r -> extra := r.r_decrement :: !extra) p.p_rems;
+           Hashtbl.remove t.pagedeps k);
+  !extra
+
+let make ~cache ~geom =
+  let stats = { created = 0; rollbacks = 0; cancelled_adds = 0; workitems = 0 } in
+  let t =
+    {
+      cache;
+      geom;
+      stats;
+      inodedeps = Hashtbl.create 512;
+      pagedeps = Hashtbl.create 256;
+      indirdeps = Hashtbl.create 64;
+      allocs_by_data = Hashtbl.create 512;
+    }
+  in
+  let hooks = Bcache.hooks cache in
+  hooks.Bcache.pre_write <- pre_write t;
+  hooks.Bcache.post_write <- post_write t;
+  hooks.Bcache.pre_invalidate <- pre_invalidate t;
+  let scheme =
+    {
+      Scheme_intf.name = "Soft Updates";
+      link_add =
+        (fun ~dir ~slot ~ibuf:_ ~inum ->
+          let d = { d_dir_key = dir.Buf.key; d_slot = slot; d_inum = inum; d_covered = false } in
+          stats.created <- stats.created + 1;
+          let p = get_pagedep t dir.Buf.key in
+          p.p_adds <- d :: p.p_adds;
+          let dep = get_inodedep t inum in
+          dep.i_waiting_adds <- d :: dep.i_waiting_adds);
+      link_remove =
+        (fun ~dir ~slot ~inum ~ibuf:_ ~decrement ->
+          let p = get_pagedep t dir.Buf.key in
+          match
+            List.find_opt
+              (fun (d : diradd) -> d.d_slot = slot && d.d_inum = inum)
+              p.p_adds
+          with
+          | Some d ->
+            (* the entry never reached the disk: cancel both halves and
+               proceed with no disk writes at all *)
+            stats.cancelled_adds <- stats.cancelled_adds + 1;
+            complete_diradd t d;
+            drop_pagedep_if_empty t dir.Buf.key p;
+            decrement ()
+          | None ->
+            stats.created <- stats.created + 1;
+            p.p_rems <-
+              { r_decrement = decrement; r_slot = slot; r_covered = false }
+              :: p.p_rems);
+      block_alloc =
+        (fun req ->
+          if req.Scheme_intf.init_required || req.Scheme_intf.freed <> [] then
+            attach_alloc t req
+          else req.Scheme_intf.free_moved ());
+      block_dealloc =
+        (fun ~ibuf:_ ~inum ~runs ~inode_freed:_ ~do_free ->
+          let extra = purge_for_runs t ~inum runs in
+          let fw = { f_actions = do_free :: extra; f_covered = false } in
+          stats.created <- stats.created + 1;
+          let dep = get_inodedep t inum in
+          dep.i_freework <- fw :: dep.i_freework);
+      reuse_frag_deps = (fun _ -> []);
+      reuse_inode_deps = (fun _ -> []);
+      fsync =
+        (fun ~inum ~ibuf ->
+          let rounds = ref 0 in
+          let continue_ = ref true in
+          while !continue_ do
+            incr rounds;
+            if !rounds > 100 then failwith "Softdep.fsync: no convergence";
+            (match Hashtbl.find_opt t.inodedeps inum with
+             | Some dep ->
+               List.iter
+                 (fun a ->
+                   if not a.a_data_done then
+                     match Bcache.lookup t.cache a.a_data_key with
+                     | Some db -> Bcache.bwrite_sync t.cache db
+                     | None -> a.a_data_done <- true)
+                 dep.i_allocs
+             | None -> ());
+            Bcache.bwrite_sync t.cache ibuf;
+            continue_ :=
+              (match Hashtbl.find_opt t.inodedeps inum with
+               | Some dep -> dep.i_allocs <> []
+               | None -> false)
+          done);
+    }
+  in
+  (scheme, stats)

@@ -1,0 +1,44 @@
+(** Soft updates (§4.2 and the appendix of the paper).
+
+    All metadata updates are delayed writes. Dependency information is
+    kept at the granularity of the individual update:
+
+    - {e allocdirect / allocindirect} records guard newly allocated
+      block pointers: if the block's contents have not reached the
+      disk when the pointer's block is written, the pointer (and file
+      size) are rolled back in the write-out copy — the paper's
+      undo/redo, applied to the snapshot rather than the live buffer.
+    - {e indirdep} keeps a "safe" copy of each indirect block with
+      pending allocations; the safe copy is the write source, and new
+      pointers are merged into it as their blocks reach the disk.
+      Indirect blocks with pending dependencies are pinned in the
+      cache.
+    - {e diradd} guards new directory entries: the entry is zeroed in
+      the write-out copy until the referenced inode is on disk.
+      An unlink that finds a pending diradd cancels both — create
+      followed by remove costs no disk I/O at all.
+    - {e dirrem} defers the link-count decrement until the directory
+      block with the entry removed has been written; the release of a
+      file (freeing blocks and inode) therefore happens in the
+      background, via the syncer's workitem queue.
+    - {e freeblocks/freefile} defer the freeing of de-allocated
+      resources until the reset pointers are on disk, so a resource is
+      never reusable while an old on-disk pointer still references it.
+
+    A block containing rolled-back updates is kept dirty so the syncer
+    rewrites it once its dependencies clear; cycles cannot occur
+    because no single dependency sequence is cyclic, and aging cannot
+    occur because new dependencies never attach to existing update
+    sequences. *)
+
+type stats = {
+  mutable created : int;  (** dependency records allocated *)
+  mutable rollbacks : int;  (** update undos applied to write-out copies *)
+  mutable cancelled_adds : int;  (** create+remove pairs serviced with no I/O *)
+  mutable workitems : int;  (** background completions queued *)
+}
+
+val make :
+  cache:Su_cache.Bcache.t -> geom:Su_fstypes.Geom.t -> Scheme_intf.t * stats
+(** Builds the scheme and registers the write-time undo/redo hooks on
+    the cache. At most one soft-updates instance per cache. *)

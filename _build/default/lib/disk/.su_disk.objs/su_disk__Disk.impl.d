@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Array Disk_params Float Hashtbl List Queue Su_fstypes Su_sim Types

@@ -1,0 +1,1 @@
+lib/disk/disk.mli: Disk_params Su_fstypes Su_sim

@@ -1,0 +1,221 @@
+open Su_fstypes
+
+type op = Read | Write
+
+type stream = { mutable next_lbn : int; mutable limit : int }
+(* A sequential read stream cached on board: fragments in
+   [next_lbn, limit) are (or are being) prefetched. *)
+
+type destage = { d_lbn : int; d_nfrags : int }
+
+type t = {
+  engine : Su_sim.Engine.t;
+  params : Disk_params.t;
+  image : Types.cell array;
+  mutable cur_cyl : int;
+  mutable busy : bool;
+  mutable streams : stream list;
+  mutable serviced : int;
+  mutable service_time : float;
+  nvram_frags : int;  (* 0 = no NVRAM *)
+  mutable nv_used : int;
+  nv_queue : destage Queue.t;
+  nv_resident : (int, int) Hashtbl.t;  (* extent start -> nfrags *)
+  mutable ndestages : int;
+  mutable on_idle : unit -> unit;
+      (* lets the layer above re-dispatch when a background destage
+         finishes (it gets no request completion to react to) *)
+}
+
+let create ~engine ~params ~nfrags ?(nvram_frags = 0) () =
+  if nfrags > Disk_params.capacity_frags params then
+    invalid_arg "Disk.create: file system larger than the drive";
+  {
+    engine;
+    params;
+    image = Array.make nfrags Types.Empty;
+    cur_cyl = 0;
+    busy = false;
+    streams = [];
+    serviced = 0;
+    service_time = 0.0;
+    nvram_frags;
+    nv_used = 0;
+    nv_queue = Queue.create ();
+    nv_resident = Hashtbl.create 64;
+    ndestages = 0;
+    on_idle = (fun () -> ());
+  }
+
+let busy t = t.busy
+let nfrags t = Array.length t.image
+let requests_serviced t = t.serviced
+let total_service_time t = t.service_time
+let nvram_pending t = t.nv_used
+let destages t = t.ndestages
+let set_idle_callback t f = t.on_idle <- f
+
+let cyl_of_lbn t lbn = lbn / Disk_params.frags_per_cyl t.params
+
+let angle_of_lbn t lbn =
+  let per_track = t.params.Disk_params.frags_per_track in
+  float_of_int (lbn mod per_track) /. float_of_int per_track
+
+let angle_at_time t time =
+  let rot = Disk_params.rotation_time t.params in
+  let frac = time /. rot in
+  frac -. Float.of_int (int_of_float frac)
+
+(* Cache-hit test: a read is served from the on-board cache when it
+   extends one of the active sequential streams. *)
+let stream_hit t lbn nfrags =
+  List.exists
+    (fun s -> lbn = s.next_lbn && lbn + nfrags <= s.limit)
+    t.streams
+
+let advance_stream t lbn nfrags =
+  let matching = List.find_opt (fun s -> lbn = s.next_lbn) t.streams in
+  let limit = min (Array.length t.image) (lbn + nfrags + t.params.Disk_params.prefetch_frags) in
+  match matching with
+  | Some s ->
+    s.next_lbn <- lbn + nfrags;
+    s.limit <- limit
+  | None ->
+    let s = { next_lbn = lbn + nfrags; limit } in
+    let keep =
+      if List.length t.streams >= t.params.Disk_params.cache_segments then
+        match List.rev t.streams with
+        | [] -> []
+        | _oldest :: rest -> List.rev rest
+      else t.streams
+    in
+    t.streams <- s :: keep
+
+let mechanical_time t ~lbn ~nfrags ~now =
+  let p = t.params in
+  let rot = Disk_params.rotation_time p in
+  let seek = Disk_params.seek_time p (abs (cyl_of_lbn t lbn - t.cur_cyl)) in
+  let arrive = now +. p.Disk_params.overhead +. seek in
+  let target = angle_of_lbn t lbn in
+  let cur = angle_at_time t arrive in
+  let wait =
+    let d = target -. cur in
+    if d < 0.0 then d +. 1.0 else d
+  in
+  let transfer =
+    float_of_int nfrags /. float_of_int p.Disk_params.frags_per_track *. rot
+  in
+  p.Disk_params.overhead +. seek +. (wait *. rot) +. transfer
+
+let service_time_for t ~lbn ~nfrags ~op ~now =
+  match op with
+  | Read when stream_hit t lbn nfrags ->
+    let p = t.params in
+    let transfer =
+      float_of_int nfrags
+      /. float_of_int p.Disk_params.frags_per_track
+      *. Disk_params.rotation_time p
+      /. 4.0
+      (* cache-to-host burst is much faster than media rate *)
+    in
+    p.Disk_params.overhead +. transfer
+  | Read | Write -> mechanical_time t ~lbn ~nfrags ~now
+
+(* Electronic cost of moving [nfrags] into the NVRAM buffer. *)
+let nvram_write_time t nfrags =
+  t.params.Disk_params.overhead /. 2.0 +. (float_of_int nfrags *. 20e-6)
+
+(* Destage one queued NVRAM extent at mechanical cost while the device
+   is otherwise idle; foreground requests queue behind at most one
+   destage operation. The data is already durable (the image was
+   updated at acceptance), so destaging only frees buffer space. *)
+let rec maybe_destage t =
+  if (not t.busy) && not (Queue.is_empty t.nv_queue) then begin
+    let d = Queue.pop t.nv_queue in
+    let now = Su_sim.Engine.now t.engine in
+    let svc = mechanical_time t ~lbn:d.d_lbn ~nfrags:d.d_nfrags ~now in
+    t.busy <- true;
+    Su_sim.Engine.after t.engine svc (fun () ->
+        t.busy <- false;
+        t.cur_cyl <- cyl_of_lbn t (d.d_lbn + d.d_nfrags - 1);
+        t.ndestages <- t.ndestages + 1;
+        t.nv_used <- t.nv_used - d.d_nfrags;
+        Hashtbl.remove t.nv_resident d.d_lbn;
+        (* let queued foreground requests go first *)
+        t.on_idle ();
+        maybe_destage t)
+  end
+
+let apply_write t ~lbn ~nfrags cells =
+  Array.blit cells 0 t.image lbn nfrags;
+  (* a write invalidates overlapping cached streams *)
+  t.streams <-
+    List.filter (fun s -> s.limit <= lbn || s.next_lbn >= lbn + nfrags) t.streams
+
+let submit t ~lbn ~nfrags ~op ~payload ~on_done =
+  if t.busy then invalid_arg "Disk.submit: device busy";
+  if nfrags <= 0 || lbn < 0 || lbn + nfrags > Array.length t.image then
+    invalid_arg "Disk.submit: address out of range";
+  (match op, payload with
+   | Write, None -> invalid_arg "Disk.submit: write without payload"
+   | Write, Some p when Array.length p <> nfrags ->
+     invalid_arg "Disk.submit: payload length mismatch"
+   | Write, Some _ | Read, _ -> ());
+  let now = Su_sim.Engine.now t.engine in
+  (* a write to an extent already buffered coalesces in place: no new
+     space, no extra destage (the destage writes the latest contents) *)
+  let nvram_coalesce =
+    op = Write && t.nvram_frags > 0
+    && Hashtbl.find_opt t.nv_resident lbn = Some nfrags
+  in
+  let nvram_hit =
+    nvram_coalesce
+    || (op = Write && t.nvram_frags > 0 && t.nv_used + nfrags <= t.nvram_frags)
+  in
+  let svc =
+    if nvram_hit then nvram_write_time t nfrags
+    else service_time_for t ~lbn ~nfrags ~op ~now
+  in
+  t.busy <- true;
+  if nvram_hit then begin
+    (* durable on acceptance: NVRAM survives a crash *)
+    (match payload with
+     | Some cells -> apply_write t ~lbn ~nfrags cells
+     | None -> ());
+    if not nvram_coalesce then begin
+      t.nv_used <- t.nv_used + nfrags;
+      Hashtbl.replace t.nv_resident lbn nfrags;
+      Queue.add { d_lbn = lbn; d_nfrags = nfrags } t.nv_queue
+    end
+  end;
+  Su_sim.Engine.after t.engine svc (fun () ->
+      t.busy <- false;
+      if not nvram_hit then t.cur_cyl <- cyl_of_lbn t (lbn + nfrags - 1);
+      t.serviced <- t.serviced + 1;
+      t.service_time <- t.service_time +. svc;
+      let result =
+        match op with
+        | Read ->
+          advance_stream t lbn nfrags;
+          Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+        | Write ->
+          (match payload with
+           | Some cells ->
+             if not nvram_hit then apply_write t ~lbn ~nfrags cells;
+             None
+           | None -> None)
+      in
+      on_done result svc;
+      maybe_destage t)
+
+let install t lbn cell =
+  if lbn < 0 || lbn >= Array.length t.image then
+    invalid_arg "Disk.install: address out of range";
+  t.image.(lbn) <- cell
+
+let peek t lbn =
+  if lbn < 0 || lbn >= Array.length t.image then
+    invalid_arg "Disk.peek: address out of range";
+  t.image.(lbn)
+
+let image_snapshot t = Array.map Types.copy_cell t.image

@@ -1,0 +1,76 @@
+(** Simulated disk device.
+
+    The disk services one request at a time (the paper's setup does
+    not use command queueing); the device driver above it is
+    responsible for scheduling. Service time = controller overhead +
+    seek + rotational latency + rotation-synchronous transfer, with a
+    segmented on-board cache that satisfies sequential reads at
+    near-zero mechanical cost.
+
+    The disk owns the persistent {e image}: one {!Su_fstypes.Types.cell}
+    per fragment. A write's payload is applied to the image atomically
+    at completion time — stopping the engine mid-request therefore
+    models a crash with the in-flight request lost, matching the
+    paper's sector-atomicity assumption. *)
+
+type t
+
+type op = Read | Write
+
+val create :
+  engine:Su_sim.Engine.t ->
+  params:Disk_params.t ->
+  nfrags:int ->
+  ?nvram_frags:int ->
+  unit ->
+  t
+(** @raise Invalid_argument if [nfrags] exceeds the drive capacity.
+
+    [nvram_frags] (> 0) adds a battery-backed write cache: a write
+    whose payload fits completes at electronic speed and is durable on
+    acceptance (the image is updated immediately — NVRAM survives the
+    crash); the occupied space destages to the platters during idle
+    time at mechanical cost. Writes that do not fit fall back to
+    mechanical service. *)
+
+val busy : t -> bool
+
+val submit :
+  t ->
+  lbn:int ->
+  nfrags:int ->
+  op:op ->
+  payload:Su_fstypes.Types.cell array option ->
+  on_done:(Su_fstypes.Types.cell array option -> float -> unit) ->
+  unit
+(** Start servicing a request. [payload] is required for writes
+    (length [nfrags]) and must already be a private snapshot. The
+    completion callback receives the read data (deep-copied, for
+    reads) and the access (service) time, and runs in engine-event
+    context.
+    @raise Invalid_argument if the disk is busy or arguments are
+    malformed. *)
+
+val install : t -> int -> Su_fstypes.Types.cell -> unit
+(** Write a cell directly into the image with no timing (mkfs). *)
+
+val peek : t -> int -> Su_fstypes.Types.cell
+(** Read the image directly (fsck / tests); no copy, do not mutate. *)
+
+val image_snapshot : t -> Su_fstypes.Types.cell array
+(** Deep copy of the whole image (crash-state capture). *)
+
+val nfrags : t -> int
+val requests_serviced : t -> int
+val total_service_time : t -> float
+
+val set_idle_callback : t -> (unit -> unit) -> unit
+(** Invoked (engine context) when a background NVRAM destage finishes
+    and the device is idle again — the driver uses it to re-dispatch,
+    since no foreground completion fires. *)
+
+val nvram_pending : t -> int
+(** Fragments accepted into NVRAM and not yet destaged. *)
+
+val destages : t -> int
+(** Background destage operations performed. *)

@@ -1,0 +1,40 @@
+type t = {
+  rpm : float;
+  seek_single : float;
+  seek_avg : float;
+  seek_max : float;
+  cylinders : int;
+  frags_per_track : int;
+  tracks_per_cyl : int;
+  overhead : float;
+  cache_segments : int;
+  prefetch_frags : int;
+}
+
+let hp_c2447 =
+  {
+    rpm = 5400.0;
+    seek_single = 0.0025;
+    seek_avg = 0.010;
+    seek_max = 0.022;
+    cylinders = 2100;
+    frags_per_track = 28;
+    tracks_per_cyl = 18;
+    overhead = 0.0007;
+    cache_segments = 2;
+    prefetch_frags = 64;
+  }
+
+let rotation_time p = 60.0 /. p.rpm
+
+let frags_per_cyl p = p.frags_per_track * p.tracks_per_cyl
+
+let seek_time p distance =
+  if distance <= 0 then 0.0
+  else if distance = 1 then p.seek_single
+  else
+    let frac = sqrt (float_of_int (distance - 1))
+               /. sqrt (float_of_int (p.cylinders - 2)) in
+    p.seek_single +. ((p.seek_max -. p.seek_single) *. frac)
+
+let capacity_frags p = p.cylinders * frags_per_cyl p

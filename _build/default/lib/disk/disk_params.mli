@@ -1,0 +1,32 @@
+(** Mechanical disk parameters.
+
+    The default preset approximates the HP C2447 used in the paper: a
+    1 GB, 5400 RPM SCSI drive with roughly 10 ms average seek and a
+    small on-board cache that prefetches sequentially. *)
+
+type t = {
+  rpm : float;
+  seek_single : float;  (** single-cylinder seek, seconds *)
+  seek_avg : float;  (** average seek, seconds (documentation only) *)
+  seek_max : float;  (** full-stroke seek, seconds *)
+  cylinders : int;
+  frags_per_track : int;  (** 1 KB fragments per track *)
+  tracks_per_cyl : int;  (** heads *)
+  overhead : float;  (** controller/command overhead per request *)
+  cache_segments : int;  (** concurrent sequential read streams cached *)
+  prefetch_frags : int;  (** readahead window per stream *)
+}
+
+val hp_c2447 : t
+
+val rotation_time : t -> float
+(** Seconds per revolution. *)
+
+val frags_per_cyl : t -> int
+
+val seek_time : t -> int -> float
+(** [seek_time p distance] for a move of [distance] cylinders; 0 for
+    distance 0. Square-root curve anchored at the single-cylinder and
+    full-stroke points. *)
+
+val capacity_frags : t -> int

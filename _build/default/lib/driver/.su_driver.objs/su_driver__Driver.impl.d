@@ -1,0 +1,1 @@
+lib/driver/driver.ml: Array Hashtbl Int List Map Ordering Request Seq Set Su_disk Su_fstypes Su_sim Trace

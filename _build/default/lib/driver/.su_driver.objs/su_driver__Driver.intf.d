@@ -1,0 +1,1 @@
+lib/driver/driver.mli: Ordering Request Su_disk Su_fstypes Su_sim Trace

@@ -1,0 +1,1 @@
+lib/driver/ordering.ml: List Request

@@ -1,0 +1,1 @@
+lib/driver/request.ml: Format List String Su_fstypes

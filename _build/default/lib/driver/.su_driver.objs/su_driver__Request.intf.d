@@ -1,0 +1,1 @@
+lib/driver/request.mli: Format Su_fstypes

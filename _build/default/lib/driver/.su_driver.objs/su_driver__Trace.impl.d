@@ -1,0 +1,1 @@
+lib/driver/trace.ml: List Request Stats Su_util

@@ -1,0 +1,1 @@
+lib/driver/trace.mli: Request

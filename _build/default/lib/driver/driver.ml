@@ -1,0 +1,283 @@
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+type policy = Clook | Fcfs
+
+type config = {
+  mode : Ordering.mode;
+  policy : policy;
+  max_concat : int;
+  keep_records : bool;
+}
+
+let default_config =
+  { mode = Ordering.Unordered; policy = Clook; max_concat = 64; keep_records = false }
+
+type t = {
+  engine : Su_sim.Engine.t;
+  disk : Su_disk.Disk.t;
+  config : config;
+  mutable trace : Trace.t;
+  mutable next_id : int;
+  mutable last_flagged : int option;
+  mutable pending : Request.t IntMap.t;  (* queued, keyed by id *)
+  mutable in_flight : Request.t list;  (* on the device *)
+  mutable outstanding_ids : IntSet.t;  (* pending + in_flight *)
+  mutable start_times : float IntMap.t;  (* device start per in-flight id *)
+  mutable writes_by_start : (int * int) list IntMap.t;
+      (* outstanding writes: start lbn -> [(id, nfrags)] *)
+  mutable head_pos : int;
+  mutable idle_waiters : (unit -> unit) list;
+}
+
+
+let trace t = t.trace
+let mode t = t.config.mode
+
+let reset_trace t =
+  t.trace <- Trace.create ~keep_records:t.config.keep_records ()
+
+let completed t id = not (IntSet.mem id t.outstanding_ids)
+let outstanding t = IntSet.cardinal t.outstanding_ids
+let queue_length t = IntMap.cardinal t.pending
+
+(* Widest write the driver ever accepts; bounds the interval scan. *)
+let max_write_extent = 64
+
+let add_write_index t (r : Request.t) =
+  let entry = (r.Request.id, r.Request.nfrags) in
+  t.writes_by_start <-
+    IntMap.update r.Request.lbn
+      (function None -> Some [ entry ] | Some l -> Some (entry :: l))
+      t.writes_by_start
+
+let remove_write_index t (r : Request.t) =
+  t.writes_by_start <-
+    IntMap.update r.Request.lbn
+      (function
+        | None -> None
+        | Some l ->
+          (match List.filter (fun (id, _) -> id <> r.Request.id) l with
+           | [] -> None
+           | l' -> Some l'))
+      t.writes_by_start
+
+(* An outstanding write with a lower id whose extent overlaps [r]. *)
+let conflicting_earlier_write t (r : Request.t) =
+  let lo = r.Request.lbn - max_write_extent and hi = r.Request.lbn + r.Request.nfrags in
+  let seq = IntMap.to_seq_from lo t.writes_by_start in
+  let rec scan s =
+    match s () with
+    | Seq.Nil -> false
+    | Seq.Cons ((start, entries), rest) ->
+      if start >= hi then false
+      else if
+        List.exists
+          (fun (id, len) ->
+            id < r.Request.id
+            && start < hi
+            && r.Request.lbn < start + len)
+          entries
+      then true
+      else scan rest
+  in
+  scan seq
+
+let ctx t =
+  {
+    Ordering.is_outstanding = (fun id -> IntSet.mem id t.outstanding_ids);
+    min_outstanding = (fun () -> IntSet.min_elt_opt t.outstanding_ids);
+    conflicting_earlier_write = (fun r -> conflicting_earlier_write t r);
+  }
+
+let eligible_list t =
+  let c = ctx t in
+  IntMap.fold
+    (fun _ r acc ->
+      if
+        Ordering.eligible t.config.mode c r
+        && not (conflicting_earlier_write t r)
+      then r :: acc
+      else acc)
+    t.pending []
+  |> List.rev
+(* ascending id order *)
+
+let pick_head t candidates =
+  match t.config.policy with
+  | Fcfs ->
+    (match candidates with [] -> None | r :: _ -> Some r)
+  | Clook ->
+    let ahead =
+      List.filter (fun (r : Request.t) -> r.Request.lbn >= t.head_pos) candidates
+    in
+    let pool = if ahead = [] then candidates else ahead in
+    (match pool with
+     | [] -> None
+     | first :: rest ->
+       Some
+         (List.fold_left
+            (fun (best : Request.t) (r : Request.t) ->
+              if r.Request.lbn < best.Request.lbn then r else best)
+            first rest))
+
+(* Gather eligible requests that extend [head] contiguously upward,
+   same kind, within the concatenation limit. *)
+let concat_run t head candidates =
+  let by_lbn = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Request.t) ->
+      if r.Request.kind = head.Request.kind && r.Request.id <> head.Request.id then
+        Hashtbl.replace by_lbn r.Request.lbn r)
+    candidates;
+  let rec extend acc last_end total =
+    if total >= t.config.max_concat then List.rev acc
+    else
+      match Hashtbl.find_opt by_lbn last_end with
+      | Some r when total + r.Request.nfrags <= t.config.max_concat ->
+        extend (r :: acc) (last_end + r.Request.nfrags) (total + r.Request.nfrags)
+      | Some _ | None -> List.rev acc
+  in
+  head :: extend [] (head.Request.lbn + head.Request.nfrags) head.Request.nfrags
+
+let notify_if_idle t =
+  if IntSet.is_empty t.outstanding_ids && t.idle_waiters <> [] then begin
+    let ws = t.idle_waiters in
+    t.idle_waiters <- [];
+    List.iter (fun w -> Su_sim.Engine.soon t.engine w) ws
+  end
+
+let rec try_dispatch t =
+  if not (Su_disk.Disk.busy t.disk) then begin
+    let candidates = eligible_list t in
+    match pick_head t candidates with
+    | None -> ()
+    | Some head ->
+      let run = concat_run t head candidates in
+      List.iter
+        (fun (r : Request.t) -> t.pending <- IntMap.remove r.Request.id t.pending)
+        run;
+      t.in_flight <- t.in_flight @ run;
+      let now = Su_sim.Engine.now t.engine in
+      List.iter
+        (fun (r : Request.t) ->
+          t.start_times <- IntMap.add r.Request.id now t.start_times)
+        run;
+      let lbn = head.Request.lbn in
+      let nfrags =
+        List.fold_left (fun n (r : Request.t) -> n + r.Request.nfrags) 0 run
+      in
+      let op, payload =
+        match head.Request.kind with
+        | Request.Read -> (Su_disk.Disk.Read, None)
+        | Request.Write ->
+          let cells = Array.make nfrags Su_fstypes.Types.Empty in
+          let off = ref 0 in
+          List.iter
+            (fun (r : Request.t) ->
+              (match r.Request.payload with
+               | Some p -> Array.blit p 0 cells !off r.Request.nfrags
+               | None -> invalid_arg "Driver: write without payload");
+              off := !off + r.Request.nfrags)
+            run;
+          (Su_disk.Disk.Write, Some cells)
+      in
+      Su_disk.Disk.submit t.disk ~lbn ~nfrags ~op ~payload
+        ~on_done:(fun data _svc ->
+          let complete_time = Su_sim.Engine.now t.engine in
+          let off = ref 0 in
+          List.iter
+            (fun (r : Request.t) ->
+              t.outstanding_ids <- IntSet.remove r.Request.id t.outstanding_ids;
+              if r.Request.kind = Request.Write then remove_write_index t r;
+              t.in_flight <-
+                List.filter
+                  (fun (e : Request.t) -> e.Request.id <> r.Request.id)
+                  t.in_flight;
+              let start =
+                match IntMap.find_opt r.Request.id t.start_times with
+                | Some s -> s
+                | None -> r.Request.issue_time
+              in
+              t.start_times <- IntMap.remove r.Request.id t.start_times;
+              Trace.note t.trace
+                {
+                  Trace.r_id = r.Request.id;
+                  r_kind = r.Request.kind;
+                  r_lbn = r.Request.lbn;
+                  r_nfrags = r.Request.nfrags;
+                  r_sync = r.Request.sync;
+                  r_issue = r.Request.issue_time;
+                  r_start = start;
+                  r_complete = complete_time;
+                };
+              let slice =
+                match data with
+                | None -> None
+                | Some cells ->
+                  Some (Array.sub cells !off r.Request.nfrags)
+              in
+              off := !off + r.Request.nfrags;
+              r.Request.on_complete slice)
+            run;
+          t.head_pos <- lbn + nfrags;
+          notify_if_idle t;
+          try_dispatch t)
+  end
+
+let create ~engine ~disk config =
+  let t = {
+    engine;
+    disk;
+    config;
+    trace = Trace.create ~keep_records:config.keep_records ();
+    next_id = 0;
+    last_flagged = None;
+    pending = IntMap.empty;
+    in_flight = [];
+    outstanding_ids = IntSet.empty;
+    start_times = IntMap.empty;
+    writes_by_start = IntMap.empty;
+    head_pos = 0;
+    idle_waiters = [];
+  }
+  in
+  Su_disk.Disk.set_idle_callback disk (fun () -> try_dispatch t);
+  t
+
+let submit t ~kind ~lbn ~nfrags ?(flagged = false) ?(deps = []) ?(sync = false)
+    ?payload ~on_complete () =
+  if nfrags <= 0 then invalid_arg "Driver.submit: nfrags must be positive";
+  (match kind, payload with
+   | Request.Write, None -> invalid_arg "Driver.submit: write without payload"
+   | Request.Write, Some p when Array.length p <> nfrags ->
+     invalid_arg "Driver.submit: payload length mismatch"
+   | Request.Write, Some _ | Request.Read, _ -> ());
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let r =
+    {
+      Request.id;
+      kind;
+      lbn;
+      nfrags;
+      payload;
+      flagged;
+      gate = t.last_flagged;
+      deps;
+      sync;
+      issue_time = Su_sim.Engine.now t.engine;
+      on_complete;
+    }
+  in
+  if flagged then t.last_flagged <- Some id;
+  t.pending <- IntMap.add id r t.pending;
+  t.outstanding_ids <- IntSet.add id t.outstanding_ids;
+  if kind = Request.Write then add_write_index t r;
+  try_dispatch t;
+  id
+
+let quiesce t =
+  if not (IntSet.is_empty t.outstanding_ids) then
+    Su_sim.Proc.suspend (fun resume ->
+        t.idle_waiters <- resume :: t.idle_waiters)

@@ -1,0 +1,62 @@
+(** The device driver: request queue, disk scheduling and ordering
+    enforcement.
+
+    Requests are accepted (non-blocking) in issue order; whenever the
+    disk is idle the driver picks the next request to service from the
+    {e eligible} subset of the queue (see {!Ordering}) using C-LOOK or
+    FCFS, and concatenates queued requests that are contiguous on disk
+    into a single device operation (as the paper's SVR4 driver does).
+    Completion callbacks run in engine-event context. *)
+
+type policy = Clook | Fcfs
+
+type config = {
+  mode : Ordering.mode;
+  policy : policy;
+  max_concat : int;  (** max fragments per device operation *)
+  keep_records : bool;  (** retain full per-request trace records *)
+}
+
+val default_config : config
+(** Unordered, C-LOOK, 64-fragment concatenation, aggregates only. *)
+
+type t
+
+val create : engine:Su_sim.Engine.t -> disk:Su_disk.Disk.t -> config -> t
+
+val submit :
+  t ->
+  kind:Request.kind ->
+  lbn:int ->
+  nfrags:int ->
+  ?flagged:bool ->
+  ?deps:int list ->
+  ?sync:bool ->
+  ?payload:Su_fstypes.Types.cell array ->
+  on_complete:(Su_fstypes.Types.cell array option -> unit) ->
+  unit ->
+  int
+(** Enqueue a request; returns its id. [payload] must be a private
+    snapshot (writes). [sync] marks that a process will block on the
+    completion (statistics only). *)
+
+val completed : t -> int -> bool
+(** Whether the given request id has completed. Ids never issued are
+    reported complete (useful for chains bookkeeping across runs). *)
+
+val outstanding : t -> int
+(** Requests accepted but not yet completed. *)
+
+val queue_length : t -> int
+(** Requests waiting in the queue (not on the device). *)
+
+val quiesce : t -> unit
+(** Process operation: block until no request is outstanding. *)
+
+val trace : t -> Trace.t
+
+val reset_trace : t -> unit
+(** Start a fresh trace (discard accumulated statistics); used to
+    exclude benchmark set-up from measurements. *)
+
+val mode : t -> Ordering.mode

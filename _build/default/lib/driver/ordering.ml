@@ -1,0 +1,75 @@
+type flag_semantics = Full | Back | Part | Ignore
+
+type mode =
+  | Unordered
+  | Flag of { sem : flag_semantics; nr : bool }
+  | Chains of { nr : bool }
+
+let flag_semantics_name = function
+  | Full -> "Full"
+  | Back -> "Back"
+  | Part -> "Part"
+  | Ignore -> "Ignore"
+
+let mode_name = function
+  | Unordered -> "Unordered"
+  | Flag { sem; nr } -> flag_semantics_name sem ^ (if nr then "-NR" else "")
+  | Chains { nr } -> "Chains" ^ (if nr then "-NR" else "")
+
+type ctx = {
+  is_outstanding : int -> bool;
+  min_outstanding : unit -> int option;
+  conflicting_earlier_write : Request.t -> bool;
+}
+
+let gate_completed ctx (r : Request.t) =
+  match r.Request.gate with
+  | None -> true
+  | Some g -> not (ctx.is_outstanding g)
+
+(* No outstanding request has an id below [bound]. The caller's own
+   request is outstanding with id >= bound, so [>= bound] is the right
+   comparison. *)
+let nothing_outstanding_below ctx bound =
+  match ctx.min_outstanding () with
+  | None -> true
+  | Some m -> m >= bound
+
+let flag_eligible sem ctx (r : Request.t) =
+  match sem with
+  | Ignore -> true
+  | Part -> gate_completed ctx r
+  | Back ->
+    (match r.Request.gate with
+     | None -> true
+     | Some g -> (not (ctx.is_outstanding g)) && nothing_outstanding_below ctx g)
+  | Full ->
+    if r.Request.flagged then
+      (* a barrier waits for everything issued before it *)
+      nothing_outstanding_below ctx r.Request.id
+    else
+      (* the gate could not start before its predecessors finished,
+         so its completion implies theirs *)
+      gate_completed ctx r
+
+let eligible mode ctx (r : Request.t) =
+  match mode with
+  | Unordered -> true
+  | Chains { nr } ->
+    let deps_ok =
+      List.for_all (fun d -> not (ctx.is_outstanding d)) r.Request.deps
+      (* flagged requests act as Part-style gates so the chains scheme
+         can fall back on barriers for de-allocation (§3.2) *)
+      && gate_completed ctx r
+    in
+    if deps_ok then true
+    else
+      nr
+      && r.Request.kind = Request.Read
+      && not (ctx.conflicting_earlier_write r)
+  | Flag { sem; nr } ->
+    if flag_eligible sem ctx r then true
+    else
+      nr
+      && r.Request.kind = Request.Read
+      && not (ctx.conflicting_earlier_write r)

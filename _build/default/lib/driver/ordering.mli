@@ -1,0 +1,48 @@
+(** Ordering enforcement policies for the device driver (§3 of the
+    paper).
+
+    With flag-based ordering the file system sets a one-bit flag on
+    writes that later requests may depend on; the flag's semantics
+    determine which queued requests are {e eligible} for scheduling.
+    With chains, each request carries the explicit list of request ids
+    it must follow.
+
+    Flag semantics, most to least restrictive:
+    - [Full]: a flagged request is a full barrier — it waits for every
+      earlier request, and nothing issued after it may start until it
+      completes.
+    - [Back]: requests issued after a flagged request may be scheduled
+      neither before it nor before anything issued before it; the
+      flagged request itself reorders freely with earlier unflagged
+      requests.
+    - [Part]: requests issued after a flagged request may not pass it;
+      everything else reorders freely.
+    - [Ignore]: the flag is ignored (unsafe baseline).
+
+    The [nr] option lets read requests bypass writes that are waiting
+    only because of ordering restrictions, unless they conflict
+    (overlap) with an earlier incomplete write. *)
+
+type flag_semantics = Full | Back | Part | Ignore
+
+type mode =
+  | Unordered  (** no driver-level constraints (conventional / soft updates / no-order) *)
+  | Flag of { sem : flag_semantics; nr : bool }
+  | Chains of { nr : bool }
+
+val flag_semantics_name : flag_semantics -> string
+val mode_name : mode -> string
+
+(** Queue-state oracle supplied by the driver. A request is
+    {e outstanding} from issue until completion (queued or on the
+    device). *)
+type ctx = {
+  is_outstanding : int -> bool;
+  min_outstanding : unit -> int option;
+  conflicting_earlier_write : Request.t -> bool;
+      (** an outstanding write with a lower id overlaps this request *)
+}
+
+val eligible : mode -> ctx -> Request.t -> bool
+(** Whether the (queued, outstanding) request may be handed to the
+    disk scheduler now. *)

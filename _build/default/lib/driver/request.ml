@@ -1,0 +1,25 @@
+type kind = Read | Write
+
+type t = {
+  id : int;
+  kind : kind;
+  lbn : int;
+  nfrags : int;
+  payload : Su_fstypes.Types.cell array option;
+  flagged : bool;
+  gate : int option;
+  deps : int list;
+  sync : bool;
+  issue_time : float;
+  on_complete : Su_fstypes.Types.cell array option -> unit;
+}
+
+let overlaps a b = a.lbn < b.lbn + b.nfrags && b.lbn < a.lbn + a.nfrags
+
+let pp ppf r =
+  Format.fprintf ppf "#%d %s lbn=%d n=%d%s%s" r.id
+    (match r.kind with Read -> "R" | Write -> "W")
+    r.lbn r.nfrags
+    (if r.flagged then " [flag]" else "")
+    (if r.deps = [] then ""
+     else " deps=" ^ String.concat "," (List.map string_of_int r.deps))

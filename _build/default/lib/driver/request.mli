@@ -1,0 +1,24 @@
+(** Disk requests as seen by the device driver. *)
+
+type kind = Read | Write
+
+type t = {
+  id : int;  (** unique, increasing in issue order *)
+  kind : kind;
+  lbn : int;
+  nfrags : int;
+  payload : Su_fstypes.Types.cell array option;  (** writes only *)
+  flagged : bool;  (** ordering flag (scheduler-flag schemes) *)
+  gate : int option;
+      (** id of the most recent flagged request issued before this
+          one, if any (assigned by the driver) *)
+  deps : int list;  (** ids this request must follow (scheduler chains) *)
+  sync : bool;  (** a process is blocked on this request *)
+  issue_time : float;
+  on_complete : Su_fstypes.Types.cell array option -> unit;
+}
+
+val overlaps : t -> t -> bool
+(** Whether the two requests' fragment ranges intersect. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+open Su_util
+
+type record = {
+  r_id : int;
+  r_kind : Request.kind;
+  r_lbn : int;
+  r_nfrags : int;
+  r_sync : bool;
+  r_issue : float;
+  r_start : float;
+  r_complete : float;
+}
+
+type t = {
+  keep : bool;
+  mutable recs : record list;
+  mutable nreads : int;
+  mutable nwrites : int;
+  access : Stats.t;
+  response : Stats.t;
+  queue : Stats.t;
+  sync_response : Stats.t;
+}
+
+let create ?(keep_records = false) () =
+  {
+    keep = keep_records;
+    recs = [];
+    nreads = 0;
+    nwrites = 0;
+    access = Stats.create ();
+    response = Stats.create ();
+    queue = Stats.create ();
+    sync_response = Stats.create ();
+  }
+
+let note t r =
+  (match r.r_kind with
+   | Request.Read -> t.nreads <- t.nreads + 1
+   | Request.Write -> t.nwrites <- t.nwrites + 1);
+  Stats.add t.access (r.r_complete -. r.r_start);
+  Stats.add t.response (r.r_complete -. r.r_issue);
+  Stats.add t.queue (r.r_start -. r.r_issue);
+  if r.r_sync then Stats.add t.sync_response (r.r_complete -. r.r_issue);
+  if t.keep then t.recs <- r :: t.recs
+
+let requests t = t.nreads + t.nwrites
+let reads t = t.nreads
+let writes t = t.nwrites
+
+let ms stats = 1000.0 *. Stats.mean stats
+
+let avg_access_ms t = ms t.access
+let avg_response_ms t = ms t.response
+let avg_queue_ms t = ms t.queue
+let sync_avg_response_ms t = ms t.sync_response
+
+let records t = List.rev t.recs

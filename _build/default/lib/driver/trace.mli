@@ -1,0 +1,38 @@
+(** Per-request I/O measurements, mirroring the paper's instrumented
+    device driver: queue delay, disk access (service) time and driver
+    response time (issue to completion, both included). *)
+
+type record = {
+  r_id : int;
+  r_kind : Request.kind;
+  r_lbn : int;
+  r_nfrags : int;
+  r_sync : bool;
+  r_issue : float;
+  r_start : float;
+  r_complete : float;
+}
+
+type t
+
+val create : ?keep_records:bool -> unit -> t
+
+val note : t -> record -> unit
+
+val requests : t -> int
+val reads : t -> int
+val writes : t -> int
+
+val avg_access_ms : t -> float
+(** Mean disk service time, milliseconds. *)
+
+val avg_response_ms : t -> float
+(** Mean driver response time (queue + access), milliseconds. *)
+
+val avg_queue_ms : t -> float
+
+val sync_avg_response_ms : t -> float
+(** Response time averaged over requests a process waited for. *)
+
+val records : t -> record list
+(** Chronological; empty unless [keep_records] was set. *)

@@ -1,0 +1,657 @@
+open Su_util
+open Su_fs
+open Su_workload
+module Ord = Su_driver.Ordering
+
+type scale = [ `Full | `Quick ]
+
+let reps = function `Full -> 3 | `Quick -> 1
+let copy_users = 4
+let fig5_files = function `Full -> 10_000 | `Quick -> 2_000
+let fig5_users = function `Full -> [ 1; 2; 4; 6; 8 ] | `Quick -> [ 1; 4; 8 ]
+let sdet_users = function `Full -> [ 1; 2; 4; 6; 8 ] | `Quick -> [ 1; 4 ]
+let sdet_commands = function `Full -> 60 | `Quick -> 30
+let andrew_reps = function `Full -> 5 | `Quick -> 2
+
+let f1 = Text_table.cell_f ~dec:1
+let f2 = Text_table.cell_f ~dec:2
+
+let avg_copy ~cfg ~users scale =
+  Runner.repeat ~reps:(reps scale) (fun rep ->
+      Benchmarks.copy ~cfg ~users ~seed:(17 + (100 * rep)) ())
+
+let avg_remove ~cfg ~users scale =
+  Runner.repeat ~reps:(reps scale) (fun rep ->
+      Benchmarks.remove ~cfg ~users ~seed:(17 + (100 * rep)) ())
+
+(* --- figures 1-4: scheduler-flag variants ----------------------------- *)
+
+let flag_cfg ?(init = false) ~sem ~nr ~cb () =
+  { (Fs.config ~scheme:Fs.Scheduler_flag ()) with
+    Fs.flag_sem = sem;
+    nr;
+    cb;
+    alloc_init = init }
+
+let fig1 scale =
+  let t =
+    Text_table.create
+      ~title:
+        "Figure 1: ordering-flag semantics, 4-user copy (elapsed s / avg disk \
+         access ms)"
+      ~headers:[ "flag meaning"; "elapsed (s)"; "disk access (ms)" ]
+  in
+  List.iter
+    (fun (name, sem, nr) ->
+      (* the figure-1 runs enforce allocation initialisation: every
+         data block write carries the flag, which is what makes the
+         semantics bite (the paper's y-axis reaches the with-init
+         elapsed range of table 1) *)
+      let cfg = flag_cfg ~init:true ~sem ~nr ~cb:true () in
+      let m = avg_copy ~cfg ~users:copy_users scale in
+      Text_table.add_row t
+        [ name; f1 m.Runner.elapsed_avg; f1 m.Runner.avg_access_ms ])
+    [
+      ("Full", Ord.Full, false);
+      ("Back", Ord.Back, false);
+      ("Part", Ord.Part, false);
+      ("Part-NR", Ord.Part, true);
+      ("Ignore", Ord.Ignore, false);
+    ];
+  t
+
+let fig2 scale =
+  let t =
+    Text_table.create
+      ~title:
+        "Figure 2: ordering-flag semantics, 1-user remove (elapsed s / avg \
+         driver response ms)"
+      ~headers:[ "flag meaning"; "elapsed (s)"; "driver response (ms)" ]
+  in
+  List.iter
+    (fun (name, sem, nr) ->
+      let cfg = flag_cfg ~sem ~nr ~cb:true () in
+      let m = avg_remove ~cfg ~users:1 scale in
+      Text_table.add_row t
+        [ name; f2 m.Runner.elapsed_avg; f1 m.Runner.avg_response_ms ])
+    [
+      ("Part", Ord.Part, false);
+      ("Full-NR", Ord.Full, true);
+      ("Back-NR", Ord.Back, true);
+      ("Part-NR", Ord.Part, true);
+      ("Ignore", Ord.Ignore, false);
+    ];
+  t
+
+let fig34 ?(init = false) ~title ~bench scale =
+  let t =
+    Text_table.create ~title
+      ~headers:
+        [ "implementation"; "elapsed (s)"; "user CPU (s)"; "driver response (ms)" ]
+  in
+  List.iter
+    (fun (name, nr, cb) ->
+      let cfg = flag_cfg ~init ~sem:Ord.Part ~nr ~cb () in
+      let m = bench ~cfg scale in
+      Text_table.add_row t
+        [
+          name;
+          f1 m.Runner.elapsed_avg;
+          f1 m.Runner.cpu_total;
+          f1 m.Runner.avg_response_ms;
+        ])
+    [
+      ("Part", false, false);
+      ("Part-NR", true, false);
+      ("Part-CB", false, true);
+      ("Part-NR/CB", true, true);
+    ];
+  t
+
+let fig3 scale =
+  fig34 ~init:true
+    ~title:
+      "Figure 3: flag implementation improvements, 4-user copy (block copying \
+       avoids write-lock waits)"
+    ~bench:(fun ~cfg scale -> avg_copy ~cfg ~users:copy_users scale)
+    scale
+
+let fig4 scale =
+  fig34
+    ~title:"Figure 4: flag implementation improvements, 4-user remove"
+    ~bench:(fun ~cfg scale -> avg_remove ~cfg ~users:copy_users scale)
+    scale
+
+(* --- figure 5: throughput --------------------------------------------- *)
+
+let fig5_one ~subtitle ~bench scale =
+  let users = fig5_users scale in
+  let t =
+    Text_table.create ~title:subtitle
+      ~headers:
+        ("scheme"
+        :: List.map (fun u -> Printf.sprintf "%d user%s" u (if u = 1 then "" else "s")) users)
+  in
+  List.iter
+    (fun scheme ->
+      let row =
+        List.map
+          (fun u ->
+            let cfg = Fs.config ~scheme () in
+            let total = fig5_files scale in
+            let m = bench ~cfg ~users:u ~total_files:total in
+            f1 (Benchmarks.files_per_second ~total_files:total m))
+          users
+      in
+      Text_table.add_row t (Fs.scheme_kind_name scheme :: row))
+    Fs.all_schemes;
+  t
+
+let fig5 scale =
+  [
+    fig5_one ~subtitle:"Figure 5a: 1KB file creates (files/second)"
+      ~bench:(fun ~cfg ~users ~total_files ->
+        Benchmarks.create_files ~cfg ~users ~total_files)
+      scale;
+    fig5_one ~subtitle:"Figure 5b: 1KB file removes (files/second)"
+      ~bench:(fun ~cfg ~users ~total_files ->
+        Benchmarks.remove_files ~cfg ~users ~total_files)
+      scale;
+    fig5_one ~subtitle:"Figure 5c: 1KB file create/removes (files/second)"
+      ~bench:(fun ~cfg ~users ~total_files ->
+        Benchmarks.create_remove_files ~cfg ~users ~total_files)
+      scale;
+  ]
+
+(* --- tables 1 and 2 ---------------------------------------------------- *)
+
+let scheme_rows =
+  [
+    (Fs.Conventional, [ false; true ]);
+    (Fs.Scheduler_flag, [ false; true ]);
+    (Fs.Scheduler_chains { barrier_dealloc = false }, [ false; true ]);
+    (Fs.Soft_updates, [ false; true ]);
+    (Fs.No_order, [ false ]);
+  ]
+
+let tab12 ~title ~bench scale =
+  let t =
+    Text_table.create ~title
+      ~headers:
+        [
+          "scheme";
+          "alloc init";
+          "elapsed (s)";
+          "% of No Order";
+          "CPU (s)";
+          "disk requests";
+          "I/O response (ms)";
+        ]
+  in
+  let base_cfg = Fs.config ~scheme:Fs.No_order () in
+  let baseline = bench ~cfg:{ base_cfg with Fs.alloc_init = false } scale in
+  List.iter
+    (fun (scheme, inits) ->
+      List.iter
+        (fun init ->
+          let cfg = { (Fs.config ~scheme ()) with Fs.alloc_init = init } in
+          let m =
+            if scheme = Fs.No_order then baseline else bench ~cfg scale
+          in
+          Text_table.add_row t
+            [
+              Fs.scheme_kind_name scheme;
+              (if init then "Y" else "N");
+              f1 m.Runner.elapsed_avg;
+              f1 (100.0 *. m.Runner.elapsed_avg /. baseline.Runner.elapsed_avg);
+              f1 m.Runner.cpu_total;
+              Text_table.cell_i m.Runner.disk_requests;
+              f1 m.Runner.avg_response_ms;
+            ])
+        inits)
+    scheme_rows;
+  t
+
+let tab1 scale =
+  tab12
+    ~title:"Table 1: scheme comparison, 4-user copy"
+    ~bench:(fun ~cfg scale -> avg_copy ~cfg ~users:copy_users scale)
+    scale
+
+let tab2 scale =
+  tab12
+    ~title:"Table 2: scheme comparison, 4-user remove"
+    ~bench:(fun ~cfg scale -> avg_remove ~cfg ~users:copy_users scale)
+    scale
+
+(* --- table 3: Andrew --------------------------------------------------- *)
+
+let tab3 scale =
+  let t =
+    Text_table.create
+      ~title:
+        "Table 3: Andrew benchmark (seconds; mean over repetitions, stdev in \
+         parens)"
+      ~headers:
+        [
+          "scheme";
+          "(1) mkdir";
+          "(2) copy";
+          "(3) stat";
+          "(4) read";
+          "(5) compile";
+          "total";
+        ]
+  in
+  List.iter
+    (fun scheme ->
+      let cfg = Fs.config ~scheme () in
+      let s = Andrew.run ~cfg ~reps:(andrew_reps scale) in
+      let cell i =
+        Printf.sprintf "%.2f (%.2f)" s.Andrew.mean.Andrew.phases.(i)
+          s.Andrew.stdev.Andrew.phases.(i)
+      in
+      Text_table.add_row t
+        [
+          Fs.scheme_kind_name scheme;
+          cell 0;
+          cell 1;
+          cell 2;
+          cell 3;
+          cell 4;
+          Printf.sprintf "%.2f (%.2f)" s.Andrew.mean.Andrew.total
+            s.Andrew.stdev.Andrew.total;
+        ])
+    Fs.all_schemes;
+  t
+
+(* --- figure 6: Sdet ----------------------------------------------------- *)
+
+let fig6 scale =
+  let users = sdet_users scale in
+  let t =
+    Text_table.create ~title:"Figure 6: Sdet throughput (scripts/hour)"
+      ~headers:
+        ("scheme" :: List.map (fun u -> Printf.sprintf "%d" u) users)
+  in
+  List.iter
+    (fun scheme ->
+      let row =
+        List.map
+          (fun u ->
+            let cfg = Fs.config ~scheme () in
+            let r =
+              Sdet.run ~cfg ~concurrency:u ~commands:(sdet_commands scale) ()
+            in
+            f1 r.Sdet.scripts_per_hour)
+          users
+      in
+      Text_table.add_row t (Fs.scheme_kind_name scheme :: row))
+    Fs.all_schemes;
+  t
+
+(* --- ablations ---------------------------------------------------------- *)
+
+let chains_dealloc_ablation scale =
+  let t =
+    Text_table.create
+      ~title:
+        "Ablation (s3.2): chains de-allocation dependencies, 4-user remove"
+      ~headers:[ "approach"; "elapsed (s)"; "disk requests" ]
+  in
+  List.iter
+    (fun (name, barrier) ->
+      let cfg = Fs.config ~scheme:(Fs.Scheduler_chains { barrier_dealloc = barrier }) () in
+      let m = avg_remove ~cfg ~users:copy_users scale in
+      Text_table.add_row t
+        [ name; f1 m.Runner.elapsed_avg; Text_table.cell_i m.Runner.disk_requests ])
+    [ ("barrier (flag fallback)", true); ("specific dependencies", false) ];
+  t
+
+let cb_ablation scale =
+  let t =
+    Text_table.create
+      ~title:"Ablation (s3.3): block copying for scheduler chains"
+      ~headers:[ "benchmark"; "without -CB (s)"; "with -CB (s)"; "reduction %" ]
+  in
+  let run ~cb bench =
+    let cfg =
+      { (Fs.config ~scheme:(Fs.Scheduler_chains { barrier_dealloc = false }) ()) with
+        Fs.cb = cb }
+    in
+    (bench ~cfg scale).Runner.elapsed_avg
+  in
+  List.iter
+    (fun (name, bench) ->
+      let without = run ~cb:false bench and with_ = run ~cb:true bench in
+      Text_table.add_row t
+        [
+          name;
+          f1 without;
+          f1 with_;
+          f1 (100.0 *. (without -. with_) /. without);
+        ])
+    [
+      ("4-user copy", fun ~cfg scale -> avg_copy ~cfg ~users:copy_users scale);
+      ("4-user remove", fun ~cfg scale -> avg_remove ~cfg ~users:copy_users scale);
+    ];
+  t
+
+(* --- crash consistency -------------------------------------------------- *)
+
+let crash_workload st rng user () =
+  let dir = Printf.sprintf "/w%d" user in
+  Fsops.mkdir st dir;
+  let live = ref [] in
+  let counter = ref 0 in
+  for _ = 1 to 150 do
+    match Rng.int rng 8 with
+    | 0 | 1 | 2 ->
+      incr counter;
+      let p = Printf.sprintf "%s/f%d" dir !counter in
+      Fsops.create st p;
+      Fsops.append st p ~bytes:(1024 * Rng.int_range rng 1 10);
+      live := p :: !live
+    | 3 | 4 ->
+      (match !live with
+       | p :: rest ->
+         Fsops.unlink st p;
+         live := rest
+       | [] -> ())
+    | 5 ->
+      incr counter;
+      let d = Printf.sprintf "%s/d%d" dir !counter in
+      Fsops.mkdir st d;
+      Fsops.create st (d ^ "/x")
+    | 6 ->
+      (match !live with
+       | p :: rest ->
+         Fsops.rename st ~src:p ~dst:(p ^ "m");
+         live := (p ^ "m") :: rest
+       | [] -> ())
+    | _ -> (
+      match !live with p :: _ -> ignore (Fsops.read_file st p) | [] -> ())
+  done
+
+let crash_consistency scale =
+  let points =
+    match scale with
+    | `Full -> [ 0.05; 0.2; 0.5; 1.1; 2.3; 4.7; 9.1; 17.0; 33.0 ]
+    | `Quick -> [ 0.2; 2.3; 17.0 ]
+  in
+  let t =
+    Text_table.create
+      ~title:
+        "Crash consistency: fsck after a crash at each point (violations are \
+         unrepairable; leaks/stale maps are repairable)"
+      ~headers:
+        [ "scheme"; "crash points"; "violations"; "leaked frags"; "leaked inodes"; "stale maps" ]
+  in
+  let schemes =
+    [
+      Fs.Conventional;
+      Fs.Scheduler_flag;
+      Fs.Scheduler_chains { barrier_dealloc = false };
+      Fs.Soft_updates;
+      Fs.No_order;
+    ]
+  in
+  List.iter
+    (fun scheme ->
+      let viol = ref 0 and lf = ref 0 and li = ref 0 and stale = ref 0 in
+      List.iteri
+        (fun i time ->
+          let cfg =
+            { (Fs.config ~scheme ()) with
+              Fs.geom = Su_fstypes.Geom.small;
+              cache_mb = 8 }
+          in
+          let w = Fs.make cfg in
+          let rng = Rng.create (500 + i) in
+          for u = 1 to 2 do
+            ignore
+              (Su_sim.Proc.spawn w.Fs.engine
+                 ~name:(Printf.sprintf "w%d" u)
+                 (crash_workload w.Fs.st (Rng.split rng) u))
+          done;
+          let r = Crash.crash_and_check w time in
+          viol := !viol + List.length r.Fsck.violations;
+          lf := !lf + r.Fsck.leaked_frags;
+          li := !li + r.Fsck.leaked_inodes;
+          stale := !stale + r.Fsck.stale_free)
+        points;
+      Text_table.add_row t
+        [
+          Fs.scheme_kind_name scheme;
+          Text_table.cell_i (List.length points);
+          Text_table.cell_i !viol;
+          Text_table.cell_i !lf;
+          Text_table.cell_i !li;
+          Text_table.cell_i !stale;
+        ])
+    schemes;
+  t
+
+(* --- soft updates sensitivity ------------------------------------------- *)
+
+let soft_updates_ablation scale =
+  let t =
+    Text_table.create
+      ~title:"Ablation: soft updates sensitivity, 4-user copy"
+      ~headers:[ "variant"; "elapsed (s)"; "disk requests"; "rollbacks" ]
+  in
+  let row name cfg =
+    let m = avg_copy ~cfg ~users:copy_users scale in
+    let rollbacks =
+      match m.Runner.softdep with
+      | Some s -> Text_table.cell_i s.Su_core.Softdep.rollbacks
+      | None -> "-"
+    in
+    Text_table.add_row t
+      [ name; f1 m.Runner.elapsed_avg; Text_table.cell_i m.Runner.disk_requests; rollbacks ]
+  in
+  let base = Fs.config ~scheme:Fs.Soft_updates () in
+  row "baseline (1s syncer, 32MB)" base;
+  row "syncer 0.5s" { base with Fs.syncer_interval = 0.5 };
+  row "syncer 5s" { base with Fs.syncer_interval = 5.0 };
+  row "cache 8MB" { base with Fs.cache_mb = 8 };
+  row "cache 64MB" { base with Fs.cache_mb = 64 };
+  row "no block-copy accounting" { base with Fs.cb = false };
+  t
+
+(* Fraction of logically-adjacent block pairs that are also adjacent
+   on the disk, over every regular file under [base]. *)
+let tree_contiguity st base =
+  let pairs = ref 0 and adjacent = ref 0 in
+  let fpb = st.State.geom.Su_fstypes.Geom.frags_per_block in
+  let rec walk path =
+    List.iter
+      (fun name ->
+        if name <> "." && name <> ".." then begin
+          let p = (if path = "/" then "" else path) ^ "/" ^ name in
+          let s = Fsops.stat st p in
+          match s.Fsops.st_ftype with
+          | Su_fstypes.Types.F_dir -> walk p
+          | Su_fstypes.Types.F_reg ->
+            let inum = Fsops.resolve st p in
+            let ip = Inode.iget st inum in
+            let last = File.last_lbn st ~size:s.Fsops.st_size in
+            for lbn = 0 to last - 1 do
+              let a = File.ptr_at st ip lbn and b = File.ptr_at st ip (lbn + 1) in
+              if a <> 0 && b <> 0 then begin
+                incr pairs;
+                if b = a + fpb then incr adjacent
+              end
+            done;
+            Inode.iput st ip
+          | Su_fstypes.Types.F_free -> ()
+        end)
+      (Fsops.readdir st path)
+  in
+  walk base;
+  if !pairs = 0 then 1.0 else float_of_int !adjacent /. float_of_int !pairs
+
+let aging scale =
+  let t =
+    Text_table.create
+      ~title:
+        "Extension: file-system aging (soft updates; churn fragments the free          space, then a tree is written and copied)"
+      ~headers:
+        [
+          "volume";
+          "tree contiguity %";
+          "copy elapsed (s)";
+          "copy reqs";
+          "avg access (ms)";
+        ]
+  in
+  let rounds = match scale with `Full -> 5_000 | `Quick -> 3_500 in
+  let run ~aged =
+    (* a small disk concentrates the churn so fragmentation bites *)
+    let cfg =
+      { (Fs.config ~scheme:Fs.Soft_updates ()) with
+        Fs.geom = Su_fstypes.Geom.small;
+        cache_mb = 8 }
+    in
+    let w = Fs.make cfg in
+    let out = ref None in
+    ignore
+      (Su_sim.Proc.spawn w.Fs.engine ~name:"aging" (fun () ->
+           let st = w.Fs.st in
+           if aged then begin
+             (* mixed-size create/delete churn, leaving survivors;
+                stops early if the volume fills *)
+             let rng = Rng.create 97 in
+             Fsops.mkdir st "/churn";
+             let live = ref [] in
+             (try
+                for i = 1 to rounds do
+                  let p = Printf.sprintf "/churn/c%d" i in
+                  Fsops.create st p;
+                  Fsops.append st p ~bytes:(1024 * Rng.int_range rng 1 24);
+                  live := p :: !live;
+                  if Rng.int rng 5 < 2 then begin
+                    match !live with
+                    | [] -> ()
+                    | l ->
+                      let victim = List.nth l (Rng.int rng (List.length l)) in
+                      if Fsops.exists st victim then Fsops.unlink st victim;
+                      live := List.filter (fun q -> q <> victim) !live
+                  end
+                done
+              with Failure _ -> () (* volume full: aged enough *));
+             Fsops.sync st
+           end;
+           let nodes = Tree.spec ~files:200 ~total_bytes:6_000_000 () in
+           Fsops.mkdir st "/src";
+           Tree.populate st ~base:"/src" nodes;
+           Fsops.sync st;
+           let contiguity = tree_contiguity st "/src" in
+           Fsops.mkdir st "/dst";
+           Su_driver.Driver.reset_trace w.Fs.driver;
+           let t0 = Su_sim.Engine.now w.Fs.engine in
+           Tree.copy st ~src:"/src" ~dst:"/dst";
+           let elapsed = Su_sim.Engine.now w.Fs.engine -. t0 in
+           Su_driver.Driver.quiesce w.Fs.driver;
+           let tr = Su_driver.Driver.trace w.Fs.driver in
+           out :=
+             Some
+               ( contiguity,
+                 elapsed,
+                 Su_driver.Trace.requests tr,
+                 Su_driver.Trace.avg_access_ms tr );
+           Fs.stop w;
+           Su_sim.Engine.stop w.Fs.engine));
+    Su_sim.Engine.run w.Fs.engine;
+    Option.get !out
+  in
+  List.iter
+    (fun (name, aged) ->
+      let contiguity, elapsed, reqs, access = run ~aged in
+      Text_table.add_row t
+        [
+          name;
+          f1 (100.0 *. contiguity);
+          f1 elapsed;
+          Text_table.cell_i reqs;
+          f1 access;
+        ])
+    [ ("fresh", false); ("aged", true) ];
+  t
+
+let nvram_comparison scale =
+  let t =
+    Text_table.create
+      ~title:
+        "Extension (s7): NVRAM write cache vs soft updates (4-user copy /          remove, elapsed s)"
+      ~headers:[ "configuration"; "copy (s)"; "remove (s)"; "copy reqs"; "remove reqs" ]
+  in
+  let row name cfg =
+    let c = avg_copy ~cfg ~users:copy_users scale in
+    let r = avg_remove ~cfg ~users:copy_users scale in
+    Text_table.add_row t
+      [
+        name;
+        f1 c.Runner.elapsed_avg;
+        f1 r.Runner.elapsed_avg;
+        Text_table.cell_i c.Runner.disk_requests;
+        Text_table.cell_i r.Runner.disk_requests;
+      ]
+  in
+  row "Conventional" (Fs.config ~scheme:Fs.Conventional ());
+  row "Conventional + 4MB NVRAM"
+    { (Fs.config ~scheme:Fs.Conventional ()) with Fs.nvram_mb = 4 };
+  row "Soft Updates" (Fs.config ~scheme:Fs.Soft_updates ());
+  row "Soft Updates + 4MB NVRAM"
+    { (Fs.config ~scheme:Fs.Soft_updates ()) with Fs.nvram_mb = 4 };
+  row "No Order" (Fs.config ~scheme:Fs.No_order ());
+  t
+
+let journal_comparison scale =
+  let t =
+    Text_table.create
+      ~title:
+        "Extension (s7): write-ahead journaling vs soft updates (4-user copy          / remove, elapsed s)"
+      ~headers:[ "scheme"; "copy (s)"; "remove (s)"; "copy reqs"; "remove reqs" ]
+  in
+  List.iter
+    (fun scheme ->
+      let cfg = Fs.config ~scheme () in
+      let c = avg_copy ~cfg ~users:copy_users scale in
+      let r = avg_remove ~cfg ~users:copy_users scale in
+      Text_table.add_row t
+        [
+          Fs.scheme_kind_name scheme;
+          f1 c.Runner.elapsed_avg;
+          f1 r.Runner.elapsed_avg;
+          Text_table.cell_i c.Runner.disk_requests;
+          Text_table.cell_i r.Runner.disk_requests;
+        ])
+    [
+      Fs.Conventional;
+      Fs.Journaled { group_commit = false };
+      Fs.Journaled { group_commit = true };
+      Fs.Soft_updates;
+      Fs.No_order;
+    ];
+  t
+
+let all scale =
+  [
+    ("fig1", fun () -> [ fig1 scale ]);
+    ("fig2", fun () -> [ fig2 scale ]);
+    ("fig3", fun () -> [ fig3 scale ]);
+    ("fig4", fun () -> [ fig4 scale ]);
+    ("fig5", fun () -> fig5 scale);
+    ("tab1", fun () -> [ tab1 scale ]);
+    ("tab2", fun () -> [ tab2 scale ]);
+    ("tab3", fun () -> [ tab3 scale ]);
+    ("fig6", fun () -> [ fig6 scale ]);
+    ("chains-dealloc", fun () -> [ chains_dealloc_ablation scale ]);
+    ("chains-cb", fun () -> [ cb_ablation scale ]);
+    ("crash", fun () -> [ crash_consistency scale ]);
+    ("soft-ablate", fun () -> [ soft_updates_ablation scale ]);
+    ("journal", fun () -> [ journal_comparison scale ]);
+    ("nvram", fun () -> [ nvram_comparison scale ]);
+    ("aging", fun () -> [ aging scale ]);
+  ]

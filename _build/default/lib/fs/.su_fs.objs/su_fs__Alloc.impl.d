@@ -1,0 +1,1 @@
+lib/fs/alloc.ml: Array Bcache Buf Bytes Costs Fun Geom State Su_cache Su_fstypes Su_sim Types

@@ -1,0 +1,1 @@
+lib/fs/crash.ml: Fs Fsck Su_disk Su_sim

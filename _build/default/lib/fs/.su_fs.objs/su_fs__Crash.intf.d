@@ -1,0 +1,1 @@
+lib/fs/crash.mli: Fs Fsck Su_fstypes

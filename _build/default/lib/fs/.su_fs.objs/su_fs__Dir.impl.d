@@ -1,0 +1,1 @@
+lib/fs/dir.ml: Array Bcache Buf Costs File Fun Geom Inode List Option State Su_cache Su_core Su_fstypes Types

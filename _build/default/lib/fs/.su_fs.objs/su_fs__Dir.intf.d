@@ -1,0 +1,1 @@
+lib/fs/dir.mli: State Su_cache

@@ -1,0 +1,1 @@
+lib/fs/file.ml: Alloc Array Bcache Buf Costs Fun Geom Inode List State Su_cache Su_core Su_fstypes Su_sim Types

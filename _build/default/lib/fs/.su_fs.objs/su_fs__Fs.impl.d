@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Array Bytes Costs Geom Hashtbl State Su_cache Su_core Su_disk Su_driver Su_fstypes Su_sim Types

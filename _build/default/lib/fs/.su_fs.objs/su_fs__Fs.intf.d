@@ -1,0 +1,1 @@
+lib/fs/fs.mli: Costs Geom State Su_cache Su_disk Su_driver Su_fstypes Su_sim

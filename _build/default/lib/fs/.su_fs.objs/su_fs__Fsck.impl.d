@@ -1,0 +1,1 @@
+lib/fs/fsck.ml: Array Bytes Format Geom Hashtbl List Option Printf Queue String Su_core Su_fstypes Types

@@ -1,0 +1,1 @@
+lib/fs/fsck.mli: Format Geom Su_fstypes Types

@@ -1,0 +1,1 @@
+lib/fs/fsops.ml: Costs Dir File Fun Geom Inode List State String Su_cache Su_core Su_fstypes Types

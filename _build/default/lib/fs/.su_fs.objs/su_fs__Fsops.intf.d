@@ -1,0 +1,1 @@
+lib/fs/fsops.mli: State Su_fstypes

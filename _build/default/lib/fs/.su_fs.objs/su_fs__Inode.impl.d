@@ -1,0 +1,1 @@
+lib/fs/inode.ml: Alloc Array Bcache Buf Costs Fun Geom Hashtbl State Su_cache Su_fstypes Su_sim Types

@@ -1,0 +1,1 @@
+lib/fs/inode.mli: State Su_cache Su_fstypes Types

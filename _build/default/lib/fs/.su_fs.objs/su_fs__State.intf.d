@@ -1,0 +1,1 @@
+lib/fs/state.mli: Costs Geom Hashtbl Su_cache Su_core Su_disk Su_driver Su_fstypes Su_sim Types

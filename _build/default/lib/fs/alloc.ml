@@ -1,0 +1,208 @@
+open Su_fstypes
+open Su_cache
+
+let with_cg st c f =
+  let lbn = Geom.cg_header_frag st.State.geom c in
+  let buf = Bcache.bread st.State.cache ~lbn ~nfrags:(State.block_frags st) in
+  Fun.protect
+    ~finally:(fun () -> Bcache.release st.State.cache buf)
+    (fun () ->
+      match buf.Buf.content with
+      | Buf.Cmeta (Types.Cgroup cg) ->
+        Bcache.prepare_modify st.State.cache buf;
+        let r = f cg in
+        Bcache.bdwrite st.State.cache buf;
+        r
+      | Buf.Cmeta _ | Buf.Cdata _ -> failwith "Alloc: bad cylinder-group block")
+
+let with_lock st f =
+  Su_sim.Sync.Mutex.with_lock st.State.alloc_mutex f
+
+let used = '\001'
+let free = '\000'
+
+(* Search the group's data area for [count] contiguous free fragments
+   starting at an offset where the run cannot cross a block boundary
+   ([aligned] forces block alignment). Returns a group-relative
+   offset. *)
+let find_run st c (cg : Types.cg) ~count ~aligned =
+  let g = st.State.geom in
+  let fpb = g.Geom.frags_per_block in
+  let base = Geom.cg_base g c in
+  let first, total = Geom.cg_data_area g c in
+  let rel_first = first - base in
+  let rotor = st.State.rotor.(c) in
+  let fits off =
+    let rec ok i = i >= count || (Bytes.get cg.Types.frag_map (off + i) = free && ok (i + 1)) in
+    ok 0
+  in
+  let step = if aligned then fpb else 1 in
+  let candidate off =
+    let abs = base + off in
+    let in_block_off = abs mod fpb in
+    (not aligned || in_block_off = 0)
+    && (aligned || in_block_off + count <= fpb)
+    && off + count <= rel_first + total
+    && fits off
+  in
+  let norm off =
+    let off = if off < rel_first then rel_first else off in
+    rel_first + ((off - rel_first) mod total)
+  in
+  let start =
+    let s = norm rotor in
+    if aligned then
+      (* keep block alignment while stepping; the data area start is
+         itself block-aligned, so aligned starts stay aligned *)
+      let abs = base + s in
+      let skew = abs mod fpb in
+      if skew = 0 then s else norm (s + (fpb - skew))
+    else s
+  in
+  let rec scan off remaining =
+    if remaining <= 0 then None
+    else if candidate off then Some off
+    else scan (norm (off + step)) (remaining - step)
+  in
+  scan start (total + step)
+
+let claim cg off count =
+  for i = 0 to count - 1 do
+    Bytes.set cg.Types.frag_map (off + i) used
+  done;
+  cg.Types.nffree <- cg.Types.nffree - count
+
+let alloc_in_group st c ~count ~aligned =
+  with_cg st c (fun cg ->
+      if cg.Types.nffree < count then None
+      else
+        match find_run st c cg ~count ~aligned with
+        | None -> None
+        | Some off ->
+          claim cg off count;
+          st.State.rotor.(c) <- off + count;
+          Some (Geom.cg_base st.State.geom c + off))
+
+let alloc_run st ~cg_hint ~count ~aligned =
+  State.charge st st.State.costs.Costs.alloc_op;
+  with_lock st (fun () ->
+      let ncg = Geom.cg_count st.State.geom in
+      let rec try_group i =
+        if i >= ncg then failwith "Alloc: file system full"
+        else
+          let c = (cg_hint + i) mod ncg in
+          match alloc_in_group st c ~count ~aligned with
+          | Some addr -> addr
+          | None -> try_group (i + 1)
+      in
+      try_group 0)
+
+let alloc_block st ~cg_hint =
+  alloc_run st ~cg_hint ~count:(State.block_frags st) ~aligned:true
+
+let alloc_frags st ~cg_hint ~count =
+  if count <= 0 || count > State.block_frags st then
+    invalid_arg "Alloc.alloc_frags: bad count";
+  alloc_run st ~cg_hint ~count ~aligned:(count = State.block_frags st)
+
+let try_extend st ~start ~have ~want =
+  if want <= have then invalid_arg "Alloc.try_extend: not an extension";
+  let g = st.State.geom in
+  let fpb = g.Geom.frags_per_block in
+  if (start mod fpb) + want > fpb then false
+  else begin
+    State.charge st st.State.costs.Costs.alloc_op;
+    with_lock st (fun () ->
+        let c = Geom.cg_of_frag g start in
+        with_cg st c (fun cg ->
+            let base = Geom.cg_base g c in
+            let off = start - base in
+            let extra = want - have in
+            let rec all_free i =
+              i >= extra
+              || (Bytes.get cg.Types.frag_map (off + have + i) = free
+                  && all_free (i + 1))
+            in
+            if all_free 0 then begin
+              for i = 0 to extra - 1 do
+                Bytes.set cg.Types.frag_map (off + have + i) used
+              done;
+              cg.Types.nffree <- cg.Types.nffree - extra;
+              true
+            end
+            else false))
+  end
+
+let free_run st (start, len) =
+  if len <= 0 then invalid_arg "Alloc.free_run: empty run";
+  with_lock st (fun () ->
+      let g = st.State.geom in
+      let c = Geom.cg_of_frag g start in
+      with_cg st c (fun cg ->
+          let base = Geom.cg_base g c in
+          for i = 0 to len - 1 do
+            let off = start - base + i in
+            if Bytes.get cg.Types.frag_map off = free then
+              failwith "Alloc.free_run: double free"
+            else Bytes.set cg.Types.frag_map off free
+          done;
+          cg.Types.nffree <- cg.Types.nffree + len))
+
+let alloc_inode st ~cg_hint ~spread =
+  State.charge st st.State.costs.Costs.alloc_op;
+  with_lock st (fun () ->
+      let g = st.State.geom in
+      let ncg = Geom.cg_count g in
+      let start =
+        if spread then begin
+          st.State.next_cg <- (st.State.next_cg + 1) mod ncg;
+          st.State.next_cg
+        end
+        else cg_hint
+      in
+      let rec try_group i =
+        if i >= ncg then failwith "Alloc: out of inodes"
+        else
+          let c = (start + i) mod ncg in
+          match
+            with_cg st c (fun cg ->
+                if cg.Types.nifree = 0 then None
+                else begin
+                  let n = g.Geom.inodes_per_cg in
+                  let rec find j =
+                    if j >= n then None
+                    else if Bytes.get cg.Types.inode_map j = free then Some j
+                    else find (j + 1)
+                  in
+                  match find 0 with
+                  | None -> None
+                  | Some j ->
+                    Bytes.set cg.Types.inode_map j used;
+                    cg.Types.nifree <- cg.Types.nifree - 1;
+                    Some (Geom.first_inum_of_cg g c + j)
+                end)
+          with
+          | Some inum -> inum
+          | None -> try_group (i + 1)
+      in
+      try_group 0)
+
+let free_inode st inum =
+  with_lock st (fun () ->
+      let g = st.State.geom in
+      let c = Geom.cg_of_inode g inum in
+      with_cg st c (fun cg ->
+          let j = inum - Geom.first_inum_of_cg g c in
+          if Bytes.get cg.Types.inode_map j = free then
+            failwith "Alloc.free_inode: double free"
+          else begin
+            Bytes.set cg.Types.inode_map j free;
+            cg.Types.nifree <- cg.Types.nifree + 1
+          end))
+
+let free_frags_total st =
+  let total = ref 0 in
+  for c = 0 to Geom.cg_count st.State.geom - 1 do
+    with_cg st c (fun cg -> total := !total + cg.Types.nffree)
+  done;
+  !total

@@ -1,0 +1,33 @@
+(** Block, fragment and inode allocation over the per-group free maps.
+
+    All operations serialise on the file system's allocation mutex and
+    mark the affected cylinder-group buffer dirty (free-map updates
+    are always delayed writes; they are reconstructible by fsck).
+    Frees may run in syncer-daemon context (deferred frees under soft
+    updates). *)
+
+val alloc_block : State.t -> cg_hint:int -> int
+(** Allocate one full (block-aligned) run of [frags_per_block]
+    fragments, preferring the hinted group.
+    @raise Failure when the disk is full. *)
+
+val alloc_frags : State.t -> cg_hint:int -> count:int -> int
+(** Allocate [count] contiguous fragments that do not cross a block
+    boundary (a tail fragment run). *)
+
+val try_extend : State.t -> start:int -> have:int -> want:int -> bool
+(** Attempt to extend the fragment run at [start] from [have] to
+    [want] fragments in place; returns whether the extra fragments
+    were claimed. *)
+
+val free_run : State.t -> int * int -> unit
+(** Free a fragment run [(start, len)]. Safe to call from workitems. *)
+
+val alloc_inode : State.t -> cg_hint:int -> spread:bool -> int
+(** Allocate an inode number; [spread] selects round-robin placement
+    across groups (new directories). *)
+
+val free_inode : State.t -> int -> unit
+
+val free_frags_total : State.t -> int
+(** Sum of the groups' free-fragment counters (tests/examples). *)

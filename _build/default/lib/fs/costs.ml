@@ -1,0 +1,20 @@
+type t = {
+  syscall : float;
+  namei_entry : float;
+  dirent_update : float;
+  inode_update : float;
+  alloc_op : float;
+  copy_per_frag : float;
+  data_per_frag : float;
+}
+
+let i486_33 =
+  {
+    syscall = 1.2e-3;
+    namei_entry = 4e-6;
+    dirent_update = 300e-6;
+    inode_update = 150e-6;
+    alloc_op = 500e-6;
+    copy_per_frag = 60e-6;
+    data_per_frag = 100e-6;
+  }

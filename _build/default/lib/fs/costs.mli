@@ -1,0 +1,18 @@
+(** CPU cost model, loosely calibrated to the paper's 33 MHz i486.
+
+    Only relative magnitudes matter for reproducing the paper's
+    shapes: a syscall costs hundreds of microseconds, a directory scan
+    costs microseconds per entry, block copies cost tens of
+    microseconds per kilobyte. All values are in seconds. *)
+
+type t = {
+  syscall : float;  (** fixed entry/exit + VFS overhead per operation *)
+  namei_entry : float;  (** per directory entry scanned *)
+  dirent_update : float;  (** insert/remove one entry *)
+  inode_update : float;  (** copy in-core inode to its buffer *)
+  alloc_op : float;  (** one bitmap search/update *)
+  copy_per_frag : float;  (** memory copy, per 1 KB fragment *)
+  data_per_frag : float;  (** user/cache data move, per 1 KB fragment *)
+}
+
+val i486_33 : t

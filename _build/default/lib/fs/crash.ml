@@ -1,0 +1,17 @@
+let crash_at (w : Fs.world) time =
+  Su_sim.Engine.run ~until:time w.Fs.engine;
+  Su_sim.Engine.stop w.Fs.engine;
+  Su_disk.Disk.image_snapshot w.Fs.disk
+
+let fsck_image (w : Fs.world) image =
+  (* journaled configurations replay their log first, exactly as the
+     recovery procedure would after a real crash *)
+  Fs.recover_image w.Fs.cfg image;
+  let check_exposure =
+    match w.Fs.cfg.Fs.scheme with
+    | Fs.Journaled _ -> false  (* metadata journaling does not cover data *)
+    | _ -> w.Fs.cfg.Fs.alloc_init
+  in
+  Fsck.check ~geom:w.Fs.cfg.Fs.geom ~image ~check_exposure
+
+let crash_and_check w time = fsck_image w (crash_at w time)

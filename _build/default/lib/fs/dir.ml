@@ -1,0 +1,139 @@
+open Su_fstypes
+open Su_cache
+module Intf = Su_core.Scheme_intf
+
+let nblocks st (dip : State.incore) =
+  Geom.blocks_of_bytes st.State.geom dip.State.din.Types.size
+
+let with_dir_block st dip i f =
+  let addr = File.ptr_at st dip i in
+  if addr = 0 then failwith "Dir: directory hole";
+  let buf = Bcache.bread st.State.cache ~lbn:addr ~nfrags:(State.block_frags st) in
+  Fun.protect
+    ~finally:(fun () -> Bcache.release st.State.cache buf)
+    (fun () ->
+      match buf.Buf.content with
+      | Buf.Cmeta (Types.Dir entries) -> f buf entries
+      | Buf.Cmeta _ | Buf.Cdata _ -> failwith "Dir: bad directory block")
+
+(* Scan charging per entry examined; stops at the first match. *)
+let find st dip name f =
+  let nb = nblocks st dip in
+  let cost = st.State.costs.Costs.namei_entry in
+  let rec go i =
+    if i >= nb then None
+    else
+      let found =
+        with_dir_block st dip i (fun buf entries ->
+            let n = Array.length entries in
+            let rec scan j =
+              if j >= n then begin
+                State.charge st (float_of_int n *. cost);
+                None
+              end
+              else
+                match entries.(j) with
+                | Some e when e.Types.name = name ->
+                  State.charge st (float_of_int (j + 1) *. cost);
+                  Some (f buf entries j e)
+                | Some _ | None -> scan (j + 1)
+            in
+            scan 0)
+      in
+      match found with Some r -> Some r | None -> go (i + 1)
+  in
+  go 0
+
+let lookup st dip name = find st dip name (fun _ _ _ e -> e.Types.inum)
+
+let do_link_add st ~dir ~slot ~inum =
+  Inode.with_ibuf st inum (fun ibuf ->
+      st.State.scheme.Intf.link_add ~dir ~slot ~ibuf ~inum)
+
+let insert_prepared st ~dir ~slot name inum =
+  Bcache.prepare_modify st.State.cache dir;
+  (match dir.Buf.content with
+   | Buf.Cmeta (Types.Dir entries) ->
+     entries.(slot) <- Some { Types.name; inum }
+   | Buf.Cmeta _ | Buf.Cdata _ -> failwith "Dir: bad directory block");
+  State.charge st st.State.costs.Costs.dirent_update;
+  Bcache.bdwrite st.State.cache dir;
+  do_link_add st ~dir ~slot ~inum
+
+let add_entry st dip name inum =
+  let nb = nblocks st dip in
+  let cost = st.State.costs.Costs.namei_entry in
+  (* find a free slot, charging for the scan *)
+  let rec place i =
+    if i >= nb then None
+    else
+      let r =
+        with_dir_block st dip i (fun buf entries ->
+            State.charge st (float_of_int (Array.length entries) *. cost);
+            match Types.dir_free_slot entries with
+            | Some slot ->
+              Bcache.prepare_modify st.State.cache buf;
+              entries.(slot) <- Some { Types.name; inum };
+              State.charge st st.State.costs.Costs.dirent_update;
+              Bcache.bdwrite st.State.cache buf;
+              do_link_add st ~dir:buf ~slot ~inum;
+              Some ()
+            | None -> None)
+      in
+      match r with Some () -> Some () | None -> place (i + 1)
+  in
+  match place 0 with
+  | Some () -> ()
+  | None ->
+    let buf, commit = File.grow_dir_block st dip in
+    Fun.protect
+      ~finally:(fun () -> Bcache.release st.State.cache buf)
+      (fun () ->
+        Bcache.prepare_modify st.State.cache buf;
+        (match buf.Buf.content with
+         | Buf.Cmeta (Types.Dir entries) ->
+           entries.(0) <- Some { Types.name; inum }
+         | Buf.Cmeta _ | Buf.Cdata _ -> failwith "Dir: bad directory block");
+        State.charge st st.State.costs.Costs.dirent_update;
+        Bcache.bdwrite st.State.cache buf;
+        commit ();
+        do_link_add st ~dir:buf ~slot:0 ~inum)
+
+let remove_entry st dip name ~decrement =
+  let removed =
+    find st dip name (fun buf entries slot e ->
+        Bcache.prepare_modify st.State.cache buf;
+        entries.(slot) <- None;
+        State.charge st st.State.costs.Costs.dirent_update;
+        Bcache.bdwrite st.State.cache buf;
+        let inum = e.Types.inum in
+        Inode.with_ibuf st inum (fun ibuf ->
+            st.State.scheme.Intf.link_remove ~dir:buf ~slot ~inum ~ibuf
+              ~decrement:(fun () -> decrement inum)))
+  in
+  Option.is_some removed
+
+let fold_entries st dip f acc =
+  let nb = nblocks st dip in
+  let acc = ref acc in
+  for i = 0 to nb - 1 do
+    with_dir_block st dip i (fun _ entries ->
+        Array.iter
+          (function Some e -> acc := f !acc e | None -> ())
+          entries)
+  done;
+  !acc
+
+let entry_capacity st dip = nblocks st dip * st.State.geom.Geom.dir_capacity
+
+let list_names st dip =
+  State.charge st
+    (float_of_int (entry_capacity st dip) *. st.State.costs.Costs.namei_entry);
+  List.rev (fold_entries st dip (fun acc e -> e.Types.name :: acc) [])
+
+let entry_count st dip = fold_entries st dip (fun n _ -> n + 1) 0
+
+let is_empty st dip =
+  fold_entries st dip
+    (fun ok e -> ok && (e.Types.name = "." || e.Types.name = ".."))
+    true

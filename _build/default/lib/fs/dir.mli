@@ -1,0 +1,32 @@
+(** Directory entry operations.
+
+    Directories are files of {!Su_fstypes.Types.Dir} blocks. Scanning
+    charges CPU per entry examined (the cost that makes the paper's
+    create throughput improve with concurrency). Callers hold the
+    directory inode's lock across these operations. *)
+
+val lookup : State.t -> State.incore -> string -> int option
+(** [lookup st dip name] returns the inode number of [name]. *)
+
+val add_entry : State.t -> State.incore -> string -> int -> unit
+(** Insert an entry (growing the directory if needed) and run the
+    ordering scheme's link-addition hook against the named inode. *)
+
+val remove_entry :
+  State.t -> State.incore -> string -> decrement:(int -> unit) -> bool
+(** Remove the entry; [decrement inum] is handed to the ordering
+    scheme (it performs the link-count decrement, possibly deferred).
+    Returns whether the entry existed. *)
+
+val insert_prepared : State.t -> dir:Su_cache.Buf.t -> slot:int -> string -> int -> unit
+(** Low-level insert into a specific (referenced) directory block at
+    [slot], running the link-addition hook; used to seed "." and ".."
+    into a block that is not yet attached to its directory. *)
+
+val list_names : State.t -> State.incore -> string list
+(** All entry names, including "." and "..". *)
+
+val entry_count : State.t -> State.incore -> int
+
+val is_empty : State.t -> State.incore -> bool
+(** Only "." and ".." remain. *)

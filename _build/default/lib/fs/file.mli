@@ -1,0 +1,52 @@
+(** File data block management: mapping, allocation (with FFS-style
+    tail fragments and fragment extension), growth, reads and
+    truncation.
+
+    Policy, simplified from FFS: a file whose data fits in the direct
+    block pointers may end with a partial fragment run; larger files
+    use full blocks throughout. Directories use full blocks. *)
+
+open Su_cache
+
+val add_wdeps : Su_cache.Buf.t -> int list -> unit
+(** Attach driver request-id dependencies to a buffer's next write
+    (scheduler-chains reuse dependencies). *)
+
+val frags_in_block : State.t -> size:int -> lbn:int -> int
+(** Fragments of data held by block index [lbn] of a file of [size]
+    bytes (0 when the block is beyond the end). *)
+
+val extent_len : State.t -> size:int -> lbn:int -> int
+(** Fragments {e allocated} for block [lbn]: equals
+    [frags_in_block] for small files (partial tail run), a full block
+    otherwise. *)
+
+val last_lbn : State.t -> size:int -> int
+(** Last block index of a file of [size] bytes; -1 when empty. *)
+
+val ptr_at : State.t -> State.incore -> int -> int
+(** Fragment address of block [lbn] (0 = hole). Reads indirect blocks
+    through the cache as needed. *)
+
+val append : State.t -> State.incore -> bytes:int -> unit
+(** Grow the file by [bytes], allocating fragments/blocks/indirect
+    blocks, writing data stamps through the cache (delayed writes) and
+    invoking the ordering scheme for every allocation. The caller
+    holds the inode lock. *)
+
+val grow_dir_block : State.t -> State.incore -> Buf.t * (unit -> unit)
+(** Allocate the next directory block (initialised empty) and return
+    its referenced buffer plus a [commit] that attaches the block to
+    the directory and runs the ordering scheme. Callers that need
+    initial entries ("." and "..") insert them — and register their
+    link additions — before committing, so the block's first write
+    already carries them. *)
+
+val read_all : State.t -> State.incore -> int
+(** Read every byte of the file through the cache; returns the number
+    of fragments read. *)
+
+val truncate_release : State.t -> State.incore -> free_inode:bool -> unit
+(** De-allocate all file data (and the inode itself when
+    [free_inode]), honouring the ordering scheme's de-allocation
+    discipline. The caller holds the inode lock. *)

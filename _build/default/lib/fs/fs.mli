@@ -1,0 +1,86 @@
+(** World assembly: build the simulated machine (CPU, disk, driver,
+    cache, syncer), make a file system on the disk and mount it with a
+    chosen ordering scheme. *)
+
+open Su_fstypes
+
+type scheme_kind =
+  | Conventional
+  | Scheduler_flag
+  | Scheduler_chains of { barrier_dealloc : bool }
+  | Soft_updates
+  | No_order
+  | Journaled of { group_commit : bool }
+      (** write-ahead metadata journaling (extension; see
+          {!Su_core.Journaled}) *)
+
+val scheme_kind_name : scheme_kind -> string
+
+val all_schemes : scheme_kind list
+(** The five schemes of the paper's §5 comparison, in its order:
+    conventional, flag, chains, soft updates, no order. *)
+
+type config = {
+  scheme : scheme_kind;
+  alloc_init : bool;  (** enforce allocation initialisation for file data *)
+  flag_sem : Su_driver.Ordering.flag_semantics;  (** scheduler-flag runs *)
+  nr : bool;  (** reads bypass ordering-blocked writes *)
+  cb : bool;  (** block-copy enhancement (§3.3) *)
+  policy : Su_driver.Driver.policy;
+  max_concat : int;
+  cache_mb : int;
+  syncer_interval : float;
+  syncer_passes : int;
+  geom : Geom.t;
+  disk_params : Su_disk.Disk_params.t;
+  costs : Costs.t;
+  keep_trace_records : bool;
+  journal_mb : int;  (** log region size (journaled scheme only) *)
+  nvram_mb : int;
+      (** battery-backed disk write cache (0 = none); writes are
+          durable on acceptance and destage in idle time (§7's NVRAM
+          comparison) *)
+}
+
+val config : ?scheme:scheme_kind -> unit -> config
+(** Paper-faithful defaults per scheme: the scheduler-flag scheme uses
+    Part-NR with block copying (the best variant, used in §5), chains
+    uses specific remove dependencies and block copying, soft updates
+    enforces allocation initialisation, conventional does neither.
+    1 GB HP C2447-like disk, 32 MB cache, 1 s syncer. *)
+
+type world = {
+  cfg : config;
+  engine : Su_sim.Engine.t;
+  cpu : Su_sim.Cpu.t;
+  disk : Su_disk.Disk.t;
+  driver : Su_driver.Driver.t;
+  cache : Su_cache.Bcache.t;
+  syncer : Su_cache.Syncer.t;
+  st : State.t;
+  extra_stop : unit -> unit;  (** scheme background-process shutdown *)
+}
+
+val make : config -> world
+(** Build everything, format the disk (mkfs writes the initial image
+    directly, without simulated time) and mount. The syncer daemon is
+    already running; call [Engine.run] to start simulation. *)
+
+val stop : world -> unit
+(** Stop the syncer (and the journal flusher, if any) so the event
+    queue can drain. *)
+
+val mount_image : config -> Su_fstypes.Types.cell array -> world
+(** Build a world over an existing disk image (e.g. a crashed-and-
+    repaired one) instead of running mkfs.
+    @raise Invalid_argument if the image does not fit the configured
+    geometry. *)
+
+val journal_region : config -> (int * int) option
+(** [(log_start, log_frags)] for journaled configurations. *)
+
+val recover_image : config -> Su_fstypes.Types.cell array -> unit
+(** Journal replay + map rebuild, when the configuration journals;
+    no-op otherwise. *)
+
+val driver_mode : config -> Su_driver.Ordering.mode

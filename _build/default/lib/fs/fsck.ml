@@ -1,0 +1,567 @@
+open Su_fstypes
+
+type violation =
+  | Dangling_entry of { dir : int; name : string; inum : int }
+  | Bad_pointer of { inum : int; lbn : int; ptr : int }
+  | Cross_allocated of { frag : int; owners : int * int }
+  | Nlink_low of { inum : int; nlink : int; refs : int }
+  | Exposure of { inum : int; flbn : int; frag : int }
+  | Bad_dir of { inum : int; reason : string }
+
+type report = {
+  violations : violation list;
+  leaked_frags : int;
+  leaked_inodes : int;
+  stale_free : int;
+  nlink_high : int;
+  files : int;
+  dirs : int;
+}
+
+let pp_violation ppf = function
+  | Dangling_entry { dir; name; inum } ->
+    Format.fprintf ppf "dangling entry %S in dir %d -> inode %d" name dir inum
+  | Bad_pointer { inum; lbn; ptr } ->
+    Format.fprintf ppf "bad pointer in inode %d, block %d -> %d" inum lbn ptr
+  | Cross_allocated { frag; owners = a, b } ->
+    Format.fprintf ppf "fragment %d owned by inodes %d and %d" frag a b
+  | Nlink_low { inum; nlink; refs } ->
+    Format.fprintf ppf "inode %d has nlink %d < %d references" inum nlink refs
+  | Exposure { inum; flbn; frag } ->
+    Format.fprintf ppf "inode %d fragment %d exposes stale data at %d" inum flbn
+      frag
+  | Bad_dir { inum; reason } ->
+    Format.fprintf ppf "directory %d: %s" inum reason
+
+type ctx = {
+  geom : Geom.t;
+  image : Types.cell array;
+  check_exposure : bool;
+  mutable violations : violation list;
+  frag_owner : (int, int) Hashtbl.t;  (* fragment -> owning inode *)
+  inode_refs : (int, int) Hashtbl.t;  (* inode -> on-disk references *)
+  live : (int, Types.dinode) Hashtbl.t;  (* reachable allocated inodes *)
+}
+
+let viol ctx v = ctx.violations <- v :: ctx.violations
+
+let read_dinode ctx inum =
+  if not (Geom.valid_inum ctx.geom inum) then None
+  else
+    let frag = Geom.inode_block_frag ctx.geom inum in
+    match ctx.image.(frag) with
+    | Types.Meta (Types.Inodes dinodes) ->
+      let d = dinodes.(Geom.inode_index_in_block ctx.geom inum) in
+      if d.Types.ftype = Types.F_free then None else Some d
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ ->
+      (* inode block never written: all-free *)
+      None
+
+let claim_frags ctx ~inum ~start ~len =
+  for f = start to start + len - 1 do
+    if not (Geom.data_frag_in_cg ctx.geom f) then
+      viol ctx (Bad_pointer { inum; lbn = -1; ptr = f })
+    else
+      match Hashtbl.find_opt ctx.frag_owner f with
+      | Some other when other <> inum ->
+        viol ctx (Cross_allocated { frag = f; owners = (other, inum) })
+      | Some _ -> ()
+      | None -> Hashtbl.replace ctx.frag_owner f inum
+  done
+
+let check_data_extent ctx ~inum ~(din : Types.dinode) ~lbn ~start ~len =
+  claim_frags ctx ~inum ~start ~len;
+  if ctx.check_exposure then
+    for i = 0 to len - 1 do
+      let f = start + i in
+      if f >= 0 && f < Array.length ctx.image then
+        match ctx.image.(f) with
+        | Types.Frag s when Types.stamp_matches s ~inum ~gen:din.Types.gen -> ()
+        | Types.Frag _ | Types.Empty | Types.Pad | Types.Meta _ | Types.Jlog _ ->
+          viol ctx (Exposure { inum; flbn = (lbn * ctx.geom.Geom.frags_per_block) + i; frag = f })
+    done
+
+let read_indirect ctx ~inum ~ptr =
+  if ptr <= 0 || ptr >= Array.length ctx.image then begin
+    viol ctx (Bad_pointer { inum; lbn = -1; ptr });
+    None
+  end
+  else
+    match ctx.image.(ptr) with
+    | Types.Meta (Types.Indirect a) -> Some a
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ ->
+      (* pointer to an uninitialised indirect block *)
+      viol ctx (Bad_pointer { inum; lbn = -1; ptr });
+      None
+
+let frags_in_block g ~size ~lbn =
+  let bb = Geom.block_bytes g in
+  if size <= lbn * bb then 0
+  else if size >= (lbn + 1) * bb then g.Geom.frags_per_block
+  else Geom.frags_of_bytes g (size - (lbn * bb))
+
+(* the file system allocates partial tail runs only for files that fit
+   in the direct pointers; larger files use full blocks *)
+let extent_len g ~size ~lbn =
+  let partial = frags_in_block g ~size ~lbn in
+  if partial = 0 then 0
+  else if
+    partial < g.Geom.frags_per_block
+    && Geom.blocks_of_bytes g size > g.Geom.ndaddr
+  then g.Geom.frags_per_block
+  else partial
+
+(* Walk a file's block pointers, claiming fragments and checking
+   stamps. *)
+let check_file_blocks ctx inum (din : Types.dinode) =
+  let g = ctx.geom in
+  let fpb = g.Geom.frags_per_block in
+  let size = din.Types.size in
+  let check_ptr ~lbn ptr =
+    if ptr <> 0 then begin
+      let len = extent_len g ~size ~lbn in
+      let len = if len = 0 then fpb else len in
+      (* only the bytes the file logically holds must carry its stamps;
+         the slack fragments of a full tail block are merely claimed *)
+      let data_len = frags_in_block g ~size ~lbn in
+      let data_len = if data_len = 0 then len else data_len in
+      if din.Types.ftype = Types.F_dir then claim_frags ctx ~inum ~start:ptr ~len
+      else begin
+        claim_frags ctx ~inum ~start:ptr ~len;
+        check_data_extent ctx ~inum ~din ~lbn ~start:ptr ~len:data_len
+      end
+    end
+  in
+  Array.iteri (fun i ptr -> check_ptr ~lbn:i ptr) din.Types.db;
+  let nd = g.Geom.ndaddr and ni = g.Geom.nindir in
+  if din.Types.ib <> 0 then begin
+    claim_frags ctx ~inum ~start:din.Types.ib ~len:fpb;
+    match read_indirect ctx ~inum ~ptr:din.Types.ib with
+    | None -> ()
+    | Some a -> Array.iteri (fun i ptr -> check_ptr ~lbn:(nd + i) ptr) a
+  end;
+  if din.Types.ib2 <> 0 then begin
+    claim_frags ctx ~inum ~start:din.Types.ib2 ~len:fpb;
+    match read_indirect ctx ~inum ~ptr:din.Types.ib2 with
+    | None -> ()
+    | Some a2 ->
+      Array.iteri
+        (fun l1 p1 ->
+          if p1 <> 0 then begin
+            claim_frags ctx ~inum ~start:p1 ~len:fpb;
+            match read_indirect ctx ~inum ~ptr:p1 with
+            | None -> ()
+            | Some a1 ->
+              Array.iteri
+                (fun i ptr -> check_ptr ~lbn:(nd + ni + (l1 * ni) + i) ptr)
+                a1
+          end)
+        a2
+  end
+
+let dir_blocks ctx inum (din : Types.dinode) =
+  (* collect the directory's readable blocks *)
+  let g = ctx.geom in
+  let nblocks = Geom.blocks_of_bytes g din.Types.size in
+  let out = ref [] in
+  let fetch ptr =
+    if ptr <> 0 then
+      match ctx.image.(ptr) with
+      | Types.Meta (Types.Dir entries) -> out := entries :: !out
+      | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ ->
+        viol ctx (Bad_dir { inum; reason = Printf.sprintf "unreadable block at %d" ptr })
+  in
+  let nd = g.Geom.ndaddr in
+  for i = 0 to min (nblocks - 1) (nd - 1) do
+    fetch din.Types.db.(i)
+  done;
+  if nblocks > nd && din.Types.ib <> 0 then begin
+    match read_indirect ctx ~inum ~ptr:din.Types.ib with
+    | None -> ()
+    | Some a ->
+      for i = 0 to nblocks - nd - 1 do
+        if i < Array.length a then fetch a.(i)
+      done
+  end;
+  List.rev !out
+
+let add_ref ctx inum =
+  Hashtbl.replace ctx.inode_refs inum
+    (1 + Option.value ~default:0 (Hashtbl.find_opt ctx.inode_refs inum))
+
+(* Breadth-first walk of the directory tree. *)
+let walk ctx =
+  let queue = Queue.create () in
+  let seen = Hashtbl.create 256 in
+  let enqueue_dir inum = if not (Hashtbl.mem seen inum) then begin
+      Hashtbl.add seen inum ();
+      Queue.add inum queue
+    end
+  in
+  enqueue_dir Geom.root_inum;
+  (* "." of the root *)
+  while not (Queue.is_empty queue) do
+    let dinum = Queue.pop queue in
+    match read_dinode ctx dinum with
+    | None -> viol ctx (Bad_dir { inum = dinum; reason = "directory inode is free" })
+    | Some din ->
+      Hashtbl.replace ctx.live dinum din;
+      check_file_blocks ctx dinum din;
+      let blocks = dir_blocks ctx dinum din in
+      let saw_dot = ref false and saw_dotdot = ref false in
+      List.iter
+        (fun entries ->
+          Array.iter
+            (function
+              | None -> ()
+              | Some { Types.name; inum } ->
+                if name = "." then begin
+                  saw_dot := true;
+                  if inum <> dinum then
+                    viol ctx (Bad_dir { inum = dinum; reason = "bad \".\"" });
+                  add_ref ctx inum
+                end
+                else if name = ".." then begin
+                  saw_dotdot := true;
+                  add_ref ctx inum
+                end
+                else begin
+                  add_ref ctx inum;
+                  match read_dinode ctx inum with
+                  | None -> viol ctx (Dangling_entry { dir = dinum; name; inum })
+                  | Some child ->
+                    if child.Types.ftype = Types.F_dir then enqueue_dir inum
+                    else begin
+                      if not (Hashtbl.mem ctx.live inum) then begin
+                        Hashtbl.replace ctx.live inum child;
+                        check_file_blocks ctx inum child
+                      end
+                    end
+                end)
+            entries)
+        blocks;
+      if blocks <> [] && not (!saw_dot && !saw_dotdot) then
+        viol ctx (Bad_dir { inum = dinum; reason = "missing \".\" or \"..\"" })
+  done
+
+(* Compare references with link counts and audit the free maps. *)
+let audit ctx =
+  let nlink_high = ref 0 in
+  Hashtbl.iter
+    (fun inum (din : Types.dinode) ->
+      let refs = Option.value ~default:0 (Hashtbl.find_opt ctx.inode_refs inum) in
+      if din.Types.nlink < refs then
+        viol ctx (Nlink_low { inum; nlink = din.Types.nlink; refs })
+      else if din.Types.nlink > refs then incr nlink_high)
+    ctx.live;
+  let g = ctx.geom in
+  let leaked_frags = ref 0 and leaked_inodes = ref 0 and stale_free = ref 0 in
+  for c = 0 to Geom.cg_count g - 1 do
+    let header = ctx.image.(Geom.cg_header_frag g c) in
+    match header with
+    | Types.Meta (Types.Cgroup cg) ->
+      let base = Geom.cg_base g c in
+      let data_first, data_count = Geom.cg_data_area g c in
+      for f = data_first to data_first + data_count - 1 do
+        let marked_used = Bytes.get cg.Types.frag_map (f - base) <> '\000' in
+        let owner = Hashtbl.find_opt ctx.frag_owner f in
+        match owner, marked_used with
+        | Some _, false -> incr stale_free
+        | None, true -> incr leaked_frags
+        | Some _, true | None, false -> ()
+      done;
+      let first_inum = Geom.first_inum_of_cg g c in
+      for j = 0 to g.Geom.inodes_per_cg - 1 do
+        let inum = first_inum + j in
+        let marked_used = Bytes.get cg.Types.inode_map j <> '\000' in
+        let live = Hashtbl.mem ctx.live inum in
+        if live && not marked_used then incr stale_free
+        else if (not live) && marked_used then incr leaked_inodes
+      done
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ ->
+      viol ctx (Bad_dir { inum = -c; reason = "unreadable cylinder-group header" })
+  done;
+  (!leaked_frags, !leaked_inodes, !stale_free, !nlink_high)
+
+let check ~geom ~image ~check_exposure =
+  let ctx =
+    {
+      geom;
+      image;
+      check_exposure;
+      violations = [];
+      frag_owner = Hashtbl.create 4096;
+      inode_refs = Hashtbl.create 1024;
+      live = Hashtbl.create 1024;
+    }
+  in
+  walk ctx;
+  let leaked_frags, leaked_inodes, stale_free, nlink_high = audit ctx in
+  let dirs =
+    Hashtbl.fold
+      (fun _ (d : Types.dinode) n ->
+        if d.Types.ftype = Types.F_dir then n + 1 else n)
+      ctx.live 0
+  in
+  {
+    violations = List.rev ctx.violations;
+    leaked_frags;
+    leaked_inodes;
+    stale_free;
+    nlink_high;
+    files = Hashtbl.length ctx.live - dirs;
+    dirs;
+  }
+
+let ok (r : report) = r.violations = []
+
+(* --- repair -------------------------------------------------------------- *)
+
+type repair_action =
+  | Cleared_entry of { dir : int; name : string }
+  | Fixed_nlink of { inum : int; from_ : int; to_ : int }
+  | Truncated_file of { inum : int }
+  | Cleared_dir_block of { inum : int; ptr : int }
+  | Restored_dots of { inum : int }
+  | Freed_unreachable of { inodes : int }
+  | Rebuilt_maps
+
+let pp_repair_action ppf = function
+  | Cleared_entry { dir; name } ->
+    Format.fprintf ppf "cleared entry %S in dir %d" name dir
+  | Fixed_nlink { inum; from_; to_ } ->
+    Format.fprintf ppf "inode %d link count %d -> %d" inum from_ to_
+  | Truncated_file { inum } -> Format.fprintf ppf "truncated inode %d" inum
+  | Cleared_dir_block { inum; ptr } ->
+    Format.fprintf ppf "cleared unreadable block %d of dir %d" ptr inum
+  | Restored_dots { inum } ->
+    Format.fprintf ppf "restored \".\"/\"..\" in dir %d" inum
+  | Freed_unreachable { inodes } ->
+    Format.fprintf ppf "reclaimed %d unreachable inode(s)" inodes
+  | Rebuilt_maps -> Format.fprintf ppf "rebuilt allocation maps"
+
+let mutable_dinode geom image inum =
+  match image.(Geom.inode_block_frag geom inum) with
+  | Types.Meta (Types.Inodes dinodes) ->
+    Some dinodes.(Geom.inode_index_in_block geom inum)
+  | _ -> None
+
+(* All readable directory blocks of a directory, with their addresses. *)
+let dir_blocks_with_addr geom image (din : Types.dinode) =
+  let nblocks = Geom.blocks_of_bytes geom din.Types.size in
+  let out = ref [] in
+  let fetch ptr =
+    if ptr <> 0 then
+      match image.(ptr) with
+      | Types.Meta (Types.Dir entries) -> out := (ptr, entries) :: !out
+      | _ -> ()
+  in
+  let nd = geom.Geom.ndaddr in
+  for i = 0 to min (nblocks - 1) (nd - 1) do
+    fetch din.Types.db.(i)
+  done;
+  if nblocks > nd && din.Types.ib <> 0 then begin
+    match image.(din.Types.ib) with
+    | Types.Meta (Types.Indirect arr) ->
+      for i = 0 to nblocks - nd - 1 do
+        if i < Array.length arr then fetch arr.(i)
+      done
+    | _ -> ()
+  end;
+  List.rev !out
+
+let clear_entry geom image ~dir ~name =
+  match mutable_dinode geom image dir with
+  | None -> ()
+  | Some din ->
+    List.iter
+      (fun (_, entries) ->
+        Array.iteri
+          (fun i e ->
+            match e with
+            | Some en when en.Types.name = name -> entries.(i) <- None
+            | Some _ | None -> ())
+          entries)
+      (dir_blocks_with_addr geom image din)
+
+let truncate_file geom image inum =
+  match mutable_dinode geom image inum with
+  | None -> ()
+  | Some din ->
+    Array.fill din.Types.db 0 (Array.length din.Types.db) 0;
+    din.Types.ib <- 0;
+    din.Types.ib2 <- 0;
+    din.Types.size <- 0
+
+let clear_bad_dir_block geom image inum =
+  (* remove pointers to unreadable blocks from a directory, then
+     compact the survivors: directories must be dense *)
+  match mutable_dinode geom image inum with
+  | None -> ()
+  | Some din ->
+    let keep = ref [] in
+    Array.iter
+      (fun ptr ->
+        if ptr <> 0 then
+          match image.(ptr) with
+          | Types.Meta (Types.Dir _) -> keep := ptr :: !keep
+          | _ -> ())
+      din.Types.db;
+    let survivors = Array.of_list (List.rev !keep) in
+    Array.fill din.Types.db 0 (Array.length din.Types.db) 0;
+    Array.blit survivors 0 din.Types.db 0 (Array.length survivors);
+    din.Types.ib <- 0;
+    din.Types.ib2 <- 0;
+    din.Types.size <- Array.length survivors * Geom.block_bytes geom
+
+let restore_dots geom image ~inum ~parent =
+  match mutable_dinode geom image inum with
+  | None -> ()
+  | Some din ->
+    (match dir_blocks_with_addr geom image din with
+     | (_, entries) :: _ ->
+       if Types.dir_find entries "." = None then begin
+         match Types.dir_free_slot entries with
+         | Some s -> entries.(s) <- Some { Types.name = "."; inum }
+         | None -> ()
+       end;
+       if Types.dir_find entries ".." = None then begin
+         match Types.dir_free_slot entries with
+         | Some s -> entries.(s) <- Some { Types.name = ".."; inum = parent }
+         | None -> ()
+       end
+     | [] -> ())
+
+(* Walk the tree recording reference counts and each directory's
+   parent (the lenient counterpart of the checking walk). *)
+let count_refs geom image =
+  let refs = Hashtbl.create 256 in
+  let parent = Hashtbl.create 64 in
+  let add inum =
+    Hashtbl.replace refs inum
+      (1 + Option.value ~default:0 (Hashtbl.find_opt refs inum))
+  in
+  let read inum =
+    if not (Geom.valid_inum geom inum) then None
+    else
+      match image.(Geom.inode_block_frag geom inum) with
+      | Types.Meta (Types.Inodes dinodes) ->
+        let d = dinodes.(Geom.inode_index_in_block geom inum) in
+        if d.Types.ftype = Types.F_free then None else Some d
+      | _ -> None
+  in
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Queue.add Geom.root_inum queue;
+  Hashtbl.add seen Geom.root_inum ();
+  while not (Queue.is_empty queue) do
+    let dinum = Queue.pop queue in
+    match read dinum with
+    | None -> ()
+    | Some din ->
+      List.iter
+        (fun (_, entries) ->
+          Array.iter
+            (function
+              | Some { Types.name; inum } ->
+                add inum;
+                if name <> "." && name <> ".." && not (Hashtbl.mem seen inum)
+                then begin
+                  Hashtbl.add seen inum ();
+                  match read inum with
+                  | Some c when c.Types.ftype = Types.F_dir ->
+                    Hashtbl.replace parent inum dinum;
+                    Queue.add inum queue
+                  | Some _ | None -> ()
+                end
+              | None -> ())
+            entries)
+        (dir_blocks_with_addr geom image din)
+  done;
+  (refs, parent, seen)
+
+let repair ~geom ~image ~check_exposure =
+  let actions = ref [] in
+  let note a = actions := a :: !actions in
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr rounds;
+    if !rounds > 8 then failwith "Fsck.repair: no convergence";
+    let r = check ~geom ~image ~check_exposure in
+    let structural =
+      List.filter
+        (function Nlink_low _ -> false | _ -> true)
+        r.violations
+    in
+    if structural = [] then continue_ := false
+    else begin
+      let _, parents, _ = count_refs geom image in
+      List.iter
+        (fun v ->
+          match v with
+          | Dangling_entry { dir; name; _ } ->
+            clear_entry geom image ~dir ~name;
+            note (Cleared_entry { dir; name })
+          | Cross_allocated { owners = (_, b); _ } ->
+            truncate_file geom image b;
+            note (Truncated_file { inum = b })
+          | Exposure { inum; _ } | Bad_pointer { inum; _ } ->
+            if inum > 0 then begin
+              truncate_file geom image inum;
+              note (Truncated_file { inum })
+            end
+          | Bad_dir { inum; reason } when inum > 0 ->
+            if String.length reason >= 7 && String.sub reason 0 7 = "missing"
+            then begin
+              let parent =
+                Option.value ~default:Geom.root_inum
+                  (Hashtbl.find_opt parents inum)
+              in
+              restore_dots geom image ~inum ~parent;
+              note (Restored_dots { inum })
+            end
+            else begin
+              clear_bad_dir_block geom image inum;
+              note (Cleared_dir_block { inum; ptr = 0 })
+            end
+          | Bad_dir _ | Nlink_low _ -> ())
+        structural
+    end
+  done;
+  (* settle link counts against the observed reference counts and
+     reclaim unreachable inodes *)
+  let refs, _, seen = count_refs geom image in
+  Hashtbl.iter
+    (fun inum () ->
+      match mutable_dinode geom image inum with
+      | Some din when din.Types.ftype <> Types.F_free ->
+        let want = Option.value ~default:0 (Hashtbl.find_opt refs inum) in
+        if din.Types.nlink <> want && want > 0 then begin
+          note (Fixed_nlink { inum; from_ = din.Types.nlink; to_ = want });
+          din.Types.nlink <- want
+        end
+      | Some _ | None -> ())
+    seen;
+  (* unreachable allocated inodes: clear them (their storage is
+     reclaimed by the map rebuild) *)
+  let freed = ref 0 in
+  for c = 0 to Geom.cg_count geom - 1 do
+    let first = Geom.first_inum_of_cg geom c in
+    for j = 0 to geom.Geom.inodes_per_cg - 1 do
+      let inum = first + j in
+      if not (Hashtbl.mem seen inum) then
+        match mutable_dinode geom image inum with
+        | Some din when din.Types.ftype <> Types.F_free ->
+          din.Types.ftype <- Types.F_free;
+          din.Types.nlink <- 0;
+          truncate_file geom image inum;
+          incr freed
+        | Some _ | None -> ()
+    done
+  done;
+  if !freed > 0 then note (Freed_unreachable { inodes = !freed });
+  Su_core.Journaled.rebuild_maps geom image;
+  note Rebuilt_maps;
+  let final = check ~geom ~image ~check_exposure in
+  (List.rev !actions, final)

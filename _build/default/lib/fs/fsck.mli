@@ -1,0 +1,77 @@
+(** Off-line consistency checker, run against a crashed disk image.
+
+    Distinguishes the paper's notion of {e integrity violations}
+    (states fsck cannot safely repair: dangling references, doubly
+    allocated resources, link counts lower than the reference count,
+    referenced-but-free resources, stale-data exposure) from benign,
+    {e repairable} conditions (leaked blocks/inodes, link counts
+    higher than the reference count) that ordered updates are allowed
+    to leave behind. All schemes except No Order must produce zero
+    violations at every crash point; the exposure check additionally
+    requires allocation initialisation to have been enforced. *)
+
+open Su_fstypes
+
+type violation =
+  | Dangling_entry of { dir : int; name : string; inum : int }
+      (** directory entry referencing a free or garbage inode *)
+  | Bad_pointer of { inum : int; lbn : int; ptr : int }
+      (** block pointer outside any data area *)
+  | Cross_allocated of { frag : int; owners : int * int }
+      (** one fragment referenced by two files *)
+  | Nlink_low of { inum : int; nlink : int; refs : int }
+      (** fewer links than references: premature free possible *)
+  | Exposure of { inum : int; flbn : int; frag : int }
+      (** pointer to a fragment whose contents the file never wrote:
+          another file's stale data is readable *)
+  | Bad_dir of { inum : int; reason : string }
+      (** unreadable directory block / missing "." or ".." *)
+
+type report = {
+  violations : violation list;
+  leaked_frags : int;  (** allocated in the maps but unreferenced *)
+  leaked_inodes : int;
+  stale_free : int;
+      (** resources referenced on disk but marked free in the maps
+          (repairable: fsck rebuilds the maps before any reuse) *)
+  nlink_high : int;  (** inodes with more links than references *)
+  files : int;  (** live files found *)
+  dirs : int;  (** live directories found *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  geom:Geom.t -> image:Types.cell array -> check_exposure:bool -> report
+(** Walk the directory tree from the root, verify every reachable
+    structure, then audit the allocation maps. *)
+
+val ok : report -> bool
+(** No violations (leaks are fine). *)
+
+(** What {!repair} did to the image. *)
+type repair_action =
+  | Cleared_entry of { dir : int; name : string }
+  | Fixed_nlink of { inum : int; from_ : int; to_ : int }
+  | Truncated_file of { inum : int }
+      (** cross-allocated, exposed or badly-pointed file data dropped *)
+  | Cleared_dir_block of { inum : int; ptr : int }
+  | Restored_dots of { inum : int }
+  | Freed_unreachable of { inodes : int }
+  | Rebuilt_maps
+
+val pp_repair_action : Format.formatter -> repair_action -> unit
+
+val repair :
+  geom:Geom.t ->
+  image:Types.cell array ->
+  check_exposure:bool ->
+  repair_action list * report
+(** Fix the image in place, fsck-style: clear dangling entries, drop
+    the data of cross-allocated/exposed files, restore "."/"..",
+    settle link counts to the observed reference counts, reclaim
+    unreachable resources and rebuild the allocation maps. Returns the
+    actions taken and the final (re-checked) report, which is clean
+    unless the damage was unrepairable (e.g. the root directory is
+    gone).
+    @raise Failure if repair fails to converge. *)

@@ -1,0 +1,239 @@
+open Su_fstypes
+module Intf = Su_core.Scheme_intf
+
+exception Enoent of string
+exception Eexist of string
+exception Enotdir of string
+exception Eisdir of string
+exception Enotempty of string
+
+type file_stat = {
+  st_inum : int;
+  st_ftype : Types.ftype;
+  st_nlink : int;
+  st_size : int;
+}
+
+let components path =
+  List.filter (fun c -> c <> "" && c <> ".") (String.split_on_char '/' path)
+
+let charge_syscall st = State.charge st st.State.costs.Costs.syscall
+
+let as_dir st path (ip : State.incore) =
+  ignore st;
+  if ip.State.din.Types.ftype <> Types.F_dir then raise (Enotdir path)
+
+(* Walk to the inode named by [path]. Each directory is locked only
+   while it is being searched (lookup coupling). *)
+let resolve st path =
+  let rec walk cur = function
+    | [] -> cur
+    | name :: rest ->
+      let next =
+        Inode.with_inode st cur (fun dip ->
+            as_dir st path dip;
+            Dir.lookup st dip name)
+      in
+      (match next with
+       | Some inum -> walk inum rest
+       | None -> raise (Enoent path))
+  in
+  walk Geom.root_inum (components path)
+
+let resolve_parent st path =
+  match List.rev (components path) with
+  | [] -> invalid_arg "Fsops: empty path"
+  | name :: _ when name = ".." ->
+    (* mutating operations may not target ".." *)
+    invalid_arg "Fsops: operation on dot-dot"
+  | name :: rev_dirs ->
+    let parent_path = List.rev rev_dirs in
+    let rec walk cur = function
+      | [] -> cur
+      | n :: rest ->
+        let next =
+          Inode.with_inode st cur (fun dip ->
+              as_dir st path dip;
+              Dir.lookup st dip n)
+        in
+        (match next with
+         | Some inum -> walk inum rest
+         | None -> raise (Enoent path))
+    in
+    (walk Geom.root_inum parent_path, name)
+
+(* Link-count decrement, possibly deferred by the scheme (it then
+   runs in syncer context). Releases the file when the count drops to
+   zero. *)
+let dec_link st inum =
+  Inode.with_inode st inum (fun ip ->
+      let din = ip.State.din in
+      if din.Types.ftype = Types.F_free then ()
+      else begin
+        din.Types.nlink <- din.Types.nlink - 1;
+        if din.Types.nlink > 0 then Inode.update st ip
+        else File.truncate_release st ip ~free_inode:true
+      end)
+
+let attach_inode_reuse_deps st inum =
+  match st.State.scheme.Intf.reuse_inode_deps inum with
+  | [] -> ()
+  | deps ->
+    Inode.with_ibuf st inum (fun ibuf -> File.add_wdeps ibuf deps)
+
+let create st path =
+  charge_syscall st;
+  let parent, name = resolve_parent st path in
+  Inode.with_inode st parent (fun dip ->
+      as_dir st path dip;
+      if Dir.lookup st dip name <> None then raise (Eexist path);
+      let cg = Geom.cg_of_inode st.State.geom parent in
+      let ip = Inode.allocate st ~ftype:Types.F_reg ~cg_hint:cg ~spread:false in
+      Fun.protect
+        ~finally:(fun () -> Inode.iput st ip)
+        (fun () ->
+          attach_inode_reuse_deps st ip.State.inum;
+          ip.State.din.Types.nlink <- 1;
+          Inode.update st ip;
+          Dir.add_entry st dip name ip.State.inum))
+
+let mkdir st path =
+  charge_syscall st;
+  let parent, name = resolve_parent st path in
+  Inode.with_inode st parent (fun dip ->
+      as_dir st path dip;
+      if Dir.lookup st dip name <> None then raise (Eexist path);
+      let ip =
+        Inode.allocate st ~ftype:Types.F_dir
+          ~cg_hint:(Geom.cg_of_inode st.State.geom parent)
+          ~spread:true
+      in
+      Fun.protect
+        ~finally:(fun () -> Inode.iput st ip)
+        (fun () ->
+          attach_inode_reuse_deps st ip.State.inum;
+          ip.State.din.Types.nlink <- 2 (* "." and the parent entry *);
+          Inode.update st ip;
+          dip.State.din.Types.nlink <- dip.State.din.Types.nlink + 1 (* ".." *);
+          Inode.update st dip;
+          (* first directory block, seeded with "." and ".." before the
+             ordering scheme sees its initialising write *)
+          let buf, commit = File.grow_dir_block st ip in
+          Fun.protect
+            ~finally:(fun () -> Su_cache.Bcache.release st.State.cache buf)
+            (fun () ->
+              Dir.insert_prepared st ~dir:buf ~slot:0 "." ip.State.inum;
+              Dir.insert_prepared st ~dir:buf ~slot:1 ".." parent;
+              commit ());
+          Dir.add_entry st dip name ip.State.inum))
+
+let append st path ~bytes =
+  charge_syscall st;
+  let inum = resolve st path in
+  Inode.with_inode st inum (fun ip ->
+      if ip.State.din.Types.ftype = Types.F_dir then raise (Eisdir path);
+      File.append st ip ~bytes)
+
+let write_file st path ~bytes =
+  charge_syscall st;
+  let inum = resolve st path in
+  Inode.with_inode st inum (fun ip ->
+      if ip.State.din.Types.ftype = Types.F_dir then raise (Eisdir path);
+      if ip.State.din.Types.size > 0 then
+        File.truncate_release st ip ~free_inode:false;
+      File.append st ip ~bytes)
+
+let read_file st path =
+  charge_syscall st;
+  let inum = resolve st path in
+  Inode.with_inode st inum (fun ip -> File.read_all st ip)
+
+let unlink st path =
+  charge_syscall st;
+  let parent, name = resolve_parent st path in
+  let found =
+    Inode.with_inode st parent (fun dip ->
+        as_dir st path dip;
+        (match Dir.lookup st dip name with
+         | Some inum ->
+           Inode.with_inode st inum (fun ip ->
+               if ip.State.din.Types.ftype = Types.F_dir then raise (Eisdir path))
+         | None -> raise (Enoent path));
+        Dir.remove_entry st dip name ~decrement:(fun inum -> dec_link st inum))
+  in
+  if not found then raise (Enoent path)
+
+let rmdir st path =
+  charge_syscall st;
+  let parent, name = resolve_parent st path in
+  Inode.with_inode st parent (fun dip ->
+      as_dir st path dip;
+      let inum =
+        match Dir.lookup st dip name with
+        | Some i -> i
+        | None -> raise (Enoent path)
+      in
+      Inode.with_inode st inum (fun ip ->
+          as_dir st path ip;
+          if not (Dir.is_empty st ip) then raise (Enotempty path);
+          (* "." decrements the directory itself, ".." its parent *)
+          ignore
+            (Dir.remove_entry st ip "." ~decrement:(fun i -> dec_link st i));
+          ignore
+            (Dir.remove_entry st ip ".." ~decrement:(fun _ -> dec_link st parent)));
+      ignore
+        (Dir.remove_entry st dip name ~decrement:(fun i -> dec_link st i)))
+
+let link st ~src ~dst =
+  charge_syscall st;
+  let src_inum = resolve st src in
+  let parent, name = resolve_parent st dst in
+  Inode.with_inode st parent (fun dip ->
+      as_dir st dst dip;
+      if Dir.lookup st dip name <> None then raise (Eexist dst);
+      Inode.with_inode st src_inum (fun ip ->
+          if ip.State.din.Types.ftype = Types.F_dir then raise (Eisdir src);
+          ip.State.din.Types.nlink <- ip.State.din.Types.nlink + 1;
+          Inode.update st ip);
+      Dir.add_entry st dip name src_inum)
+
+let rename st ~src ~dst =
+  charge_syscall st;
+  (* rule 1: create the new name before destroying the old one *)
+  let dst_inum = try Some (resolve st dst) with Enoent _ -> None in
+  (match dst_inum with Some _ -> unlink st dst | None -> ());
+  link st ~src ~dst;
+  unlink st src
+
+let stat st path =
+  charge_syscall st;
+  let inum = resolve st path in
+  Inode.with_inode st inum (fun ip ->
+      {
+        st_inum = inum;
+        st_ftype = ip.State.din.Types.ftype;
+        st_nlink = ip.State.din.Types.nlink;
+        st_size = ip.State.din.Types.size;
+      })
+
+let exists st path =
+  match resolve st path with
+  | (_ : int) -> true
+  | exception (Enoent _ | Enotdir _) -> false
+
+let readdir st path =
+  charge_syscall st;
+  let inum = resolve st path in
+  Inode.with_inode st inum (fun ip ->
+      as_dir st path ip;
+      Dir.list_names st ip)
+
+let fsync st path =
+  charge_syscall st;
+  let inum = resolve st path in
+  Inode.with_inode st inum (fun ip ->
+      ignore ip;
+      Inode.with_ibuf st inum (fun ibuf ->
+          st.State.scheme.Intf.fsync ~inum ~ibuf))
+
+let sync st = Su_cache.Bcache.sync_all st.State.cache

@@ -1,0 +1,53 @@
+(** The syscall layer: path-based operations on a mounted file
+    system, with per-inode locking and CPU accounting.
+
+    All functions run in simulated-process context and may block on
+    locks, CPU contention and disk I/O (how much depends entirely on
+    the mounted ordering scheme). Paths are absolute, '/'-separated. *)
+
+exception Enoent of string
+exception Eexist of string
+exception Enotdir of string
+exception Eisdir of string
+exception Enotempty of string
+
+type file_stat = {
+  st_inum : int;
+  st_ftype : Su_fstypes.Types.ftype;
+  st_nlink : int;
+  st_size : int;
+}
+
+val mkdir : State.t -> string -> unit
+val create : State.t -> string -> unit
+(** Create an empty regular file. *)
+
+val append : State.t -> string -> bytes:int -> unit
+(** Append [bytes] of data. *)
+
+val write_file : State.t -> string -> bytes:int -> unit
+(** Truncate (if non-empty) and write [bytes] (rewrite semantics). *)
+
+val read_file : State.t -> string -> int
+(** Read every byte; returns fragments read. *)
+
+val unlink : State.t -> string -> unit
+val rmdir : State.t -> string -> unit
+val link : State.t -> src:string -> dst:string -> unit
+val rename : State.t -> src:string -> dst:string -> unit
+(** Implemented, as the paper describes, by first adding the new name
+    and only then removing the old one (rule 1). *)
+
+val stat : State.t -> string -> file_stat
+val exists : State.t -> string -> bool
+val readdir : State.t -> string -> string list
+val fsync : State.t -> string -> unit
+(** SYNCIO-style: the file's metadata (and its ordering
+    prerequisites) are stable on return. *)
+
+val sync : State.t -> unit
+(** Flush the whole cache and quiesce the driver (unmount-style). *)
+
+val resolve : State.t -> string -> int
+(** Path to inode number.
+    @raise Enoent / Enotdir like the operations above. *)

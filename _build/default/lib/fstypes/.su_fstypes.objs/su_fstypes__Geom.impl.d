@@ -1,0 +1,1 @@
+lib/fstypes/geom.ml:

@@ -1,0 +1,1 @@
+lib/fstypes/types.ml: Array Bytes Format Geom List

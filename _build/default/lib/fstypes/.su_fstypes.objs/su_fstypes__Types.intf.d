@@ -1,0 +1,1 @@
+lib/fstypes/types.mli: Bytes Format Geom

@@ -1,0 +1,77 @@
+(** File system geometry and on-disk layout arithmetic.
+
+    The layout is a simplified Berkeley FFS: the disk is divided into
+    fragments (the I/O addressing unit), eight fragments form a block,
+    and the disk is split into cylinder groups, each holding a header
+    block (allocation bitmaps), a run of inode blocks, and a data
+    area. Fragment address 0 is inside the superblock and therefore
+    doubles as the null block pointer. *)
+
+type t = {
+  nfrags : int;  (** total disk size in fragments *)
+  frag_bytes : int;  (** fragment size in bytes (1024) *)
+  frags_per_block : int;  (** fragments per full block (8) *)
+  cg_frags : int;  (** fragments per cylinder group *)
+  inodes_per_cg : int;
+  inodes_per_block : int;  (** dinodes packed per inode block *)
+  dir_capacity : int;  (** directory entries per directory block *)
+  ndaddr : int;  (** direct block pointers per inode (12) *)
+  nindir : int;  (** block pointers per indirect block *)
+}
+
+val default : t
+(** 1 GB disk: 1,048,576 fragments, 64 cylinder groups of 16 MB. *)
+
+val small : t
+(** 64 MB disk for tests: same structure, 4 cylinder groups. *)
+
+val v : ?mb:int -> ?cg_mb:int -> ?inodes_per_cg:int -> unit -> t
+(** Build a geometry of [mb] megabytes (default 1024) with [cg_mb]
+    megabyte groups (default 16).
+    @raise Invalid_argument on inconsistent sizes. *)
+
+val block_bytes : t -> int
+val cg_count : t -> int
+val total_inodes : t -> int
+
+val cg_of_frag : t -> int -> int
+(** Cylinder group containing a fragment address. *)
+
+val cg_base : t -> int -> int
+(** First fragment of cylinder group [c]. *)
+
+val cg_sb_frag : t -> int -> int
+(** Fragment address of group [c]'s superblock copy (the primary
+    superblock for group 0). *)
+
+val cg_header_frag : t -> int -> int
+(** Fragment address of group [c]'s header (bitmap) block. *)
+
+val cg_inode_area : t -> int -> int * int
+(** [(first, count)] fragment range of group [c]'s inode blocks. *)
+
+val cg_data_area : t -> int -> int * int
+(** [(first, count)] fragment range of group [c]'s data area; [first]
+    is block-aligned. *)
+
+val inode_block_frag : t -> int -> int
+(** Fragment address of the inode block holding inode [inum]. *)
+
+val inode_index_in_block : t -> int -> int
+
+val cg_of_inode : t -> int -> int
+
+val first_inum_of_cg : t -> int -> int
+
+val valid_inum : t -> int -> bool
+(** Inode numbers run from 2 (root) upward; 0 and 1 are reserved. *)
+
+val root_inum : int
+
+val data_frag_in_cg : t -> int -> bool
+(** Whether a fragment address lies in some group's data area. *)
+
+val frags_of_bytes : t -> int -> int
+(** Fragments needed to store [bytes] (rounded up, min 0). *)
+
+val blocks_of_bytes : t -> int -> int

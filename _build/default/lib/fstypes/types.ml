@@ -1,0 +1,158 @@
+type stamp =
+  | Zeroed
+  | Written of { inum : int; gen : int; flbn : int }
+
+type ftype = F_free | F_reg | F_dir
+
+type dinode = {
+  mutable ftype : ftype;
+  mutable nlink : int;
+  mutable size : int;
+  mutable gen : int;
+  mutable db : int array;
+  mutable ib : int;
+  mutable ib2 : int;
+  mutable mtime : float;
+}
+
+type dirent = { name : string; inum : int }
+
+type cg = {
+  frag_map : Bytes.t;
+  inode_map : Bytes.t;
+  mutable nffree : int;
+  mutable nifree : int;
+}
+
+type superblock = {
+  sb_magic : int;
+  sb_nfrags : int;
+  sb_ncg : int;
+  mutable sb_clean : bool;
+}
+
+type meta =
+  | Superblock of superblock
+  | Cgroup of cg
+  | Inodes of dinode array
+  | Dir of dirent option array
+  | Indirect of int array
+
+type jrec =
+  | J_dinode of { inum : int; din : dinode }
+  | J_entry of { blk : int; slot : int; entry : dirent option }
+  | J_dir_init of { blk : int }
+  | J_ind_init of { blk : int }
+  | J_ind_set of { blk : int; slot : int; ptr : int }
+
+type cell =
+  | Empty
+  | Pad
+  | Meta of meta
+  | Frag of stamp
+  | Jlog of { seq : int; recs : jrec list }
+
+let magic = 0x011954
+
+let free_dinode (g : Geom.t) =
+  {
+    ftype = F_free;
+    nlink = 0;
+    size = 0;
+    gen = 0;
+    db = Array.make g.Geom.ndaddr 0;
+    ib = 0;
+    ib2 = 0;
+    mtime = 0.0;
+  }
+
+let fresh_inode_block g =
+  Inodes (Array.init g.Geom.inodes_per_block (fun _ -> free_dinode g))
+
+let fresh_dir_block (g : Geom.t) : dirent option array =
+  Array.make g.Geom.dir_capacity None
+
+let fresh_indirect (g : Geom.t) = Array.make g.Geom.nindir 0
+
+let fresh_cg (g : Geom.t) =
+  {
+    frag_map = Bytes.make g.Geom.cg_frags '\000';
+    inode_map = Bytes.make g.Geom.inodes_per_cg '\000';
+    nffree = 0;
+    nifree = 0;
+  }
+
+let copy_dinode d = { d with db = Array.copy d.db }
+
+let copy_cg c =
+  {
+    frag_map = Bytes.copy c.frag_map;
+    inode_map = Bytes.copy c.inode_map;
+    nffree = c.nffree;
+    nifree = c.nifree;
+  }
+
+let copy_meta = function
+  | Superblock sb -> Superblock { sb with sb_magic = sb.sb_magic }
+  | Cgroup c -> Cgroup (copy_cg c)
+  | Inodes ds -> Inodes (Array.map copy_dinode ds)
+  | Dir entries -> Dir (Array.copy entries)
+  | Indirect ptrs -> Indirect (Array.copy ptrs)
+
+let copy_jrec = function
+  | J_dinode { inum; din } -> J_dinode { inum; din = copy_dinode din }
+  | J_entry _ | J_dir_init _ | J_ind_init _ | J_ind_set _ as r -> r
+
+let copy_cell = function
+  | Empty -> Empty
+  | Pad -> Pad
+  | Meta m -> Meta (copy_meta m)
+  | Frag s -> Frag s
+  | Jlog { seq; recs } -> Jlog { seq; recs = List.map copy_jrec recs }
+
+let dir_entry_count entries =
+  Array.fold_left (fun n e -> match e with Some _ -> n + 1 | None -> n) 0 entries
+
+let dir_find entries name =
+  let n = Array.length entries in
+  let rec go i =
+    if i >= n then None
+    else
+      match entries.(i) with
+      | Some e when e.name = name -> Some (i, e)
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let dir_free_slot entries =
+  let n = Array.length entries in
+  let rec go i =
+    if i >= n then None
+    else match entries.(i) with None -> Some i | Some _ -> go (i + 1)
+  in
+  go 0
+
+let stamp_matches s ~inum ~gen =
+  match s with
+  | Zeroed -> true
+  | Written w -> w.inum = inum && w.gen = gen
+
+let pp_stamp ppf = function
+  | Zeroed -> Format.fprintf ppf "zeroed"
+  | Written w -> Format.fprintf ppf "w(ino=%d,gen=%d,flbn=%d)" w.inum w.gen w.flbn
+
+let pp_ftype ppf t =
+  Format.pp_print_string ppf
+    (match t with F_free -> "free" | F_reg -> "reg" | F_dir -> "dir")
+
+let pp_cell ppf = function
+  | Empty -> Format.pp_print_string ppf "empty"
+  | Pad -> Format.pp_print_string ppf "pad"
+  | Frag s -> Format.fprintf ppf "frag[%a]" pp_stamp s
+  | Meta (Superblock _) -> Format.pp_print_string ppf "superblock"
+  | Meta (Cgroup _) -> Format.pp_print_string ppf "cgroup"
+  | Meta (Inodes _) -> Format.pp_print_string ppf "inodes"
+  | Meta (Dir _) -> Format.pp_print_string ppf "dir"
+  | Meta (Indirect _) -> Format.pp_print_string ppf "indirect"
+  | Jlog { seq; recs } ->
+    Format.fprintf ppf "jlog[seq=%d,%d recs]" seq (List.length recs)

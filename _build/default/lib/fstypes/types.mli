@@ -1,0 +1,107 @@
+(** On-disk data structures.
+
+    Disk contents are modelled as typed values rather than raw bytes:
+    one {!cell} per fragment. Metadata blocks (which are always read
+    and written as whole, block-aligned extents) occupy eight cells —
+    the structured value sits in the first and the rest are [Pad].
+    File data is modelled as per-fragment {!stamp}s identifying the
+    writer, which is exactly the information a consistency checker
+    needs to detect stale-data exposure after a crash. *)
+
+(** Identity of the data stored in one file-data fragment. *)
+type stamp =
+  | Zeroed  (** written by allocation initialisation *)
+  | Written of { inum : int; gen : int; flbn : int }
+      (** written by file [inum] (generation [gen]) as its logical
+          fragment [flbn] *)
+
+type ftype = F_free | F_reg | F_dir
+
+(** On-disk inode. Block pointers are fragment addresses (block
+    aligned for full blocks); 0 means "no block". *)
+type dinode = {
+  mutable ftype : ftype;
+  mutable nlink : int;
+  mutable size : int;  (** bytes *)
+  mutable gen : int;  (** generation, bumped on each (re)allocation *)
+  mutable db : int array;  (** direct pointers, length [Geom.ndaddr] *)
+  mutable ib : int;  (** single-indirect block *)
+  mutable ib2 : int;  (** double-indirect block *)
+  mutable mtime : float;
+}
+
+type dirent = { name : string; inum : int }
+
+(** Per-cylinder-group allocation state (the "free maps"). *)
+type cg = {
+  frag_map : Bytes.t;  (** one byte per fragment in the group; 0=free *)
+  inode_map : Bytes.t;  (** one byte per inode in the group; 0=free *)
+  mutable nffree : int;  (** free fragments *)
+  mutable nifree : int;  (** free inodes *)
+}
+
+type superblock = {
+  sb_magic : int;
+  sb_nfrags : int;
+  sb_ncg : int;
+  mutable sb_clean : bool;
+}
+
+(** A structured metadata block. *)
+type meta =
+  | Superblock of superblock
+  | Cgroup of cg
+  | Inodes of dinode array  (** [Geom.inodes_per_block] dinodes *)
+  | Dir of dirent option array  (** fixed capacity, [None] = unused slot *)
+  | Indirect of int array  (** [Geom.nindir] block pointers *)
+
+(** A write-ahead-log redo record (the journaled-scheme extension).
+    Records carry full post-images, so replay in sequence order is
+    idempotent and never regresses state. *)
+type jrec =
+  | J_dinode of { inum : int; din : dinode }
+  | J_entry of { blk : int; slot : int; entry : dirent option }
+  | J_dir_init of { blk : int }
+  | J_ind_init of { blk : int }
+  | J_ind_set of { blk : int; slot : int; ptr : int }
+
+(** Contents of one on-disk fragment. *)
+type cell =
+  | Empty  (** never written *)
+  | Pad  (** tail fragment of a metadata block *)
+  | Meta of meta
+  | Frag of stamp
+  | Jlog of { seq : int; recs : jrec list }
+      (** one committed log transaction (journal region only) *)
+
+val magic : int
+
+val free_dinode : Geom.t -> dinode
+(** A zeroed inode slot. *)
+
+val fresh_inode_block : Geom.t -> meta
+val fresh_dir_block : Geom.t -> dirent option array
+val fresh_indirect : Geom.t -> int array
+val fresh_cg : Geom.t -> cg
+
+val copy_dinode : dinode -> dinode
+val copy_meta : meta -> meta
+(** Deep copy; used to snapshot write payloads and on reads so cached
+    and on-disk state never share mutable structure. *)
+
+val copy_cell : cell -> cell
+
+val dir_entry_count : dirent option array -> int
+val dir_find : dirent option array -> string -> (int * dirent) option
+(** [(slot, entry)] of the entry named [name], if present. *)
+
+val dir_free_slot : dirent option array -> int option
+
+val stamp_matches : stamp -> inum:int -> gen:int -> bool
+(** Whether a fragment's content legitimately belongs to the given
+    file generation ([Zeroed] always matches: initialised storage
+    leaks nothing). *)
+
+val pp_stamp : Format.formatter -> stamp -> unit
+val pp_ftype : Format.formatter -> ftype -> unit
+val pp_cell : Format.formatter -> cell -> unit

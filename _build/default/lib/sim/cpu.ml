@@ -1,0 +1,32 @@
+type job = { duration : float; resume : unit -> unit; owner : Proc.handle option }
+
+type t = {
+  engine : Engine.t;
+  mutable busy : bool;
+  mutable served : float;
+  queue : job Queue.t;
+}
+
+let create engine = { engine; busy = false; served = 0.0; queue = Queue.create () }
+
+let rec start t job =
+  t.busy <- true;
+  Engine.after t.engine job.duration (fun () ->
+      t.served <- t.served +. job.duration;
+      (match job.owner with
+       | Some h -> Proc.charge_cpu h job.duration
+       | None -> ());
+      job.resume ();
+      if Queue.is_empty t.queue then t.busy <- false
+      else start t (Queue.pop t.queue))
+
+let consume t seconds =
+  if seconds > 0.0 then begin
+    let owner = Proc.self_opt () in
+    Proc.suspend (fun resume ->
+        let job = { duration = seconds; resume; owner } in
+        if t.busy then Queue.add job t.queue else start t job)
+  end
+
+let busy_time t = t.served
+let queue_length t = Queue.length t.queue

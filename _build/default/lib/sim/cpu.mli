@@ -1,0 +1,21 @@
+(** A single shared CPU modelled as a FIFO server.
+
+    Processes consume CPU in bursts; concurrent bursts serialise in
+    first-come-first-served order, approximating a time-sharing
+    uniprocessor at syscall granularity (the workloads chunk long
+    computations into small bursts). Each burst is charged to the
+    calling process's CPU account. *)
+
+type t
+
+val create : Engine.t -> t
+
+val consume : t -> float -> unit
+(** [consume cpu seconds] blocks the calling process for its queueing
+    delay plus [seconds] of service, and charges [seconds] to it.
+    No-op for non-positive durations. *)
+
+val busy_time : t -> float
+(** Total CPU seconds served so far (utilisation numerator). *)
+
+val queue_length : t -> int

@@ -1,0 +1,53 @@
+type event = { time : float; seq : int; callback : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable halted : bool;
+  mutable executed : int;
+  queue : event Su_util.Heap.t;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { clock = 0.0; seq = 0; halted = false; executed = 0;
+    queue = Su_util.Heap.create ~cmp:compare_event }
+
+let now t = t.clock
+
+let at t time callback =
+  let time = if time < t.clock then t.clock else time in
+  t.seq <- t.seq + 1;
+  Su_util.Heap.push t.queue { time; seq = t.seq; callback }
+
+let after t dt callback =
+  let dt = if dt < 0.0 then 0.0 else dt in
+  at t (t.clock +. dt) callback
+
+let soon t callback = after t 0.0 callback
+
+let stop t = t.halted <- true
+let stopped t = t.halted
+
+let run ?until t =
+  let limit = match until with None -> infinity | Some u -> u in
+  let rec loop () =
+    if not t.halted then
+      match Su_util.Heap.peek t.queue with
+      | None -> ()
+      | Some ev ->
+        if ev.time > limit then t.clock <- limit
+        else begin
+          ignore (Su_util.Heap.pop t.queue);
+          t.clock <- ev.time;
+          t.executed <- t.executed + 1;
+          ev.callback ();
+          loop ()
+        end
+  in
+  loop ()
+
+let events_executed t = t.executed

@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a time-ordered event queue.
+    Events with equal timestamps fire in scheduling order. All
+    simulated activity — process resumptions, disk completions, daemon
+    wake-ups — is driven by callbacks scheduled here. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** [at t time f] schedules [f] at absolute virtual [time]. Scheduling
+    in the past is clamped to [now]. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** [after t dt f] schedules [f] at [now t +. dt]. Negative [dt] is
+    clamped to zero. *)
+
+val soon : t -> (unit -> unit) -> unit
+(** Schedule at the current time, after already-pending same-time
+    events. Used to defer wake-ups out of the waker's context. *)
+
+val stop : t -> unit
+(** Abort the run: no further events fire. Used for crash injection. *)
+
+val stopped : t -> bool
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue drains, [stop] is called, or the
+    clock would pass [until] (the clock is then left at [until]).
+    Exceptions raised by event callbacks propagate to the caller. *)
+
+val events_executed : t -> int
+(** Total callbacks executed so far (for engine health checks). *)

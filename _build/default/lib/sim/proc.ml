@@ -1,0 +1,117 @@
+type handle = {
+  pname : string;
+  mutable cpu : float;
+  mutable dead : bool;
+  mutable waiters : (unit -> unit) list;
+}
+
+exception Process_failure of string * exn
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+(* The simulator is single-threaded and engines run one at a time, so a
+   module-level "current process" register is sound; it is saved and
+   restored around every resumption so nested wake-ups cannot clobber
+   it. *)
+let current : handle option ref = ref None
+
+let name h = h.pname
+let finished h = h.dead
+let cpu_time h = h.cpu
+let charge_cpu h dt = h.cpu <- h.cpu +. dt
+
+let self_opt () = !current
+
+let self () =
+  match !current with
+  | Some h -> h
+  | None -> invalid_arg "Proc.self: not in process context"
+
+let counter = ref 0
+
+let spawn engine ?name f =
+  incr counter;
+  let pname =
+    match name with Some n -> n | None -> Printf.sprintf "proc-%d" !counter
+  in
+  let h = { pname; cpu = 0.0; dead = false; waiters = [] } in
+  let finish () =
+    h.dead <- true;
+    let ws = h.waiters in
+    h.waiters <- [];
+    List.iter (fun w -> Engine.soon engine w) ws
+  in
+  let body () =
+    let open Effect.Deep in
+    match_with f ()
+      {
+        retc = (fun () -> finish ());
+        exnc = (fun e -> finish (); raise (Process_failure (pname, e)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let resumed = ref false in
+                  let resume () =
+                    if !resumed then
+                      invalid_arg "Proc: continuation resumed twice";
+                    resumed := true;
+                    let saved = !current in
+                    current := Some h;
+                    Fun.protect
+                      ~finally:(fun () -> current := saved)
+                      (fun () -> continue k ())
+                  in
+                  register resume)
+            | _ -> None);
+      }
+  in
+  Engine.soon engine (fun () ->
+      let saved = !current in
+      current := Some h;
+      Fun.protect ~finally:(fun () -> current := saved) body);
+  h
+
+let suspend register = Effect.perform (Suspend register)
+
+let sleep engine dt =
+  suspend (fun resume -> Engine.after engine dt resume)
+
+let join engine h =
+  if not h.dead then
+    suspend (fun resume -> h.waiters <- resume :: h.waiters)
+  else ignore engine
+
+let join_all engine hs = List.iter (join engine) hs
+
+module Ivar = struct
+  type 'a state = Empty of (unit -> unit) list | Full of 'a
+  type 'a t = { engine : Engine.t; mutable state : 'a state }
+
+  let create engine = { engine; state = Empty [] }
+
+  let fill t v =
+    match t.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+      t.state <- Full v;
+      List.iter (fun w -> Engine.soon t.engine w) waiters
+
+  let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+
+  let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Empty _ ->
+      suspend (fun resume ->
+          match t.state with
+          | Full _ -> Engine.soon t.engine resume
+          | Empty waiters -> t.state <- Empty (resume :: waiters));
+      (match t.state with
+       | Full v -> v
+       | Empty _ -> invalid_arg "Ivar.read: woken while empty")
+end

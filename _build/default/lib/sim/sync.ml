@@ -1,0 +1,90 @@
+module Waitq = struct
+  type t = { engine : Engine.t; waiters : (unit -> unit) Queue.t }
+
+  let create engine = { engine; waiters = Queue.create () }
+
+  let wait t = Proc.suspend (fun resume -> Queue.add resume t.waiters)
+
+  let signal t =
+    if not (Queue.is_empty t.waiters) then
+      Engine.soon t.engine (Queue.pop t.waiters)
+
+  let broadcast t =
+    while not (Queue.is_empty t.waiters) do
+      Engine.soon t.engine (Queue.pop t.waiters)
+    done
+
+  let waiting t = Queue.length t.waiters
+end
+
+module Mutex = struct
+  (* Reentrant: the owning process may lock again (kernel-style
+     recursive locking, needed when a deferred completion runs inline
+     in the process that already holds the lock). *)
+  type t = {
+    engine : Engine.t;
+    mutable owner : Proc.handle option;
+    mutable depth : int;
+    queue : (Proc.handle * (unit -> unit)) Queue.t;
+  }
+
+  let create engine = { engine; owner = None; depth = 0; queue = Queue.create () }
+
+  let lock t =
+    let self = Proc.self () in
+    match t.owner with
+    | None ->
+      t.owner <- Some self;
+      t.depth <- 1
+    | Some owner when owner == self -> t.depth <- t.depth + 1
+    | Some _ ->
+      Proc.suspend (fun resume -> Queue.add (self, resume) t.queue)
+  (* on hand-off the mutex stays held: the woken process owns it *)
+
+  let unlock t =
+    (match t.owner with
+     | None -> invalid_arg "Mutex.unlock: not locked"
+     | Some _ -> ());
+    t.depth <- t.depth - 1;
+    if t.depth = 0 then
+      if Queue.is_empty t.queue then t.owner <- None
+      else begin
+        let next_owner, resume = Queue.pop t.queue in
+        t.owner <- Some next_owner;
+        t.depth <- 1;
+        Engine.soon t.engine resume
+      end
+
+  let try_lock t =
+    match t.owner with
+    | None ->
+      t.owner <- Some (Proc.self ());
+      t.depth <- 1;
+      true
+    | Some owner when owner == Proc.self () ->
+      t.depth <- t.depth + 1;
+      true
+    | Some _ -> false
+
+  let locked t = t.owner <> None
+
+  let with_lock t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+end
+
+module Semaphore = struct
+  type t = { engine : Engine.t; mutable count : int; queue : (unit -> unit) Queue.t }
+
+  let create engine count = { engine; count; queue = Queue.create () }
+
+  let acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else Proc.suspend (fun resume -> Queue.add resume t.queue)
+
+  let release t =
+    if Queue.is_empty t.queue then t.count <- t.count + 1
+    else Engine.soon t.engine (Queue.pop t.queue)
+
+  let available t = t.count
+end

@@ -1,0 +1,48 @@
+(** Blocking synchronisation primitives for simulated processes. *)
+
+(** FIFO wait queues (condition-variable style, no associated lock —
+    process steps are atomic between blocking points). *)
+module Waitq : sig
+  type t
+
+  val create : Engine.t -> t
+  val wait : t -> unit
+  (** Park the calling process until signalled. *)
+
+  val signal : t -> unit
+  (** Wake the longest-waiting process, if any. *)
+
+  val broadcast : t -> unit
+  (** Wake every waiting process. *)
+
+  val waiting : t -> int
+end
+
+(** Mutual exclusion with FIFO hand-off. Reentrant: the owning
+    process may nest [lock]/[unlock] pairs (kernel-style recursive
+    locking, required when deferred completions run inline in a
+    process that already holds the lock). *)
+module Mutex : sig
+  type t
+
+  val create : Engine.t -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+  (** @raise Invalid_argument if the mutex is not held. *)
+
+  val try_lock : t -> bool
+  val locked : t -> bool
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Releases on exception. *)
+end
+
+(** Counting semaphore. *)
+module Semaphore : sig
+  type t
+
+  val create : Engine.t -> int -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val available : t -> int
+end

@@ -1,0 +1,31 @@
+(** Imperative binary min-heap, ordered by a user-supplied comparison.
+
+    Used for the simulation event queue and by disk schedulers. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty heap; [cmp] must be a total order. Ties are broken by
+    insertion order only if the caller encodes a sequence number in the
+    elements — the heap itself is not stable. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, or [None] when empty. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument when empty. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in unspecified order. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keep only elements satisfying the predicate. O(n) rebuild. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.mean
+
+let stdev t =
+  if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let coeff_var t =
+  let m = mean t in
+  if m = 0.0 then 0.0 else stdev t /. m
+
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    List.nth sorted (rank - 1)
+
+let mean_of xs = mean (of_list xs)

@@ -1,0 +1,31 @@
+(** Running statistics accumulators and small helpers for reporting. *)
+
+type t
+(** Accumulates count, mean, variance (Welford), min and max. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val stdev : t -> float
+(** Sample standard deviation; 0.0 with fewer than two samples. *)
+
+val coeff_var : t -> float
+(** stdev / mean; 0.0 when the mean is zero. *)
+
+val min_value : t -> float
+(** +inf when empty. *)
+
+val max_value : t -> float
+(** -inf when empty. *)
+
+val of_list : float list -> t
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on a sorted
+    copy. 0.0 for an empty list. *)
+
+val mean_of : float list -> float

@@ -1,0 +1,57 @@
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : string list list;
+}
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let normalize width row =
+  let len = List.length row in
+  if len = width then row
+  else if len < width then row @ List.init (width - len) (fun _ -> "")
+  else List.filteri (fun i _ -> i < width) row
+
+let add_row t row =
+  t.rows <- normalize (List.length t.headers) row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell ->
+        if i < ncols && String.length cell > widths.(i) then
+          widths.(i) <- String.length cell)
+      row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if i = 0 then cell ^ String.make n ' ' else String.make n ' ' ^ cell
+  in
+  let emit row =
+    List.iteri (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f ?(dec = 1) x = Printf.sprintf "%.*f" dec x
+let cell_i n = string_of_int n

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for benchmark and experiment reports. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer
+    rows are truncated. *)
+
+val render : t -> string
+(** Render with aligned columns (first column left-aligned, the rest
+    right-aligned), a title line and a separator. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_f : ?dec:int -> float -> string
+(** Format a float with [dec] decimals (default 1). *)
+
+val cell_i : int -> string

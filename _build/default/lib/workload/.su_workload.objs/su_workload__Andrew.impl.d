@@ -1,0 +1,1 @@
+lib/workload/andrew.ml: Array Engine Float Fs Fsops List Printf Proc State String Su_fs Su_sim Tree

@@ -1,0 +1,1 @@
+lib/workload/benchmarks.ml: Fsops Printf Runner Su_fs Tree

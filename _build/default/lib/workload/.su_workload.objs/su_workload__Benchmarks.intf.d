@@ -1,0 +1,1 @@
+lib/workload/benchmarks.mli: Runner Su_fs

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Engine Float Fs Fsops Hashtbl List Printf Proc State Su_cache Su_core Su_driver Su_fs Su_sim

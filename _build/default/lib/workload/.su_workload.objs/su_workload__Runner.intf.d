@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Su_core Su_fs

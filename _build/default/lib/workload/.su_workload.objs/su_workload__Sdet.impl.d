@@ -1,0 +1,1 @@
+lib/workload/sdet.ml: Fsops Printf Rng Runner State Su_fs Su_util

@@ -1,0 +1,1 @@
+lib/workload/sdet.mli: Runner Su_fs

@@ -1,0 +1,1 @@
+lib/workload/tree.ml: Array Fsops Hashtbl List Option Printf Rng Su_fs Su_fstypes Su_util

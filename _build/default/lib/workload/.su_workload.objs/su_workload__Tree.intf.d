@@ -1,0 +1,1 @@
+lib/workload/tree.mli: Su_fs

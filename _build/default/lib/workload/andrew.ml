@@ -1,0 +1,130 @@
+open Su_sim
+open Su_fs
+
+type result = { phases : float array; total : float }
+type summary = { mean : result; stdev : result; reps : int }
+
+(* Andrew's source: ~70 files, ~200 KB of program text in a handful of
+   directories. *)
+let source_spec seed = Tree.spec ~seed ~files:70 ~total_bytes:200_000 ()
+
+let rec dirs_of base nodes =
+  List.concat_map
+    (function
+      | Tree.File _ -> []
+      | Tree.Dir (name, children) ->
+        let p = base ^ "/" ^ name in
+        p :: dirs_of p children)
+    nodes
+
+let rec files_of base nodes =
+  List.concat_map
+    (function
+      | Tree.File (name, size) -> [ (base ^ "/" ^ name, size) ]
+      | Tree.Dir (name, children) -> files_of (base ^ "/" ^ name) children)
+    nodes
+
+let compile_units = 12
+let compile_cpu_total = 276.0  (* seconds: the paper's slow-CPU compile *)
+let cpu_chunk = 0.05
+
+let run_once ~cfg ~seed =
+  let nodes = source_spec seed in
+  let w = Fs.make cfg in
+  let result = ref None in
+  let controller () =
+    let st = w.Fs.st in
+    Fsops.mkdir st "/src";
+    Tree.populate st ~base:"/src" nodes;
+    Fsops.sync st;
+    let phases = Array.make 5 0.0 in
+    let timed i f =
+      let t0 = Engine.now w.Fs.engine in
+      f ();
+      phases.(i) <- Engine.now w.Fs.engine -. t0
+    in
+    (* phase 1: make the directory tree *)
+    timed 0 (fun () ->
+        Fsops.mkdir st "/work";
+        List.iter (fun d -> Fsops.mkdir st d)
+          (dirs_of "/work" nodes));
+    (* phase 2: copy the files *)
+    timed 1 (fun () ->
+        List.iter
+          (fun (path, size) ->
+            let rel = String.sub path 4 (String.length path - 4) in
+            ignore (Fsops.read_file st path);
+            let dst = "/work" ^ rel in
+            Fsops.create st dst;
+            Fsops.append st dst ~bytes:size)
+          (files_of "/src" nodes));
+    (* phase 3: stat every file *)
+    timed 2 (fun () ->
+        List.iter
+          (fun (path, _) ->
+            let rel = String.sub path 4 (String.length path - 4) in
+            ignore (Fsops.stat st ("/work" ^ rel)))
+          (files_of "/src" nodes));
+    (* phase 4: read every byte *)
+    timed 3 (fun () ->
+        List.iter
+          (fun (path, _) ->
+            let rel = String.sub path 4 (String.length path - 4) in
+            ignore (Fsops.read_file st ("/work" ^ rel)))
+          (files_of "/src" nodes));
+    (* phase 5: compile *)
+    timed 4 (fun () ->
+        let per_unit = compile_cpu_total /. float_of_int compile_units in
+        let files = files_of "/src" nodes in
+        for u = 1 to compile_units do
+          (* read some sources, crunch, emit an object file *)
+          List.iteri
+            (fun i (path, _) ->
+              if i mod compile_units = u - 1 then begin
+                let rel = String.sub path 4 (String.length path - 4) in
+                ignore (Fsops.read_file st ("/work" ^ rel))
+              end)
+            files;
+          let rec crunch remaining =
+            if remaining > 0.0 then begin
+              State.charge st (Float.min cpu_chunk remaining);
+              crunch (remaining -. cpu_chunk)
+            end
+          in
+          crunch per_unit;
+          let o = Printf.sprintf "/work/unit%d.o" u in
+          Fsops.create st o;
+          Fsops.append st o ~bytes:(16_384 + (u * 1024))
+        done);
+    result := Some { phases; total = Array.fold_left ( +. ) 0.0 phases };
+    Fs.stop w;
+    Engine.stop w.Fs.engine
+  in
+  ignore (Proc.spawn w.Fs.engine ~name:"andrew" controller);
+  Engine.run w.Fs.engine;
+  match !result with
+  | Some r -> r
+  | None -> failwith "Andrew.run_once: did not complete"
+
+let run ~cfg ~reps =
+  if reps <= 0 then invalid_arg "Andrew.run: reps must be positive";
+  let results = List.init reps (fun i -> run_once ~cfg ~seed:(41 + i)) in
+  let n = float_of_int reps in
+  let mean_of sel =
+    List.fold_left (fun a r -> a +. sel r) 0.0 results /. n
+  in
+  let stdev_of sel =
+    let m = mean_of sel in
+    if reps < 2 then 0.0
+    else
+      sqrt
+        (List.fold_left (fun a r -> a +. ((sel r -. m) ** 2.0)) 0.0 results
+        /. (n -. 1.0))
+  in
+  let build f =
+    {
+      phases = Array.init 5 (fun i -> f (fun r -> r.phases.(i)));
+      total = f (fun r -> r.total);
+    }
+  in
+  { mean = build mean_of; stdev = build stdev_of; reps }

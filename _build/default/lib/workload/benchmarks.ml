@@ -1,0 +1,83 @@
+open Su_fs
+
+let src n = Printf.sprintf "/src%d" n
+let dst n = Printf.sprintf "/dst%d" n
+
+let populate_sources st ~users ~seed =
+  for u = 0 to users - 1 do
+    let nodes = Tree.spec ~seed:(seed + u) () in
+    Fsops.mkdir st (src u);
+    Tree.populate st ~base:(src u) nodes
+  done
+
+let copy ~cfg ~users ?(seed = 17) () =
+  Runner.run ~cfg ~users
+    ~setup:(fun st ->
+      populate_sources st ~users ~seed;
+      for u = 0 to users - 1 do
+        Fsops.mkdir st (dst u)
+      done)
+    (fun u st -> Tree.copy st ~src:(src u) ~dst:(dst u))
+
+let remove ~cfg ~users ?(seed = 17) () =
+  Runner.run ~cfg ~users
+    ~setup:(fun st ->
+      (* each user removes a newly *copied* tree, as in the paper *)
+      populate_sources st ~users ~seed;
+      for u = 0 to users - 1 do
+        Fsops.mkdir st (dst u);
+        Tree.copy st ~src:(src u) ~dst:(dst u)
+      done)
+    (fun u st -> Tree.remove st (dst u))
+
+let user_dir u = Printf.sprintf "/u%d" u
+
+let per_user ~users ~total_files u =
+  (total_files / users) + (if u < total_files mod users then 1 else 0)
+
+let create_files ~cfg ~users ~total_files =
+  Runner.run ~cfg ~users
+    ~setup:(fun st ->
+      for u = 0 to users - 1 do
+        Fsops.mkdir st (user_dir u)
+      done)
+    (fun u st ->
+      for i = 1 to per_user ~users ~total_files u do
+        let p = Printf.sprintf "%s/f%d" (user_dir u) i in
+        Fsops.create st p;
+        Fsops.append st p ~bytes:1024
+      done)
+
+let remove_files ~cfg ~users ~total_files =
+  Runner.run ~cfg ~users
+    ~setup:(fun st ->
+      for u = 0 to users - 1 do
+        Fsops.mkdir st (user_dir u);
+        for i = 1 to per_user ~users ~total_files u do
+          let p = Printf.sprintf "%s/f%d" (user_dir u) i in
+          Fsops.create st p;
+          Fsops.append st p ~bytes:1024
+        done
+      done)
+    (fun u st ->
+      for i = 1 to per_user ~users ~total_files u do
+        Fsops.unlink st (Printf.sprintf "%s/f%d" (user_dir u) i)
+      done)
+
+let create_remove_files ~cfg ~users ~total_files =
+  Runner.run ~cfg ~users
+    ~setup:(fun st ->
+      for u = 0 to users - 1 do
+        Fsops.mkdir st (user_dir u)
+      done)
+    (fun u st ->
+      for i = 1 to per_user ~users ~total_files u do
+        let p = Printf.sprintf "%s/f%d" (user_dir u) i in
+        Fsops.create st p;
+        Fsops.append st p ~bytes:1024;
+        Fsops.unlink st p
+      done)
+
+let files_per_second ~total_files (m : Runner.measures) =
+  if m.Runner.elapsed_avg <= 0.0 then 0.0
+  else float_of_int total_files /. m.Runner.elapsed_avg

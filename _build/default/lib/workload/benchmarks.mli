@@ -1,0 +1,28 @@
+(** The paper's metadata-intensive benchmarks (§2, §5.1, §5.2).
+
+    All return {!Runner.measures}; throughput figures are derived by
+    the caller from elapsed times. *)
+
+val copy : cfg:Su_fs.Fs.config -> users:int -> ?seed:int -> unit -> Runner.measures
+(** N-user copy: each user recursively copies its own pre-populated
+    535-file / 14.3 MB tree ([/srcN] to [/dstN]). Set-up (populating
+    the sources) is not measured. *)
+
+val remove : cfg:Su_fs.Fs.config -> users:int -> ?seed:int -> unit -> Runner.measures
+(** N-user remove: each user deletes one newly copied tree. The
+    measured phase is the recursive delete only. *)
+
+val create_files :
+  cfg:Su_fs.Fs.config -> users:int -> total_files:int -> Runner.measures
+(** 1 KB file creates, [total_files] split among per-user
+    directories (figure 5a). *)
+
+val remove_files :
+  cfg:Su_fs.Fs.config -> users:int -> total_files:int -> Runner.measures
+(** Removes of previously created (and synced) 1 KB files (5b). *)
+
+val create_remove_files :
+  cfg:Su_fs.Fs.config -> users:int -> total_files:int -> Runner.measures
+(** Each created file is immediately removed (5c). *)
+
+val files_per_second : total_files:int -> Runner.measures -> float

@@ -1,0 +1,108 @@
+open Su_sim
+open Su_fs
+
+type measures = {
+  users : int;
+  elapsed_avg : float;
+  elapsed_max : float;
+  cpu_total : float;
+  disk_requests : int;
+  disk_reads : int;
+  disk_writes : int;
+  avg_response_ms : float;
+  avg_access_ms : float;
+  sync_response_ms : float;
+  softdep : Su_core.Softdep.stats option;
+}
+
+let drop_caches (w : Fs.world) =
+  List.iter
+    (fun (b : Su_cache.Buf.t) ->
+      if b.Su_cache.Buf.refcount = 0 && not b.Su_cache.Buf.dirty then
+        Su_cache.Bcache.invalidate w.Fs.cache b)
+    (Su_cache.Bcache.all_bufs w.Fs.cache);
+  Hashtbl.reset w.Fs.st.State.icache
+
+let run ~cfg ?setup ?cold_start ~users body =
+  let cold_start =
+    match cold_start with Some c -> c | None -> setup <> None
+  in
+  let setup = match setup with Some f -> f | None -> fun _ -> () in
+  let w = Fs.make cfg in
+  let result = ref None in
+  let controller () =
+    setup w.Fs.st;
+    Fsops.sync w.Fs.st;
+    if cold_start then drop_caches w;
+    Su_driver.Driver.reset_trace w.Fs.driver;
+    let t0 = Engine.now w.Fs.engine in
+    let elapsed = Array.make users 0.0 in
+    let handles =
+      List.init users (fun i ->
+          Proc.spawn w.Fs.engine
+            ~name:(Printf.sprintf "user%d" i)
+            (fun () ->
+              body i w.Fs.st;
+              elapsed.(i) <- Engine.now w.Fs.engine -. t0))
+    in
+    Proc.join_all w.Fs.engine handles;
+    let cpu_total =
+      List.fold_left (fun acc h -> acc +. Proc.cpu_time h) 0.0 handles
+    in
+    (* elapsed/CPU are the users'; disk statistics are system-wide and
+       include the queued writes that drain after the benchmark
+       completes (the paper's multi-second driver response times in
+       table 2 are only visible this way) *)
+    Fs.stop w;
+    Su_driver.Driver.quiesce w.Fs.driver;
+    let tr = Su_driver.Driver.trace w.Fs.driver in
+    let n = float_of_int users in
+    result :=
+      Some
+        {
+          users;
+          elapsed_avg = Array.fold_left ( +. ) 0.0 elapsed /. n;
+          elapsed_max = Array.fold_left Float.max 0.0 elapsed;
+          cpu_total;
+          disk_requests = Su_driver.Trace.requests tr;
+          disk_reads = Su_driver.Trace.reads tr;
+          disk_writes = Su_driver.Trace.writes tr;
+          avg_response_ms = Su_driver.Trace.avg_response_ms tr;
+          avg_access_ms = Su_driver.Trace.avg_access_ms tr;
+          sync_response_ms = Su_driver.Trace.sync_avg_response_ms tr;
+          softdep = w.Fs.st.State.softdep_stats;
+        };
+    Engine.stop w.Fs.engine
+  in
+  ignore (Proc.spawn w.Fs.engine ~name:"controller" controller);
+  Engine.run w.Fs.engine;
+  match !result with
+  | Some m -> m
+  | None -> failwith "Runner.run: benchmark did not complete"
+
+let repeat ~reps f =
+  if reps <= 0 then invalid_arg "Runner.repeat: reps must be positive";
+  let ms = List.init reps f in
+  let avg sel = List.fold_left (fun a m -> a +. sel m) 0.0 ms /. float_of_int reps in
+  let avgi sel =
+    int_of_float
+      (Float.round
+         (List.fold_left (fun a m -> a +. float_of_int (sel m)) 0.0 ms
+         /. float_of_int reps))
+  in
+  match ms with
+  | [] -> invalid_arg "Runner.repeat: impossible"
+  | first :: _ ->
+    {
+      users = first.users;
+      elapsed_avg = avg (fun m -> m.elapsed_avg);
+      elapsed_max = avg (fun m -> m.elapsed_max);
+      cpu_total = avg (fun m -> m.cpu_total);
+      disk_requests = avgi (fun m -> m.disk_requests);
+      disk_reads = avgi (fun m -> m.disk_reads);
+      disk_writes = avgi (fun m -> m.disk_writes);
+      avg_response_ms = avg (fun m -> m.avg_response_ms);
+      avg_access_ms = avg (fun m -> m.avg_access_ms);
+      sync_response_ms = avg (fun m -> m.sync_response_ms);
+      softdep = first.softdep;
+    }

@@ -1,0 +1,42 @@
+(** Benchmark harness: build a world, run an (unmeasured) set-up
+    phase, then measure a multi-user phase — elapsed times, CPU
+    charged to the benchmark processes, and system-wide disk
+    statistics, mirroring the paper's methodology. *)
+
+type measures = {
+  users : int;
+  elapsed_avg : float;  (** mean of the per-user elapsed times, seconds *)
+  elapsed_max : float;
+  cpu_total : float;  (** CPU seconds charged to the user processes *)
+  disk_requests : int;
+  disk_reads : int;
+  disk_writes : int;
+  avg_response_ms : float;  (** driver response: queue + access *)
+  avg_access_ms : float;  (** disk service only *)
+  sync_response_ms : float;  (** response over process-blocking requests *)
+  softdep : Su_core.Softdep.stats option;
+}
+
+val run :
+  cfg:Su_fs.Fs.config ->
+  ?setup:(Su_fs.State.t -> unit) ->
+  ?cold_start:bool ->
+  users:int ->
+  (int -> Su_fs.State.t -> unit) ->
+  measures
+(** [run ~cfg ~setup ~users body] builds a fresh world, runs [setup]
+    in a process, syncs and resets the trace, then spawns [users]
+    processes running [body i st] concurrently and measures them
+    (elapsed per user, CPU charged to the users, then the driver is
+    drained for the system-wide I/O statistics). [cold_start] (default
+    true when a [setup] is given) empties the buffer and inode caches
+    after the set-up phase, so the measured phase re-reads its
+    metadata from the disk — the benchmarks model a fresh session over
+    pre-existing trees. *)
+
+val repeat :
+  reps:int ->
+  (int -> measures) ->
+  measures
+(** Run [f rep] several times (vary the seed with [rep]) and average
+    the numeric fields. *)

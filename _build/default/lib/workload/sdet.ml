@@ -1,0 +1,98 @@
+open Su_util
+open Su_fs
+
+type result = { scripts_per_hour : float; measures : Runner.measures }
+
+(* One user command; the weights approximate a software-development
+   mix (editing, compiling, file shuffling, browsing). *)
+let command st rng ~dir ~counter =
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s/%s%d" dir prefix !counter
+  in
+  let existing prefix =
+    if !counter = 0 then None
+    else
+      let i = 1 + Rng.int rng !counter in
+      let p = Printf.sprintf "%s/%s%d" dir prefix i in
+      if Fsops.exists st p then Some p else None
+  in
+  match
+    Rng.weighted rng
+      [ (20, `Edit); (10, `Compile); (10, `Ls); (15, `Cp); (15, `Rm);
+        (15, `Touch); (5, `Mkdir); (5, `Stat); (5, `Cat) ]
+  with
+  | `Edit ->
+    (match existing "f" with
+     | Some p ->
+       ignore (Fsops.read_file st p);
+       Fsops.write_file st p ~bytes:(1024 * Rng.int_range rng 1 16)
+     | None ->
+       let p = fresh "f" in
+       Fsops.create st p;
+       Fsops.append st p ~bytes:(1024 * Rng.int_range rng 1 16))
+  | `Compile ->
+    (match existing "f" with
+     | Some p -> ignore (Fsops.read_file st p)
+     | None -> ());
+    State.charge st (0.1 +. Rng.float rng 0.4);
+    let o = fresh "o" in
+    Fsops.create st o;
+    Fsops.append st o ~bytes:(1024 * Rng.int_range rng 4 24)
+  | `Ls -> ignore (Fsops.readdir st dir)
+  | `Cp ->
+    (match existing "f" with
+     | Some p ->
+       let sz = (Fsops.stat st p).Fsops.st_size in
+       ignore (Fsops.read_file st p);
+       let q = fresh "f" in
+       Fsops.create st q;
+       if sz > 0 then Fsops.append st q ~bytes:sz
+     | None -> ())
+  | `Rm ->
+    (match existing "f" with Some p -> Fsops.unlink st p | None -> ())
+  | `Touch ->
+    let p = fresh "f" in
+    Fsops.create st p
+  | `Mkdir ->
+    let d = fresh "d" in
+    Fsops.mkdir st d;
+    let p = d ^ "/x" in
+    Fsops.create st p;
+    Fsops.append st p ~bytes:2048
+  | `Stat ->
+    (match existing "f" with
+     | Some p -> ignore (Fsops.stat st p)
+     | None -> ())
+  | `Cat ->
+    (match existing "f" with
+     | Some p -> ignore (Fsops.read_file st p)
+     | None -> ())
+
+let run ~cfg ~concurrency ?(seed = 7) ?(commands = 60) () =
+  let m =
+    Runner.run ~cfg ~users:concurrency
+      ~setup:(fun st ->
+        for u = 0 to concurrency - 1 do
+          let dir = Printf.sprintf "/s%d" u in
+          Fsops.mkdir st dir;
+          (* a small starting tree to edit *)
+          for i = 1 to 5 do
+            let p = Printf.sprintf "%s/f%d" dir i in
+            Fsops.create st p;
+            Fsops.append st p ~bytes:(4096 + (i * 1024))
+          done
+        done)
+      (fun u st ->
+        let rng = Rng.create (seed + (u * 7919)) in
+        let dir = Printf.sprintf "/s%d" u in
+        let counter = ref 5 in
+        for _ = 1 to commands do
+          command st rng ~dir ~counter
+        done)
+  in
+  let scripts_per_hour =
+    if m.Runner.elapsed_max <= 0.0 then 0.0
+    else float_of_int concurrency /. (m.Runner.elapsed_max /. 3600.0)
+  in
+  { scripts_per_hour; measures = m }

@@ -1,0 +1,15 @@
+(** An Sdet-like software-development workload (§5.4, SPEC SDM).
+
+    Scripts of user commands (edit, compile, file utilities) are
+    generated randomly from a predetermined mix; [concurrency] scripts
+    execute at once, each in its own directory. The reported metric is
+    scripts per hour. *)
+
+type result = {
+  scripts_per_hour : float;
+  measures : Runner.measures;
+}
+
+val run :
+  cfg:Su_fs.Fs.config -> concurrency:int -> ?seed:int -> ?commands:int -> unit -> result
+(** Defaults: seed 7, 60 commands per script. *)

@@ -1,0 +1,133 @@
+open Su_util
+open Su_fs
+
+type node = Dir of string * node list | File of string * int
+
+let rec count_files nodes =
+  List.fold_left
+    (fun n node ->
+      match node with
+      | File _ -> n + 1
+      | Dir (_, children) -> n + count_files children)
+    0 nodes
+
+let rec count_dirs nodes =
+  List.fold_left
+    (fun n node ->
+      match node with
+      | File _ -> n
+      | Dir (_, children) -> n + 1 + count_dirs children)
+    0 nodes
+
+let rec total_bytes nodes =
+  List.fold_left
+    (fun n node ->
+      match node with
+      | File (_, size) -> n + size
+      | Dir (_, children) -> n + total_bytes children)
+    0 nodes
+
+(* Skewed size sample in bytes: mostly small source-code-like files,
+   a few large ones. *)
+let sample_size rng =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 | 4 | 5 -> 512 + Rng.int rng 3584  (* 0.5-4 KB *)
+  | 6 | 7 | 8 -> 4096 + Rng.int rng 28672  (* 4-32 KB *)
+  | _ -> 32768 + Rng.int rng 167936  (* 32-200 KB *)
+
+let spec ?(seed = 17) ?(files = 535) ?(total_bytes = 14_300_000) () =
+  let rng = Rng.create seed in
+  (* a three-level hierarchy of directories *)
+  let n_top = 8 in
+  let dirs = ref [] in
+  for i = 1 to n_top do
+    let top = Printf.sprintf "dir%d" i in
+    dirs := [ top ] :: !dirs;
+    let subs = Rng.int_range rng 1 4 in
+    for j = 1 to subs do
+      let sub = Printf.sprintf "sub%d" j in
+      dirs := [ top; sub ] :: !dirs;
+      if Rng.int rng 3 = 0 then
+        dirs := [ top; sub; "deep" ] :: !dirs
+    done
+  done;
+  let dirs = Array.of_list ([] :: !dirs) in
+  (* draw raw sizes, then scale to the requested total *)
+  let raw = Array.init files (fun _ -> sample_size rng) in
+  let raw_total = Array.fold_left ( + ) 0 raw in
+  let scale = float_of_int total_bytes /. float_of_int raw_total in
+  let placed = Hashtbl.create 64 in
+  Array.iteri
+    (fun i size ->
+      let path = Rng.pick rng dirs in
+      let size = max 1 (int_of_float (float_of_int size *. scale)) in
+      let file = File (Printf.sprintf "f%d" i, size) in
+      Hashtbl.replace placed path
+        (file :: Option.value ~default:[] (Hashtbl.find_opt placed path)))
+    raw;
+  (* assemble the forest bottom-up *)
+  let files_of path = Option.value ~default:[] (Hashtbl.find_opt placed path) in
+  let rec build path names =
+    (* group child dirs one level below [path] *)
+    let children =
+      Array.to_list dirs
+      |> List.filter (fun d ->
+             List.length d = List.length path + 1
+             && (match path with
+                 | [] -> true
+                 | _ ->
+                   List.for_all2 (fun a b -> a = b) path
+                     (List.filteri (fun i _ -> i < List.length path) d)))
+      |> List.map (fun d ->
+             let name = List.nth d (List.length d - 1) in
+             Dir (name, build d names))
+    in
+    files_of path @ children
+  in
+  build [] ()
+
+let rec populate st ~base nodes =
+  List.iter
+    (fun node ->
+      match node with
+      | File (name, size) ->
+        let p = base ^ "/" ^ name in
+        Fsops.create st p;
+        Fsops.append st p ~bytes:size
+      | Dir (name, children) ->
+        let p = base ^ "/" ^ name in
+        Fsops.mkdir st p;
+        populate st ~base:p children)
+    nodes
+
+let rec copy st ~src ~dst =
+  let names =
+    List.filter (fun n -> n <> "." && n <> "..") (Fsops.readdir st src)
+  in
+  List.iter
+    (fun name ->
+      let s = src ^ "/" ^ name and d = dst ^ "/" ^ name in
+      let info = Fsops.stat st s in
+      match info.Fsops.st_ftype with
+      | Su_fstypes.Types.F_dir ->
+        Fsops.mkdir st d;
+        copy st ~src:s ~dst:d
+      | Su_fstypes.Types.F_reg ->
+        ignore (Fsops.read_file st s);
+        Fsops.create st d;
+        if info.Fsops.st_size > 0 then Fsops.append st d ~bytes:info.Fsops.st_size
+      | Su_fstypes.Types.F_free -> ())
+    names
+
+let rec remove st path =
+  let names =
+    List.filter (fun n -> n <> "." && n <> "..") (Fsops.readdir st path)
+  in
+  List.iter
+    (fun name ->
+      let p = path ^ "/" ^ name in
+      match (Fsops.stat st p).Fsops.st_ftype with
+      | Su_fstypes.Types.F_dir -> remove st p
+      | Su_fstypes.Types.F_reg | Su_fstypes.Types.F_free -> Fsops.unlink st p)
+    names;
+  Fsops.rmdir st path

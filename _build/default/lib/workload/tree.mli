@@ -1,0 +1,30 @@
+(** Synthetic directory trees and recursive tree operations.
+
+    The default profile matches the paper's copy-benchmark source tree
+    (535 files totalling 14.3 MB, taken from the first author's home
+    directory): a deterministic three-level hierarchy with a skewed
+    file-size distribution scaled to the requested total. *)
+
+type node =
+  | Dir of string * node list
+  | File of string * int  (** name, size in bytes *)
+
+val spec : ?seed:int -> ?files:int -> ?total_bytes:int -> unit -> node list
+(** Deterministic forest description. Defaults: seed 17, 535 files,
+    14.3 MB. *)
+
+val count_files : node list -> int
+val count_dirs : node list -> int
+val total_bytes : node list -> int
+
+val populate : Su_fs.State.t -> base:string -> node list -> unit
+(** Create the forest under the (existing) directory [base]. *)
+
+val copy : Su_fs.State.t -> src:string -> dst:string -> unit
+(** Recursive copy: walk [src] with readdir/stat, creating
+    directories and copying file contents (read + write) into the
+    (existing) directory [dst]. *)
+
+val remove : Su_fs.State.t -> string -> unit
+(** Recursively delete the named directory's contents and the
+    directory itself. *)

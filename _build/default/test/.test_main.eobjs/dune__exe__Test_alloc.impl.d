@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Engine Fs Gen Hashtbl List Option Proc QCheck QCheck_alcotest Su_fs Su_fstypes Su_sim

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Bcache Buf Engine Proc Su_cache Su_disk Su_driver Su_fstypes Su_sim Syncer Types

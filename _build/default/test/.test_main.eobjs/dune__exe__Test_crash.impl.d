@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Crash Float Format Fs Fsck Fsops List Printf Proc QCheck QCheck_alcotest Rng Su_fs Su_fstypes Su_sim Su_util

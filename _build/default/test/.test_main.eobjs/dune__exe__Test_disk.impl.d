@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Array Disk Disk_params Engine Su_disk Su_fstypes Su_sim Types

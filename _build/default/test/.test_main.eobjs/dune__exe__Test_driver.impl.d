@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Driver Engine Gen Hashtbl List Ordering Proc QCheck QCheck_alcotest Request Su_disk Su_driver Su_fstypes Su_sim Trace Types

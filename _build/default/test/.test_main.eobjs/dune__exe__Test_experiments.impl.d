@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments List Printf String Su_experiments Su_util

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Alloc Array Engine Format Fs Fsck Fsops List Option Printf Proc State Su_core Su_disk Su_driver Su_fs Su_fstypes Su_sim

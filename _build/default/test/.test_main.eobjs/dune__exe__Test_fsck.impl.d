@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Array Bytes Engine Fs Fsck Fsops Geom List Proc Su_disk Su_fs Su_fstypes Su_sim Types

@@ -1,0 +1,1 @@
+test/test_fsops_edge.ml: Alcotest Alloc Buffer Engine Fs Fsck Fsops Inode List Option Printf Proc State String Su_disk Su_fs Su_fstypes Su_sim

@@ -1,0 +1,1 @@
+test/test_fstypes.ml: Alcotest Array Bytes Geom QCheck QCheck_alcotest Su_fstypes Types

@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Array Crash Engine Format Fs Fsck Fsops List Option Printf Proc Rng State Su_core Su_disk Su_fs Su_fstypes Su_sim Su_util

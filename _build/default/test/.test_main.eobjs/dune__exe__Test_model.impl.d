@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Engine Format Fs Fsck Fsops List Map Printexc Printf Proc QCheck QCheck_alcotest Rng String Su_disk Su_fs Su_fstypes Su_sim Su_util

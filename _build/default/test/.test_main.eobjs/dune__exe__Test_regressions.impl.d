@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Array Crash Engine Fs Fsck Fsops Gen List Option Printf Proc QCheck QCheck_alcotest Su_cache Su_disk Su_fs Su_fstypes Su_sim

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Alloc Array Engine Fs Fsck Fsops Geom Inode List Option Printf Proc State Su_cache Su_core Su_disk Su_driver Su_fs Su_fstypes Su_sim Types

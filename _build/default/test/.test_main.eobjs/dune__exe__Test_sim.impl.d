@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cpu Engine Gen List Proc QCheck QCheck_alcotest Su_sim Sync

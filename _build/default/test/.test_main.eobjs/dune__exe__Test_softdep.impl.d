@@ -1,0 +1,1 @@
+test/test_softdep.ml: Alcotest Array Engine File Fs Fsck Fsops Geom Inode Option Printf Proc Su_cache Su_disk Su_fs Su_fstypes Su_sim Types

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Gen Hashtbl Heap List Option QCheck QCheck_alcotest Rng Stats String Su_util Text_table

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Alloc Andrew Array Benchmarks Float Fs Fsops List Printf Runner Sdet Su_fs Su_fstypes Su_sim Su_workload Tree

@@ -1,0 +1,155 @@
+(* Allocator invariants: no overlaps, alignment, extension, exhaustion
+   and free-count bookkeeping. *)
+open Su_sim
+open Su_fs
+
+let mk () =
+  let cfg =
+    { (Fs.config ~scheme:Fs.No_order ()) with
+      Fs.geom = Su_fstypes.Geom.small;
+      cache_mb = 8 }
+  in
+  Fs.make cfg
+
+let in_world w f =
+  let r = ref None in
+  ignore
+    (Proc.spawn w.Fs.engine (fun () ->
+         r := Some (f ());
+         Fs.stop w));
+  Engine.run w.Fs.engine;
+  Option.get !r
+
+let test_block_alignment () =
+  let w = mk () in
+  in_world w (fun () ->
+      for _ = 1 to 50 do
+        let a = Alloc.alloc_block w.Fs.st ~cg_hint:0 in
+        Alcotest.(check int) "block aligned" 0 (a mod 8)
+      done)
+
+let test_frag_runs_within_block () =
+  let w = mk () in
+  in_world w (fun () ->
+      for count = 1 to 8 do
+        let a = Alloc.alloc_frags w.Fs.st ~cg_hint:1 ~count in
+        Alcotest.(check bool) "run stays in one block" true
+          ((a mod 8) + count <= 8)
+      done)
+
+let prop_no_overlap =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:20
+    QCheck.(list_of_size Gen.(5 -- 40) (int_range 1 8))
+    (fun counts ->
+      let w = mk () in
+      in_world w (fun () ->
+          let taken = Hashtbl.create 256 in
+          List.for_all
+            (fun count ->
+              let a =
+                if count = 8 then Alloc.alloc_block w.Fs.st ~cg_hint:0
+                else Alloc.alloc_frags w.Fs.st ~cg_hint:0 ~count
+              in
+              let ok = ref true in
+              for f = a to a + count - 1 do
+                if Hashtbl.mem taken f then ok := false;
+                Hashtbl.replace taken f ()
+              done;
+              !ok)
+            counts))
+
+let test_free_restores_counts () =
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      let before = Alloc.free_frags_total st in
+      let a = Alloc.alloc_block st ~cg_hint:0 in
+      let b = Alloc.alloc_frags st ~cg_hint:0 ~count:3 in
+      Alcotest.(check int) "counts drop" (before - 11) (Alloc.free_frags_total st);
+      Alloc.free_run st (a, 8);
+      Alloc.free_run st (b, 3);
+      Alcotest.(check int) "counts restored" before (Alloc.free_frags_total st))
+
+let test_double_free_detected () =
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      let a = Alloc.alloc_frags st ~cg_hint:0 ~count:2 in
+      Alloc.free_run st (a, 2);
+      try
+        Alloc.free_run st (a, 2);
+        Alcotest.fail "expected double-free failure"
+      with Failure _ -> ())
+
+let test_try_extend () =
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      (* take a fresh block-aligned run of 2; the next 6 fragments in
+         the block are free, so extension succeeds *)
+      let a = Alloc.alloc_block st ~cg_hint:2 in
+      Alloc.free_run st (a, 8);
+      let b = Alloc.alloc_frags st ~cg_hint:2 ~count:2 in
+      if b mod 8 = 0 then begin
+        Alcotest.(check bool) "extend 2->5" true
+          (Alloc.try_extend st ~start:b ~have:2 ~want:5);
+        (* now claim the tail and verify further extension fails *)
+        Alcotest.(check bool) "extend 5->8" true
+          (Alloc.try_extend st ~start:b ~have:5 ~want:8);
+        Alcotest.(check bool) "cannot cross block" false
+          (try Alloc.try_extend st ~start:b ~have:8 ~want:9
+           with Invalid_argument _ -> false)
+      end)
+
+let test_inode_alloc_free () =
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      let a = Alloc.alloc_inode st ~cg_hint:0 ~spread:false in
+      let b = Alloc.alloc_inode st ~cg_hint:0 ~spread:false in
+      Alcotest.(check bool) "distinct" true (a <> b);
+      Alcotest.(check bool) "valid" true
+        (Su_fstypes.Geom.valid_inum Su_fstypes.Geom.small a);
+      Alloc.free_inode st a;
+      let c = Alloc.alloc_inode st ~cg_hint:0 ~spread:false in
+      Alcotest.(check int) "lowest free reused" a c)
+
+let test_spread_rotates_groups () =
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      let groups =
+        List.init 4 (fun _ ->
+            Su_fstypes.Geom.cg_of_inode Su_fstypes.Geom.small
+              (Alloc.alloc_inode st ~cg_hint:0 ~spread:true))
+      in
+      (* round-robin touches distinct groups *)
+      let distinct = List.sort_uniq compare groups in
+      Alcotest.(check bool) "spread over groups" true (List.length distinct >= 3))
+
+let test_exhaustion_raises () =
+  (* a tiny dedicated world: exhaust the inode supply *)
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      let total = Su_fstypes.Geom.total_inodes Su_fstypes.Geom.small in
+      (try
+         for _ = 1 to total + 10 do
+           ignore (Alloc.alloc_inode st ~cg_hint:0 ~spread:false)
+         done;
+         Alcotest.fail "expected exhaustion"
+       with Failure _ -> ()))
+
+let suite =
+  [
+    Alcotest.test_case "block alignment" `Quick test_block_alignment;
+    Alcotest.test_case "frag runs within block" `Quick
+      test_frag_runs_within_block;
+    QCheck_alcotest.to_alcotest prop_no_overlap;
+    Alcotest.test_case "free restores counts" `Quick test_free_restores_counts;
+    Alcotest.test_case "double free detected" `Quick test_double_free_detected;
+    Alcotest.test_case "try_extend" `Quick test_try_extend;
+    Alcotest.test_case "inode alloc/free" `Quick test_inode_alloc_free;
+    Alcotest.test_case "spread rotates groups" `Quick test_spread_rotates_groups;
+    Alcotest.test_case "exhaustion raises" `Quick test_exhaustion_raises;
+  ]

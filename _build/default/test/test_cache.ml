@@ -1,0 +1,327 @@
+(* Tests for the buffer cache and syncer daemon. *)
+open Su_sim
+open Su_fstypes
+open Su_cache
+
+type world = {
+  e : Engine.t;
+  disk : Su_disk.Disk.t;
+  drv : Su_driver.Driver.t;
+  bc : Bcache.t;
+}
+
+let mk ?(cb = false) ?(capacity = 1024) () =
+  let e = Engine.create () in
+  let disk =
+    Su_disk.Disk.create ~engine:e ~params:Su_disk.Disk_params.hp_c2447
+      ~nfrags:65536 ()
+  in
+  let drv = Su_driver.Driver.create ~engine:e ~disk Su_driver.Driver.default_config in
+  let bc =
+    Bcache.create ~engine:e ~driver:drv
+      { Bcache.capacity_frags = capacity; cb; copy_cost = (fun _ -> ()) }
+  in
+  { e; disk; drv; bc }
+
+let data_content n stamp = Buf.Cdata (Array.make n (Some stamp))
+
+let stampw inum = Types.Written { inum; gen = 1; flbn = 0 }
+
+let in_proc w f =
+  let result = ref None in
+  let _p = Proc.spawn w.e (fun () -> result := Some (f ())) in
+  Engine.run w.e;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "process did not finish"
+
+let test_getblk_and_lookup () =
+  let w = mk () in
+  in_proc w (fun () ->
+      let b =
+        Bcache.getblk w.bc ~lbn:100 ~nfrags:4 ~init:(fun () ->
+            data_content 4 (stampw 1))
+      in
+      Alcotest.(check bool) "cached" true
+        (match Bcache.lookup w.bc 100 with Some b' -> b' == b | None -> false);
+      Alcotest.(check int) "used frags" 4 (Bcache.used_frags w.bc);
+      Bcache.release w.bc b)
+
+let test_write_read_roundtrip () =
+  let w = mk () in
+  in_proc w (fun () ->
+      let b =
+        Bcache.getblk w.bc ~lbn:200 ~nfrags:2 ~init:(fun () ->
+            data_content 2 (stampw 5))
+      in
+      Bcache.bwrite_sync w.bc b;
+      Bcache.release w.bc b;
+      Bcache.invalidate w.bc b;
+      (* read back from disk *)
+      let b2 = Bcache.bread w.bc ~lbn:200 ~nfrags:2 in
+      (match b2.Buf.content with
+       | Buf.Cdata d ->
+         Alcotest.(check bool) "stamp back" true (d.(0) = Some (stampw 5))
+       | Buf.Cmeta _ -> Alcotest.fail "expected data");
+      Bcache.release w.bc b2)
+
+let test_bread_caches () =
+  let w = mk () in
+  in_proc w (fun () ->
+      Su_disk.Disk.install w.disk 300 (Types.Frag Types.Zeroed);
+      let b1 = Bcache.bread w.bc ~lbn:300 ~nfrags:1 in
+      let before = Su_disk.Disk.requests_serviced w.disk in
+      let b2 = Bcache.bread w.bc ~lbn:300 ~nfrags:1 in
+      Alcotest.(check int) "no second disk read" before
+        (Su_disk.Disk.requests_serviced w.disk);
+      Alcotest.(check bool) "same buffer" true (b1 == b2);
+      Bcache.release w.bc b1;
+      Bcache.release w.bc b2)
+
+let test_delayed_write_stays_dirty () =
+  let w = mk () in
+  in_proc w (fun () ->
+      let b =
+        Bcache.getblk w.bc ~lbn:400 ~nfrags:1 ~init:(fun () ->
+            data_content 1 (stampw 9))
+      in
+      Bcache.bdwrite w.bc b;
+      Alcotest.(check int) "one dirty" 1 (Bcache.dirty_count w.bc);
+      Alcotest.(check bool) "disk untouched" true
+        (Su_disk.Disk.peek w.disk 400 = Types.Empty);
+      Bcache.release w.bc b)
+
+let test_syncer_flushes () =
+  let w = mk () in
+  let syn = Syncer.start ~engine:w.e ~cache:w.bc ~interval:1.0 ~passes:2 () in
+  ignore
+    (Proc.spawn w.e (fun () ->
+         let b =
+           Bcache.getblk w.bc ~lbn:500 ~nfrags:1 ~init:(fun () ->
+               data_content 1 (stampw 3))
+         in
+         Bcache.bdwrite w.bc b;
+         Bcache.release w.bc b));
+  Engine.run ~until:10.0 w.e;
+  Syncer.stop syn;
+  Alcotest.(check bool) "flushed by syncer" true
+    (Su_disk.Disk.peek w.disk 500 <> Types.Empty);
+  Alcotest.(check int) "clean now" 0 (Bcache.dirty_count w.bc);
+  Alcotest.(check bool) "syncer wrote it" true (Syncer.writes_issued syn >= 1)
+
+let test_write_lock_blocks_updater () =
+  let w = mk ~cb:false () in
+  let modified_at = ref 0.0 and completed_at = ref 0.0 in
+  ignore
+    (Proc.spawn w.e (fun () ->
+         let b =
+           Bcache.getblk w.bc ~lbn:600 ~nfrags:1 ~init:(fun () ->
+               data_content 1 (stampw 1))
+         in
+         ignore
+           (Bcache.bawrite
+              ~notify:(fun () -> completed_at := Engine.now w.e)
+              w.bc b);
+         (* now try to modify: must wait for the write to finish *)
+         Bcache.prepare_modify w.bc b;
+         modified_at := Engine.now w.e;
+         Bcache.release w.bc b));
+  Engine.run w.e;
+  Alcotest.(check bool) "write completed" true (!completed_at > 0.0);
+  Alcotest.(check bool) "updater waited" true (!modified_at >= !completed_at)
+
+let test_cb_does_not_block_updater () =
+  let w = mk ~cb:true () in
+  let modified_at = ref infinity and completed_at = ref 0.0 in
+  ignore
+    (Proc.spawn w.e (fun () ->
+         let b =
+           Bcache.getblk w.bc ~lbn:700 ~nfrags:1 ~init:(fun () ->
+               data_content 1 (stampw 1))
+         in
+         ignore
+           (Bcache.bawrite
+              ~notify:(fun () -> completed_at := Engine.now w.e)
+              w.bc b);
+         Bcache.prepare_modify w.bc b;
+         modified_at := Engine.now w.e;
+         Bcache.release w.bc b));
+  Engine.run w.e;
+  Alcotest.(check bool) "updater did not wait" true (!modified_at < !completed_at)
+
+let test_snapshot_payload () =
+  (* with -CB, mutating the buffer right after issue must not change
+     what lands on disk *)
+  let w = mk ~cb:true () in
+  in_proc w (fun () ->
+      let b =
+        Bcache.getblk w.bc ~lbn:800 ~nfrags:1 ~init:(fun () ->
+            data_content 1 (stampw 1))
+      in
+      let iv : unit Proc.Ivar.t = Proc.Ivar.create w.e in
+      ignore (Bcache.bawrite ~notify:(fun () -> Proc.Ivar.fill iv ()) w.bc b);
+      (match b.Buf.content with
+       | Buf.Cdata d -> d.(0) <- Some (stampw 99)
+       | Buf.Cmeta _ -> ());
+      Proc.Ivar.read iv;
+      (match Su_disk.Disk.peek w.disk 800 with
+       | Types.Frag (Types.Written ww) ->
+         Alcotest.(check int) "snapshot written" 1 ww.inum
+       | _ -> Alcotest.fail "unexpected cell");
+      Bcache.release w.bc b)
+
+let test_eviction_lru () =
+  let w = mk ~capacity:8 () in
+  in_proc w (fun () ->
+      let mk_buf lbn =
+        let b =
+          Bcache.getblk w.bc ~lbn ~nfrags:4 ~init:(fun () ->
+              data_content 4 (stampw lbn))
+        in
+        Bcache.release w.bc b
+      in
+      mk_buf 0;
+      mk_buf 100;
+      (* cache full (8 frags); next alloc must evict lbn 0 (LRU) *)
+      mk_buf 200;
+      Alcotest.(check bool) "lru evicted" true (Bcache.lookup w.bc 0 = None);
+      Alcotest.(check bool) "recent kept" true (Bcache.lookup w.bc 100 <> None))
+
+let test_eviction_writes_dirty () =
+  let w = mk ~capacity:8 () in
+  in_proc w (fun () ->
+      let b =
+        Bcache.getblk w.bc ~lbn:0 ~nfrags:4 ~init:(fun () ->
+            data_content 4 (stampw 7))
+      in
+      Bcache.bdwrite w.bc b;
+      Bcache.release w.bc b;
+      let b2 =
+        Bcache.getblk w.bc ~lbn:100 ~nfrags:4 ~init:(fun () ->
+            data_content 4 (stampw 8))
+      in
+      Bcache.bdwrite w.bc b2;
+      Bcache.release w.bc b2;
+      (* both dirty: forces eviction of dirty LRU lbn 0, written first *)
+      let b3 =
+        Bcache.getblk w.bc ~lbn:200 ~nfrags:4 ~init:(fun () ->
+            data_content 4 (stampw 9))
+      in
+      Bcache.release w.bc b3;
+      Alcotest.(check bool) "dirty victim reached disk" true
+        (Su_disk.Disk.peek w.disk 0 <> Types.Empty))
+
+let test_sticky_not_evicted () =
+  let w = mk ~capacity:8 () in
+  in_proc w (fun () ->
+      let b =
+        Bcache.getblk w.bc ~lbn:0 ~nfrags:4 ~init:(fun () ->
+            data_content 4 (stampw 7))
+      in
+      b.Buf.sticky <- true;
+      Bcache.release w.bc b;
+      let b2 =
+        Bcache.getblk w.bc ~lbn:100 ~nfrags:4 ~init:(fun () ->
+            data_content 4 (stampw 8))
+      in
+      Bcache.release w.bc b2;
+      let b3 =
+        Bcache.getblk w.bc ~lbn:200 ~nfrags:4 ~init:(fun () ->
+            data_content 4 (stampw 9))
+      in
+      Bcache.release w.bc b3;
+      Alcotest.(check bool) "sticky survived" true (Bcache.lookup w.bc 0 <> None);
+      Alcotest.(check bool) "non-sticky evicted" true (Bcache.lookup w.bc 100 = None))
+
+let test_sync_all () =
+  let w = mk () in
+  in_proc w (fun () ->
+      for i = 0 to 9 do
+        let b =
+          Bcache.getblk w.bc ~lbn:(i * 8) ~nfrags:8 ~init:(fun () ->
+              data_content 8 (stampw i))
+        in
+        Bcache.bdwrite w.bc b;
+        Bcache.release w.bc b
+      done;
+      Bcache.sync_all w.bc;
+      Alcotest.(check int) "all clean" 0 (Bcache.dirty_count w.bc);
+      for i = 0 to 9 do
+        Alcotest.(check bool) "on disk" true
+          (Su_disk.Disk.peek w.disk (i * 8) <> Types.Empty)
+      done)
+
+let test_workitems_run_by_syncer () =
+  let w = mk () in
+  let syn = Syncer.start ~engine:w.e ~cache:w.bc () in
+  let ran = ref false in
+  Bcache.add_workitem w.bc (fun () -> ran := true);
+  Engine.run ~until:2.5 w.e;
+  Syncer.stop syn;
+  Alcotest.(check bool) "workitem ran" true !ran;
+  Alcotest.(check int) "counted" 1 (Syncer.workitems_run syn)
+
+let test_pre_write_hook_rollback () =
+  (* a pre_write hook that redacts the payload and keeps the buffer
+     dirty, as soft updates does *)
+  let w = mk () in
+  let hooks = Bcache.hooks w.bc in
+  hooks.Bcache.pre_write <-
+    (fun _b -> (Buf.Cdata [| Some Types.Zeroed |], true));
+  in_proc w (fun () ->
+      let b =
+        Bcache.getblk w.bc ~lbn:900 ~nfrags:1 ~init:(fun () ->
+            data_content 1 (stampw 5))
+      in
+      Bcache.bdwrite w.bc b;
+      ignore (Bcache.bawrite w.bc b);
+      Bcache.wait_write w.bc b;
+      Alcotest.(check bool) "rolled back on disk" true
+        (Su_disk.Disk.peek w.disk 900 = Types.Frag Types.Zeroed);
+      Alcotest.(check bool) "still dirty" true b.Buf.dirty;
+      Bcache.release w.bc b)
+
+let test_copy_memory_pressure () =
+  (* with -CB, in-flight snapshots consume memory: once they exceed
+     the budget, further writers must wait for completions *)
+  let w = mk ~cb:true ~capacity:16 () in
+  let issued = ref 0 in
+  ignore
+    (Proc.spawn w.e (fun () ->
+         (* 4 extents of 8 frags: the third bawrite exceeds the 16-frag
+            budget and must wait for a completion *)
+         for i = 0 to 3 do
+           let b =
+             Bcache.getblk w.bc ~lbn:(i * 1000) ~nfrags:8 ~init:(fun () ->
+                 data_content 8 (stampw i))
+           in
+           Bcache.bdwrite w.bc b;
+           ignore (Bcache.bawrite w.bc b);
+           incr issued;
+           Bcache.release w.bc b
+         done));
+  Engine.run ~until:0.0001 w.e;
+  Alcotest.(check int) "third writer throttled" 2 !issued;
+  Engine.run w.e;
+  Alcotest.(check int) "all eventually issued" 4 !issued
+
+let suite =
+  [
+    Alcotest.test_case "getblk and lookup" `Quick test_getblk_and_lookup;
+    Alcotest.test_case "copy memory pressure" `Quick test_copy_memory_pressure;
+    Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "bread caches" `Quick test_bread_caches;
+    Alcotest.test_case "delayed write stays dirty" `Quick
+      test_delayed_write_stays_dirty;
+    Alcotest.test_case "syncer flushes" `Quick test_syncer_flushes;
+    Alcotest.test_case "write lock blocks updater" `Quick
+      test_write_lock_blocks_updater;
+    Alcotest.test_case "cb does not block" `Quick test_cb_does_not_block_updater;
+    Alcotest.test_case "snapshot payload" `Quick test_snapshot_payload;
+    Alcotest.test_case "eviction lru" `Quick test_eviction_lru;
+    Alcotest.test_case "eviction writes dirty" `Quick test_eviction_writes_dirty;
+    Alcotest.test_case "sticky not evicted" `Quick test_sticky_not_evicted;
+    Alcotest.test_case "sync_all" `Quick test_sync_all;
+    Alcotest.test_case "workitems run" `Quick test_workitems_run_by_syncer;
+    Alcotest.test_case "pre_write rollback" `Quick test_pre_write_hook_rollback;
+  ]

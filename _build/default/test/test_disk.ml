@@ -1,0 +1,227 @@
+(* Tests for the disk model. *)
+open Su_sim
+open Su_fstypes
+open Su_disk
+
+let mk_disk ?(nfrags = 65536) () =
+  let e = Engine.create () in
+  let d = Disk.create ~engine:e ~params:Disk_params.hp_c2447 ~nfrags () in
+  (e, d)
+
+let run_one e d ~lbn ~nfrags ~op ~payload =
+  let result = ref None in
+  Disk.submit d ~lbn ~nfrags ~op ~payload ~on_done:(fun data svc ->
+      result := Some (data, svc));
+  Engine.run e;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "request did not complete"
+
+let test_write_then_read () =
+  let e, d = mk_disk () in
+  let payload =
+    Array.init 4 (fun i ->
+        Types.Frag (Types.Written { inum = 7; gen = 1; flbn = i }))
+  in
+  let _ = run_one e d ~lbn:100 ~nfrags:4 ~op:Disk.Write ~payload:(Some payload) in
+  let data, _ = run_one e d ~lbn:100 ~nfrags:4 ~op:Disk.Read ~payload:None in
+  match data with
+  | Some cells ->
+    Alcotest.(check int) "4 cells" 4 (Array.length cells);
+    (match cells.(2) with
+     | Types.Frag (Types.Written w) -> Alcotest.(check int) "flbn" 2 w.flbn
+     | _ -> Alcotest.fail "wrong cell")
+  | None -> Alcotest.fail "no data"
+
+let test_write_applies_at_completion () =
+  let e, d = mk_disk () in
+  let payload = [| Types.Frag Types.Zeroed |] in
+  Disk.submit d ~lbn:50 ~nfrags:1 ~op:Disk.Write ~payload:(Some payload)
+    ~on_done:(fun _ _ -> ());
+  (* crash before completion: image untouched *)
+  Alcotest.(check bool) "still empty" true (Disk.peek d 50 = Types.Empty);
+  Engine.run ~until:0.0001 e;
+  Alcotest.(check bool) "still empty shortly after" true (Disk.peek d 50 = Types.Empty);
+  Engine.run e;
+  Alcotest.(check bool) "applied after completion" true
+    (Disk.peek d 50 = Types.Frag Types.Zeroed)
+
+let test_busy_rejected () =
+  let e, d = mk_disk () in
+  Disk.submit d ~lbn:0 ~nfrags:1 ~op:Disk.Read ~payload:None
+    ~on_done:(fun _ _ -> ());
+  Alcotest.(check bool) "busy" true (Disk.busy d);
+  (try
+     Disk.submit d ~lbn:1 ~nfrags:1 ~op:Disk.Read ~payload:None
+       ~on_done:(fun _ _ -> ());
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ());
+  Engine.run e
+
+let test_sequential_read_faster () =
+  let e, d = mk_disk () in
+  (* first read primes the prefetch stream *)
+  let _, svc1 = run_one e d ~lbn:1000 ~nfrags:8 ~op:Disk.Read ~payload:None in
+  let _, svc2 = run_one e d ~lbn:1008 ~nfrags:8 ~op:Disk.Read ~payload:None in
+  let _, svc3 = run_one e d ~lbn:30000 ~nfrags:8 ~op:Disk.Read ~payload:None in
+  Alcotest.(check bool) "sequential hit is much faster" true (svc2 < svc1 /. 2.0);
+  Alcotest.(check bool) "random read is mechanical" true (svc3 > svc2 *. 2.0)
+
+let test_far_seek_costs_more () =
+  let e, d = mk_disk ~nfrags:1000000 () in
+  let _, _ = run_one e d ~lbn:0 ~nfrags:8 ~op:Disk.Read ~payload:None in
+  (* measure many random-ish reads near and far; compare means *)
+  let near = ref 0.0 and far = ref 0.0 in
+  let n = 20 in
+  for i = 1 to n do
+    let _, s = run_one e d ~lbn:(i * 600) ~nfrags:8 ~op:Disk.Read ~payload:None in
+    near := !near +. s;
+    let _, _ = run_one e d ~lbn:(i * 600 + 8) ~nfrags:8 ~op:Disk.Read ~payload:None in
+    ()
+  done;
+  let _, _ = run_one e d ~lbn:0 ~nfrags:8 ~op:Disk.Read ~payload:None in
+  for i = 1 to n do
+    let lbn = 500000 + (i * 21157) mod 400000 in
+    let _, s = run_one e d ~lbn ~nfrags:8 ~op:Disk.Read ~payload:None in
+    far := !far +. s;
+    let _, _ = run_one e d ~lbn:0 ~nfrags:8 ~op:Disk.Read ~payload:None in
+    ()
+  done;
+  Alcotest.(check bool) "long seeks cost more on average" true (!far > !near)
+
+let test_seek_curve_monotone () =
+  let p = Disk_params.hp_c2447 in
+  Alcotest.(check (float 0.0)) "zero distance" 0.0 (Disk_params.seek_time p 0);
+  Alcotest.(check (float 1e-9)) "single" p.Disk_params.seek_single
+    (Disk_params.seek_time p 1);
+  Alcotest.(check (float 1e-9)) "full stroke" p.Disk_params.seek_max
+    (Disk_params.seek_time p (p.Disk_params.cylinders - 1) +. 0.0);
+  let prev = ref 0.0 in
+  for d = 1 to p.Disk_params.cylinders - 1 do
+    let s = Disk_params.seek_time p d in
+    if s < !prev then Alcotest.fail "seek curve not monotone";
+    prev := s
+  done
+
+let test_image_snapshot_isolated () =
+  let e, d = mk_disk () in
+  let payload = [| Types.Meta (Types.Dir (Array.make 4 None)) |] in
+  let _ = run_one e d ~lbn:10 ~nfrags:1 ~op:Disk.Write ~payload:(Some payload) in
+  let snap = Disk.image_snapshot d in
+  (match snap.(10) with
+   | Types.Meta (Types.Dir entries) ->
+     entries.(0) <- Some { Types.name = "x"; inum = 3 }
+   | _ -> Alcotest.fail "unexpected cell");
+  (* mutating the snapshot must not affect the live image *)
+  (match Disk.peek d 10 with
+   | Types.Meta (Types.Dir entries) ->
+     Alcotest.(check bool) "image unchanged" true (entries.(0) = None)
+   | _ -> Alcotest.fail "unexpected live cell")
+
+let test_write_payload_validation () =
+  let e, d = mk_disk () in
+  (try
+     Disk.submit d ~lbn:0 ~nfrags:2 ~op:Disk.Write ~payload:None
+       ~on_done:(fun _ _ -> ());
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ());
+  (try
+     Disk.submit d ~lbn:0 ~nfrags:2 ~op:Disk.Write
+       ~payload:(Some [| Types.Pad |])
+       ~on_done:(fun _ _ -> ());
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ());
+  Engine.run e
+
+let test_nvram_fast_writes () =
+  let e = Engine.create () in
+  let d =
+    Disk.create ~engine:e ~params:Disk_params.hp_c2447 ~nfrags:65536
+      ~nvram_frags:1024 ()
+  in
+  let payload = [| Types.Frag Types.Zeroed |] in
+  let _, svc = run_one e d ~lbn:5000 ~nfrags:1 ~op:Disk.Write ~payload:(Some payload) in
+  Alcotest.(check bool) "electronic speed" true (svc < 0.001);
+  (* durable on acceptance *)
+  Alcotest.(check bool) "durable" true (Disk.peek d 5000 = Types.Frag Types.Zeroed);
+  (* destage happens in idle time *)
+  Engine.run e;
+  Alcotest.(check bool) "destaged" true (Disk.destages d >= 1);
+  Alcotest.(check int) "buffer drained" 0 (Disk.nvram_pending d)
+
+let test_nvram_overflow_mechanical () =
+  let e = Engine.create () in
+  let d =
+    Disk.create ~engine:e ~params:Disk_params.hp_c2447 ~nfrags:65536
+      ~nvram_frags:4 ()
+  in
+  let p n = Some (Array.make n (Types.Frag Types.Zeroed)) in
+  (* submit the second write from the first one's completion, before
+     the destage can start: the buffer is full, so it goes mechanical *)
+  let svc2 = ref None in
+  Disk.submit d ~lbn:100 ~nfrags:4 ~op:Disk.Write ~payload:(p 4)
+    ~on_done:(fun _ svc1 ->
+      Alcotest.(check bool) "first write cached" true (svc1 < 0.001);
+      Disk.submit d ~lbn:200 ~nfrags:4 ~op:Disk.Write ~payload:(p 4)
+        ~on_done:(fun _ svc -> svc2 := Some svc));
+  Engine.run e;
+  match !svc2 with
+  | Some svc -> Alcotest.(check bool) "mechanical fallback" true (svc > 0.001)
+  | None -> Alcotest.fail "second write did not complete"
+
+let test_nvram_survives_crash () =
+  (* an accepted NVRAM write is durable even if the engine stops
+     before the destage (battery-backed) *)
+  let e = Engine.create () in
+  let d =
+    Disk.create ~engine:e ~params:Disk_params.hp_c2447 ~nfrags:65536
+      ~nvram_frags:64 ()
+  in
+  Disk.submit d ~lbn:777 ~nfrags:1 ~op:Disk.Write
+    ~payload:(Some [| Types.Frag Types.Zeroed |])
+    ~on_done:(fun _ _ -> ());
+  (* durable at acceptance: visible before any event runs *)
+  Alcotest.(check bool) "durable immediately" true
+    (Disk.peek d 777 = Types.Frag Types.Zeroed);
+  Engine.stop e;
+  Alcotest.(check bool) "still there after crash" true
+    (Disk.peek d 777 = Types.Frag Types.Zeroed)
+
+let test_nvram_coalesces () =
+  let e = Engine.create () in
+  let d =
+    Disk.create ~engine:e ~params:Disk_params.hp_c2447 ~nfrags:65536
+      ~nvram_frags:16 ()
+  in
+  let p s = Some [| Types.Frag (Types.Written { inum = s; gen = 1; flbn = 0 }) |] in
+  (* write the same extent repeatedly from completion callbacks: all
+     coalesce into one slot and one destage *)
+  let rec again n =
+    if n > 0 then
+      Disk.submit d ~lbn:900 ~nfrags:1 ~op:Disk.Write ~payload:(p n)
+        ~on_done:(fun _ _ -> again (n - 1))
+  in
+  again 5;
+  Engine.run e;
+  Alcotest.(check int) "one destage for five writes" 1 (Disk.destages d);
+  (match Disk.peek d 900 with
+   | Types.Frag (Types.Written w) -> Alcotest.(check int) "last wins" 1 w.inum
+   | _ -> Alcotest.fail "unexpected cell")
+
+let suite =
+  [
+    Alcotest.test_case "write then read" `Quick test_write_then_read;
+    Alcotest.test_case "nvram survives crash" `Quick test_nvram_survives_crash;
+    Alcotest.test_case "nvram coalesces" `Quick test_nvram_coalesces;
+    Alcotest.test_case "nvram fast writes" `Quick test_nvram_fast_writes;
+    Alcotest.test_case "nvram overflow mechanical" `Quick
+      test_nvram_overflow_mechanical;
+    Alcotest.test_case "write applies at completion" `Quick
+      test_write_applies_at_completion;
+    Alcotest.test_case "busy rejected" `Quick test_busy_rejected;
+    Alcotest.test_case "sequential read faster" `Quick test_sequential_read_faster;
+    Alcotest.test_case "far seek costs more" `Quick test_far_seek_costs_more;
+    Alcotest.test_case "seek curve monotone" `Quick test_seek_curve_monotone;
+    Alcotest.test_case "snapshot isolated" `Quick test_image_snapshot_isolated;
+    Alcotest.test_case "payload validation" `Quick test_write_payload_validation;
+  ]

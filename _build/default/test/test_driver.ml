@@ -1,0 +1,455 @@
+(* Tests for the device driver: scheduling, ordering semantics, traces. *)
+open Su_sim
+open Su_fstypes
+open Su_driver
+
+let mk ?(mode = Ordering.Unordered) ?(policy = Driver.Clook) () =
+  let e = Engine.create () in
+  let d = Su_disk.Disk.create ~engine:e ~params:Su_disk.Disk_params.hp_c2447
+      ~nfrags:65536 () in
+  let drv =
+    Driver.create ~engine:e ~disk:d
+      { Driver.default_config with mode; policy; keep_records = true }
+  in
+  (e, d, drv)
+
+let payload n = Array.make n (Types.Frag Types.Zeroed)
+
+let submit_write ?(flagged = false) ?(deps = []) drv ~lbn ~n log =
+  Driver.submit drv ~kind:Request.Write ~lbn ~nfrags:n ~flagged ~deps
+    ~payload:(payload n)
+    ~on_complete:(fun _ -> log := lbn :: !log)
+    ()
+
+let submit_read ?(deps = []) drv ~lbn ~n log =
+  Driver.submit drv ~kind:Request.Read ~lbn ~nfrags:n ~deps
+    ~on_complete:(fun _ -> log := (-lbn) :: !log)
+    ()
+
+let test_all_complete () =
+  let e, _, drv = mk () in
+  let log = ref [] in
+  let ids =
+    List.map (fun lbn -> submit_write drv ~lbn ~n:1 log) [ 10; 500; 20; 300 ]
+  in
+  Engine.run e;
+  Alcotest.(check int) "four completions" 4 (List.length !log);
+  List.iter
+    (fun id -> Alcotest.(check bool) "completed" true (Driver.completed drv id))
+    ids;
+  Alcotest.(check int) "nothing outstanding" 0 (Driver.outstanding drv)
+
+let test_clook_orders_by_position () =
+  let e, _, drv = mk () in
+  let log = ref [] in
+  (* first request seizes the disk; the rest are scheduled by C-LOOK *)
+  let _ = submit_write drv ~lbn:5000 ~n:1 log in
+  let _ = submit_write drv ~lbn:9000 ~n:1 log in
+  let _ = submit_write drv ~lbn:6000 ~n:1 log in
+  let _ = submit_write drv ~lbn:7000 ~n:1 log in
+  Engine.run e;
+  Alcotest.(check (list int)) "ascending after head" [ 5000; 6000; 7000; 9000 ]
+    (List.rev !log)
+
+let test_fcfs_orders_by_issue () =
+  let e, _, drv = mk ~policy:Driver.Fcfs () in
+  let log = ref [] in
+  let _ = submit_write drv ~lbn:5000 ~n:1 log in
+  let _ = submit_write drv ~lbn:9000 ~n:1 log in
+  let _ = submit_write drv ~lbn:6000 ~n:1 log in
+  Engine.run e;
+  Alcotest.(check (list int)) "issue order" [ 5000; 9000; 6000 ] (List.rev !log)
+
+let test_concatenation () =
+  let e, d, drv = mk () in
+  let log = ref [] in
+  (* a far-away request keeps the disk busy while we queue a run *)
+  let _ = submit_write drv ~lbn:40000 ~n:1 log in
+  for i = 0 to 7 do
+    ignore (submit_write drv ~lbn:(800 + i) ~n:1 log)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "nine completions" 9 (List.length !log);
+  (* 8 contiguous writes merged into one device op: 2 device requests *)
+  Alcotest.(check int) "two device ops" 2 (Su_disk.Disk.requests_serviced d)
+
+let test_concat_respects_limit () =
+  let e = Engine.create () in
+  let d =
+    Su_disk.Disk.create ~engine:e ~params:Su_disk.Disk_params.hp_c2447
+      ~nfrags:65536 ()
+  in
+  let drv =
+    Driver.create ~engine:e ~disk:d
+      { Driver.default_config with max_concat = 16; keep_records = true }
+  in
+  let log = ref [] in
+  let _ =
+    Driver.submit drv ~kind:Request.Write ~lbn:40000 ~nfrags:1
+      ~payload:(payload 1)
+      ~on_complete:(fun _ -> log := 40000 :: !log)
+      ()
+  in
+  (* 32 contiguous fragments queued: at most 16 merge per device op *)
+  for i = 0 to 31 do
+    ignore
+      (Driver.submit drv ~kind:Request.Write ~lbn:(800 + i) ~nfrags:1
+         ~payload:(payload 1)
+         ~on_complete:(fun _ -> log := (800 + i) :: !log)
+         ())
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all complete" 33 (List.length !log);
+  Alcotest.(check int) "three device ops" 3 (Su_disk.Disk.requests_serviced d)
+
+let test_reads_not_merged_with_writes () =
+  let e, d, drv = mk () in
+  let log = ref [] in
+  let _ = submit_write drv ~lbn:40000 ~n:1 log in
+  let _ = submit_write drv ~lbn:800 ~n:1 log in
+  let _ = submit_read drv ~lbn:801 ~n:1 log in
+  Engine.run e;
+  (* adjacent but different kinds: two separate device operations *)
+  Alcotest.(check int) "three device ops" 3 (Su_disk.Disk.requests_serviced d)
+
+let test_waw_order_preserved () =
+  (* two writes to the same block must hit the disk in issue order even
+     though C-LOOK would prefer the second *)
+  let e, d, drv = mk () in
+  let log = ref [] in
+  let _ = submit_write drv ~lbn:30000 ~n:1 log in
+  (* queue: same-lbn writes with different payloads *)
+  let p1 = [| Types.Frag (Types.Written { inum = 1; gen = 1; flbn = 0 }) |] in
+  let p2 = [| Types.Frag (Types.Written { inum = 2; gen = 2; flbn = 0 }) |] in
+  let _ =
+    Driver.submit drv ~kind:Request.Write ~lbn:100 ~nfrags:1 ~payload:p1
+      ~on_complete:(fun _ -> ()) ()
+  in
+  let _ =
+    Driver.submit drv ~kind:Request.Write ~lbn:100 ~nfrags:1 ~payload:p2
+      ~on_complete:(fun _ -> ()) ()
+  in
+  Engine.run e;
+  match Su_disk.Disk.peek d 100 with
+  | Types.Frag (Types.Written w) -> Alcotest.(check int) "last writer wins" 2 w.inum
+  | _ -> Alcotest.fail "unexpected cell"
+
+let run_flag_order sem ~nr ops =
+  (* ops: (lbn, flagged, kind). Returns completion order of lbns
+     (reads negated). The first op is submitted while the disk is free,
+     so it goes first; we prepend a pinned op. *)
+  let e, _, drv = mk ~mode:(Ordering.Flag { sem; nr }) () in
+  let log = ref [] in
+  let _ = submit_write drv ~lbn:60000 ~n:1 log in
+  List.iter
+    (fun (lbn, flagged, kind) ->
+      match kind with
+      | `W -> ignore (submit_write ~flagged drv ~lbn ~n:1 log)
+      | `R -> ignore (submit_read drv ~lbn ~n:1 log))
+    ops;
+  Engine.run e;
+  List.filter (fun l -> l <> 60000) (List.rev !log)
+
+let test_part_flag_blocks_later () =
+  (* flagged write at far lbn; later near write must NOT pass it *)
+  let order =
+    run_flag_order Ordering.Part ~nr:false
+      [ (50000, true, `W); (100, false, `W) ]
+  in
+  Alcotest.(check (list int)) "flag respected" [ 50000; 100 ] order
+
+let test_ignore_flag_reorders () =
+  let order =
+    run_flag_order Ordering.Ignore ~nr:false
+      [ (50000, true, `W); (100, false, `W) ]
+  in
+  Alcotest.(check (list int)) "reordered by clook" [ 100; 50000 ] order
+
+let test_part_allows_earlier_unflagged_reorder () =
+  (* unflagged early request may be passed by ... and the flagged one
+     reorders freely with earlier unflagged under Part *)
+  let order =
+    run_flag_order Ordering.Part ~nr:false
+      [ (50000, false, `W); (200, true, `W); (300, false, `W) ]
+  in
+  (* flagged 200 is free to go before 50000; 300 must wait for 200 but
+     not for 50000 *)
+  Alcotest.(check (list int)) "part semantics" [ 200; 300; 50000 ] order
+
+let test_back_blocks_until_predecessors_done () =
+  let order =
+    run_flag_order Ordering.Back ~nr:false
+      [ (50000, false, `W); (200, true, `W); (300, false, `W) ]
+  in
+  (* under Back, 300 must wait for 200 AND for 50000; flagged 200 may
+     still pass 50000 *)
+  Alcotest.(check (list int)) "back semantics" [ 200; 50000; 300 ] order
+
+let test_full_flag_is_barrier () =
+  let order =
+    run_flag_order Ordering.Full ~nr:false
+      [ (50000, false, `W); (200, true, `W); (300, false, `W) ]
+  in
+  (* the flagged request itself waits for 50000 *)
+  Alcotest.(check (list int)) "full semantics" [ 50000; 200; 300 ] order
+
+let test_nr_lets_reads_bypass () =
+  let order =
+    run_flag_order Ordering.Part ~nr:true
+      [ (50000, true, `W); (100, false, `R) ]
+  in
+  Alcotest.(check (list int)) "read bypasses flagged write" [ -100; 50000 ] order
+
+let test_no_nr_reads_wait () =
+  let order =
+    run_flag_order Ordering.Part ~nr:false
+      [ (50000, true, `W); (100, false, `R) ]
+  in
+  Alcotest.(check (list int)) "read waits" [ 50000; -100 ] order
+
+let test_nr_conflicting_read_waits () =
+  (* read overlaps the flagged write: must not bypass *)
+  let order =
+    run_flag_order Ordering.Part ~nr:true
+      [ (50000, true, `W); (50000, false, `R) ]
+  in
+  Alcotest.(check (list int)) "conflicting read waits" [ 50000; -50000 ] order
+
+let test_chains_dependency () =
+  let e, _, drv = mk ~mode:(Ordering.Chains { nr = false }) () in
+  let log = ref [] in
+  let _ = submit_write drv ~lbn:60000 ~n:1 log in
+  let a = submit_write drv ~lbn:50000 ~n:1 log in
+  let _b = submit_write ~deps:[ a ] drv ~lbn:100 ~n:1 log in
+  let _c = submit_write drv ~lbn:200 ~n:1 log in
+  Engine.run e;
+  let order = List.filter (fun l -> l <> 60000) (List.rev !log) in
+  (* c has no deps: free to go first; b must follow a *)
+  Alcotest.(check (list int)) "chains order" [ 200; 50000; 100 ] order
+
+let test_chains_completed_dep_is_free () =
+  let e, _, drv = mk ~mode:(Ordering.Chains { nr = false }) () in
+  let log = ref [] in
+  let a = submit_write drv ~lbn:100 ~n:1 log in
+  Engine.run e;
+  Alcotest.(check bool) "a done" true (Driver.completed drv a);
+  let _ = submit_write ~deps:[ a ] drv ~lbn:200 ~n:1 log in
+  Engine.run e;
+  Alcotest.(check int) "both done" 2 (List.length !log)
+
+let test_trace_stats () =
+  let e, _, drv = mk () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (submit_write drv ~lbn:(i * 1000) ~n:1 log)
+  done;
+  Engine.run e;
+  let tr = Driver.trace drv in
+  Alcotest.(check int) "ten requests" 10 (Trace.requests tr);
+  Alcotest.(check int) "all writes" 10 (Trace.writes tr);
+  Alcotest.(check bool) "access time positive" true (Trace.avg_access_ms tr > 0.0);
+  Alcotest.(check bool) "response >= access" true
+    (Trace.avg_response_ms tr >= Trace.avg_access_ms tr);
+  Alcotest.(check int) "records kept" 10 (List.length (Trace.records tr))
+
+let test_quiesce () =
+  let e, _, drv = mk () in
+  let log = ref [] in
+  let after_quiesce = ref (-1) in
+  ignore
+    (Proc.spawn e (fun () ->
+         for i = 1 to 5 do
+           ignore (submit_write drv ~lbn:(i * 2000) ~n:1 log)
+         done;
+         Driver.quiesce drv;
+         after_quiesce := List.length !log));
+  Engine.run e;
+  Alcotest.(check int) "quiesce saw all completions" 5 !after_quiesce
+
+let prop_flag_never_overtaken =
+  QCheck.Test.make ~name:"no request issued after a flagged write completes before it (Part)"
+    ~count:60
+    QCheck.(list_of_size Gen.(2 -- 25) (pair (int_bound 60) bool))
+    (fun ops ->
+      let e, _, drv = mk ~mode:(Ordering.Flag { sem = Ordering.Part; nr = false }) () in
+      let completions = ref [] in
+      let ids =
+        List.map
+          (fun (pos, flagged) ->
+            let lbn = 100 + (pos * 64) in
+            Driver.submit drv ~kind:Request.Write ~lbn ~nfrags:1 ~flagged
+              ~payload:(payload 1)
+              ~on_complete:(fun _ -> ())
+              ())
+          ops
+      in
+      let id_flag = List.combine ids (List.map snd ops) in
+      (* record completion order via polling at completion *)
+      let seen = Hashtbl.create 16 in
+      let rec watch () =
+        List.iter
+          (fun id ->
+            if Driver.completed drv id && not (Hashtbl.mem seen id) then begin
+              Hashtbl.add seen id ();
+              completions := id :: !completions
+            end)
+          ids;
+        if List.exists (fun id -> not (Hashtbl.mem seen id)) ids then
+          Engine.after e 0.0005 watch
+      in
+      Engine.after e 0.0 watch;
+      Engine.run e;
+      let order = List.rev !completions in
+      (* for every flagged id f, nothing issued after f completes before f *)
+      let rec check_order = function
+        | [] -> true
+        | done_id :: rest ->
+          let ok =
+            List.for_all
+              (fun (f, flagged) ->
+                (not flagged) || f >= done_id
+                || Hashtbl.mem seen f
+                   && not (List.mem f rest)
+                (* f completed already: fine *)
+                || false)
+              (List.filter (fun (f, _) -> f < done_id) id_flag)
+          in
+          ok && check_order rest
+      in
+      ignore check_order;
+      (* direct check: walk completion order, maintaining the set of
+         completed ids; when id X completes, every flagged id < X must
+         already have completed *)
+      let completed_set = Hashtbl.create 16 in
+      List.for_all
+        (fun x ->
+          let ok =
+            List.for_all
+              (fun (f, flagged) ->
+                (not flagged) || f >= x || Hashtbl.mem completed_set f)
+              id_flag
+          in
+          Hashtbl.add completed_set x ();
+          ok)
+        order)
+
+(* generic completion-order recorder for ordering-law properties *)
+let run_random_ops ~mode ops =
+  let e = Engine.create () in
+  let d =
+    Su_disk.Disk.create ~engine:e ~params:Su_disk.Disk_params.hp_c2447
+      ~nfrags:65536 ()
+  in
+  let drv =
+    Driver.create ~engine:e ~disk:d { Driver.default_config with mode }
+  in
+  let order = ref [] in
+  let ids =
+    List.map
+      (fun (pos, flagged) ->
+        let lbn = 64 + (pos * 64) in
+        Driver.submit drv ~kind:Request.Write ~lbn ~nfrags:1 ~flagged
+          ~payload:(payload 1)
+          ~on_complete:(fun _ -> ()) ())
+      ops
+  in
+  (* poll completion order *)
+  let seen = Hashtbl.create 16 in
+  let rec watch () =
+    List.iter
+      (fun id ->
+        if Driver.completed drv id && not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          order := id :: !order
+        end)
+      ids;
+    if List.exists (fun id -> not (Hashtbl.mem seen id)) ids then
+      Engine.after e 0.0005 watch
+  in
+  Engine.after e 0.0 watch;
+  Engine.run e;
+  (ids, List.combine ids (List.map snd ops), List.rev !order)
+
+let ops_gen =
+  QCheck.(list_of_size Gen.(3 -- 20) (pair (int_bound 60) bool))
+
+let prop_full_flag_total_barrier =
+  QCheck.Test.make ~name:"Full: a flagged write completes after every earlier request"
+    ~count:40 ops_gen
+    (fun ops ->
+      let _, id_flag, order = run_random_ops ~mode:(Ordering.Flag { sem = Ordering.Full; nr = false }) ops in
+      (* when flagged F completes, every id < F has completed *)
+      let completed = Hashtbl.create 16 in
+      List.for_all
+        (fun x ->
+          let ok =
+            (not (List.assoc x id_flag))
+            || List.for_all
+                 (fun (i, _) -> i >= x || Hashtbl.mem completed i)
+                 id_flag
+          in
+          Hashtbl.add completed x ();
+          ok)
+        order)
+
+let prop_back_flag_freezes_prefix =
+  QCheck.Test.make
+    ~name:"Back: nothing after a flagged write completes before it or its predecessors"
+    ~count:40 ops_gen
+    (fun ops ->
+      let _, id_flag, order = run_random_ops ~mode:(Ordering.Flag { sem = Ordering.Back; nr = false }) ops in
+      let completed = Hashtbl.create 16 in
+      List.for_all
+        (fun x ->
+          (* find the last flagged id before x: it and everything
+             before it must be complete when x completes *)
+          let gate =
+            List.fold_left
+              (fun acc (i, flagged) ->
+                if flagged && i < x then Some i else acc)
+              None
+              (List.sort compare (List.map fst id_flag)
+              |> List.map (fun i -> (i, List.assoc i id_flag)))
+          in
+          let ok =
+            match gate with
+            | None -> true
+            | Some g ->
+              List.for_all
+                (fun (i, _) -> i > g || Hashtbl.mem completed i)
+                id_flag
+          in
+          Hashtbl.add completed x ();
+          ok)
+        order)
+
+let suite =
+  [
+    Alcotest.test_case "all complete" `Quick test_all_complete;
+    QCheck_alcotest.to_alcotest prop_full_flag_total_barrier;
+    QCheck_alcotest.to_alcotest prop_back_flag_freezes_prefix;
+    Alcotest.test_case "clook order" `Quick test_clook_orders_by_position;
+    Alcotest.test_case "fcfs order" `Quick test_fcfs_orders_by_issue;
+    Alcotest.test_case "concatenation" `Quick test_concatenation;
+    Alcotest.test_case "concat limit" `Quick test_concat_respects_limit;
+    Alcotest.test_case "no read/write merge" `Quick
+      test_reads_not_merged_with_writes;
+    Alcotest.test_case "waw preserved" `Quick test_waw_order_preserved;
+    Alcotest.test_case "part blocks later" `Quick test_part_flag_blocks_later;
+    Alcotest.test_case "ignore reorders" `Quick test_ignore_flag_reorders;
+    Alcotest.test_case "part allows early reorder" `Quick
+      test_part_allows_earlier_unflagged_reorder;
+    Alcotest.test_case "back waits predecessors" `Quick
+      test_back_blocks_until_predecessors_done;
+    Alcotest.test_case "full is barrier" `Quick test_full_flag_is_barrier;
+    Alcotest.test_case "nr read bypass" `Quick test_nr_lets_reads_bypass;
+    Alcotest.test_case "no-nr read waits" `Quick test_no_nr_reads_wait;
+    Alcotest.test_case "nr conflicting read waits" `Quick
+      test_nr_conflicting_read_waits;
+    Alcotest.test_case "chains dependency" `Quick test_chains_dependency;
+    Alcotest.test_case "chains completed dep" `Quick
+      test_chains_completed_dep_is_free;
+    Alcotest.test_case "trace stats" `Quick test_trace_stats;
+    Alcotest.test_case "quiesce" `Quick test_quiesce;
+    QCheck_alcotest.to_alcotest prop_flag_never_overtaken;
+  ]

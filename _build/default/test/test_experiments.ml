@@ -1,0 +1,59 @@
+(* Smoke tests for the experiment drivers (the cheap ones only; the
+   full set runs via bench/main.exe). *)
+open Su_experiments
+
+let rows table =
+  (* count data lines: rendered output minus title, header, rule *)
+  let lines = String.split_on_char '\n' (Su_util.Text_table.render table) in
+  List.length (List.filter (fun l -> String.trim l <> "") lines) - 3
+
+let test_fig2_shape () =
+  let t = Experiments.fig2 `Quick in
+  Alcotest.(check int) "five flag variants" 5 (rows t)
+
+let test_crash_experiment () =
+  let t = Experiments.crash_consistency `Quick in
+  Alcotest.(check int) "five schemes" 5 (rows t);
+  (* the rendered table must show zero violations for the four safe
+     schemes and non-zero for No Order *)
+  let rendered = Su_util.Text_table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  let no_order =
+    List.find (fun l -> String.length l > 8 && String.sub l 0 8 = "No Order") lines
+  in
+  let fields =
+    String.split_on_char ' ' no_order |> List.filter (fun s -> s <> "")
+  in
+  (* scheme name occupies two fields; the next numeric field is the
+     crash-point count, then violations *)
+  (match fields with
+   | "No" :: "Order" :: _points :: violations :: _ ->
+     Alcotest.(check bool) "no-order violates" true
+       (int_of_string violations > 0)
+   | _ -> Alcotest.fail "unexpected row format")
+
+let test_aging_shape () =
+  let t = Experiments.aging `Quick in
+  Alcotest.(check int) "fresh and aged" 2 (rows t)
+
+let test_all_ids_resolvable () =
+  let ids = List.map fst (Experiments.all `Quick) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "id %s listed once" id)
+        true
+        (List.length (List.filter (( = ) id) ids) = 1))
+    ids;
+  Alcotest.(check bool) "all paper ids present" true
+    (List.for_all
+       (fun id -> List.mem id ids)
+       [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "tab1"; "tab2"; "tab3"; "fig6" ])
+
+let suite =
+  [
+    Alcotest.test_case "fig2 shape" `Quick test_fig2_shape;
+    Alcotest.test_case "crash experiment" `Quick test_crash_experiment;
+    Alcotest.test_case "aging shape" `Quick test_aging_shape;
+    Alcotest.test_case "all ids resolvable" `Quick test_all_ids_resolvable;
+  ]

@@ -1,0 +1,184 @@
+(* fsck must actually detect each class of corruption: build a clean
+   image, seed one specific inconsistency, and check the verdict. *)
+open Su_sim
+open Su_fstypes
+open Su_fs
+
+let clean_world () =
+  let cfg =
+    { (Fs.config ~scheme:Fs.No_order ()) with
+      Fs.geom = Geom.small;
+      cache_mb = 8 }
+  in
+  let w = Fs.make cfg in
+  let _p =
+    Proc.spawn w.Fs.engine ~name:"setup" (fun () ->
+        let st = w.Fs.st in
+        Fsops.mkdir st "/d";
+        Fsops.create st "/d/a";
+        Fsops.append st "/d/a" ~bytes:4096;
+        Fsops.create st "/d/b";
+        Fsops.append st "/d/b" ~bytes:12288;
+        Fsops.sync st;
+        Fs.stop w)
+  in
+  Engine.run w.Fs.engine;
+  (w, Su_disk.Disk.image_snapshot w.Fs.disk)
+
+let geom = Geom.small
+
+let check ?(exposure = true) image =
+  Fsck.check ~geom ~image ~check_exposure:exposure
+
+let find_dir_entries image name =
+  (* locate the directory block containing [name]; return (frag, entries) *)
+  let found = ref None in
+  Array.iteri
+    (fun frag cell ->
+      match cell with
+      | Types.Meta (Types.Dir entries) ->
+        if
+          Array.exists
+            (function Some e -> e.Types.name = name | None -> false)
+            entries
+        then found := Some (frag, entries)
+      | _ -> ())
+    image;
+  match !found with
+  | Some x -> x
+  | None -> Alcotest.failf "no directory block with entry %s" name
+
+let dinode_of image inum =
+  match image.(Geom.inode_block_frag geom inum) with
+  | Types.Meta (Types.Inodes dinodes) ->
+    dinodes.(Geom.inode_index_in_block geom inum)
+  | _ -> Alcotest.fail "inode block unreadable"
+
+let entry_inum entries name =
+  match Types.dir_find entries name with
+  | Some (_, e) -> e.Types.inum
+  | None -> Alcotest.failf "entry %s missing" name
+
+let test_clean_baseline () =
+  let _w, image = clean_world () in
+  let r = check image in
+  Alcotest.(check bool) "clean" true (Fsck.ok r);
+  Alcotest.(check int) "two files" 2 r.Fsck.files;
+  Alcotest.(check int) "two dirs" 2 r.Fsck.dirs
+
+let has_violation r pred = List.exists pred r.Fsck.violations
+
+let test_detects_dangling_entry () =
+  let _w, image = clean_world () in
+  let frag, entries = find_dir_entries image "a" in
+  let inum = entry_inum entries "a" in
+  (* free the inode behind the entry *)
+  let d = dinode_of image inum in
+  d.Types.ftype <- Types.F_free;
+  ignore frag;
+  let r = check image in
+  Alcotest.(check bool) "dangling detected" true
+    (has_violation r (function
+      | Fsck.Dangling_entry { inum = i; _ } -> i = inum
+      | _ -> false))
+
+let test_detects_cross_allocation () =
+  let _w, image = clean_world () in
+  let _, entries = find_dir_entries image "a" in
+  let ia = entry_inum entries "a" and ib = entry_inum entries "b" in
+  let da = dinode_of image ia and db_ = dinode_of image ib in
+  (* make b's first block point at a's first block *)
+  db_.Types.db.(0) <- da.Types.db.(0);
+  let r = check ~exposure:false image in
+  Alcotest.(check bool) "cross allocation detected" true
+    (has_violation r (function Fsck.Cross_allocated _ -> true | _ -> false))
+
+let test_detects_nlink_low () =
+  let _w, image = clean_world () in
+  let _, entries = find_dir_entries image "a" in
+  let ia = entry_inum entries "a" in
+  (dinode_of image ia).Types.nlink <- 0;
+  let r = check image in
+  Alcotest.(check bool) "nlink low detected" true
+    (has_violation r (function Fsck.Nlink_low _ -> true | _ -> false))
+
+let test_detects_referenced_free_frag () =
+  let _w, image = clean_world () in
+  let _, entries = find_dir_entries image "a" in
+  let ia = entry_inum entries "a" in
+  let frag0 = (dinode_of image ia).Types.db.(0) in
+  (* clear the fragment's bits in its group's map *)
+  let c = Geom.cg_of_frag geom frag0 in
+  (match image.(Geom.cg_header_frag geom c) with
+   | Types.Meta (Types.Cgroup cg) ->
+     let base = Geom.cg_base geom c in
+     for i = 0 to 3 do
+       Bytes.set cg.Types.frag_map (frag0 - base + i) '\000'
+     done
+   | _ -> Alcotest.fail "no cg header");
+  let r = check image in
+  Alcotest.(check bool) "stale-free is repairable" true (Fsck.ok r);
+  Alcotest.(check bool) "stale-free counted" true (r.Fsck.stale_free >= 4)
+
+let test_detects_exposure () =
+  let _w, image = clean_world () in
+  let _, entries = find_dir_entries image "a" in
+  let ia = entry_inum entries "a" in
+  let frag0 = (dinode_of image ia).Types.db.(0) in
+  (* overwrite a data fragment with another file's stamp *)
+  image.(frag0) <- Types.Frag (Types.Written { inum = 999; gen = 7; flbn = 0 });
+  let r = check ~exposure:true image in
+  Alcotest.(check bool) "exposure detected" true
+    (has_violation r (function Fsck.Exposure _ -> true | _ -> false));
+  (* and ignored when initialisation is not promised *)
+  let r = check ~exposure:false image in
+  Alcotest.(check bool) "exposure not checked" true (Fsck.ok r)
+
+let test_detects_leaks () =
+  let _w, image = clean_world () in
+  let _, entries = find_dir_entries image "a" in
+  let ia = entry_inum entries "a" in
+  (* drop the entry: inode and blocks leak (repairable, not violations) *)
+  (match Types.dir_find entries "a" with
+   | Some (slot, _) -> entries.(slot) <- None
+   | None -> ());
+  ignore ia;
+  let r = check image in
+  Alcotest.(check bool) "leaks are not violations" true (Fsck.ok r);
+  Alcotest.(check bool) "leaked inode counted" true (r.Fsck.leaked_inodes >= 1);
+  Alcotest.(check bool) "leaked frags counted" true (r.Fsck.leaked_frags >= 1)
+
+let test_detects_bad_dir () =
+  let _w, image = clean_world () in
+  let _, entries = find_dir_entries image "d" in
+  let id = entry_inum entries "d" in
+  let dd = dinode_of image id in
+  (* smash the directory's block pointer to unwritten space *)
+  dd.Types.db.(0) <- dd.Types.db.(0) + 8;
+  let r = check ~exposure:false image in
+  Alcotest.(check bool) "bad dir detected" true
+    (has_violation r (function Fsck.Bad_dir _ -> true | _ -> false))
+
+let test_nlink_high_repairable () =
+  let _w, image = clean_world () in
+  let _, entries = find_dir_entries image "a" in
+  let ia = entry_inum entries "a" in
+  (dinode_of image ia).Types.nlink <- 5;
+  let r = check image in
+  Alcotest.(check bool) "no violation" true (Fsck.ok r);
+  Alcotest.(check bool) "counted as repairable" true (r.Fsck.nlink_high >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "clean baseline" `Quick test_clean_baseline;
+    Alcotest.test_case "detects dangling entry" `Quick test_detects_dangling_entry;
+    Alcotest.test_case "detects cross allocation" `Quick
+      test_detects_cross_allocation;
+    Alcotest.test_case "detects nlink low" `Quick test_detects_nlink_low;
+    Alcotest.test_case "stale-free frag repairable" `Quick
+      test_detects_referenced_free_frag;
+    Alcotest.test_case "detects exposure" `Quick test_detects_exposure;
+    Alcotest.test_case "leaks are repairable" `Quick test_detects_leaks;
+    Alcotest.test_case "detects bad dir" `Quick test_detects_bad_dir;
+    Alcotest.test_case "nlink high repairable" `Quick test_nlink_high_repairable;
+  ]

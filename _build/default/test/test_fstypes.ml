@@ -1,0 +1,141 @@
+(* Property and unit tests for the on-disk types and geometry. *)
+open Su_fstypes
+
+let g = Geom.default
+let gs = Geom.small
+
+let test_geom_basics () =
+  Alcotest.(check int) "block bytes" 8192 (Geom.block_bytes g);
+  Alcotest.(check int) "cg count (1GB/16MB)" 64 (Geom.cg_count g);
+  Alcotest.(check int) "small cg count" 4 (Geom.cg_count gs);
+  Alcotest.(check int) "total inodes" (64 * 2048) (Geom.total_inodes g)
+
+let test_geom_rejects_bad () =
+  (try
+     ignore (Geom.v ~mb:100 ~cg_mb:16 ());
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Geom.v ~inodes_per_cg:100 ());
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let test_layout_disjoint () =
+  (* superblock copy, header, inode area and data area of each group
+     must tile the group without overlap *)
+  for c = 0 to Geom.cg_count gs - 1 do
+    let base = Geom.cg_base gs c in
+    let sb = Geom.cg_sb_frag gs c in
+    let hdr = Geom.cg_header_frag gs c in
+    let ifirst, icount = Geom.cg_inode_area gs c in
+    let dfirst, dcount = Geom.cg_data_area gs c in
+    Alcotest.(check int) "sb at base" base sb;
+    Alcotest.(check int) "header after sb" (base + 8) hdr;
+    Alcotest.(check int) "inodes after header" (base + 16) ifirst;
+    Alcotest.(check int) "data after inodes" (ifirst + icount) dfirst;
+    Alcotest.(check int) "group tiles exactly" (base + gs.Geom.cg_frags)
+      (dfirst + dcount)
+  done
+
+let prop_inode_block_roundtrip =
+  QCheck.Test.make ~name:"inode block mapping is consistent" ~count:500
+    QCheck.(int_range 2 (Geom.total_inodes gs + 1))
+    (fun inum ->
+      let frag = Geom.inode_block_frag gs inum in
+      let idx = Geom.inode_index_in_block gs inum in
+      let c = Geom.cg_of_inode gs inum in
+      let ifirst, icount = Geom.cg_inode_area gs c in
+      (* the block must lie in the inode area of the inode's group *)
+      frag >= ifirst
+      && frag < ifirst + icount
+      && frag mod gs.Geom.frags_per_block = 0
+      && idx >= 0
+      && idx < gs.Geom.inodes_per_block
+      (* and distinct inodes in one block get distinct slots *)
+      && (inum + 1 > Geom.total_inodes gs + 1
+          || Geom.inode_block_frag gs (inum + 1) <> frag
+             || Geom.inode_index_in_block gs (inum + 1) = idx + 1))
+
+let prop_data_frag_detection =
+  QCheck.Test.make ~name:"data_frag_in_cg matches the data areas" ~count:1000
+    QCheck.(int_range 0 (gs.Geom.nfrags - 1))
+    (fun frag ->
+      let c = Geom.cg_of_frag gs frag in
+      let dfirst, dcount = Geom.cg_data_area gs c in
+      let expected = frag >= dfirst && frag < dfirst + dcount in
+      Geom.data_frag_in_cg gs frag = (expected && frag > 0))
+
+let prop_frags_of_bytes =
+  QCheck.Test.make ~name:"frags_of_bytes rounds up" ~count:500
+    QCheck.(int_bound 100_000)
+    (fun bytes ->
+      let frags = Geom.frags_of_bytes gs bytes in
+      if bytes <= 0 then frags = 0
+      else frags * 1024 >= bytes && (frags - 1) * 1024 < bytes)
+
+let test_copy_dinode_isolated () =
+  let d = Types.free_dinode gs in
+  d.Types.ftype <- Types.F_reg;
+  d.Types.db.(3) <- 42;
+  let c = Types.copy_dinode d in
+  c.Types.db.(3) <- 7;
+  c.Types.nlink <- 9;
+  Alcotest.(check int) "original pointer kept" 42 d.Types.db.(3);
+  Alcotest.(check int) "original nlink kept" 0 d.Types.nlink
+
+let test_copy_meta_isolated () =
+  let entries = Types.fresh_dir_block gs in
+  entries.(0) <- Some { Types.name = "x"; inum = 5 };
+  let m = Types.Dir entries in
+  (match Types.copy_meta m with
+   | Types.Dir copy ->
+     copy.(0) <- None;
+     Alcotest.(check bool) "original entry kept" true (entries.(0) <> None)
+   | _ -> Alcotest.fail "wrong copy");
+  let cg = Types.fresh_cg gs in
+  Bytes.set cg.Types.frag_map 0 '\001';
+  (match Types.copy_meta (Types.Cgroup cg) with
+   | Types.Cgroup cc ->
+     Bytes.set cc.Types.frag_map 0 '\000';
+     Alcotest.(check bool) "bitmap isolated" true
+       (Bytes.get cg.Types.frag_map 0 = '\001')
+   | _ -> Alcotest.fail "wrong copy")
+
+let test_dir_helpers () =
+  let entries = Types.fresh_dir_block gs in
+  Alcotest.(check int) "empty count" 0 (Types.dir_entry_count entries);
+  Alcotest.(check (option int)) "free slot 0" (Some 0)
+    (Types.dir_free_slot entries);
+  entries.(0) <- Some { Types.name = "a"; inum = 3 };
+  entries.(2) <- Some { Types.name = "b"; inum = 4 };
+  Alcotest.(check int) "count 2" 2 (Types.dir_entry_count entries);
+  Alcotest.(check (option int)) "free slot 1" (Some 1)
+    (Types.dir_free_slot entries);
+  (match Types.dir_find entries "b" with
+   | Some (slot, e) ->
+     Alcotest.(check int) "slot" 2 slot;
+     Alcotest.(check int) "inum" 4 e.Types.inum
+   | None -> Alcotest.fail "entry not found");
+  Alcotest.(check bool) "missing" true (Types.dir_find entries "zz" = None)
+
+let test_stamp_matching () =
+  let s = Types.Written { inum = 7; gen = 3; flbn = 0 } in
+  Alcotest.(check bool) "own stamp" true (Types.stamp_matches s ~inum:7 ~gen:3);
+  Alcotest.(check bool) "other gen" false (Types.stamp_matches s ~inum:7 ~gen:4);
+  Alcotest.(check bool) "other file" false (Types.stamp_matches s ~inum:8 ~gen:3);
+  Alcotest.(check bool) "zeroed always safe" true
+    (Types.stamp_matches Types.Zeroed ~inum:1 ~gen:1)
+
+let suite =
+  [
+    Alcotest.test_case "geom basics" `Quick test_geom_basics;
+    Alcotest.test_case "geom rejects bad" `Quick test_geom_rejects_bad;
+    Alcotest.test_case "layout disjoint" `Quick test_layout_disjoint;
+    QCheck_alcotest.to_alcotest prop_inode_block_roundtrip;
+    QCheck_alcotest.to_alcotest prop_data_frag_detection;
+    QCheck_alcotest.to_alcotest prop_frags_of_bytes;
+    Alcotest.test_case "copy dinode isolated" `Quick test_copy_dinode_isolated;
+    Alcotest.test_case "copy meta isolated" `Quick test_copy_meta_isolated;
+    Alcotest.test_case "dir helpers" `Quick test_dir_helpers;
+    Alcotest.test_case "stamp matching" `Quick test_stamp_matching;
+  ]

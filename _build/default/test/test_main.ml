@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "softupdates"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("disk", Test_disk.suite);
+      ("driver", Test_driver.suite);
+      ("cache", Test_cache.suite);
+      ("fstypes", Test_fstypes.suite);
+      ("alloc", Test_alloc.suite);
+      ("fs", Test_fs.suite);
+      ("fsops-edge", Test_fsops_edge.suite);
+      ("schemes", Test_schemes.suite);
+      ("softdep", Test_softdep.suite);
+      ("workload", Test_workload.suite);
+      ("fsck", Test_fsck.suite);
+      ("crash", Test_crash.suite);
+      ("journal", Test_journal.suite);
+      ("model", Test_model.suite);
+      ("experiments", Test_experiments.suite);
+      ("regressions", Test_regressions.suite);
+    ]

@@ -1,0 +1,196 @@
+(* Tests for the discrete-event engine, processes and synchronisation. *)
+open Su_sim
+
+let test_event_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e 2.0 (fun () -> log := 2 :: !log);
+  Engine.at e 1.0 (fun () -> log := 1 :: !log);
+  Engine.at e 3.0 (fun () -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.at e 1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo among equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.at e 5.0 (fun () -> fired := true);
+  Engine.run ~until:2.0 e;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check (float 1e-9)) "clock clamped" 2.0 (Engine.now e)
+
+let test_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.at e 1.0 (fun () ->
+      incr count;
+      Engine.stop e);
+  Engine.at e 2.0 (fun () -> incr count);
+  Engine.run e;
+  Alcotest.(check int) "stopped after first" 1 !count
+
+let test_proc_sleep () =
+  let e = Engine.create () in
+  let t_end = ref 0.0 in
+  let _p =
+    Proc.spawn e (fun () ->
+        Proc.sleep e 1.5;
+        Proc.sleep e 0.5;
+        t_end := Engine.now e)
+  in
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "slept 2s" 2.0 !t_end
+
+let test_proc_join () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let worker =
+    Proc.spawn e ~name:"w" (fun () ->
+        Proc.sleep e 3.0;
+        order := "w" :: !order)
+  in
+  let _boss =
+    Proc.spawn e ~name:"b" (fun () ->
+        Proc.join e worker;
+        order := "b" :: !order)
+  in
+  Engine.run e;
+  Alcotest.(check (list string)) "worker then boss" [ "w"; "b" ] (List.rev !order)
+
+let test_proc_failure_propagates () =
+  let e = Engine.create () in
+  let _p = Proc.spawn e ~name:"boom" (fun () -> failwith "bang") in
+  Alcotest.check_raises "wrapped"
+    (Proc.Process_failure ("boom", Failure "bang"))
+    (fun () -> Engine.run e)
+
+let test_ivar () =
+  let e = Engine.create () in
+  let iv = Proc.Ivar.create e in
+  let got = ref 0 in
+  let _reader = Proc.spawn e (fun () -> got := Proc.Ivar.read iv) in
+  let _writer =
+    Proc.spawn e (fun () ->
+        Proc.sleep e 1.0;
+        Proc.Ivar.fill iv 42)
+  in
+  Engine.run e;
+  Alcotest.(check int) "value delivered" 42 !got
+
+let test_mutex_excludes () =
+  let e = Engine.create () in
+  let m = Sync.Mutex.create e in
+  let inside = ref 0 and max_inside = ref 0 in
+  let worker () =
+    Sync.Mutex.with_lock m (fun () ->
+        incr inside;
+        if !inside > !max_inside then max_inside := !inside;
+        Proc.sleep e 1.0;
+        decr inside)
+  in
+  for _ = 1 to 4 do
+    ignore (Proc.spawn e worker)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "one at a time" 1 !max_inside;
+  Alcotest.(check (float 1e-9)) "serialised" 4.0 (Engine.now e)
+
+let test_semaphore_limits () =
+  let e = Engine.create () in
+  let s = Sync.Semaphore.create e 2 in
+  let inside = ref 0 and max_inside = ref 0 in
+  let worker () =
+    Sync.Semaphore.acquire s;
+    incr inside;
+    if !inside > !max_inside then max_inside := !inside;
+    Proc.sleep e 1.0;
+    decr inside;
+    Sync.Semaphore.release s
+  in
+  for _ = 1 to 6 do
+    ignore (Proc.spawn e worker)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "two at a time" 2 !max_inside;
+  Alcotest.(check (float 1e-9)) "three waves" 3.0 (Engine.now e)
+
+let test_waitq_signal_broadcast () =
+  let e = Engine.create () in
+  let q = Sync.Waitq.create e in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Proc.spawn e (fun () ->
+           Sync.Waitq.wait q;
+           incr woken))
+  done;
+  ignore
+    (Proc.spawn e (fun () ->
+         Proc.sleep e 1.0;
+         Sync.Waitq.signal q;
+         Proc.sleep e 1.0;
+         Alcotest.(check int) "one woken" 1 !woken;
+         Sync.Waitq.broadcast q));
+  Engine.run e;
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_cpu_fcfs () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  let finish = ref [] in
+  let worker name dur () =
+    Cpu.consume cpu dur;
+    finish := (name, Engine.now e) :: !finish
+  in
+  let a = Proc.spawn e ~name:"a" (worker "a" 2.0) in
+  let b = Proc.spawn e ~name:"b" (worker "b" 1.0) in
+  Engine.run e;
+  let find n = List.assoc n !finish in
+  Alcotest.(check (float 1e-9)) "a finishes at 2" 2.0 (find "a");
+  Alcotest.(check (float 1e-9)) "b queues behind a" 3.0 (find "b");
+  Alcotest.(check (float 1e-9)) "a charged" 2.0 (Proc.cpu_time a);
+  Alcotest.(check (float 1e-9)) "b charged" 1.0 (Proc.cpu_time b);
+  Alcotest.(check (float 1e-9)) "cpu busy total" 3.0 (Cpu.busy_time cpu)
+
+let prop_engine_monotonic_clock =
+  QCheck.Test.make ~name:"engine clock is monotonic" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (float_bound_inclusive 10.0))
+    (fun times ->
+      let e = Engine.create () in
+      let ok = ref true in
+      let last = ref 0.0 in
+      List.iter
+        (fun t ->
+          Engine.at e t (fun () ->
+              if Engine.now e < !last then ok := false;
+              last := Engine.now e))
+        times;
+      Engine.run e;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "event order" `Quick test_event_order;
+    Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "proc sleep" `Quick test_proc_sleep;
+    Alcotest.test_case "proc join" `Quick test_proc_join;
+    Alcotest.test_case "proc failure" `Quick test_proc_failure_propagates;
+    Alcotest.test_case "ivar" `Quick test_ivar;
+    Alcotest.test_case "mutex excludes" `Quick test_mutex_excludes;
+    Alcotest.test_case "semaphore limits" `Quick test_semaphore_limits;
+    Alcotest.test_case "waitq" `Quick test_waitq_signal_broadcast;
+    Alcotest.test_case "cpu fcfs" `Quick test_cpu_fcfs;
+    QCheck_alcotest.to_alcotest prop_engine_monotonic_clock;
+  ]

@@ -1,0 +1,186 @@
+(* Focused soft-updates dependency machinery tests (appendix cases). *)
+open Su_sim
+open Su_fs
+open Su_fstypes
+
+let mk () =
+  let cfg =
+    { (Fs.config ~scheme:Fs.Soft_updates ()) with
+      Fs.geom = Geom.small;
+      cache_mb = 8 }
+  in
+  Fs.make cfg
+
+let in_world w f =
+  let r = ref None in
+  ignore
+    (Proc.spawn w.Fs.engine (fun () ->
+         r := Some (f ());
+         Fs.stop w));
+  Engine.run w.Fs.engine;
+  Option.get !r
+
+let on_disk_dinode w inum =
+  match Su_disk.Disk.peek w.Fs.disk (Geom.inode_block_frag Geom.small inum) with
+  | Types.Meta (Types.Inodes ds) ->
+    Some ds.(Geom.inode_index_in_block Geom.small inum)
+  | _ -> None
+
+let test_fragment_extension_merge_rollback () =
+  (* two allocdirects for the same slot merge, keeping the ORIGINAL
+     on-disk old values: an early inode flush rolls all the way back *)
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      Fsops.create st "/f";
+      Fsops.append st "/f" ~bytes:1024;
+      Fsops.append st "/f" ~bytes:1024;
+      (* extend in place or move: either way the pending allocdirect
+         has old_ptr = 0, old_size = 0 *)
+      let inum = Fsops.resolve st "/f" in
+      Inode.with_ibuf st inum (fun ibuf ->
+          ignore (Su_cache.Bcache.bawrite w.Fs.cache ibuf);
+          Su_cache.Bcache.wait_write w.Fs.cache ibuf);
+      (match on_disk_dinode w inum with
+       | Some d ->
+         Alcotest.(check int) "pointer rolled back" 0 d.Types.db.(0);
+         Alcotest.(check int) "size rolled back" 0 d.Types.size
+       | None -> Alcotest.fail "inode block missing");
+      Fsops.sync st;
+      (match on_disk_dinode w inum with
+       | Some d ->
+         Alcotest.(check bool) "pointer settled" true (d.Types.db.(0) <> 0);
+         Alcotest.(check int) "size settled" 2048 d.Types.size
+       | None -> Alcotest.fail "inode block missing"))
+
+let test_rollback_after_data_written () =
+  (* once the data reaches the disk, the inode flush carries the real
+     pointer (no rollback) *)
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      Fsops.create st "/f";
+      Fsops.append st "/f" ~bytes:4096;
+      let inum = Fsops.resolve st "/f" in
+      let ip = Inode.iget st inum in
+      let data_lbn = File.ptr_at st ip 0 in
+      Inode.iput st ip;
+      (* flush the data block first *)
+      (match Su_cache.Bcache.lookup w.Fs.cache data_lbn with
+       | Some db ->
+         ignore (Su_cache.Bcache.bawrite w.Fs.cache db);
+         Su_cache.Bcache.wait_write w.Fs.cache db
+       | None -> Alcotest.fail "data buffer missing");
+      Inode.with_ibuf st inum (fun ibuf ->
+          ignore (Su_cache.Bcache.bawrite w.Fs.cache ibuf);
+          Su_cache.Bcache.wait_write w.Fs.cache ibuf);
+      match on_disk_dinode w inum with
+      | Some d ->
+        Alcotest.(check int) "pointer written" data_lbn d.Types.db.(0);
+        Alcotest.(check int) "size written" 4096 d.Types.size
+      | None -> Alcotest.fail "inode block missing")
+
+let test_deferred_free_not_reusable () =
+  (* rule 2: a freed extent is not allocatable until the reset pointer
+     is on disk, even under allocation pressure in the same group *)
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      Fsops.create st "/a";
+      Fsops.append st "/a" ~bytes:8192;
+      Fsops.sync st;
+      let inum = Fsops.resolve st "/a" in
+      let ip = Inode.iget st inum in
+      let old_lbn = File.ptr_at st ip 0 in
+      Inode.iput st ip;
+      Fsops.unlink st "/a";
+      (* before any flush: allocate heavily in the same group; nothing
+         may land on the just-freed extent *)
+      let hits = ref 0 in
+      for i = 1 to 40 do
+        let p = Printf.sprintf "/b%d" i in
+        Fsops.create st p;
+        Fsops.append st p ~bytes:8192;
+        let bi = Fsops.resolve st p in
+        let bip = Inode.iget st bi in
+        if File.ptr_at st bip 0 = old_lbn then incr hits;
+        Inode.iput st bip
+      done;
+      Alcotest.(check int) "freed extent not reused early" 0 !hits;
+      (* after a full sync the extent is genuinely free again *)
+      Fsops.sync st;
+      Fsops.create st "/c";
+      Fsops.append st "/c" ~bytes:8192;
+      ignore (Fsops.resolve st "/c"))
+
+let test_dir_init_before_link () =
+  (* a new directory's block must be initialised on disk before the
+     parent's entry: flush the parent dir block early and check the
+     entry is rolled back while the child block is absent *)
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      Fsops.mkdir st "/sub";
+      let root_blk = fst (Geom.cg_data_area Geom.small 0) in
+      (match Su_cache.Bcache.lookup w.Fs.cache root_blk with
+       | Some b ->
+         ignore (Su_cache.Bcache.bawrite w.Fs.cache b);
+         Su_cache.Bcache.wait_write w.Fs.cache b
+       | None -> Alcotest.fail "root block not cached");
+      (match Su_disk.Disk.peek w.Fs.disk root_blk with
+       | Types.Meta (Types.Dir entries) ->
+         Alcotest.(check bool) "entry rolled back" true
+           (Types.dir_find entries "sub" = None)
+       | _ -> Alcotest.fail "root block unreadable");
+      Fsops.sync st;
+      match Su_disk.Disk.peek w.Fs.disk root_blk with
+      | Types.Meta (Types.Dir entries) ->
+        (match Types.dir_find entries "sub" with
+         | Some (_, e) ->
+           (* and by now the child's block and inode are stable *)
+           (match on_disk_dinode w e.Types.inum with
+            | Some d ->
+              Alcotest.(check bool) "child dir on disk" true
+                (d.Types.ftype = Types.F_dir);
+              (match Su_disk.Disk.peek w.Fs.disk d.Types.db.(0) with
+               | Types.Meta (Types.Dir es) ->
+                 Alcotest.(check bool) "dots present" true
+                   (Types.dir_find es "." <> None && Types.dir_find es ".." <> None)
+               | _ -> Alcotest.fail "child block unreadable")
+            | None -> Alcotest.fail "child inode missing")
+         | None -> Alcotest.fail "entry missing after sync")
+      | _ -> Alcotest.fail "root block unreadable")
+
+let test_rmdir_deferred_parent_decrement () =
+  (* the ".."-driven parent link-count decrement settles through the
+     workitem queue even though the child's block is freed unwritten *)
+  let w = mk () in
+  in_world w (fun () ->
+      let st = w.Fs.st in
+      Fsops.mkdir st "/p";
+      Fsops.mkdir st "/p/q";
+      Fsops.sync st;
+      Alcotest.(check int) "parent nlink 3" 3 (Fsops.stat st "/p").Fsops.st_nlink;
+      Fsops.rmdir st "/p/q";
+      Fsops.sync st;
+      Alcotest.(check int) "parent nlink back to 2" 2
+        (Fsops.stat st "/p").Fsops.st_nlink;
+      let r =
+        Fsck.check ~geom:Geom.small
+          ~image:(Su_disk.Disk.image_snapshot w.Fs.disk)
+          ~check_exposure:true
+      in
+      Alcotest.(check bool) "clean" true (Fsck.ok r))
+
+let suite =
+  [
+    Alcotest.test_case "fragment extension merge rollback" `Quick
+      test_fragment_extension_merge_rollback;
+    Alcotest.test_case "no rollback after data written" `Quick
+      test_rollback_after_data_written;
+    Alcotest.test_case "deferred free not reusable" `Quick
+      test_deferred_free_not_reusable;
+    Alcotest.test_case "dir init before link" `Quick test_dir_init_before_link;
+    Alcotest.test_case "rmdir deferred parent decrement" `Quick
+      test_rmdir_deferred_parent_decrement;
+  ]

@@ -1,0 +1,125 @@
+(* Unit and property tests for su_util. *)
+open Su_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_range () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_range r 5 8 in
+    Alcotest.(check bool) "in range" true (x >= 5 && x <= 8)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "streams differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_weighted () =
+  let r = Rng.create 3 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 3000 do
+    let x = Rng.weighted r [ (1, "a"); (2, "b"); (0, "c") ] in
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  Alcotest.(check bool) "c never drawn" true (not (Hashtbl.mem counts "c"));
+  let a = Hashtbl.find counts "a" and b = Hashtbl.find counts "b" in
+  Alcotest.(check bool) "b roughly twice a" true (b > a)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek none" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop none" None (Heap.pop h)
+
+let test_heap_filter () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 1; 2; 3; 4; 5; 6 ];
+  Heap.filter_in_place h (fun x -> x mod 2 = 0);
+  Alcotest.(check int) "three left" 3 (Heap.length h);
+  Alcotest.(check (option int)) "min is 2" (Some 2) (Heap.peek h)
+
+let prop_heap_pops_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let test_stats_basic () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Stats.total s);
+  Alcotest.(check (float 1e-6)) "stdev" 1.290994 (Stats.stdev s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_value s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "mean 0" 0.0 (Stats.mean s);
+  Alcotest.(check (float 0.0)) "stdev 0" 0.0 (Stats.stdev s)
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 5.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 10.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p1" 1.0 (Stats.percentile xs 1.0)
+
+let prop_stats_mean_matches =
+  QCheck.Test.make ~name:"welford mean matches naive" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Stats.of_list xs in
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. naive) < 1e-6)
+
+let test_table_render () =
+  let t = Text_table.create ~title:"T" ~headers:[ "a"; "bb" ] in
+  Text_table.add_row t [ "x"; "1" ];
+  Text_table.add_row t [ "longer" ];
+  let out = Text_table.render t in
+  Alcotest.(check bool) "has title" true (String.length out > 0);
+  Alcotest.(check bool) "pads short rows" true
+    (String.split_on_char '\n' out |> List.length >= 5)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng range" `Quick test_rng_range;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng weighted" `Quick test_rng_weighted;
+    Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+    Alcotest.test_case "heap empty" `Quick test_heap_empty;
+    Alcotest.test_case "heap filter" `Quick test_heap_filter;
+    QCheck_alcotest.to_alcotest prop_heap_pops_sorted;
+    Alcotest.test_case "stats basic" `Quick test_stats_basic;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    QCheck_alcotest.to_alcotest prop_stats_mean_matches;
+    Alcotest.test_case "table render" `Quick test_table_render;
+  ]
