@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- --quick      # reduced workloads
      dune exec bench/main.exe -- fig5 tab2    # selected experiments
      dune exec bench/main.exe -- --micro      # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --hotpaths [--json BENCH_hotpaths.json]
+                                              # dispatch/eviction hot paths
      dune exec bench/main.exe -- --list       # available ids *)
 
 let available =
@@ -86,6 +88,155 @@ let micro () =
       | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
     results
 
+(* --- hot-path micro-benchmarks ----------------------------------------- *)
+
+(* Stress the two structures the paper's burst scenarios lean on: the
+   driver dispatch queue under thousands of simultaneously pending
+   requests (No Order / Soft Updates delayed-write bursts) and the
+   buffer-cache eviction path. Results go to BENCH_hotpaths.json so
+   the perf trajectory is tracked across PRs. *)
+
+let hotpath_scale quick = if quick then 2_000 else 10_000
+
+let mk_disk_driver ~mode ~policy =
+  let e = Su_sim.Engine.create () in
+  let d =
+    Su_disk.Disk.create ~engine:e ~params:Su_disk.Disk_params.hp_c2447
+      ~nfrags:(1 lsl 20) ()
+  in
+  let drv =
+    Su_driver.Driver.create ~engine:e ~disk:d
+      { Su_driver.Driver.default_config with mode; policy }
+  in
+  (e, drv)
+
+let wpayload n = Array.make n Su_fstypes.Types.Empty
+
+(* [n] writes queued up-front at pseudo-random positions: every disk
+   completion must pick the next request from an [n]-deep queue. *)
+let bench_driver_burst ~mode ?(policy = Su_driver.Driver.Clook)
+    ?(flag_every = 0) ?(read_every = 0) ?(chain = false) n () =
+  let e, drv = mk_disk_driver ~mode ~policy in
+  let rng = Su_util.Rng.create 42 in
+  let done_ = ref 0 in
+  let prev = ref None in
+  for i = 1 to n do
+    let lbn = 64 + (Su_util.Rng.int rng 65_000 * 8) in
+    let kind =
+      if read_every > 0 && i mod read_every = 0 then Su_driver.Request.Read
+      else Su_driver.Request.Write
+    in
+    let flagged = flag_every > 0 && i mod flag_every = 0 in
+    let deps = if chain then match !prev with Some p -> [ p ] | None -> [] else [] in
+    let id =
+      Su_driver.Driver.submit drv ~kind ~lbn ~nfrags:1 ~flagged ~deps
+        ?payload:(if kind = Su_driver.Request.Write then Some (wpayload 1) else None)
+        ~on_complete:(fun _ -> incr done_)
+        ()
+    in
+    if kind = Su_driver.Request.Write then prev := Some id
+  done;
+  Su_sim.Engine.run e;
+  assert (!done_ = n);
+  n
+
+(* [n] buffer allocations through a small cache: every allocation past
+   capacity must select and evict the LRU clean victim. *)
+let bench_cache_evict n () =
+  let e, drv = mk_disk_driver ~mode:Su_driver.Ordering.Unordered
+      ~policy:Su_driver.Driver.Clook in
+  let bc =
+    Su_cache.Bcache.create ~engine:e ~driver:drv
+      { Su_cache.Bcache.default_config with capacity_frags = n / 2 }
+  in
+  ignore
+    (Su_sim.Proc.spawn e (fun () ->
+         for i = 0 to n - 1 do
+           let b =
+             Su_cache.Bcache.getblk bc ~lbn:(i * 2) ~nfrags:1 ~init:(fun () ->
+                 Su_cache.Buf.Cdata [| Some Su_fstypes.Types.Zeroed |])
+           in
+           Su_cache.Bcache.release bc b
+         done));
+  Su_sim.Engine.run e;
+  n
+
+(* Dirty [n] buffers, then flush them all: sync_all walks the dirty
+   set and the driver drains an [n]-deep unordered write burst. *)
+let bench_cache_sync_all n () =
+  let e, drv = mk_disk_driver ~mode:Su_driver.Ordering.Unordered
+      ~policy:Su_driver.Driver.Clook in
+  let bc =
+    Su_cache.Bcache.create ~engine:e ~driver:drv
+      { Su_cache.Bcache.default_config with capacity_frags = 2 * n }
+  in
+  ignore
+    (Su_sim.Proc.spawn e (fun () ->
+         for i = 0 to n - 1 do
+           let b =
+             Su_cache.Bcache.getblk bc ~lbn:(i * 2) ~nfrags:1 ~init:(fun () ->
+                 Su_cache.Buf.Cdata [| Some Su_fstypes.Types.Zeroed |])
+           in
+           Su_cache.Bcache.bdwrite bc b;
+           Su_cache.Bcache.release bc b
+         done;
+         Su_cache.Bcache.sync_all bc));
+  Su_sim.Engine.run e;
+  n
+
+let hotpath_benches n =
+  [
+    ( "driver-burst-unordered-clook",
+      bench_driver_burst ~mode:Su_driver.Ordering.Unordered n );
+    ( "driver-burst-unordered-fcfs",
+      bench_driver_burst ~mode:Su_driver.Ordering.Unordered
+        ~policy:Su_driver.Driver.Fcfs n );
+    ( "driver-burst-part-nr",
+      bench_driver_burst
+        ~mode:(Su_driver.Ordering.Flag { sem = Su_driver.Ordering.Part; nr = true })
+        ~flag_every:16 ~read_every:8 n );
+    ( "driver-burst-chains",
+      bench_driver_burst
+        ~mode:(Su_driver.Ordering.Chains { nr = true })
+        ~chain:true n );
+    ("cache-evict-clean", bench_cache_evict n);
+    ("cache-sync-all", bench_cache_sync_all n);
+  ]
+
+let run_hotpaths ~quick ~json_path =
+  let n = hotpath_scale quick in
+  let results =
+    List.map
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        let events = f () in
+        let wall = Unix.gettimeofday () -. t0 in
+        let eps = if wall > 0.0 then float_of_int events /. wall else 0.0 in
+        Printf.printf "%-30s n=%-6d %8.3fs wall %12.0f events/s\n%!" name
+          events wall eps;
+        (name, events, wall, eps))
+      (hotpath_benches n)
+  in
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"scale\": \"%s\",\n  \"requests\": %d,\n"
+      (if quick then "quick" else "full")
+      n;
+    Printf.fprintf oc "  \"results\": [\n";
+    List.iteri
+      (fun i (name, events, wall, eps) ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"events\": %d, \"wall_s\": %.4f, \
+           \"events_per_sec\": %.1f}%s\n"
+          name events wall eps
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "# wrote %s\n" path
+
 (* --- main --------------------------------------------------------------- *)
 
 let () =
@@ -98,6 +249,15 @@ let () =
   end;
   if micro_only then begin
     micro ();
+    exit 0
+  end;
+  if List.mem "--hotpaths" args then begin
+    let rec json_of = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> json_of rest
+      | [] -> None
+    in
+    run_hotpaths ~quick ~json_path:(json_of args);
     exit 0
   end;
   let selected =

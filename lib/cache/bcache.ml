@@ -21,6 +21,12 @@ type t = {
   config : config;
   hooks : hooks;
   tbl : (int, Buf.t) Hashtbl.t;
+  (* Every valid buffer sits on exactly one of two intrusive recency
+     lists (clean or dirty, per its dirty bit), each kept in ascending
+     stamp order: the head is the least recently used buffer. Victim
+     selection and the full-flush walk therefore never scan the table. *)
+  clean_lru : Buf.t Su_util.Lru.t;
+  dirty_lru : Buf.t Su_util.Lru.t;
   mutable used : int;
   mutable copies : int;  (* fragments held by in-flight write snapshots *)
   mutable ndirty : int;
@@ -43,6 +49,8 @@ let create ~engine ~driver config =
     config;
     hooks = default_hooks ();
     tbl = Hashtbl.create 4096;
+    clean_lru = Su_util.Lru.create ();
+    dirty_lru = Su_util.Lru.create ();
     used = 0;
     copies = 0;
     ndirty = 0;
@@ -58,9 +66,17 @@ let cb_enabled t = t.config.cb
 let dirty_count t = t.ndirty
 let used_frags t = t.used
 
+let lru_of t (b : Buf.t) = if b.Buf.dirty then t.dirty_lru else t.clean_lru
+
 let touch t (b : Buf.t) =
   t.lru_counter <- t.lru_counter + 1;
-  b.Buf.lru_stamp <- t.lru_counter
+  b.Buf.lru.Su_util.Lru.stamp <- t.lru_counter;
+  if b.Buf.valid then begin
+    (* fresh maximal stamp: move to the tail of its list, O(1) *)
+    let l = lru_of t b in
+    Su_util.Lru.remove l b.Buf.lru;
+    Su_util.Lru.append l b.Buf.lru
+  end
 
 let lookup t lbn = Hashtbl.find_opt t.tbl lbn
 
@@ -74,8 +90,13 @@ let sorted_keys t =
 
 let set_dirty t (b : Buf.t) v =
   if b.Buf.dirty <> v then begin
+    if b.Buf.valid then Su_util.Lru.remove (lru_of t b) b.Buf.lru;
     b.Buf.dirty <- v;
-    t.ndirty <- t.ndirty + (if v then 1 else -1)
+    t.ndirty <- t.ndirty + (if v then 1 else -1);
+    (* migrate with the stamp unchanged: dirtying/cleaning a buffer is
+       not a recency event (only [touch] is), so it keeps its position
+       in the global LRU order *)
+    if b.Buf.valid then Su_util.Lru.insert_by_stamp (lru_of t b) b.Buf.lru
   end
 
 let bdwrite t b = set_dirty t b true
@@ -162,6 +183,7 @@ let prepare_modify t (b : Buf.t) =
 
 let remove_from_table t (b : Buf.t) =
   if b.Buf.valid then begin
+    Su_util.Lru.remove (lru_of t b) b.Buf.lru;
     b.Buf.valid <- false;
     Hashtbl.remove t.tbl b.Buf.key;
     t.used <- t.used - b.Buf.nfrags;
@@ -183,19 +205,18 @@ let evictable (b : Buf.t) =
 
 let pick_victim t =
   (* Prefer the least-recently-used clean buffer; fall back to the
-     least-recently-used dirty one (which we must write first). *)
-  let best_clean = ref None and best_dirty = ref None in
-  let consider slot (b : Buf.t) =
-    match !slot with
-    | None -> slot := Some b
-    | Some cur -> if b.Buf.lru_stamp < cur.Buf.lru_stamp then slot := Some b
-  in
-  Hashtbl.iter
-    (fun _ b ->
-      if evictable b then
-        if b.Buf.dirty then consider best_dirty b else consider best_clean b)
-    t.tbl;
-  match !best_clean with Some b -> Some b | None -> !best_dirty
+     least-recently-used dirty one (which we must write first). The
+     lists are in ascending stamp order, so the first evictable buffer
+     from the head is the LRU evictable one; busy buffers (referenced,
+     in-flight or sticky) are merely stepped over. *)
+  match Su_util.Lru.find evictable t.clean_lru with
+  | Some b -> Some b
+  | None -> Su_util.Lru.find evictable t.dirty_lru
+
+let lru_keys t ~dirty =
+  List.map
+    (fun (b : Buf.t) -> b.Buf.key)
+    (Su_util.Lru.to_list (if dirty then t.dirty_lru else t.clean_lru))
 
 let ensure_space t needed =
   let attempts = ref 0 in
@@ -219,7 +240,8 @@ let ensure_space t needed =
 (* --- lookup / read --------------------------------------------------- *)
 
 let new_buf t ~lbn ~nfrags content =
-  let b =
+  let lock_waiters = Sync.Waitq.create t.engine in
+  let rec b =
     {
       Buf.key = lbn;
       nfrags;
@@ -229,13 +251,13 @@ let new_buf t ~lbn ~nfrags content =
       io_locked = false;
       valid = true;
       refcount = 1;
-      lru_stamp = 0;
+      lru = { Su_util.Lru.value = b; stamp = 0; prev = None; next = None; in_list = false };
       wflag = false;
       wdeps = [];
       aux = None;
       sticky = false;
       syncer_marked = false;
-      lock_waiters = Sync.Waitq.create t.engine;
+      lock_waiters;
       write_waiters = [];
     }
   in
@@ -319,10 +341,13 @@ let sync_all t =
     incr rounds;
     if !rounds > 1000 then failwith "Bcache.sync_all: no convergence";
     List.iter (fun item -> item ()) (take_workitems t);
+    (* the dirty list already holds exactly the valid dirty buffers in
+       LRU (ascending stamp) order; snapshot it, skipping buffers with
+       a write already in flight *)
     let dirty =
       List.filter
-        (fun (b : Buf.t) -> b.Buf.dirty && b.Buf.valid && b.Buf.io_count = 0)
-        (all_bufs t)
+        (fun (b : Buf.t) -> b.Buf.io_count = 0)
+        (Su_util.Lru.to_list t.dirty_lru)
     in
     List.iter
       (fun b ->

@@ -108,6 +108,18 @@ val take_workitems : t -> (unit -> unit) list
 
 val dirty_count : t -> int
 val used_frags : t -> int
+
+val pick_victim : t -> Buf.t option
+(** The buffer space reclaim would take next: the least recently used
+    evictable clean buffer, else the least recently used evictable
+    dirty one, else [None] (everything referenced, in-flight or
+    sticky). Exposed for the test suite. *)
+
+val lru_keys : t -> dirty:bool -> int list
+(** Extent keys of the clean ([dirty:false]) or dirty ([dirty:true])
+    recency list, least recently used first. Exposed for the test
+    suite. *)
+
 val all_bufs : t -> Buf.t list
 (** Valid buffers in unspecified order. *)
 

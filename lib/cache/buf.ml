@@ -13,7 +13,7 @@ type t = {
   mutable io_locked : bool;
   mutable valid : bool;
   mutable refcount : int;
-  mutable lru_stamp : int;
+  lru : t Su_util.Lru.node;
   mutable wflag : bool;
   mutable wdeps : int list;
   mutable aux : aux option;

@@ -23,7 +23,10 @@ type t = {
   mutable io_locked : bool;  (** updaters must wait (no block-copy) *)
   mutable valid : bool;  (** false once invalidated/evicted *)
   mutable refcount : int;
-  mutable lru_stamp : int;
+  lru : t Su_util.Lru.node;
+      (** intrusive recency node; [lru.value == t]. Owned by the cache:
+          on the clean list when valid and not dirty, on the dirty list
+          when valid and dirty, detached when invalid. *)
   mutable wflag : bool;  (** issue the next write with the ordering flag *)
   mutable wdeps : int list;  (** chains: request ids the next write depends on *)
   mutable aux : aux option;

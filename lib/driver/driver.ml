@@ -1,6 +1,14 @@
 module IntMap = Map.Make (Int)
 module IntSet = Set.Make (Int)
 
+(* Ready candidates ordered by (lbn, id): C-LOOK picks the first
+   element at or after the head position, FCFS the minimum id. *)
+module LbnSet = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
 type policy = Clook | Fcfs
 
 type config = {
@@ -13,6 +21,26 @@ type config = {
 let default_config =
   { mode = Ordering.Unordered; policy = Clook; max_concat = 64; keep_records = false }
 
+(* The queue is maintained as a dispatch index so that accepting a
+   request, selecting the next device operation and retiring a
+   completion are all O(log n) in the number of pending requests —
+   the seed implementation rebuilt the full eligible list after every
+   disk completion, which went quadratic exactly in the paper's
+   interesting regime (thousands of delayed writes queued at once).
+
+   Every pending request is in exactly one of two states:
+   - {e ready}: eligible for scheduling right now; indexed by id
+     ([ready_ids], FCFS order) and by (lbn, id) ([ready_by_lbn],
+     C-LOOK order and concatenation lookups);
+   - {e parked}: provably not eligible until a specific outstanding
+     request (its {e witness}) completes; stored in [waiters] under
+     the witness id. Witnesses come from {!Ordering.first_blocker}
+     (gates, chain dependencies, barriers) or from the
+     conflicting-earlier-write check (WAW safety), and are always
+     necessary conditions, so a parked request never needs to be
+     re-examined before its witness completes. Eligibility is
+     monotone — ids only ever leave the outstanding set — so a ready
+     request never becomes ineligible again. *)
 type t = {
   engine : Su_sim.Engine.t;
   disk : Su_disk.Disk.t;
@@ -20,10 +48,12 @@ type t = {
   mutable trace : Trace.t;
   mutable next_id : int;
   mutable last_flagged : int option;
-  mutable pending : Request.t IntMap.t;  (* queued, keyed by id *)
-  mutable in_flight : Request.t list;  (* on the device *)
-  mutable outstanding_ids : IntSet.t;  (* pending + in_flight *)
-  mutable start_times : float IntMap.t;  (* device start per in-flight id *)
+  reqs : (int, Request.t) Hashtbl.t;  (* queued requests by id *)
+  mutable ready_ids : IntSet.t;  (* queued and eligible, by id *)
+  mutable ready_by_lbn : LbnSet.t;  (* same set, by (lbn, id) *)
+  waiters : (int, int list) Hashtbl.t;  (* witness id -> parked ids *)
+  start_times : (int, float) Hashtbl.t;  (* in-flight: device start per id *)
+  mutable outstanding_ids : IntSet.t;  (* queued + in-flight *)
   mutable writes_by_start : (int * int) list IntMap.t;
       (* outstanding writes: start lbn -> [(id, nfrags)] *)
   mutable head_pos : int;
@@ -39,7 +69,7 @@ let reset_trace t =
 
 let completed t id = not (IntSet.mem id t.outstanding_ids)
 let outstanding t = IntSet.cardinal t.outstanding_ids
-let queue_length t = IntMap.cardinal t.pending
+let queue_length t = Hashtbl.length t.reqs
 
 (* Widest write the driver ever accepts; bounds the interval scan. *)
 let max_write_extent = 64
@@ -62,24 +92,27 @@ let remove_write_index t (r : Request.t) =
            | l' -> Some l'))
       t.writes_by_start
 
-(* An outstanding write with a lower id whose extent overlaps [r]. *)
-let conflicting_earlier_write t (r : Request.t) =
+(* An outstanding write with a lower id whose extent overlaps [r];
+   the scan window is bounded by the maximum write extent. *)
+let conflicting_earlier_write_id t (r : Request.t) =
   let lo = r.Request.lbn - max_write_extent and hi = r.Request.lbn + r.Request.nfrags in
   let seq = IntMap.to_seq_from lo t.writes_by_start in
   let rec scan s =
     match s () with
-    | Seq.Nil -> false
+    | Seq.Nil -> None
     | Seq.Cons ((start, entries), rest) ->
-      if start >= hi then false
-      else if
-        List.exists
-          (fun (id, len) ->
-            id < r.Request.id
-            && start < hi
-            && r.Request.lbn < start + len)
-          entries
-      then true
-      else scan rest
+      if start >= hi then None
+      else
+        (match
+           List.find_opt
+             (fun (id, len) ->
+               id < r.Request.id
+               && start < hi
+               && r.Request.lbn < start + len)
+             entries
+         with
+         | Some (id, _) -> Some id
+         | None -> scan rest)
   in
   scan seq
 
@@ -87,57 +120,101 @@ let ctx t =
   {
     Ordering.is_outstanding = (fun id -> IntSet.mem id t.outstanding_ids);
     min_outstanding = (fun () -> IntSet.min_elt_opt t.outstanding_ids);
-    conflicting_earlier_write = (fun r -> conflicting_earlier_write t r);
+    conflicting_earlier_write =
+      (fun r -> conflicting_earlier_write_id t r <> None);
   }
 
-let eligible_list t =
-  let c = ctx t in
-  IntMap.fold
-    (fun _ r acc ->
-      if
-        Ordering.eligible t.config.mode c r
-        && not (conflicting_earlier_write t r)
-      then r :: acc
-      else acc)
-    t.pending []
-  |> List.rev
-(* ascending id order *)
+(* --- the dispatch index ---------------------------------------------- *)
 
-let pick_head t candidates =
+let make_ready t (r : Request.t) =
+  t.ready_ids <- IntSet.add r.Request.id t.ready_ids;
+  t.ready_by_lbn <- LbnSet.add (r.Request.lbn, r.Request.id) t.ready_by_lbn
+
+let remove_ready t (r : Request.t) =
+  t.ready_ids <- IntSet.remove r.Request.id t.ready_ids;
+  t.ready_by_lbn <- LbnSet.remove (r.Request.lbn, r.Request.id) t.ready_by_lbn
+
+let park t ~witness id =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.waiters witness) in
+  Hashtbl.replace t.waiters witness (id :: prev)
+
+(* File a queued request as ready, or park it under a necessary
+   witness. A request is dispatchable iff its ordering constraints are
+   satisfied and no earlier outstanding write overlaps it; both kinds
+   of blockage name an outstanding id that must complete first. *)
+let classify t (r : Request.t) =
+  match Ordering.first_blocker t.config.mode (ctx t) r with
+  | Some w -> park t ~witness:w r.Request.id
+  | None ->
+    (match conflicting_earlier_write_id t r with
+     | Some w -> park t ~witness:w r.Request.id
+     | None -> make_ready t r)
+
+(* [witness] has completed: re-examine every request parked under it.
+   Each either becomes ready or parks under a new (still outstanding)
+   witness. *)
+let promote_waiters t witness =
+  match Hashtbl.find_opt t.waiters witness with
+  | None -> ()
+  | Some ids ->
+    Hashtbl.remove t.waiters witness;
+    (* re-classify in ascending id order so [park]'s consing keeps
+       each waiter list in descending id order deterministically *)
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt t.reqs id with
+        | Some r -> classify t r
+        | None -> assert false (* parked requests cannot dispatch *))
+      (List.rev ids)
+
+(* --- scheduling ------------------------------------------------------ *)
+
+let pick_head t =
   match t.config.policy with
   | Fcfs ->
-    (match candidates with [] -> None | r :: _ -> Some r)
+    (match IntSet.min_elt_opt t.ready_ids with
+     | None -> None
+     | Some id -> Some (Hashtbl.find t.reqs id))
   | Clook ->
     let ahead =
-      List.filter (fun (r : Request.t) -> r.Request.lbn >= t.head_pos) candidates
+      LbnSet.find_first_opt (fun (lbn, _) -> lbn >= t.head_pos) t.ready_by_lbn
     in
-    let pool = if ahead = [] then candidates else ahead in
-    (match pool with
-     | [] -> None
-     | first :: rest ->
-       Some
-         (List.fold_left
-            (fun (best : Request.t) (r : Request.t) ->
-              if r.Request.lbn < best.Request.lbn then r else best)
-            first rest))
+    let chosen =
+      match ahead with None -> LbnSet.min_elt_opt t.ready_by_lbn | some -> some
+    in
+    (match chosen with
+     | None -> None
+     | Some (_, id) -> Some (Hashtbl.find t.reqs id))
 
-(* Gather eligible requests that extend [head] contiguously upward,
-   same kind, within the concatenation limit. *)
-let concat_run t head candidates =
-  let by_lbn = Hashtbl.create 16 in
-  List.iter
-    (fun (r : Request.t) ->
-      if r.Request.kind = head.Request.kind && r.Request.id <> head.Request.id then
-        Hashtbl.replace by_lbn r.Request.lbn r)
-    candidates;
+(* Largest ready id at exactly [lbn] with the same kind as [head]
+   (matching the seed's concatenation table, where the last-inserted —
+   highest-id — same-kind candidate won). *)
+let concat_candidate t (head : Request.t) lbn =
+  let rec search upper =
+    match
+      LbnSet.find_last_opt (fun e -> compare e (lbn, upper) <= 0) t.ready_by_lbn
+    with
+    | Some (l, id) when l = lbn ->
+      let r = Hashtbl.find t.reqs id in
+      if r.Request.kind = head.Request.kind && id <> head.Request.id then Some r
+      else search (id - 1)
+    | Some _ | None -> None
+  in
+  search max_int
+
+(* Gather ready requests that extend [head] contiguously upward, same
+   kind, within the concatenation limit. *)
+let concat_run t (head : Request.t) =
   let rec extend acc last_end total =
     if total >= t.config.max_concat then List.rev acc
     else
-      match Hashtbl.find_opt by_lbn last_end with
+      match concat_candidate t head last_end with
       | Some r when total + r.Request.nfrags <= t.config.max_concat ->
+        remove_ready t r;
         extend (r :: acc) (last_end + r.Request.nfrags) (total + r.Request.nfrags)
       | Some _ | None -> List.rev acc
   in
+  remove_ready t head;
   head :: extend [] (head.Request.lbn + head.Request.nfrags) head.Request.nfrags
 
 let notify_if_idle t =
@@ -149,19 +226,15 @@ let notify_if_idle t =
 
 let rec try_dispatch t =
   if not (Su_disk.Disk.busy t.disk) then begin
-    let candidates = eligible_list t in
-    match pick_head t candidates with
+    match pick_head t with
     | None -> ()
     | Some head ->
-      let run = concat_run t head candidates in
-      List.iter
-        (fun (r : Request.t) -> t.pending <- IntMap.remove r.Request.id t.pending)
-        run;
-      t.in_flight <- t.in_flight @ run;
+      let run = concat_run t head in
       let now = Su_sim.Engine.now t.engine in
       List.iter
         (fun (r : Request.t) ->
-          t.start_times <- IntMap.add r.Request.id now t.start_times)
+          Hashtbl.remove t.reqs r.Request.id;
+          Hashtbl.replace t.start_times r.Request.id now)
         run;
       let lbn = head.Request.lbn in
       let nfrags =
@@ -190,16 +263,12 @@ let rec try_dispatch t =
             (fun (r : Request.t) ->
               t.outstanding_ids <- IntSet.remove r.Request.id t.outstanding_ids;
               if r.Request.kind = Request.Write then remove_write_index t r;
-              t.in_flight <-
-                List.filter
-                  (fun (e : Request.t) -> e.Request.id <> r.Request.id)
-                  t.in_flight;
               let start =
-                match IntMap.find_opt r.Request.id t.start_times with
+                match Hashtbl.find_opt t.start_times r.Request.id with
                 | Some s -> s
                 | None -> r.Request.issue_time
               in
-              t.start_times <- IntMap.remove r.Request.id t.start_times;
+              Hashtbl.remove t.start_times r.Request.id;
               Trace.note t.trace
                 {
                   Trace.r_id = r.Request.id;
@@ -211,6 +280,11 @@ let rec try_dispatch t =
                   r_start = start;
                   r_complete = complete_time;
                 };
+              (* promote before the completion callback runs: a
+                 callback may submit new requests and trigger a
+                 dispatch, which must already see the requests this
+                 completion unblocked *)
+              promote_waiters t r.Request.id;
               let slice =
                 match data with
                 | None -> None
@@ -233,10 +307,12 @@ let create ~engine ~disk config =
     trace = Trace.create ~keep_records:config.keep_records ();
     next_id = 0;
     last_flagged = None;
-    pending = IntMap.empty;
-    in_flight = [];
+    reqs = Hashtbl.create 1024;
+    ready_ids = IntSet.empty;
+    ready_by_lbn = LbnSet.empty;
+    waiters = Hashtbl.create 1024;
+    start_times = Hashtbl.create 64;
     outstanding_ids = IntSet.empty;
-    start_times = IntMap.empty;
     writes_by_start = IntMap.empty;
     head_pos = 0;
     idle_waiters = [];
@@ -271,9 +347,10 @@ let submit t ~kind ~lbn ~nfrags ?(flagged = false) ?(deps = []) ?(sync = false)
     }
   in
   if flagged then t.last_flagged <- Some id;
-  t.pending <- IntMap.add id r t.pending;
+  Hashtbl.replace t.reqs id r;
   t.outstanding_ids <- IntSet.add id t.outstanding_ids;
   if kind = Request.Write then add_write_index t r;
+  classify t r;
   try_dispatch t;
   id
 

@@ -52,6 +52,72 @@ let flag_eligible sem ctx (r : Request.t) =
          so its completion implies theirs *)
       gate_completed ctx r
 
+(* Incremental form of [eligible], used by the driver's dispatch
+   index: instead of re-evaluating every queued request after each
+   completion, the driver parks a blocked request under the returned
+   witness id and re-examines it only when that witness completes.
+
+   The contract is that the witness is {e necessary}: the request
+   cannot become eligible while the witness is still outstanding. This
+   holds because every condition is a conjunction of monotone clauses
+   (ids complete and are never re-issued), so any failing clause
+   yields a necessary witness:
+   - an outstanding gate or chain dependency must itself complete;
+   - a "nothing outstanding below [bound]" clause cannot become true
+     before the current minimum outstanding id completes.
+
+   The -NR read bypass is the one disjunction: a read that fails the
+   flag/chains clause may still proceed once it stops overlapping an
+   earlier outstanding write. Its only necessary condition is the
+   conflict check, which the driver applies to every ready candidate
+   anyway, so we report such reads as unblocked here and let the
+   driver park them under the conflicting write's id. *)
+let first_blocker mode ctx (r : Request.t) =
+  let nr_read nr = nr && r.Request.kind = Request.Read in
+  let gate_blocker () =
+    match r.Request.gate with
+    | Some g when ctx.is_outstanding g -> Some g
+    | Some _ | None -> None
+  in
+  let below_blocker bound =
+    match ctx.min_outstanding () with
+    | Some m when m < bound -> Some m
+    | Some _ | None -> None
+  in
+  let ordering_blocker =
+    match mode with
+    | Unordered -> None
+    | Flag { sem; nr } ->
+      let flag_blocker =
+        match sem with
+        | Ignore -> None
+        | Part -> gate_blocker ()
+        | Back ->
+          (match gate_blocker () with
+           | Some g -> Some g
+           | None ->
+             (match r.Request.gate with
+              | None -> None
+              | Some g -> below_blocker g))
+        | Full ->
+          if r.Request.flagged then below_blocker r.Request.id
+          else gate_blocker ()
+      in
+      (match flag_blocker with
+       | None -> None
+       | Some w -> if nr_read nr then None else Some w)
+    | Chains { nr } ->
+      let dep_blocker =
+        match List.find_opt ctx.is_outstanding r.Request.deps with
+        | Some d -> Some d
+        | None -> gate_blocker ()
+      in
+      (match dep_blocker with
+       | None -> None
+       | Some w -> if nr_read nr then None else Some w)
+  in
+  ordering_blocker
+
 let eligible mode ctx (r : Request.t) =
   match mode with
   | Unordered -> true

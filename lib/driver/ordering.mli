@@ -46,3 +46,16 @@ type ctx = {
 val eligible : mode -> ctx -> Request.t -> bool
 (** Whether the (queued, outstanding) request may be handed to the
     disk scheduler now. *)
+
+val first_blocker : mode -> ctx -> Request.t -> int option
+(** Incremental companion to {!eligible} for the driver's dispatch
+    index. [None] means the ordering constraints are satisfied now
+    ({e except} possibly the conflicting-earlier-write check, which
+    the driver applies separately to all candidates, including the
+    [nr] read bypass). [Some w] returns a {e necessary} witness: an
+    outstanding request id that must complete before this request can
+    become eligible, so the driver may park the request until [w]
+    completes instead of re-evaluating it after every completion.
+    Invariant (checked by the test suite): [first_blocker] returns
+    [None] iff [eligible] holds when no earlier outstanding write
+    overlaps the request. *)

@@ -75,6 +75,24 @@ let to_list t =
   go (t.size - 1) []
 
 let filter_in_place t pred =
-  let kept = List.filter pred (to_list t) in
-  clear t;
-  List.iter (push t) kept
+  (* compact survivors into the array prefix, then restore the heap
+     invariant bottom-up: O(n) total, no intermediate list and no
+     per-element sift_up *)
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    if pred t.data.(i) then begin
+      t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  (* clear the dangling tail so dropped elements can be collected *)
+  if !j > 0 then
+    for i = !j to t.size - 1 do
+      t.data.(i) <- t.data.(0)
+    done;
+  t.size <- !j;
+  if !j = 0 then t.data <- [||]
+  else
+    for i = (t.size / 2) - 1 downto 0 do
+      sift_down t i
+    done

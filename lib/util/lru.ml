@@ -1,0 +1,108 @@
+type 'a node = {
+  value : 'a;
+  mutable stamp : int;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable in_list : bool;
+}
+
+type 'a t = {
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable length : int;
+}
+
+let make ?(stamp = 0) value =
+  { value; stamp; prev = None; next = None; in_list = false }
+
+let create () = { head = None; tail = None; length = 0 }
+let length t = t.length
+let is_empty t = t.length = 0
+
+let append t n =
+  if n.in_list then invalid_arg "Lru.append: node already in a list";
+  n.prev <- t.tail;
+  n.next <- None;
+  (match t.tail with
+   | None -> t.head <- Some n
+   | Some tl -> tl.next <- Some n);
+  t.tail <- Some n;
+  n.in_list <- true;
+  t.length <- t.length + 1
+
+let remove t n =
+  if n.in_list then begin
+    (match n.prev with
+     | None -> t.head <- n.next
+     | Some p -> p.next <- n.next);
+    (match n.next with
+     | None -> t.tail <- n.prev
+     | Some nx -> nx.prev <- n.prev);
+    n.prev <- None;
+    n.next <- None;
+    n.in_list <- false;
+    t.length <- t.length - 1
+  end
+
+let insert_after t p n =
+  n.prev <- Some p;
+  n.next <- p.next;
+  (match p.next with
+   | None -> t.tail <- Some n
+   | Some nx -> nx.prev <- Some n);
+  p.next <- Some n;
+  n.in_list <- true;
+  t.length <- t.length + 1
+
+let insert_by_stamp t n =
+  if n.in_list then invalid_arg "Lru.insert_by_stamp: node already in a list";
+  (* walk from the tail so insertions with a fresh (maximal) stamp —
+     the common case — are O(1) *)
+  let rec find_pred = function
+    | None -> None
+    | Some c -> if c.stamp <= n.stamp then Some c else find_pred c.prev
+  in
+  match find_pred t.tail with
+  | Some p -> insert_after t p n
+  | None ->
+    n.prev <- None;
+    n.next <- t.head;
+    (match t.head with
+     | None -> t.tail <- Some n
+     | Some h -> h.prev <- Some n);
+    t.head <- Some n;
+    n.in_list <- true;
+    t.length <- t.length + 1
+
+let head t = Option.map (fun n -> n.value) t.head
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      let nx = n.next in
+      f n.value;
+      go nx
+  in
+  go t.head
+
+let find f t =
+  let rec go = function
+    | None -> None
+    | Some n -> if f n.value then Some n.value else go n.next
+  in
+  go t.head
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.value :: acc) n.next
+  in
+  go [] t.head
+
+let stamps t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.stamp :: acc) n.next
+  in
+  go [] t.head

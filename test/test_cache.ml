@@ -233,6 +233,87 @@ let test_sticky_not_evicted () =
       Alcotest.(check bool) "sticky survived" true (Bcache.lookup w.bc 0 <> None);
       Alcotest.(check bool) "non-sticky evicted" true (Bcache.lookup w.bc 100 = None))
 
+let test_lru_lists_track_state () =
+  let w = mk ~capacity:1024 () in
+  in_proc w (fun () ->
+      let get lbn =
+        let b =
+          Bcache.getblk w.bc ~lbn ~nfrags:1 ~init:(fun () ->
+              data_content 1 (stampw lbn))
+        in
+        Bcache.release w.bc b;
+        b
+      in
+      let b10 = get 10 in
+      let b20 = get 20 in
+      let b30 = get 30 in
+      ignore b30;
+      Alcotest.(check (list int)) "clean in use order" [ 10; 20; 30 ]
+        (Bcache.lru_keys w.bc ~dirty:false);
+      Alcotest.(check (list int)) "dirty empty" []
+        (Bcache.lru_keys w.bc ~dirty:true);
+      (* re-using a buffer moves it to the most-recent end *)
+      ignore (get 10);
+      Alcotest.(check (list int)) "touched moved last" [ 20; 30; 10 ]
+        (Bcache.lru_keys w.bc ~dirty:false);
+      (* dirtying migrates to the dirty list at its recency position *)
+      Bcache.bdwrite w.bc b20;
+      Bcache.bdwrite w.bc b10;
+      Alcotest.(check (list int)) "clean remainder" [ 30 ]
+        (Bcache.lru_keys w.bc ~dirty:false);
+      Alcotest.(check (list int)) "dirty keeps recency order" [ 20; 10 ]
+        (Bcache.lru_keys w.bc ~dirty:true);
+      (* flushing migrates back into the clean list by recency *)
+      Bcache.sync_all w.bc;
+      Alcotest.(check (list int)) "dirty empty again" []
+        (Bcache.lru_keys w.bc ~dirty:true);
+      Alcotest.(check (list int)) "clean merged by recency" [ 20; 30; 10 ]
+        (Bcache.lru_keys w.bc ~dirty:false);
+      (* invalidation detaches from the lists *)
+      Bcache.invalidate w.bc b20;
+      Alcotest.(check (list int)) "invalidated gone" [ 30; 10 ]
+        (Bcache.lru_keys w.bc ~dirty:false))
+
+let test_pick_victim_skips_busy () =
+  let w = mk ~capacity:1024 () in
+  in_proc w (fun () ->
+      let get lbn =
+        let b =
+          Bcache.getblk w.bc ~lbn ~nfrags:1 ~init:(fun () ->
+              data_content 1 (stampw lbn))
+        in
+        Bcache.release w.bc b;
+        b
+      in
+      let b1 = get 10 in
+      let b2 = get 20 in
+      let b3 = get 30 in
+      let b4 = get 40 in
+      let victim () =
+        match Bcache.pick_victim w.bc with
+        | Some b -> b.Buf.key
+        | None -> -1
+      in
+      Alcotest.(check int) "lru victim first" 10 (victim ());
+      b1.Buf.refcount <- 1;
+      Alcotest.(check int) "referenced skipped" 20 (victim ());
+      b2.Buf.sticky <- true;
+      Alcotest.(check int) "sticky skipped" 30 (victim ());
+      (* clean buffers are preferred over older dirty ones *)
+      Bcache.bdwrite w.bc b3;
+      Alcotest.(check int) "clean preferred over older dirty" 40 (victim ());
+      Bcache.bdwrite w.bc b4;
+      Alcotest.(check int) "lru dirty fallback" 30 (victim ());
+      (* an in-flight write pins the buffer *)
+      b3.Buf.io_count <- 1;
+      Alcotest.(check int) "in-flight skipped" 40 (victim ());
+      b4.Buf.io_count <- 1;
+      Alcotest.(check int) "nothing evictable" (-1) (victim ());
+      b3.Buf.io_count <- 0;
+      b4.Buf.io_count <- 0;
+      b1.Buf.refcount <- 0;
+      Bcache.sync_all w.bc)
+
 let test_sync_all () =
   let w = mk () in
   in_proc w (fun () ->
@@ -321,6 +402,8 @@ let suite =
     Alcotest.test_case "eviction lru" `Quick test_eviction_lru;
     Alcotest.test_case "eviction writes dirty" `Quick test_eviction_writes_dirty;
     Alcotest.test_case "sticky not evicted" `Quick test_sticky_not_evicted;
+    Alcotest.test_case "lru lists track state" `Quick test_lru_lists_track_state;
+    Alcotest.test_case "pick_victim skips busy" `Quick test_pick_victim_skips_busy;
     Alcotest.test_case "sync_all" `Quick test_sync_all;
     Alcotest.test_case "workitems run" `Quick test_workitems_run_by_syncer;
     Alcotest.test_case "pre_write rollback" `Quick test_pre_write_hook_rollback;

@@ -423,9 +423,68 @@ let prop_back_flag_freezes_prefix =
           ok)
         order)
 
+(* The dispatch index parks blocked requests under the witness id
+   returned by [Ordering.first_blocker]; that is only sound if the
+   witness is outstanding and its answer agrees with [eligible]
+   whenever the conflicting-write check passes. *)
+let prop_first_blocker_agrees_with_eligible =
+  QCheck.Test.make ~name:"first_blocker agrees with eligible" ~count:2000
+    QCheck.(
+      quad (int_bound 10)
+        (list (int_bound 15))
+        (option (int_bound 15))
+        (triple bool bool (int_bound 7)))
+    (fun (id_off, outs, gate, (flagged, is_read, mode_sel)) ->
+      let id = 16 + id_off in
+      let outstanding = List.sort_uniq compare (id :: outs) in
+      let gate = Option.map (fun g -> g mod id) gate in
+      let deps =
+        List.filter (fun i -> i < id) outs |> List.sort_uniq compare
+        |> List.filteri (fun i _ -> i mod 2 = 0)
+      in
+      let mode =
+        match mode_sel with
+        | 0 -> Ordering.Unordered
+        | 1 -> Ordering.Flag { sem = Ordering.Full; nr = false }
+        | 2 -> Ordering.Flag { sem = Ordering.Full; nr = true }
+        | 3 -> Ordering.Flag { sem = Ordering.Back; nr = false }
+        | 4 -> Ordering.Flag { sem = Ordering.Part; nr = true }
+        | 5 -> Ordering.Flag { sem = Ordering.Ignore; nr = false }
+        | 6 -> Ordering.Chains { nr = false }
+        | _ -> Ordering.Chains { nr = true }
+      in
+      let r =
+        {
+          Request.id;
+          kind = (if is_read then Request.Read else Request.Write);
+          lbn = 0;
+          nfrags = 1;
+          payload = None;
+          flagged;
+          gate;
+          deps;
+          sync = false;
+          issue_time = 0.0;
+          on_complete = (fun _ -> ());
+        }
+      in
+      let ctx =
+        {
+          Ordering.is_outstanding = (fun i -> List.mem i outstanding);
+          min_outstanding =
+            (fun () ->
+              match outstanding with [] -> None | x :: _ -> Some x);
+          conflicting_earlier_write = (fun _ -> false);
+        }
+      in
+      match Ordering.first_blocker mode ctx r with
+      | None -> Ordering.eligible mode ctx r
+      | Some w -> List.mem w outstanding && not (Ordering.eligible mode ctx r))
+
 let suite =
   [
     Alcotest.test_case "all complete" `Quick test_all_complete;
+    QCheck_alcotest.to_alcotest prop_first_blocker_agrees_with_eligible;
     QCheck_alcotest.to_alcotest prop_full_flag_total_barrier;
     QCheck_alcotest.to_alcotest prop_back_flag_freezes_prefix;
     Alcotest.test_case "clook order" `Quick test_clook_orders_by_position;

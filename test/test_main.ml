@@ -19,4 +19,5 @@ let () =
       ("model", Test_model.suite);
       ("experiments", Test_experiments.suite);
       ("regressions", Test_regressions.suite);
+      ("trace-golden", Test_trace_golden.suite);
     ]

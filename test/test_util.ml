@@ -69,6 +69,135 @@ let prop_heap_pops_sorted =
       in
       drain [] = List.sort compare xs)
 
+let prop_heap_filter_in_place =
+  QCheck.Test.make ~name:"heap filter_in_place keeps a valid heap" ~count:200
+    QCheck.(pair (list int) int)
+    (fun (xs, k) ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let pred x = x land 3 <> k land 3 in
+      Heap.filter_in_place h pred;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare (List.filter pred xs))
+
+let test_lru_append_order () =
+  let l = Lru.create () in
+  let mk i = Lru.make ~stamp:i i in
+  let nodes = List.map mk [ 1; 2; 3 ] in
+  List.iter (Lru.append l) nodes;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (Lru.to_list l);
+  Alcotest.(check (option int)) "head is oldest" (Some 1) (Lru.head l)
+
+let test_lru_remove_relinks () =
+  let l = Lru.create () in
+  let mk i = Lru.make ~stamp:i i in
+  let n1 = mk 1 and n2 = mk 2 and n3 = mk 3 in
+  List.iter (Lru.append l) [ n1; n2; n3 ];
+  Lru.remove l n2;
+  Alcotest.(check (list int)) "middle gone" [ 1; 3 ] (Lru.to_list l);
+  Lru.remove l n2;
+  Alcotest.(check int) "double remove is a no-op" 2 (Lru.length l);
+  Lru.remove l n1;
+  Lru.remove l n3;
+  Alcotest.(check bool) "empty" true (Lru.is_empty l);
+  (* removed nodes are reusable *)
+  Lru.append l n2;
+  Alcotest.(check (list int)) "reinserted" [ 2 ] (Lru.to_list l)
+
+let test_lru_touch_moves_to_tail () =
+  let l = Lru.create () in
+  let mk i = Lru.make ~stamp:i i in
+  let n1 = mk 1 and n2 = mk 2 and n3 = mk 3 in
+  List.iter (Lru.append l) [ n1; n2; n3 ];
+  (* a touch = fresh maximal stamp + remove/append *)
+  n1.Lru.stamp <- 4;
+  Lru.remove l n1;
+  Lru.append l n1;
+  Alcotest.(check (list int)) "touched moves last" [ 2; 3; 1 ] (Lru.to_list l);
+  Alcotest.(check (list int)) "stamps ascending" [ 2; 3; 4 ] (Lru.stamps l)
+
+let test_lru_insert_by_stamp () =
+  let l = Lru.create () in
+  let mk i = Lru.make ~stamp:i i in
+  List.iter (Lru.append l) [ mk 2; mk 5; mk 9 ];
+  Lru.insert_by_stamp l (mk 7);
+  Lru.insert_by_stamp l (mk 1);
+  Lru.insert_by_stamp l (mk 12);
+  Alcotest.(check (list int)) "stamp order kept" [ 1; 2; 5; 7; 9; 12 ]
+    (Lru.to_list l);
+  Alcotest.(check int) "length" 6 (Lru.length l)
+
+let test_lru_find_skips () =
+  let l = Lru.create () in
+  let mk i = Lru.make ~stamp:i i in
+  List.iter (Lru.append l) [ mk 1; mk 2; mk 3; mk 4 ];
+  Alcotest.(check (option int)) "first even from head" (Some 2)
+    (Lru.find (fun v -> v mod 2 = 0) l);
+  Alcotest.(check (option int)) "no match" None (Lru.find (fun v -> v > 9) l)
+
+let prop_lru_matches_model =
+  (* random append/touch/migrate/remove trace against a sorted-list model *)
+  QCheck.Test.make ~name:"lru lists match a stamp-sorted model" ~count:200
+    QCheck.(list (pair (int_bound 3) (int_bound 9)))
+    (fun ops ->
+      let a = Lru.create () and b = Lru.create () in
+      let nodes = Array.init 10 (fun i -> Lru.make i) in
+      let where = Array.make 10 `Out in
+      let counter = ref 0 in
+      let model = ref [] in
+      (* model: (id, stamp, side) sorted by stamp *)
+      List.iter
+        (fun (op, i) ->
+          let n = nodes.(i) in
+          match op, where.(i) with
+          | 0, `Out ->
+            (* enter side a with a fresh stamp *)
+            incr counter;
+            n.Lru.stamp <- !counter;
+            Lru.append a n;
+            where.(i) <- `A;
+            model := (i, !counter, `A) :: !model
+          | 1, (`A | `B) ->
+            (* touch: fresh stamp, move to tail of its list *)
+            incr counter;
+            n.Lru.stamp <- !counter;
+            let l = if where.(i) = `A then a else b in
+            Lru.remove l n;
+            Lru.append l n;
+            model :=
+              (i, !counter, where.(i))
+              :: List.filter (fun (j, _, _) -> j <> i) !model
+          | 2, (`A | `B) ->
+            (* migrate to the other list, stamp unchanged *)
+            let src, dst, side =
+              if where.(i) = `A then (a, b, `B) else (b, a, `A)
+            in
+            Lru.remove src n;
+            Lru.insert_by_stamp dst n;
+            where.(i) <- side;
+            model :=
+              List.map
+                (fun (j, s, sd) -> if j = i then (j, s, side) else (j, s, sd))
+                !model
+          | 3, (`A | `B) ->
+            let l = if where.(i) = `A then a else b in
+            Lru.remove l n;
+            where.(i) <- `Out;
+            model := List.filter (fun (j, _, _) -> j <> i) !model
+          | _ -> ())
+        ops;
+      let expect side =
+        List.filter (fun (_, _, sd) -> sd = side) !model
+        |> List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2)
+        |> List.map (fun (j, _, _) -> j)
+      in
+      Lru.to_list a = expect `A
+      && Lru.to_list b = expect `B
+      && Lru.stamps a = List.sort compare (Lru.stamps a)
+      && Lru.stamps b = List.sort compare (Lru.stamps b))
+
 let test_stats_basic () =
   let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
   Alcotest.(check int) "count" 4 (Stats.count s);
@@ -117,6 +246,13 @@ let suite =
     Alcotest.test_case "heap empty" `Quick test_heap_empty;
     Alcotest.test_case "heap filter" `Quick test_heap_filter;
     QCheck_alcotest.to_alcotest prop_heap_pops_sorted;
+    QCheck_alcotest.to_alcotest prop_heap_filter_in_place;
+    Alcotest.test_case "lru append order" `Quick test_lru_append_order;
+    Alcotest.test_case "lru remove relinks" `Quick test_lru_remove_relinks;
+    Alcotest.test_case "lru touch moves to tail" `Quick test_lru_touch_moves_to_tail;
+    Alcotest.test_case "lru insert by stamp" `Quick test_lru_insert_by_stamp;
+    Alcotest.test_case "lru find skips" `Quick test_lru_find_skips;
+    QCheck_alcotest.to_alcotest prop_lru_matches_model;
     Alcotest.test_case "stats basic" `Quick test_stats_basic;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "percentile" `Quick test_percentile;
