@@ -1,10 +1,12 @@
 (* metasim: command-line front end to the simulator.
 
    Subcommands:
-     run    — run one benchmark under one scheme and print measurements
-     crash  — run a workload, crash at a given time, fsck the image
-     trace  — run a small workload and dump the I/O trace
-     exp    — run one named experiment (figure/table) at chosen scale *)
+     run        — run one benchmark under one scheme and print measurements
+     crash      — run a workload, crash at a given time, fsck the image
+     crashsweep — re-crash a workload at EVERY write boundary (and torn
+                  mid-write states) and verify recovery per scheme
+     trace      — run a small workload and dump the I/O trace
+     exp        — run one named experiment (figure/table) at chosen scale *)
 
 open Cmdliner
 open Su_fs
@@ -171,17 +173,181 @@ let crash_cmd =
       let check_exposure =
         match cfg.Fs.scheme with Fs.Journaled _ -> false | _ -> cfg.Fs.alloc_init
       in
-      let actions, final = Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure in
+      let { Fsck.actions; final; converged; _ } =
+        Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure
+      in
       Printf.printf "\n# repair\n";
       List.iter (fun a -> Format.printf "  %a@." Fsck.pp_repair_action a) actions;
-      Printf.printf "after repair: %s (%d files, %d dirs)\n"
+      Printf.printf "after repair: %s%s (%d files, %d dirs)\n"
         (if Fsck.ok final then "CONSISTENT" else "STILL BROKEN")
+        (if converged then "" else " (repair did not converge)")
         final.Fsck.files final.Fsck.dirs
     end
   in
   Cmd.v
     (Cmd.info "crash" ~doc:"Crash a workload mid-flight, fsck and optionally repair.")
     Term.(const run $ scheme_arg $ seed_arg $ time_arg $ alloc_init_arg $ repair_arg)
+
+let crashsweep_cmd =
+  let schemes_arg =
+    Arg.(
+      value
+      & opt (some (list scheme_conv)) None
+      & info [ "schemes" ]
+          ~doc:
+            "Comma-separated schemes to sweep (default: the paper's five \
+             plus journaled).")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (list string) [ "smallfiles"; "dirtree" ]
+      & info [ "w"; "workloads" ]
+          ~doc:"Comma-separated built-in workloads: smallfiles, dirtree.")
+  in
+  let no_torn_arg =
+    Arg.(
+      value & flag
+      & info [ "no-torn" ]
+          ~doc:"Skip torn mid-write states (sector-atomic crashes only).")
+  in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Also run each workload with transient-fault injection and \
+             report how the driver's retry machinery coped.")
+  in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "fault-rate" ] ~doc:"Transient failure probability per request.")
+  in
+  let sweep_cfg scheme =
+    (* a compact volume keeps the per-state pipeline (copy, fsck,
+       repair, remount, continue) cheap enough to run at every write
+       boundary *)
+    {
+      (Fs.config ~scheme ()) with
+      Fs.geom = Su_fstypes.Geom.v ~mb:32 ~cg_mb:16 ~inodes_per_cg:1024 ();
+      cache_mb = 4;
+      journal_mb = 2;
+    }
+  in
+  let run schemes workload_names no_torn faults fault_rate =
+    let schemes =
+      match schemes with
+      | Some s -> s
+      | None -> Fs.all_schemes @ [ Fs.Journaled { group_commit = false } ]
+    in
+    let workloads =
+      List.filter_map
+        (fun name ->
+          match Su_check.Explorer.find_workload name with
+          | Some w -> Some w
+          | None ->
+            Printf.eprintf "unknown workload %S (skipped)\n" name;
+            None)
+        workload_names
+    in
+    let table =
+      Su_util.Text_table.create
+        ~title:
+          (Printf.sprintf "crash sweep: every write boundary%s"
+             (if no_torn then "" else " + torn states"))
+        ~headers:
+          [
+            "scheme"; "workload"; "writes"; "states"; "torn"; "violated";
+            "unrepaired"; "remount-fail"; "verdict";
+          ]
+    in
+    List.iter
+      (fun scheme ->
+        List.iter
+          (fun wl ->
+            let s =
+              Su_check.Explorer.sweep ~torn:(not no_torn)
+                ~cfg:(sweep_cfg scheme) wl
+            in
+            let verdict =
+              if Su_check.Explorer.consistent s then "consistent"
+              else if Su_check.Explorer.repairable s then "repairable"
+              else "BROKEN"
+            in
+            Su_util.Text_table.add_row table
+              [
+                Fs.scheme_kind_name scheme;
+                s.Su_check.Explorer.s_workload;
+                Su_util.Text_table.cell_i s.Su_check.Explorer.s_writes;
+                Su_util.Text_table.cell_i s.Su_check.Explorer.s_states;
+                Su_util.Text_table.cell_i s.Su_check.Explorer.s_torn_states;
+                Su_util.Text_table.cell_i s.Su_check.Explorer.s_dirty_states;
+                Su_util.Text_table.cell_i s.Su_check.Explorer.s_unrepaired;
+                Su_util.Text_table.cell_i
+                  s.Su_check.Explorer.s_remount_failures;
+                verdict;
+              ])
+          workloads)
+      schemes;
+    Su_util.Text_table.print table;
+    if faults then begin
+      let table =
+        Su_util.Text_table.create
+          ~title:
+            (Printf.sprintf
+               "transient-fault shakedown (rate %.3f per request)" fault_rate)
+          ~headers:
+            [
+              "scheme"; "workload"; "injected"; "retries"; "failures";
+              "cache-fail"; "verdict";
+            ]
+      in
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun wl ->
+              let cfg =
+                {
+                  (sweep_cfg scheme) with
+                  Fs.fault =
+                    Su_disk.Fault.transient ~seed:97 ~rate:fault_rate ();
+                }
+              in
+              let f = Su_check.Explorer.fault_shakedown ~cfg wl in
+              let verdict =
+                if
+                  f.Su_check.Explorer.f_completed
+                  && f.Su_check.Explorer.f_consistent
+                  && f.Su_check.Explorer.f_failures = 0
+                then "rode it out"
+                else "BROKEN"
+              in
+              Su_util.Text_table.add_row table
+                [
+                  Fs.scheme_kind_name scheme;
+                  wl.Su_check.Explorer.wl_name;
+                  Su_util.Text_table.cell_i f.Su_check.Explorer.f_injected;
+                  Su_util.Text_table.cell_i f.Su_check.Explorer.f_retries;
+                  Su_util.Text_table.cell_i f.Su_check.Explorer.f_failures;
+                  Su_util.Text_table.cell_i
+                    f.Su_check.Explorer.f_cache_failures;
+                  verdict;
+                ])
+            workloads)
+        schemes;
+      Su_util.Text_table.print table
+    end
+  in
+  Cmd.v
+    (Cmd.info "crashsweep"
+       ~doc:
+         "Systematically re-crash a recorded workload at every write \
+          boundary (plus torn mid-write states) and verify fsck, repair and \
+          remount per scheme.")
+    Term.(
+      const run $ schemes_arg $ workloads_arg $ no_torn_arg $ faults_arg
+      $ fault_rate_arg)
 
 let trace_cmd =
   let count_arg =
@@ -253,4 +419,7 @@ let () =
         "Simulated UNIX FFS with five metadata update ordering schemes \
          (Ganger & Patt, OSDI 1994)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; crash_cmd; trace_cmd; exp_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; crash_cmd; crashsweep_cmd; trace_cmd; exp_cmd ]))

@@ -1,5 +1,54 @@
 open Su_sim
 
+exception Io_error of Su_disk.Fault.error
+
+type stuck_buffer = {
+  sb_key : int;
+  sb_nfrags : int;
+  sb_dirty : bool;
+  sb_io : int;
+  sb_ref : int;
+  sb_sticky : bool;
+}
+
+exception Stuck of { op : string; detail : string; buffers : stuck_buffer list }
+
+let stuck_buffer_of (b : Buf.t) =
+  {
+    sb_key = b.Buf.key;
+    sb_nfrags = b.Buf.nfrags;
+    sb_dirty = b.Buf.dirty;
+    sb_io = b.Buf.io_count;
+    sb_ref = b.Buf.refcount;
+    sb_sticky = b.Buf.sticky;
+  }
+
+let stuck_to_string ~op ~detail buffers =
+  let buf_line b =
+    Printf.sprintf "  lbn %d (%d frags): %s%sio=%d ref=%d" b.sb_key b.sb_nfrags
+      (if b.sb_dirty then "dirty " else "clean ")
+      (if b.sb_sticky then "sticky " else "")
+      b.sb_io b.sb_ref
+  in
+  let shown = List.filteri (fun i _ -> i < 16) buffers in
+  let lines = List.map buf_line shown in
+  let lines =
+    if List.length buffers > 16 then
+      lines @ [ Printf.sprintf "  ... and %d more" (List.length buffers - 16) ]
+    else lines
+  in
+  Printf.sprintf "Bcache.%s stuck: %s\n%d buffer(s) involved:\n%s" op detail
+    (List.length buffers)
+    (String.concat "\n" lines)
+
+let () =
+  Printexc.register_printer (function
+    | Stuck { op; detail; buffers } ->
+      Some (stuck_to_string ~op ~detail buffers)
+    | Io_error e ->
+      Some (Printf.sprintf "Bcache.Io_error: %s" (Su_disk.Fault.error_to_string e))
+    | _ -> None)
+
 type hooks = {
   mutable pre_write : Buf.t -> Buf.content * bool;
   mutable post_write : Buf.t -> unit;
@@ -30,6 +79,7 @@ type t = {
   mutable used : int;
   mutable copies : int;  (* fragments held by in-flight write snapshots *)
   mutable ndirty : int;
+  mutable nio_failures : int;  (* writes failed by the driver (fail-fast) *)
   mutable lru_counter : int;
   space_waiters : Sync.Waitq.t;
   mutable workitems : (unit -> unit) list;  (* reversed *)
@@ -54,6 +104,7 @@ let create ~engine ~driver config =
     used = 0;
     copies = 0;
     ndirty = 0;
+    nio_failures = 0;
     lru_counter = 0;
     space_waiters = Sync.Waitq.create engine;
     workitems = [];
@@ -65,6 +116,7 @@ let driver t = t.driver
 let cb_enabled t = t.config.cb
 let dirty_count t = t.ndirty
 let used_frags t = t.used
+let io_failures t = t.nio_failures
 
 let lru_of t (b : Buf.t) = if b.Buf.dirty then t.dirty_lru else t.clean_lru
 
@@ -103,7 +155,7 @@ let bdwrite t b = set_dirty t b true
 
 (* --- write-out ------------------------------------------------------ *)
 
-let finish_write t (b : Buf.t) =
+let finish_write ?(failed = false) t (b : Buf.t) =
   b.Buf.io_count <- b.Buf.io_count - 1;
   if b.Buf.io_count = 0 then begin
     b.Buf.io_locked <- false;
@@ -112,7 +164,15 @@ let finish_write t (b : Buf.t) =
     b.Buf.write_waiters <- [];
     List.iter (fun w -> Engine.soon t.engine w) ws
   end;
-  if b.Buf.valid then t.hooks.post_write b;
+  if failed then begin
+    (* the payload never became durable: count it, re-mark the buffer
+       dirty so a later flush re-drives it, and skip the post-write
+       dependency hook (it assumes the update is on disk — running it
+       would let the scheme release ordering constraints early) *)
+    t.nio_failures <- t.nio_failures + 1;
+    if b.Buf.valid then set_dirty t b true
+  end
+  else if b.Buf.valid then t.hooks.post_write b;
   Sync.Waitq.signal t.space_waiters
 
 let bawrite ?flagged ?deps ?(sync = false) ?notify t (b : Buf.t) =
@@ -130,7 +190,22 @@ let bawrite ?flagged ?deps ?(sync = false) ?notify t (b : Buf.t) =
     do
       incr attempts;
       if !attempts > 1_000_000 then
-        failwith "Bcache: copy memory never freed";
+        raise
+          (Stuck
+             {
+               op = "bawrite";
+               detail =
+                 Printf.sprintf
+                   "copy memory never freed (%d snapshot fragments held, \
+                    capacity %d)"
+                   t.copies t.config.capacity_frags;
+               buffers =
+                 List.filter_map
+                   (fun (b : Buf.t) ->
+                     if b.Buf.io_count > 0 then Some (stuck_buffer_of b)
+                     else None)
+                   (all_bufs t);
+             });
       Sync.Waitq.wait t.space_waiters
     done;
     t.copies <- t.copies + b.Buf.nfrags
@@ -147,13 +222,16 @@ let bawrite ?flagged ?deps ?(sync = false) ?notify t (b : Buf.t) =
   if not t.config.cb then b.Buf.io_locked <- true;
   Su_driver.Driver.submit t.driver ~kind:Su_driver.Request.Write ~lbn:b.Buf.key
     ~nfrags:b.Buf.nfrags ~flagged ~deps ~sync ~payload:cells
-    ~on_complete:(fun _ ->
+    ~on_complete:(fun result ->
       if t.config.cb then begin
         t.copies <- t.copies - b.Buf.nfrags;
         Sync.Waitq.signal t.space_waiters
       end;
-      finish_write t b;
-      match notify with Some f -> f () | None -> ())
+      let failed = Result.is_error result in
+      finish_write ~failed t b;
+      match notify with
+      | Some f -> f (Result.map (fun _ -> ()) result)
+      | None -> ())
     ()
 
 let wait_write _t (b : Buf.t) =
@@ -169,9 +247,11 @@ let bwrite_sync t (b : Buf.t) =
   while b.Buf.io_count > 0 do
     wait_write t b
   done;
-  let iv : unit Proc.Ivar.t = Proc.Ivar.create t.engine in
-  ignore (bawrite ~sync:true ~notify:(fun () -> Proc.Ivar.fill iv ()) t b);
-  Proc.Ivar.read iv
+  let iv : (unit, Su_disk.Fault.error) result Proc.Ivar.t =
+    Proc.Ivar.create t.engine
+  in
+  ignore (bawrite ~sync:true ~notify:(fun r -> Proc.Ivar.fill iv r) t b);
+  match Proc.Ivar.read iv with Ok () -> () | Error e -> raise (Io_error e)
 
 let prepare_modify t (b : Buf.t) =
   if not t.config.cb then
@@ -223,7 +303,21 @@ let ensure_space t needed =
   while t.used + needed > t.config.capacity_frags do
     incr attempts;
     if !attempts > 100_000 then
-      failwith "Bcache: cannot reclaim space (all buffers busy)";
+      raise
+        (Stuck
+           {
+             op = "ensure_space";
+             detail =
+               Printf.sprintf
+                 "cannot reclaim %d fragments (used %d of %d, no evictable \
+                  buffer)"
+                 needed t.used t.config.capacity_frags;
+             buffers =
+               List.filter_map
+                 (fun (b : Buf.t) ->
+                   if not (evictable b) then Some (stuck_buffer_of b) else None)
+                 (all_bufs t);
+           });
     match pick_victim t with
     | None -> Sync.Waitq.wait t.space_waiters
     | Some b ->
@@ -292,16 +386,24 @@ let bread t ~lbn ~nfrags =
     b
   | None ->
     ensure_space t nfrags;
-    let iv : Su_fstypes.Types.cell array Proc.Ivar.t = Proc.Ivar.create t.engine in
+    let iv : (Su_fstypes.Types.cell array, Su_disk.Fault.error) result Proc.Ivar.t
+        =
+      Proc.Ivar.create t.engine
+    in
     ignore
       (Su_driver.Driver.submit t.driver ~kind:Su_driver.Request.Read ~lbn
          ~nfrags ~sync:true
-         ~on_complete:(fun data ->
-           match data with
-           | Some cells -> Proc.Ivar.fill iv cells
-           | None -> invalid_arg "Bcache.bread: read returned no data")
+         ~on_complete:(fun result ->
+           match result with
+           | Ok (Some cells) -> Proc.Ivar.fill iv (Ok cells)
+           | Ok None -> invalid_arg "Bcache.bread: read returned no data"
+           | Error e -> Proc.Ivar.fill iv (Error e))
          ());
-    let cells = Proc.Ivar.read iv in
+    let cells =
+      match Proc.Ivar.read iv with
+      | Ok cells -> cells
+      | Error e -> raise (Io_error e)
+    in
     (* another process may have created the buffer while we waited *)
     (match Hashtbl.find_opt t.tbl lbn with
      | Some b ->
@@ -339,7 +441,21 @@ let sync_all t =
   let continue_ = ref true in
   while !continue_ do
     incr rounds;
-    if !rounds > 1000 then failwith "Bcache.sync_all: no convergence";
+    if !rounds > 1000 then
+      raise
+        (Stuck
+           {
+             op = "sync_all";
+             detail =
+               Printf.sprintf
+                 "no convergence after %d rounds (%d dirty buffers, %d queued \
+                  workitems, %d failed writes)"
+                 !rounds t.ndirty
+                 (List.length t.workitems)
+                 t.nio_failures;
+             buffers =
+               List.map stuck_buffer_of (Su_util.Lru.to_list t.dirty_lru);
+           });
     List.iter (fun item -> item ()) (take_workitems t);
     (* the dirty list already holds exactly the valid dirty buffers in
        LRU (ascending stamp) order; snapshot it, skipping buffers with

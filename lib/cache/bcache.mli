@@ -15,6 +15,31 @@
     snapshotted at issue). The block-copy CPU cost is charged by the
     caller via the configured [copy_cost] callback. *)
 
+exception Io_error of Su_disk.Fault.error
+(** A synchronous cache operation ([bread], [bwrite_sync]) failed at
+    the device after the driver's retry budget ran out. *)
+
+type stuck_buffer = {
+  sb_key : int;  (** extent start address *)
+  sb_nfrags : int;
+  sb_dirty : bool;
+  sb_io : int;  (** writes in flight *)
+  sb_ref : int;  (** references held *)
+  sb_sticky : bool;
+}
+(** Snapshot of a buffer implicated in a stuck cache operation. *)
+
+exception
+  Stuck of { op : string; detail : string; buffers : stuck_buffer list }
+(** A cache loop made no progress (dependency cycle, unreclaimable
+    space, copy budget never released). [buffers] identifies exactly
+    which buffers are wedged and why. Replaces the bare [Failure]
+    dead-ends these paths used to raise. *)
+
+val stuck_to_string : op:string -> detail:string -> stuck_buffer list -> string
+(** Render a {!Stuck} payload the way the registered exception printer
+    does (at most 16 buffers listed). *)
+
 type hooks = {
   mutable pre_write : Buf.t -> Buf.content * bool;
       (** snapshot the write payload; [true] = keep the buffer dirty
@@ -56,7 +81,8 @@ val getblk : t -> lbn:int -> nfrags:int -> init:(unit -> Buf.content) -> Buf.t
     different extent length. *)
 
 val bread : t -> lbn:int -> nfrags:int -> Buf.t
-(** Read through the cache (blocking on a miss). Takes a reference. *)
+(** Read through the cache (blocking on a miss). Takes a reference.
+    @raise Io_error if the device read failed after all retries. *)
 
 val release : t -> Buf.t -> unit
 (** Drop a reference taken by [getblk]/[bread]. *)
@@ -75,7 +101,7 @@ val bawrite :
   ?flagged:bool ->
   ?deps:int list ->
   ?sync:bool ->
-  ?notify:(unit -> unit) ->
+  ?notify:((unit, Su_disk.Fault.error) result -> unit) ->
   t ->
   Buf.t ->
   int
@@ -84,10 +110,13 @@ val bawrite :
     (which are consumed either way). Multiple writes of one buffer may
     be in flight; the driver completes overlapping writes in issue
     order. [notify] runs (in engine context) when this write
-    completes. *)
+    completes, with [Error] if the driver failed it after all retries.
+    A failed write re-marks the buffer dirty (the payload never became
+    durable) and skips the post-write dependency hook. *)
 
 val bwrite_sync : t -> Buf.t -> unit
-(** Synchronous write: issue and block until it reaches the disk. *)
+(** Synchronous write: issue and block until it reaches the disk.
+    @raise Io_error if the device write failed after all retries. *)
 
 val wait_write : t -> Buf.t -> unit
 (** Block until the current in-flight write (if any) completes. *)
@@ -109,6 +138,10 @@ val take_workitems : t -> (unit -> unit) list
 val dirty_count : t -> int
 val used_frags : t -> int
 
+val io_failures : t -> int
+(** Writes the driver failed after exhausting its retry budget; each
+    left its buffer dirty for a later re-flush. *)
+
 val pick_victim : t -> Buf.t option
 (** The buffer space reclaim would take next: the least recently used
     evictable clean buffer, else the least recently used evictable
@@ -129,4 +162,5 @@ val sorted_keys : t -> int array
 val sync_all : t -> unit
 (** Flush every dirty buffer and quiesce the driver, iterating until
     dependency rollbacks converge.
-    @raise Failure if no progress is made (dependency cycle — a bug). *)
+    @raise Stuck if no progress is made (dependency cycle — a bug),
+    listing the still-dirty buffers. *)

@@ -1,0 +1,263 @@
+open Su_fstypes
+open Su_sim
+open Su_fs
+
+(* --- workloads ------------------------------------------------------- *)
+
+type workload = { wl_name : string; wl_run : State.t -> unit }
+
+(* Both built-in workloads are deliberately small: the sweep re-crashes
+   the run at every write boundary, so the state count (and the cost of
+   the sweep) is linear in the writes the workload generates. *)
+
+let smallfiles =
+  {
+    wl_name = "smallfiles";
+    wl_run =
+      (fun st ->
+        let rng = Su_util.Rng.create 71 in
+        Fsops.mkdir st "/sf";
+        let live = ref [] in
+        for i = 1 to 18 do
+          let p = Printf.sprintf "/sf/f%d" i in
+          Fsops.create st p;
+          Fsops.append st p ~bytes:(1024 * Su_util.Rng.int_range rng 1 6);
+          live := p :: !live;
+          if Su_util.Rng.int rng 3 = 0 then begin
+            match !live with
+            | p :: rest ->
+              Fsops.unlink st p;
+              live := rest
+            | [] -> ()
+          end
+        done;
+        Fsops.sync st);
+  }
+
+let dirtree =
+  {
+    wl_name = "dirtree";
+    wl_run =
+      (fun st ->
+        Fsops.mkdir st "/t";
+        for i = 1 to 5 do
+          let d = Printf.sprintf "/t/d%d" i in
+          Fsops.mkdir st d;
+          Fsops.create st (d ^ "/a");
+          Fsops.append st (d ^ "/a") ~bytes:2048;
+          Fsops.rename st ~src:(d ^ "/a") ~dst:(d ^ "/b");
+          if i mod 2 = 0 then begin
+            Fsops.unlink st (d ^ "/b");
+            Fsops.rmdir st d
+          end
+        done;
+        Fsops.link st ~src:"/t/d1/b" ~dst:"/t/hard";
+        Fsops.sync st);
+  }
+
+let builtin_workloads = [ smallfiles; dirtree ]
+
+let find_workload name =
+  List.find_opt (fun w -> w.wl_name = name) builtin_workloads
+
+(* --- recording ------------------------------------------------------- *)
+
+type recording = {
+  rec_initial : Types.cell array;
+  rec_writes : (int * Types.cell array) array;
+}
+
+(* One fault-free run under the given configuration, observing every
+   extent the disk applies to the media (in completion order). Crash
+   states are then reconstructed by replaying write prefixes over the
+   initial image — no re-execution per crash point. *)
+let record ~cfg wl =
+  let w = Fs.make cfg in
+  let initial = Su_disk.Disk.image_snapshot w.Fs.disk in
+  let writes = ref [] in
+  Su_disk.Disk.set_write_observer w.Fs.disk (fun ~lbn cells ->
+      writes := (lbn, cells) :: !writes);
+  let controller () =
+    let h = Proc.spawn w.Fs.engine ~name:"workload" (fun () -> wl.wl_run w.Fs.st) in
+    Proc.join_all w.Fs.engine [ h ];
+    Fs.stop w;
+    Su_driver.Driver.quiesce w.Fs.driver;
+    Engine.stop w.Fs.engine
+  in
+  ignore (Proc.spawn w.Fs.engine ~name:"controller" controller);
+  Engine.run w.Fs.engine;
+  { rec_initial = initial; rec_writes = Array.of_list (List.rev !writes) }
+
+(* --- per-state verification ------------------------------------------ *)
+
+type verdict = {
+  v_boundary : int;  (** completed writes when the crash hit *)
+  v_torn : int option;  (** [Some k]: k fragments of the next write landed *)
+  v_pre_violations : int;
+  v_repair_converged : bool;
+  v_post_violations : int;
+  v_remount_ok : bool;
+}
+
+let check_exposure_of cfg =
+  match cfg.Fs.scheme with
+  | Fs.Journaled _ -> false
+  | Fs.Conventional | Fs.Scheduler_flag | Fs.Scheduler_chains _
+  | Fs.Soft_updates | Fs.No_order ->
+    cfg.Fs.alloc_init
+
+(* Remount the (repaired) image and keep living in it: a directory
+   create, file writes, a rename and a sync must all succeed, and the
+   image must still check out clean afterwards. *)
+let remount_and_continue ~cfg image =
+  try
+    let w = Fs.mount_image cfg image in
+    let done_ = ref false in
+    let controller () =
+      let d = "/crashsweep.d" in
+      Fsops.mkdir w.Fs.st d;
+      Fsops.create w.Fs.st (d ^ "/probe");
+      Fsops.append w.Fs.st (d ^ "/probe") ~bytes:3072;
+      Fsops.rename w.Fs.st ~src:(d ^ "/probe") ~dst:(d ^ "/probe2");
+      Fsops.sync w.Fs.st;
+      Fs.stop w;
+      Su_driver.Driver.quiesce w.Fs.driver;
+      done_ := true;
+      Engine.stop w.Fs.engine
+    in
+    ignore (Proc.spawn w.Fs.engine ~name:"continue" controller);
+    Engine.run w.Fs.engine;
+    !done_
+    &&
+    let final = Su_disk.Disk.image_snapshot w.Fs.disk in
+    Fs.recover_image cfg final;
+    Fsck.ok
+      (Fsck.check ~geom:cfg.Fs.geom ~image:final
+         ~check_exposure:(check_exposure_of cfg))
+  with _ -> false
+
+let verify_state ~cfg ~boundary ~torn image =
+  (* journaled configurations replay the log before checking, exactly
+     as mount-time recovery would *)
+  Fs.recover_image cfg image;
+  let check_exposure = check_exposure_of cfg in
+  let pre = Fsck.check ~geom:cfg.Fs.geom ~image ~check_exposure in
+  let outcome = Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure in
+  let remount_ok = remount_and_continue ~cfg image in
+  {
+    v_boundary = boundary;
+    v_torn = torn;
+    v_pre_violations = List.length pre.Fsck.violations;
+    v_repair_converged = outcome.Fsck.converged;
+    v_post_violations = List.length outcome.Fsck.final.Fsck.violations;
+    v_remount_ok = remount_ok;
+  }
+
+(* --- the sweep ------------------------------------------------------- *)
+
+type summary = {
+  s_scheme : Fs.scheme_kind;
+  s_workload : string;
+  s_writes : int;  (** recorded write completions *)
+  s_states : int;  (** crash states explored (boundaries + torn) *)
+  s_torn_states : int;
+  s_dirty_states : int;  (** states with pre-repair violations *)
+  s_unrepaired : int;  (** states still violated after repair *)
+  s_unconverged : int;  (** states where repair hit its round limit *)
+  s_remount_failures : int;
+  s_verdicts : verdict list;  (** per-state detail, crash order *)
+}
+
+let consistent s =
+  s.s_dirty_states = 0 && s.s_unrepaired = 0 && s.s_unconverged = 0
+  && s.s_remount_failures = 0
+
+let repairable s =
+  s.s_unrepaired = 0 && s.s_unconverged = 0 && s.s_remount_failures = 0
+
+let sweep ?(torn = true) ~cfg wl =
+  let r = record ~cfg wl in
+  let n = Array.length r.rec_writes in
+  let cur = Array.map Types.copy_cell r.rec_initial in
+  let verdicts = ref [] in
+  let snapshot () = Array.map Types.copy_cell cur in
+  for k = 0 to n do
+    (* crash after exactly [k] completed writes *)
+    verdicts := verify_state ~cfg ~boundary:k ~torn:None (snapshot ()) :: !verdicts;
+    if k < n then begin
+      let lbn, cells = r.rec_writes.(k) in
+      (if torn then
+         (* the (k+1)-th write torn mid-extent: 1 .. nfrags-1 leading
+            fragments reach the media, the tail is lost *)
+         for applied = 1 to Array.length cells - 1 do
+           let img = snapshot () in
+           for i = 0 to applied - 1 do
+             img.(lbn + i) <- Types.copy_cell cells.(i)
+           done;
+           verdicts :=
+             verify_state ~cfg ~boundary:k ~torn:(Some applied) img :: !verdicts
+         done);
+      Array.iteri (fun i c -> cur.(lbn + i) <- Types.copy_cell c) cells
+    end
+  done;
+  let verdicts = List.rev !verdicts in
+  let count p = List.length (List.filter p verdicts) in
+  {
+    s_scheme = cfg.Fs.scheme;
+    s_workload = wl.wl_name;
+    s_writes = n;
+    s_states = List.length verdicts;
+    s_torn_states = count (fun v -> v.v_torn <> None);
+    s_dirty_states = count (fun v -> v.v_pre_violations > 0);
+    s_unrepaired = count (fun v -> v.v_post_violations > 0);
+    s_unconverged = count (fun v -> not v.v_repair_converged);
+    s_remount_failures = count (fun v -> not v.v_remount_ok);
+    s_verdicts = verdicts;
+  }
+
+(* --- fault shakedown -------------------------------------------------- *)
+
+type shakedown = {
+  f_injected : int;  (** faults the disk injected *)
+  f_retries : int;  (** attempts the driver re-drove *)
+  f_failures : int;  (** requests failed after the retry budget *)
+  f_cache_failures : int;  (** failed writes surfaced to the cache *)
+  f_completed : bool;  (** the workload ran to completion *)
+  f_consistent : bool;  (** the final image checks out clean *)
+}
+
+(* Run a workload with transient-fault injection enabled and verify
+   the stack rides the errors out: the run completes, the driver
+   absorbs the faults with retries, and the final image is clean. *)
+let fault_shakedown ~cfg wl =
+  let w = Fs.make cfg in
+  let completed = ref false in
+  let controller () =
+    let h = Proc.spawn w.Fs.engine ~name:"workload" (fun () -> wl.wl_run w.Fs.st) in
+    Proc.join_all w.Fs.engine [ h ];
+    Fs.stop w;
+    Su_driver.Driver.quiesce w.Fs.driver;
+    completed := true;
+    Engine.stop w.Fs.engine
+  in
+  ignore (Proc.spawn w.Fs.engine ~name:"controller" controller);
+  Engine.run w.Fs.engine;
+  let tr = Su_driver.Driver.trace w.Fs.driver in
+  let consistent =
+    if not !completed then false
+    else begin
+      let image = Su_disk.Disk.image_snapshot w.Fs.disk in
+      Fs.recover_image cfg image;
+      Fsck.ok
+        (Fsck.check ~geom:cfg.Fs.geom ~image
+           ~check_exposure:(check_exposure_of cfg))
+    end
+  in
+  {
+    f_injected = Su_disk.Disk.faults_injected w.Fs.disk;
+    f_retries = Su_driver.Trace.io_retries tr;
+    f_failures = Su_driver.Trace.io_failures tr;
+    f_cache_failures = Su_cache.Bcache.io_failures w.Fs.cache;
+    f_completed = !completed;
+    f_consistent = consistent;
+  }

@@ -1,0 +1,100 @@
+(** Systematic crash-state exploration.
+
+    One fault-free run of a workload is {e recorded}: the initial
+    on-disk image plus every extent the disk applies, in completion
+    order. The explorer then re-creates the durable image at {e every}
+    write boundary — the state after the first [k] writes, for all
+    [k] — plus, for multi-fragment writes, every torn intermediate
+    state (a prefix of the extent on the media, the tail lost). Each
+    state is put through the full recovery pipeline: fsck check,
+    fsck repair, remount, a continuation workload and a final check.
+
+    This turns the paper's spot-check crash experiments into an
+    exhaustive sweep: an ordering scheme's crash-consistency claim is
+    verified at every instant the durable state changes, not at a
+    handful of sampled times. *)
+
+open Su_fstypes
+
+(** A named workload run against a freshly made file system. Keep
+    sweeps small: cost is linear in the writes the workload issues. *)
+type workload = { wl_name : string; wl_run : Su_fs.State.t -> unit }
+
+val smallfiles : workload
+(** Create/append/unlink churn over one directory, then sync. *)
+
+val dirtree : workload
+(** mkdir/rename/rmdir tree manipulation with a hard link, then sync. *)
+
+val builtin_workloads : workload list
+
+val find_workload : string -> workload option
+
+type recording = {
+  rec_initial : Types.cell array;  (** image as formatted, pre-run *)
+  rec_writes : (int * Types.cell array) array;
+      (** applied extents, completion order: (start lbn, cells) *)
+}
+
+val record : cfg:Su_fs.Fs.config -> workload -> recording
+(** Run the workload once (no faults) and log every write the disk
+    applies. The run is driven to completion and quiesced, so the log
+    covers all deferred writes too. *)
+
+type verdict = {
+  v_boundary : int;  (** completed writes when the crash hit *)
+  v_torn : int option;  (** [Some k]: k fragments of the next write landed *)
+  v_pre_violations : int;  (** fsck violations before repair *)
+  v_repair_converged : bool;
+  v_post_violations : int;  (** violations surviving repair *)
+  v_remount_ok : bool;  (** repaired image remounted, ran on, stayed clean *)
+}
+
+val verify_state :
+  cfg:Su_fs.Fs.config ->
+  boundary:int ->
+  torn:int option ->
+  Types.cell array ->
+  verdict
+(** Full recovery pipeline on one crash image (mutates it: journal
+    replay, then repair). *)
+
+type summary = {
+  s_scheme : Su_fs.Fs.scheme_kind;
+  s_workload : string;
+  s_writes : int;  (** recorded write completions *)
+  s_states : int;  (** crash states explored (boundaries + torn) *)
+  s_torn_states : int;
+  s_dirty_states : int;  (** states with pre-repair violations *)
+  s_unrepaired : int;  (** states still violated after repair *)
+  s_unconverged : int;  (** states where repair hit its round limit *)
+  s_remount_failures : int;
+  s_verdicts : verdict list;  (** per-state detail, crash order *)
+}
+
+val consistent : summary -> bool
+(** Zero violations at every explored state (the ordered-scheme
+    promise: nothing for fsck to fix beyond leaks). *)
+
+val repairable : summary -> bool
+(** Possibly violated, but every state repaired, remounted and stayed
+    clean (the promise fsck makes even for No Order — when it holds). *)
+
+val sweep : ?torn:bool -> cfg:Su_fs.Fs.config -> workload -> summary
+(** Record once, then verify every crash state. [torn] (default true)
+    includes the torn-write intermediate states. *)
+
+type shakedown = {
+  f_injected : int;  (** faults the disk injected *)
+  f_retries : int;  (** attempts the driver re-drove *)
+  f_failures : int;  (** requests failed after the retry budget *)
+  f_cache_failures : int;  (** failed writes surfaced to the cache *)
+  f_completed : bool;  (** the workload ran to completion *)
+  f_consistent : bool;  (** the final image checks out clean *)
+}
+
+val fault_shakedown : cfg:Su_fs.Fs.config -> workload -> shakedown
+(** Run the workload with whatever fault model [cfg] carries (pair
+    with {!Su_disk.Fault.transient}) and report how the stack coped.
+    A healthy result completes, is consistent, and absorbed every
+    transient with retries ([f_failures = 0]). *)

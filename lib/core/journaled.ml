@@ -347,6 +347,17 @@ let recover ~geom ~log_start ~log_frags image =
   done;
   let txns = List.sort (fun (a, _) (b, _) -> compare a b) !txns in
   List.iter (fun (_, recs) -> List.iter (replay_rec geom image) recs) txns;
+  (* recovery is a checkpoint: every replayed record is now reflected
+     in the metadata blocks, so retire the log. Leaving records behind
+     would corrupt the next mount — its journal restarts at sequence
+     zero, so the stale records (with higher sequence numbers) would
+     replay on top of the new mount's transactions. *)
+  for i = 0 to log_frags - 1 do
+    if log_start + i < Array.length image then
+      match image.(log_start + i) with
+      | Types.Jlog _ -> image.(log_start + i) <- Types.Empty
+      | _ -> ()
+  done;
   rebuild_maps geom image
 
 (* --- the scheme ----------------------------------------------------------- *)

@@ -11,6 +11,7 @@ type destage = { d_lbn : int; d_nfrags : int }
 type t = {
   engine : Su_sim.Engine.t;
   params : Disk_params.t;
+  fault : Fault.t;
   image : Types.cell array;
   mutable cur_cyl : int;
   mutable busy : bool;
@@ -25,14 +26,19 @@ type t = {
   mutable on_idle : unit -> unit;
       (* lets the layer above re-dispatch when a background destage
          finishes (it gets no request completion to react to) *)
+  mutable inflight : (int * Types.cell array) option;
+      (* mechanical write being serviced right now: its payload has not
+         reached the media yet, so a crash may tear it *)
+  mutable write_observer : (lbn:int -> Types.cell array -> unit) option;
 }
 
-let create ~engine ~params ~nfrags ?(nvram_frags = 0) () =
+let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none) () =
   if nfrags > Disk_params.capacity_frags params then
     invalid_arg "Disk.create: file system larger than the drive";
   {
     engine;
     params;
+    fault = Fault.create fault;
     image = Array.make nfrags Types.Empty;
     cur_cyl = 0;
     busy = false;
@@ -45,6 +51,8 @@ let create ~engine ~params ~nfrags ?(nvram_frags = 0) () =
     nv_resident = Hashtbl.create 64;
     ndestages = 0;
     on_idle = (fun () -> ());
+    inflight = None;
+    write_observer = None;
   }
 
 let busy t = t.busy
@@ -54,6 +62,10 @@ let total_service_time t = t.service_time
 let nvram_pending t = t.nv_used
 let destages t = t.ndestages
 let set_idle_callback t f = t.on_idle <- f
+let fault t = t.fault
+let faults_injected t = Fault.injected t.fault
+let inflight_write t = t.inflight
+let set_write_observer t f = t.write_observer <- Some f
 
 let cyl_of_lbn t lbn = lbn / Disk_params.frags_per_cyl t.params
 
@@ -150,7 +162,11 @@ let apply_write t ~lbn ~nfrags cells =
   Array.blit cells 0 t.image lbn nfrags;
   (* a write invalidates overlapping cached streams *)
   t.streams <-
-    List.filter (fun s -> s.limit <= lbn || s.next_lbn >= lbn + nfrags) t.streams
+    List.filter (fun s -> s.limit <= lbn || s.next_lbn >= lbn + nfrags) t.streams;
+  match t.write_observer with
+  | Some f when nfrags > 0 ->
+    f ~lbn (Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
+  | Some _ | None -> ()
 
 let submit t ~lbn ~nfrags ~op ~payload ~on_done =
   if t.busy then invalid_arg "Disk.submit: device busy";
@@ -172,9 +188,22 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
     nvram_coalesce
     || (op = Write && t.nvram_frags > 0 && t.nv_used + nfrags <= t.nvram_frags)
   in
+  (* the fault model only covers media operations; an NVRAM-accepted
+     write is a RAM copy and cannot fail or tear *)
+  let verdict =
+    if nvram_hit then Fault.Ok_attempt
+    else
+      Fault.judge t.fault
+        ~op:(match op with Read -> `Read | Write -> `Write)
+        ~lbn ~nfrags
+  in
   let svc =
     if nvram_hit then nvram_write_time t nfrags
-    else service_time_for t ~lbn ~nfrags ~op ~now
+    else
+      let base = service_time_for t ~lbn ~nfrags ~op ~now in
+      match verdict with
+      | Fault.Stalled -> base *. (Fault.config t.fault).Fault.stall_factor
+      | Fault.Ok_attempt | Fault.Failed _ -> base
   in
   t.busy <- true;
   if nvram_hit then begin
@@ -187,26 +216,40 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
       Hashtbl.replace t.nv_resident lbn nfrags;
       Queue.add { d_lbn = lbn; d_nfrags = nfrags } t.nv_queue
     end
-  end;
+  end
+  else if op = Write then
+    t.inflight <- (match payload with Some p -> Some (lbn, p) | None -> None);
   Su_sim.Engine.after t.engine svc (fun () ->
       t.busy <- false;
+      t.inflight <- None;
       if not nvram_hit then t.cur_cyl <- cyl_of_lbn t (lbn + nfrags - 1);
       t.serviced <- t.serviced + 1;
       t.service_time <- t.service_time +. svc;
-      let result =
-        match op with
-        | Read ->
-          advance_stream t lbn nfrags;
-          Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
-        | Write ->
-          (match payload with
-           | Some cells ->
-             if not nvram_hit then apply_write t ~lbn ~nfrags cells;
-             None
-           | None -> None)
-      in
-      on_done result svc;
-      maybe_destage t)
+      match verdict with
+      | Fault.Failed { err; applied } ->
+        (* a torn write: only the leading [applied] fragments reached
+           the media before the failure *)
+        (match op, payload with
+         | Write, Some cells when applied > 0 ->
+           apply_write t ~lbn ~nfrags:applied cells
+         | _ -> ());
+        on_done (Error err) svc;
+        maybe_destage t
+      | Fault.Ok_attempt | Fault.Stalled ->
+        let result =
+          match op with
+          | Read ->
+            advance_stream t lbn nfrags;
+            Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+          | Write ->
+            (match payload with
+             | Some cells ->
+               if not nvram_hit then apply_write t ~lbn ~nfrags cells;
+               None
+             | None -> None)
+        in
+        on_done (Ok result) svc;
+        maybe_destage t)
 
 let install t lbn cell =
   if lbn < 0 || lbn >= Array.length t.image then

@@ -8,10 +8,14 @@
     near-zero mechanical cost.
 
     The disk owns the persistent {e image}: one {!Su_fstypes.Types.cell}
-    per fragment. A write's payload is applied to the image atomically
-    at completion time — stopping the engine mid-request therefore
-    models a crash with the in-flight request lost, matching the
-    paper's sector-atomicity assumption. *)
+    per fragment. A successful write's payload is applied to the image
+    atomically at completion time — stopping the engine mid-request
+    therefore models a crash with the in-flight request lost (the
+    paper's sector-atomicity assumption); {!inflight_write} lets a
+    crash harness additionally tear the in-flight write. With a
+    {!Fault} model attached, attempts may fail with a typed error, and
+    a failed multi-fragment write may apply only a prefix of its
+    payload. *)
 
 type t
 
@@ -22,6 +26,7 @@ val create :
   params:Disk_params.t ->
   nfrags:int ->
   ?nvram_frags:int ->
+  ?fault:Fault.config ->
   unit ->
   t
 (** @raise Invalid_argument if [nfrags] exceeds the drive capacity.
@@ -31,7 +36,11 @@ val create :
     acceptance (the image is updated immediately — NVRAM survives the
     crash); the occupied space destages to the platters during idle
     time at mechanical cost. Writes that do not fit fall back to
-    mechanical service. *)
+    mechanical service.
+
+    [fault] (default {!Fault.none}) attaches a fault model; NVRAM
+    acceptances and background destages are not subject to it (the
+    data is already durable when a destage starts). *)
 
 val busy : t -> bool
 
@@ -41,13 +50,15 @@ val submit :
   nfrags:int ->
   op:op ->
   payload:Su_fstypes.Types.cell array option ->
-  on_done:(Su_fstypes.Types.cell array option -> float -> unit) ->
+  on_done:
+    ((Su_fstypes.Types.cell array option, Fault.error) result -> float -> unit) ->
   unit
 (** Start servicing a request. [payload] is required for writes
     (length [nfrags]) and must already be a private snapshot. The
-    completion callback receives the read data (deep-copied, for
-    reads) and the access (service) time, and runs in engine-event
-    context.
+    completion callback receives [Ok] with the read data (deep-copied,
+    for reads) — or [Error] with the injected fault, in which case a
+    write may have applied a prefix of its payload (torn) — and the
+    access (service) time, and runs in engine-event context.
     @raise Invalid_argument if the disk is busy or arguments are
     malformed. *)
 
@@ -74,3 +85,22 @@ val nvram_pending : t -> int
 
 val destages : t -> int
 (** Background destage operations performed. *)
+
+val fault : t -> Fault.t
+(** The attached fault model ({!Fault.none} by default). *)
+
+val faults_injected : t -> int
+
+val inflight_write : t -> (int * Su_fstypes.Types.cell array) option
+(** The mechanical write being serviced right now, if any, as
+    [(lbn, payload)]: its payload has {e not} reached the media, so a
+    crash at this instant may apply any strict prefix of it. [None]
+    while idle, reading, destaging, or accepting into NVRAM. *)
+
+val set_write_observer : t -> (lbn:int -> Su_fstypes.Types.cell array -> unit) -> unit
+(** [f ~lbn cells] is invoked (with a private copy of the applied
+    cells) every time payload fragments reach durable storage: at
+    completion of a successful mechanical write, at NVRAM acceptance,
+    and — with only the surviving prefix — when a write fails torn.
+    The crash-state explorer uses this to rebuild the image at every
+    write boundary without re-running the workload. *)

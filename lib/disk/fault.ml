@@ -1,0 +1,112 @@
+type error =
+  | Transient of { op : [ `Read | `Write ]; lbn : int }
+  | Bad_sector of { lbn : int }
+  | Timeout of { elapsed : float; limit : float }
+
+let error_to_string = function
+  | Transient { op; lbn } ->
+    Printf.sprintf "transient %s error at lbn %d"
+      (match op with `Read -> "read" | `Write -> "write")
+      lbn
+  | Bad_sector { lbn } -> Printf.sprintf "bad sector at lbn %d" lbn
+  | Timeout { elapsed; limit } ->
+    Printf.sprintf "request timeout (%.1f ms > %.1f ms)" (1000.0 *. elapsed)
+      (1000.0 *. limit)
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+type config = {
+  seed : int;
+  read_fail : float;
+  write_fail : float;
+  stall : float;
+  stall_factor : float;
+  bad_sectors : int list;
+  torn_writes : bool;
+}
+
+let none =
+  {
+    seed = 0;
+    read_fail = 0.0;
+    write_fail = 0.0;
+    stall = 0.0;
+    stall_factor = 1.0;
+    bad_sectors = [];
+    torn_writes = false;
+  }
+
+let transient ?(seed = 42) ?(rate = 0.02) () =
+  {
+    seed;
+    read_fail = rate;
+    write_fail = rate;
+    stall = rate /. 4.0;
+    stall_factor = 50.0;
+    bad_sectors = [];
+    torn_writes = true;
+  }
+
+type t = {
+  cfg : config;
+  rng : Su_util.Rng.t;
+  bad : (int, unit) Hashtbl.t;
+  mutable injected : int;
+}
+
+let create cfg =
+  let bad = Hashtbl.create 8 in
+  List.iter (fun lbn -> Hashtbl.replace bad lbn ()) cfg.bad_sectors;
+  { cfg; rng = Su_util.Rng.create cfg.seed; bad; injected = 0 }
+
+let config t = t.cfg
+
+let enabled t =
+  t.cfg.read_fail > 0.0 || t.cfg.write_fail > 0.0 || t.cfg.stall > 0.0
+  || Hashtbl.length t.bad > 0
+
+type verdict =
+  | Ok_attempt
+  | Stalled
+  | Failed of { err : error; applied : int }
+
+let first_bad t ~lbn ~nfrags =
+  let rec go i = if i >= nfrags then None
+    else if Hashtbl.mem t.bad (lbn + i) then Some (lbn + i)
+    else go (i + 1)
+  in
+  go 0
+
+let judge t ~op ~lbn ~nfrags =
+  if not (enabled t) then Ok_attempt
+  else
+    match first_bad t ~lbn ~nfrags with
+    | Some bad_lbn ->
+      t.injected <- t.injected + 1;
+      (* a write reaches the media up to (not including) the bad
+         fragment; a read returns nothing *)
+      let applied =
+        if op = `Write && t.cfg.torn_writes then bad_lbn - lbn else 0
+      in
+      Failed { err = Bad_sector { lbn = bad_lbn }; applied }
+    | None ->
+      let fail_p =
+        match op with `Read -> t.cfg.read_fail | `Write -> t.cfg.write_fail
+      in
+      let draw = Su_util.Rng.float t.rng 1.0 in
+      if draw < fail_p then begin
+        t.injected <- t.injected + 1;
+        let applied =
+          if op = `Write && t.cfg.torn_writes && nfrags > 1 then
+            Su_util.Rng.int t.rng nfrags (* 0 .. nfrags-1: a strict prefix *)
+          else 0
+        in
+        Failed { err = Transient { op; lbn }; applied }
+      end
+      else if draw < fail_p +. t.cfg.stall then begin
+        t.injected <- t.injected + 1;
+        Stalled
+      end
+      else Ok_attempt
+
+let injected t = t.injected

@@ -1,0 +1,74 @@
+(** Pluggable, PRNG-seeded fault model for the simulated disk.
+
+    The seed state assumed a perfect device: every request succeeds
+    and a crashed multi-fragment write is all-or-nothing. This module
+    injects the failures a real drive exhibits —
+
+    - {e transient} read/write errors (a retry usually succeeds),
+    - {e permanent} bad sectors (every access to the fragment fails),
+    - {e stalls} (the attempt completes, but at a large multiple of
+      the normal service time, tripping the driver's request timeout),
+    - {e torn writes}: a failed or crashed multi-fragment write
+      applies only a prefix of its fragments to the media. This is
+      deliberately {e stronger} than the paper's sector-atomicity
+      assumption, which loses an in-flight request in its entirety;
+      see DESIGN.md §7.
+
+    All randomness is drawn from a private {!Su_util.Rng} stream, so a
+    given [config] replays identically. *)
+
+(** Typed I/O errors, shared by the disk, driver and cache layers.
+    [Timeout] is never produced by the device itself: the driver
+    raises it when a (possibly stalled) attempt exceeds its
+    per-request deadline. *)
+type error =
+  | Transient of { op : [ `Read | `Write ]; lbn : int }
+  | Bad_sector of { lbn : int }
+  | Timeout of { elapsed : float; limit : float }
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+type config = {
+  seed : int;
+  read_fail : float;  (** probability a read attempt fails transiently *)
+  write_fail : float;  (** probability a write attempt fails transiently *)
+  stall : float;  (** probability an attempt stalls *)
+  stall_factor : float;  (** service-time multiplier for a stalled attempt *)
+  bad_sectors : int list;  (** fragments that fail permanently *)
+  torn_writes : bool;
+      (** failed multi-fragment writes apply a random prefix of their
+          fragments instead of nothing *)
+}
+
+val none : config
+(** The perfect device: zero probabilities, no bad sectors. A disk
+    created with [none] behaves bit-identically to the seed model (no
+    RNG is consulted). *)
+
+val transient : ?seed:int -> ?rate:float -> unit -> config
+(** Transient read/write errors at [rate] (default 0.02) per attempt,
+    plus occasional stalls; torn writes enabled. The standard
+    configuration for "workloads must complete via driver retry". *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val enabled : t -> bool
+(** False for {!none}-equivalent configs: the disk skips the model
+    entirely (and draws no random numbers). *)
+
+(** Verdict for one device attempt. [applied] is the number of leading
+    fragments a failed write still managed to put on the media (0 when
+    torn writes are disabled; always 0 for reads). *)
+type verdict =
+  | Ok_attempt
+  | Stalled
+  | Failed of { err : error; applied : int }
+
+val judge : t -> op:[ `Read | `Write ] -> lbn:int -> nfrags:int -> verdict
+
+val injected : t -> int
+(** Total faults (failures + stalls) injected so far. *)

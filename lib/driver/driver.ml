@@ -16,10 +16,21 @@ type config = {
   policy : policy;
   max_concat : int;
   keep_records : bool;
+  max_attempts : int;
+  retry_backoff : float;
+  request_timeout : float;
 }
 
 let default_config =
-  { mode = Ordering.Unordered; policy = Clook; max_concat = 64; keep_records = false }
+  {
+    mode = Ordering.Unordered;
+    policy = Clook;
+    max_concat = 64;
+    keep_records = false;
+    max_attempts = 5;
+    retry_backoff = 0.002;
+    request_timeout = 0.0;
+  }
 
 (* The queue is maintained as a dispatch index so that accepting a
    request, selecting the next device operation and retiring a
@@ -58,6 +69,22 @@ type t = {
       (* outstanding writes: start lbn -> [(id, nfrags)] *)
   mutable head_pos : int;
   mutable idle_waiters : (unit -> unit) list;
+  mutable retries : pending_retry list;
+      (* failed device operations parked for re-drive after backoff;
+         their requests stay outstanding, so everything ordered after
+         them stays parked until the retry resolves *)
+}
+
+(* A device operation (a concatenated run of requests) that failed or
+   timed out and is awaiting its next attempt. *)
+and pending_retry = {
+  p_run : Request.t list;
+  p_lbn : int;
+  p_nfrags : int;
+  p_op : Su_disk.Disk.op;
+  p_payload : Su_fstypes.Types.cell array option;
+  p_attempts : int;  (* attempts already made *)
+  p_due : float;  (* earliest time of the next attempt *)
 }
 
 
@@ -224,80 +251,159 @@ let notify_if_idle t =
     List.iter (fun w -> Su_sim.Engine.soon t.engine w) ws
   end
 
+(* Pop the earliest-due pending retry whose backoff has elapsed. *)
+let take_due_retry t now =
+  let due, rest =
+    List.partition (fun p -> p.p_due <= now +. 1e-12) t.retries
+  in
+  match List.sort (fun a b -> compare (a.p_due, a.p_lbn) (b.p_due, b.p_lbn)) due with
+  | [] -> None
+  | first :: later ->
+    t.retries <- later @ rest;
+    Some first
+
 let rec try_dispatch t =
   if not (Su_disk.Disk.busy t.disk) then begin
-    match pick_head t with
-    | None -> ()
-    | Some head ->
-      let run = concat_run t head in
-      let now = Su_sim.Engine.now t.engine in
-      List.iter
-        (fun (r : Request.t) ->
-          Hashtbl.remove t.reqs r.Request.id;
-          Hashtbl.replace t.start_times r.Request.id now)
-        run;
-      let lbn = head.Request.lbn in
-      let nfrags =
-        List.fold_left (fun n (r : Request.t) -> n + r.Request.nfrags) 0 run
-      in
-      let op, payload =
-        match head.Request.kind with
-        | Request.Read -> (Su_disk.Disk.Read, None)
-        | Request.Write ->
-          let cells = Array.make nfrags Su_fstypes.Types.Empty in
-          let off = ref 0 in
-          List.iter
-            (fun (r : Request.t) ->
-              (match r.Request.payload with
-               | Some p -> Array.blit p 0 cells !off r.Request.nfrags
-               | None -> invalid_arg "Driver: write without payload");
-              off := !off + r.Request.nfrags)
-            run;
-          (Su_disk.Disk.Write, Some cells)
-      in
-      Su_disk.Disk.submit t.disk ~lbn ~nfrags ~op ~payload
-        ~on_done:(fun data _svc ->
-          let complete_time = Su_sim.Engine.now t.engine in
-          let off = ref 0 in
-          List.iter
-            (fun (r : Request.t) ->
-              t.outstanding_ids <- IntSet.remove r.Request.id t.outstanding_ids;
-              if r.Request.kind = Request.Write then remove_write_index t r;
-              let start =
-                match Hashtbl.find_opt t.start_times r.Request.id with
-                | Some s -> s
-                | None -> r.Request.issue_time
-              in
-              Hashtbl.remove t.start_times r.Request.id;
-              Trace.note t.trace
-                {
-                  Trace.r_id = r.Request.id;
-                  r_kind = r.Request.kind;
-                  r_lbn = r.Request.lbn;
-                  r_nfrags = r.Request.nfrags;
-                  r_sync = r.Request.sync;
-                  r_issue = r.Request.issue_time;
-                  r_start = start;
-                  r_complete = complete_time;
-                };
-              (* promote before the completion callback runs: a
-                 callback may submit new requests and trigger a
-                 dispatch, which must already see the requests this
-                 completion unblocked *)
-              promote_waiters t r.Request.id;
-              let slice =
-                match data with
-                | None -> None
-                | Some cells ->
-                  Some (Array.sub cells !off r.Request.nfrags)
-              in
-              off := !off + r.Request.nfrags;
-              r.Request.on_complete slice)
-            run;
-          t.head_pos <- lbn + nfrags;
-          notify_if_idle t;
-          try_dispatch t)
+    let now = Su_sim.Engine.now t.engine in
+    match take_due_retry t now with
+    | Some p ->
+      submit_run t ~run:p.p_run ~lbn:p.p_lbn ~nfrags:p.p_nfrags ~op:p.p_op
+        ~payload:p.p_payload ~attempts:p.p_attempts
+    | None ->
+      (match pick_head t with
+       | None -> ()
+       | Some head ->
+         let run = concat_run t head in
+         List.iter
+           (fun (r : Request.t) ->
+             Hashtbl.remove t.reqs r.Request.id;
+             Hashtbl.replace t.start_times r.Request.id now)
+           run;
+         let lbn = head.Request.lbn in
+         let nfrags =
+           List.fold_left (fun n (r : Request.t) -> n + r.Request.nfrags) 0 run
+         in
+         let op, payload =
+           match head.Request.kind with
+           | Request.Read -> (Su_disk.Disk.Read, None)
+           | Request.Write ->
+             let cells = Array.make nfrags Su_fstypes.Types.Empty in
+             let off = ref 0 in
+             List.iter
+               (fun (r : Request.t) ->
+                 (match r.Request.payload with
+                  | Some p -> Array.blit p 0 cells !off r.Request.nfrags
+                  | None -> invalid_arg "Driver: write without payload");
+                 off := !off + r.Request.nfrags)
+               run;
+             (Su_disk.Disk.Write, Some cells)
+         in
+         submit_run t ~run ~lbn ~nfrags ~op ~payload ~attempts:0)
   end
+
+(* Drive one device operation, then complete, retry (with exponential
+   backoff) or fail the run. While an operation is retrying, its
+   requests stay outstanding: gates, chain edges and WAW conflicts
+   that name them keep their dependents parked, so the schemes'
+   ordering state is untouched by the retry machinery. A write retry
+   re-sends the identical payload, so a half-applied (torn) earlier
+   attempt is simply overwritten. *)
+and submit_run t ~run ~lbn ~nfrags ~op ~payload ~attempts =
+  let attempt_start = Su_sim.Engine.now t.engine in
+  Su_disk.Disk.submit t.disk ~lbn ~nfrags ~op ~payload
+    ~on_done:(fun result _svc ->
+      let now = Su_sim.Engine.now t.engine in
+      let result =
+        (* a per-request deadline turns a stalled-but-successful
+           attempt into a failure: the data (if any) is discarded and
+           the operation re-driven, as a host would after aborting a
+           hung command *)
+        let limit = t.config.request_timeout in
+        match result with
+        | Ok _ when limit > 0.0 && now -. attempt_start > limit ->
+          Error (Su_disk.Fault.Timeout { elapsed = now -. attempt_start; limit })
+        | r -> r
+      in
+      match result with
+      | Ok data -> complete_run t ~run ~lbn ~nfrags data
+      | Error err ->
+        let attempts = attempts + 1 in
+        if attempts >= t.config.max_attempts then fail_run t ~run err
+        else begin
+          Trace.note_retry t.trace;
+          let delay =
+            t.config.retry_backoff *. (2.0 ** float_of_int (attempts - 1))
+          in
+          t.retries <-
+            { p_run = run; p_lbn = lbn; p_nfrags = nfrags; p_op = op;
+              p_payload = payload; p_attempts = attempts; p_due = now +. delay }
+            :: t.retries;
+          Su_sim.Engine.after t.engine delay (fun () -> try_dispatch t);
+          (* the device is idle during the backoff window: let ready
+             requests (necessarily unordered w.r.t. the failed run)
+             use it *)
+          try_dispatch t
+        end)
+
+and complete_run t ~run ~lbn ~nfrags data =
+  let complete_time = Su_sim.Engine.now t.engine in
+  let off = ref 0 in
+  List.iter
+    (fun (r : Request.t) ->
+      t.outstanding_ids <- IntSet.remove r.Request.id t.outstanding_ids;
+      if r.Request.kind = Request.Write then remove_write_index t r;
+      let start =
+        match Hashtbl.find_opt t.start_times r.Request.id with
+        | Some s -> s
+        | None -> r.Request.issue_time
+      in
+      Hashtbl.remove t.start_times r.Request.id;
+      Trace.note t.trace
+        {
+          Trace.r_id = r.Request.id;
+          r_kind = r.Request.kind;
+          r_lbn = r.Request.lbn;
+          r_nfrags = r.Request.nfrags;
+          r_sync = r.Request.sync;
+          r_issue = r.Request.issue_time;
+          r_start = start;
+          r_complete = complete_time;
+        };
+      (* promote before the completion callback runs: a
+         callback may submit new requests and trigger a
+         dispatch, which must already see the requests this
+         completion unblocked *)
+      promote_waiters t r.Request.id;
+      let slice =
+        match data with
+        | None -> None
+        | Some cells ->
+          Some (Array.sub cells !off r.Request.nfrags)
+      in
+      off := !off + r.Request.nfrags;
+      r.Request.on_complete (Ok slice))
+    run;
+  t.head_pos <- lbn + nfrags;
+  notify_if_idle t;
+  try_dispatch t
+
+(* The retry budget ran out: complete every request of the run with
+   the typed error. The failed ids leave the outstanding set (so the
+   queue cannot wedge behind them) and their waiters are promoted —
+   whether to re-issue, escalate or give up is the caller's decision;
+   the cache re-dirties failed buffers and counts the failure. *)
+and fail_run t ~run err =
+  List.iter
+    (fun (r : Request.t) ->
+      t.outstanding_ids <- IntSet.remove r.Request.id t.outstanding_ids;
+      if r.Request.kind = Request.Write then remove_write_index t r;
+      Hashtbl.remove t.start_times r.Request.id;
+      Trace.note_failure t.trace;
+      promote_waiters t r.Request.id;
+      r.Request.on_complete (Error err))
+    run;
+  notify_if_idle t;
+  try_dispatch t
 
 let create ~engine ~disk config =
   let t = {
@@ -316,6 +422,7 @@ let create ~engine ~disk config =
     writes_by_start = IntMap.empty;
     head_pos = 0;
     idle_waiters = [];
+    retries = [];
   }
   in
   Su_disk.Disk.set_idle_callback disk (fun () -> try_dispatch t);

@@ -15,10 +15,19 @@ type config = {
   policy : policy;
   max_concat : int;  (** max fragments per device operation *)
   keep_records : bool;  (** retain full per-request trace records *)
+  max_attempts : int;
+      (** device attempts per operation before failing it with a typed
+          error (must be >= 1) *)
+  retry_backoff : float;
+      (** delay before the second attempt, seconds; doubles per retry *)
+  request_timeout : float;
+      (** per-attempt deadline, seconds; an attempt completing later
+          is treated as failed and re-driven. 0 disables. *)
 }
 
 val default_config : config
-(** Unordered, C-LOOK, 64-fragment concatenation, aggregates only. *)
+(** Unordered, C-LOOK, 64-fragment concatenation, aggregates only;
+    5 attempts with 2 ms base backoff, no timeout. *)
 
 type t
 
@@ -33,12 +42,21 @@ val submit :
   ?deps:int list ->
   ?sync:bool ->
   ?payload:Su_fstypes.Types.cell array ->
-  on_complete:(Su_fstypes.Types.cell array option -> unit) ->
+  on_complete:
+    ((Su_fstypes.Types.cell array option, Su_disk.Fault.error) result -> unit) ->
   unit ->
   int
 (** Enqueue a request; returns its id. [payload] must be a private
     snapshot (writes). [sync] marks that a process will block on the
-    completion (statistics only). *)
+    completion (statistics only).
+
+    A device error or timeout is retried with exponential backoff up
+    to [max_attempts]; while retrying, the request stays outstanding,
+    so every ordering constraint naming it continues to hold — scheme
+    dependency state is untouched by retries. Only after the budget is
+    exhausted does [on_complete] fire with [Error]; the failed id then
+    behaves as completed for ordering purposes (so the queue cannot
+    deadlock behind a dead sector). *)
 
 val completed : t -> int -> bool
 (** Whether the given request id has completed. Ids never issued are

@@ -11,7 +11,8 @@ type t = {
   deps : int list;
   sync : bool;
   issue_time : float;
-  on_complete : Su_fstypes.Types.cell array option -> unit;
+  on_complete :
+    (Su_fstypes.Types.cell array option, Su_disk.Fault.error) result -> unit;
 }
 
 let overlaps a b = a.lbn < b.lbn + b.nfrags && b.lbn < a.lbn + a.nfrags

@@ -15,7 +15,10 @@ type t = {
   deps : int list;  (** ids this request must follow (scheduler chains) *)
   sync : bool;  (** a process is blocked on this request *)
   issue_time : float;
-  on_complete : Su_fstypes.Types.cell array option -> unit;
+  on_complete :
+    (Su_fstypes.Types.cell array option, Su_disk.Fault.error) result -> unit;
+      (** [Ok data] on success ([Some cells] for reads); [Error e]
+          after the driver's retry budget is exhausted *)
 }
 
 val overlaps : t -> t -> bool

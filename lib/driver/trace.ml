@@ -16,6 +16,8 @@ type t = {
   mutable recs : record list;
   mutable nreads : int;
   mutable nwrites : int;
+  mutable nretries : int;
+  mutable nfailures : int;
   access : Stats.t;
   response : Stats.t;
   queue : Stats.t;
@@ -28,11 +30,18 @@ let create ?(keep_records = false) () =
     recs = [];
     nreads = 0;
     nwrites = 0;
+    nretries = 0;
+    nfailures = 0;
     access = Stats.create ();
     response = Stats.create ();
     queue = Stats.create ();
     sync_response = Stats.create ();
   }
+
+let note_retry t = t.nretries <- t.nretries + 1
+let note_failure t = t.nfailures <- t.nfailures + 1
+let io_retries t = t.nretries
+let io_failures t = t.nfailures
 
 let note t r =
   (match r.r_kind with

@@ -19,9 +19,18 @@ val create : ?keep_records:bool -> unit -> t
 
 val note : t -> record -> unit
 
+val note_retry : t -> unit
+val note_failure : t -> unit
+
 val requests : t -> int
 val reads : t -> int
 val writes : t -> int
+
+val io_retries : t -> int
+(** Device attempts that failed (or timed out) and were re-driven. *)
+
+val io_failures : t -> int
+(** Requests completed with an error after the retry budget ran out. *)
 
 val avg_access_ms : t -> float
 (** Mean disk service time, milliseconds. *)

@@ -50,7 +50,7 @@ let do_link_add st ~dir ~slot ~inum =
   Inode.with_ibuf st inum (fun ibuf ->
       st.State.scheme.Intf.link_add ~dir ~slot ~ibuf ~inum)
 
-let insert_prepared st ~dir ~slot name inum =
+let insert_prepared ?(link_dep = true) st ~dir ~slot name inum =
   Bcache.prepare_modify st.State.cache dir;
   (match dir.Buf.content with
    | Buf.Cmeta (Types.Dir entries) ->
@@ -58,7 +58,7 @@ let insert_prepared st ~dir ~slot name inum =
    | Buf.Cmeta _ | Buf.Cdata _ -> failwith "Dir: bad directory block");
   State.charge st st.State.costs.Costs.dirent_update;
   Bcache.bdwrite st.State.cache dir;
-  do_link_add st ~dir ~slot ~inum
+  if link_dep then do_link_add st ~dir ~slot ~inum
 
 let add_entry st dip name inum =
   let nb = nblocks st dip in

@@ -18,10 +18,25 @@ val remove_entry :
     scheme (it performs the link-count decrement, possibly deferred).
     Returns whether the entry existed. *)
 
-val insert_prepared : State.t -> dir:Su_cache.Buf.t -> slot:int -> string -> int -> unit
+val insert_prepared :
+  ?link_dep:bool -> State.t -> dir:Su_cache.Buf.t -> slot:int -> string -> int -> unit
 (** Low-level insert into a specific (referenced) directory block at
     [slot], running the link-addition hook; used to seed "." and ".."
-    into a block that is not yet attached to its directory. *)
+    into a block that is not yet attached to its directory.
+
+    [link_dep] (default [true]): run the scheme's link-addition hook.
+    mkdir passes [false] for "." only: its ordering is structural —
+    the dots-bearing block is initialisation-ordered before the
+    inode's pointer ({!File.grow_dir_block}), and the directory is
+    unreachable until the parent's entry lands, which does carry a
+    link dependency on the new inode. Registering a hook dependency
+    for "." is not just redundant: under soft updates it makes the
+    block's {e first} write roll "." back (the entry waits on the
+    very inode write that waits on the block), exposing a reachable
+    directory without "." at crash points between the parent-entry
+    write and the block's rewrite. ".." is different: its hook orders
+    the parent's inode — carrying the incremented link count — ahead
+    of the entry, so it stays (BSD softdep's MKDIR_PARENT). *)
 
 val list_names : State.t -> State.incore -> string list
 (** All entry names, including "." and "..". *)

@@ -44,6 +44,10 @@ type config = {
   keep_trace_records : bool;
   journal_mb : int;
   nvram_mb : int;
+  fault : Su_disk.Fault.config;
+  io_max_attempts : int;
+  io_retry_backoff : float;
+  io_request_timeout : float;
 }
 
 let config ?(scheme = Soft_updates) () =
@@ -69,6 +73,10 @@ let config ?(scheme = Soft_updates) () =
     keep_trace_records = false;
     journal_mb = 8;
     nvram_mb = 0;
+    fault = Su_disk.Fault.none;
+    io_max_attempts = Su_driver.Driver.default_config.max_attempts;
+    io_retry_backoff = Su_driver.Driver.default_config.retry_backoff;
+    io_request_timeout = Su_driver.Driver.default_config.request_timeout;
   }
 
 let journal_region cfg =
@@ -172,7 +180,7 @@ let build ?image cfg =
     Su_disk.Disk.create ~engine ~params:cfg.disk_params ~nfrags:total_frags
       ?nvram_frags:
         (match cfg.nvram_mb with 0 -> None | mb -> Some (mb * 1024))
-      ()
+      ~fault:cfg.fault ()
   in
   (match image with
    | None -> mkfs disk cfg.geom
@@ -187,6 +195,9 @@ let build ?image cfg =
         policy = cfg.policy;
         max_concat = cfg.max_concat;
         keep_records = cfg.keep_trace_records;
+        max_attempts = cfg.io_max_attempts;
+        retry_backoff = cfg.io_retry_backoff;
+        request_timeout = cfg.io_request_timeout;
       }
   in
   let copy_cost_holder = ref (fun (_ : int) -> ()) in

@@ -40,6 +40,11 @@ type config = {
       (** battery-backed disk write cache (0 = none); writes are
           durable on acceptance and destage in idle time (§7's NVRAM
           comparison) *)
+  fault : Su_disk.Fault.config;
+      (** device fault model ({!Su_disk.Fault.none} by default) *)
+  io_max_attempts : int;  (** driver attempts per request (see {!Su_driver.Driver.config}) *)
+  io_retry_backoff : float;  (** base retry delay, seconds *)
+  io_request_timeout : float;  (** per-attempt deadline, 0 = none *)
 }
 
 val config : ?scheme:scheme_kind -> unit -> config

@@ -480,53 +480,69 @@ let count_refs geom image =
   done;
   (refs, parent, seen)
 
+type repair_outcome = {
+  actions : repair_action list;
+  final : report;
+  rounds : int;
+  converged : bool;
+}
+
 let repair ~geom ~image ~check_exposure =
   let actions = ref [] in
   let note a = actions := a :: !actions in
   let rounds = ref 0 in
+  let converged = ref true in
   let continue_ = ref true in
   while !continue_ do
     incr rounds;
-    if !rounds > 8 then failwith "Fsck.repair: no convergence";
-    let r = check ~geom ~image ~check_exposure in
-    let structural =
-      List.filter
-        (function Nlink_low _ -> false | _ -> true)
-        r.violations
-    in
-    if structural = [] then continue_ := false
+    if !rounds > 8 then begin
+      (* structural repairs keep uncovering each other: stop rewriting
+         and report divergence instead of dying — the settle/reclaim
+         passes below still leave the image as sane as possible *)
+      converged := false;
+      continue_ := false
+    end
     else begin
-      let _, parents, _ = count_refs geom image in
-      List.iter
-        (fun v ->
-          match v with
-          | Dangling_entry { dir; name; _ } ->
-            clear_entry geom image ~dir ~name;
-            note (Cleared_entry { dir; name })
-          | Cross_allocated { owners = (_, b); _ } ->
-            truncate_file geom image b;
-            note (Truncated_file { inum = b })
-          | Exposure { inum; _ } | Bad_pointer { inum; _ } ->
-            if inum > 0 then begin
-              truncate_file geom image inum;
-              note (Truncated_file { inum })
-            end
-          | Bad_dir { inum; reason } when inum > 0 ->
-            if String.length reason >= 7 && String.sub reason 0 7 = "missing"
-            then begin
-              let parent =
-                Option.value ~default:Geom.root_inum
-                  (Hashtbl.find_opt parents inum)
-              in
-              restore_dots geom image ~inum ~parent;
-              note (Restored_dots { inum })
-            end
-            else begin
-              clear_bad_dir_block geom image inum;
-              note (Cleared_dir_block { inum; ptr = 0 })
-            end
-          | Bad_dir _ | Nlink_low _ -> ())
-        structural
+      let r = check ~geom ~image ~check_exposure in
+      let structural =
+        List.filter
+          (function Nlink_low _ -> false | _ -> true)
+          r.violations
+      in
+      if structural = [] then continue_ := false
+      else begin
+        let _, parents, _ = count_refs geom image in
+        List.iter
+          (fun v ->
+            match v with
+            | Dangling_entry { dir; name; _ } ->
+              clear_entry geom image ~dir ~name;
+              note (Cleared_entry { dir; name })
+            | Cross_allocated { owners = (_, b); _ } ->
+              truncate_file geom image b;
+              note (Truncated_file { inum = b })
+            | Exposure { inum; _ } | Bad_pointer { inum; _ } ->
+              if inum > 0 then begin
+                truncate_file geom image inum;
+                note (Truncated_file { inum })
+              end
+            | Bad_dir { inum; reason } when inum > 0 ->
+              if String.length reason >= 7 && String.sub reason 0 7 = "missing"
+              then begin
+                let parent =
+                  Option.value ~default:Geom.root_inum
+                    (Hashtbl.find_opt parents inum)
+                in
+                restore_dots geom image ~inum ~parent;
+                note (Restored_dots { inum })
+              end
+              else begin
+                clear_bad_dir_block geom image inum;
+                note (Cleared_dir_block { inum; ptr = 0 })
+              end
+            | Bad_dir _ | Nlink_low _ -> ())
+          structural
+      end
     end
   done;
   (* settle link counts against the observed reference counts and
@@ -564,4 +580,9 @@ let repair ~geom ~image ~check_exposure =
   Su_core.Journaled.rebuild_maps geom image;
   note Rebuilt_maps;
   let final = check ~geom ~image ~check_exposure in
-  (List.rev !actions, final)
+  {
+    actions = List.rev !actions;
+    final;
+    rounds = !rounds;
+    converged = !converged;
+  }

@@ -62,16 +62,25 @@ type repair_action =
 
 val pp_repair_action : Format.formatter -> repair_action -> unit
 
+type repair_outcome = {
+  actions : repair_action list;  (** what was done, in order *)
+  final : report;  (** the re-check after repairing *)
+  rounds : int;  (** structural repair rounds run *)
+  converged : bool;
+      (** [false] if structural repairs kept uncovering new damage and
+          the round limit was hit; the image was still settled
+          (link counts, unreachable inodes, allocation maps) but
+          [final] may carry residual violations *)
+}
+
 val repair :
   geom:Geom.t ->
   image:Types.cell array ->
   check_exposure:bool ->
-  repair_action list * report
+  repair_outcome
 (** Fix the image in place, fsck-style: clear dangling entries, drop
     the data of cross-allocated/exposed files, restore "."/"..",
     settle link counts to the observed reference counts, reclaim
-    unreachable resources and rebuild the allocation maps. Returns the
-    actions taken and the final (re-checked) report, which is clean
-    unless the damage was unrepairable (e.g. the root directory is
-    gone).
-    @raise Failure if repair fails to converge. *)
+    unreachable resources and rebuild the allocation maps. Never
+    raises on bad images: non-convergence is reported in the
+    outcome. *)

@@ -117,12 +117,19 @@ let mkdir st path =
           dip.State.din.Types.nlink <- dip.State.din.Types.nlink + 1 (* ".." *);
           Inode.update st dip;
           (* first directory block, seeded with "." and ".." before the
-             ordering scheme sees its initialising write *)
+             ordering scheme sees its initialising write. "." gets no
+             link_add hook — the block is initialisation-ordered before
+             the inode pointer, and the parent entry below (which does
+             carry the dependency) keeps the directory unreachable
+             until the new inode is durable. ".." keeps the hook: it
+             orders the parent's inode, with its incremented link
+             count, ahead of the ".." entry (BSD's MKDIR_PARENT). *)
           let buf, commit = File.grow_dir_block st ip in
           Fun.protect
             ~finally:(fun () -> Su_cache.Bcache.release st.State.cache buf)
             (fun () ->
-              Dir.insert_prepared st ~dir:buf ~slot:0 "." ip.State.inum;
+              Dir.insert_prepared ~link_dep:false st ~dir:buf ~slot:0 "."
+                ip.State.inum;
               Dir.insert_prepared st ~dir:buf ~slot:1 ".." parent;
               commit ());
           Dir.add_entry st dip name ip.State.inum))
@@ -175,14 +182,21 @@ let rmdir st path =
       in
       Inode.with_inode st inum (fun ip ->
           as_dir st path ip;
-          if not (Dir.is_empty st ip) then raise (Enotempty path);
-          (* "." decrements the directory itself, ".." its parent *)
-          ignore
-            (Dir.remove_entry st ip "." ~decrement:(fun i -> dec_link st i));
-          ignore
-            (Dir.remove_entry st ip ".." ~decrement:(fun _ -> dec_link st parent)));
+          if not (Dir.is_empty st ip) then raise (Enotempty path));
+      (* the parent's entry goes first: once the name is off disk the
+         directory is unreachable, and only then may its own block
+         shed "." and ".." (a crash between a dots-removal write and
+         the parent write would otherwise expose a reachable
+         directory without its dots) *)
       ignore
-        (Dir.remove_entry st dip name ~decrement:(fun i -> dec_link st i)))
+        (Dir.remove_entry st dip name ~decrement:(fun i -> dec_link st i));
+      Inode.with_inode st inum (fun ip ->
+          (* ".." decrements the parent, "." the directory itself;
+             "." last so the final decrement releases the inode *)
+          ignore
+            (Dir.remove_entry st ip ".." ~decrement:(fun _ -> dec_link st parent));
+          ignore
+            (Dir.remove_entry st ip "." ~decrement:(fun i -> dec_link st i))))
 
 let link st ~src ~dst =
   charge_syscall st;

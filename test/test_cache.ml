@@ -120,7 +120,7 @@ let test_write_lock_blocks_updater () =
          in
          ignore
            (Bcache.bawrite
-              ~notify:(fun () -> completed_at := Engine.now w.e)
+              ~notify:(fun _ -> completed_at := Engine.now w.e)
               w.bc b);
          (* now try to modify: must wait for the write to finish *)
          Bcache.prepare_modify w.bc b;
@@ -141,7 +141,7 @@ let test_cb_does_not_block_updater () =
          in
          ignore
            (Bcache.bawrite
-              ~notify:(fun () -> completed_at := Engine.now w.e)
+              ~notify:(fun _ -> completed_at := Engine.now w.e)
               w.bc b);
          Bcache.prepare_modify w.bc b;
          modified_at := Engine.now w.e;
@@ -159,7 +159,7 @@ let test_snapshot_payload () =
             data_content 1 (stampw 1))
       in
       let iv : unit Proc.Ivar.t = Proc.Ivar.create w.e in
-      ignore (Bcache.bawrite ~notify:(fun () -> Proc.Ivar.fill iv ()) w.bc b);
+      ignore (Bcache.bawrite ~notify:(fun _ -> Proc.Ivar.fill iv ()) w.bc b);
       (match b.Buf.content with
        | Buf.Cdata d -> d.(0) <- Some (stampw 99)
        | Buf.Cmeta _ -> ());

@@ -1,0 +1,254 @@
+(* The crash-state explorer: exhaustive write-boundary + torn-state
+   sweeps, the crash_points/torn_variants helpers, fsck repair
+   convergence under random corruption, and crash safety with NVRAM
+   destaging in flight. *)
+open Su_sim
+open Su_fstypes
+open Su_fs
+open Su_check
+
+let sweep_cfg scheme =
+  {
+    (Fs.config ~scheme ()) with
+    Fs.geom = Geom.v ~mb:32 ~cg_mb:16 ~inodes_per_cg:1024 ();
+    cache_mb = 4;
+    journal_mb = 2;
+  }
+
+let show_failures s =
+  List.iter
+    (fun (v : Explorer.verdict) ->
+      if
+        v.Explorer.v_pre_violations > 0
+        || v.Explorer.v_post_violations > 0
+        || (not v.Explorer.v_repair_converged)
+        || not v.Explorer.v_remount_ok
+      then
+        Printf.eprintf
+          "[%s/%s] k=%d torn=%s pre=%d post=%d converged=%b remount=%b\n%!"
+          (Fs.scheme_kind_name s.Explorer.s_scheme)
+          s.Explorer.s_workload v.Explorer.v_boundary
+          (match v.Explorer.v_torn with
+           | None -> "-"
+           | Some a -> string_of_int a)
+          v.Explorer.v_pre_violations v.Explorer.v_post_violations
+          v.Explorer.v_repair_converged v.Explorer.v_remount_ok)
+    s.Explorer.s_verdicts
+
+let test_sweep_consistent scheme wl () =
+  let s = Explorer.sweep ~cfg:(sweep_cfg scheme) wl in
+  if not (Explorer.consistent s) then show_failures s;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s states explored" (Fs.scheme_kind_name scheme)
+       wl.Explorer.wl_name)
+    true
+    (s.Explorer.s_states > s.Explorer.s_writes && s.Explorer.s_torn_states > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s consistent at every crash state"
+       (Fs.scheme_kind_name scheme) wl.Explorer.wl_name)
+    true (Explorer.consistent s)
+
+let test_no_order_violates_but_repairs () =
+  let s = Explorer.sweep ~cfg:(sweep_cfg Fs.No_order) Explorer.smallfiles in
+  Alcotest.(check bool) "violations found" true (s.Explorer.s_dirty_states > 0);
+  if not (Explorer.repairable s) then show_failures s;
+  Alcotest.(check bool) "every state repaired, remounted, stayed clean" true
+    (Explorer.repairable s)
+
+(* --- crash_points / torn_variants helpers ------------------------------ *)
+
+let traced_world () =
+  let cfg =
+    { (sweep_cfg Fs.Soft_updates) with Fs.keep_trace_records = true }
+  in
+  let w = Fs.make cfg in
+  (cfg, w)
+
+let run_recorded () =
+  let _cfg, w = traced_world () in
+  ignore
+    (Proc.spawn w.Fs.engine ~name:"controller" (fun () ->
+         let h =
+           Proc.spawn w.Fs.engine ~name:"wl" (fun () ->
+               Explorer.smallfiles.Explorer.wl_run w.Fs.st)
+         in
+         Proc.join_all w.Fs.engine [ h ];
+         Fs.stop w;
+         Su_driver.Driver.quiesce w.Fs.driver;
+         Engine.stop w.Fs.engine));
+  Engine.run w.Fs.engine;
+  Su_driver.Driver.trace w.Fs.driver
+
+let test_crash_points_enumerates_completions () =
+  let tr = run_recorded () in
+  let pts = Crash.crash_points tr in
+  Alcotest.(check bool) "non-empty" true (pts <> []);
+  Alcotest.(check bool) "ascending and distinct" true
+    (List.for_all2 (fun a b -> a < b)
+       (List.filteri (fun i _ -> i < List.length pts - 1) pts)
+       (List.tl pts));
+  let writes =
+    List.filter
+      (fun (r : Su_driver.Trace.record) -> r.Su_driver.Trace.r_kind = Su_driver.Request.Write)
+      (Su_driver.Trace.records tr)
+  in
+  Alcotest.(check bool) "no more points than writes" true
+    (List.length pts <= List.length writes)
+
+let test_torn_variants_mid_write () =
+  (* find a multi-fragment write in a recorded twin run, then crash a
+     fresh world in the middle of that write: every proper prefix of
+     the in-flight payload is a reachable torn state, and soft updates
+     must keep all of them violation-free *)
+  let tr = run_recorded () in
+  let mid =
+    let rec pick = function
+      | [] -> Alcotest.fail "no multi-fragment write in the trace"
+      | (r : Su_driver.Trace.record) :: rest ->
+        if
+          r.Su_driver.Trace.r_kind = Su_driver.Request.Write
+          && r.Su_driver.Trace.r_nfrags > 1
+          && r.Su_driver.Trace.r_complete > r.Su_driver.Trace.r_start
+        then (r.Su_driver.Trace.r_start +. r.Su_driver.Trace.r_complete) /. 2.0
+        else pick rest
+    in
+    pick (Su_driver.Trace.records tr)
+  in
+  let _cfg, w = traced_world () in
+  ignore
+    (Proc.spawn w.Fs.engine ~name:"wl" (fun () ->
+         Explorer.smallfiles.Explorer.wl_run w.Fs.st));
+  let base = Crash.crash_at w mid in
+  (match Su_disk.Disk.inflight_write w.Fs.disk with
+   | None -> Alcotest.fail "expected a write in flight at the crash instant"
+   | Some (_, payload) ->
+     let variants = Crash.torn_variants w base in
+     Alcotest.(check int) "one variant per proper prefix"
+       (Array.length payload - 1)
+       (List.length variants);
+     List.iter
+       (fun img ->
+         let r = Crash.fsck_image w img in
+         if not (Fsck.ok r) then
+           List.iter
+             (fun v -> Format.eprintf "torn: %a@." Fsck.pp_violation v)
+             r.Fsck.violations;
+         Alcotest.(check bool) "torn state consistent" true (Fsck.ok r))
+       variants)
+
+(* --- fsck repair convergence under random corruption ------------------- *)
+
+let base_image =
+  lazy
+    (let cfg = sweep_cfg Fs.Soft_updates in
+     let r = Explorer.record ~cfg Explorer.smallfiles in
+     let img = Array.map Types.copy_cell r.Explorer.rec_initial in
+     Array.iter
+       (fun (lbn, cells) ->
+         Array.iteri (fun i c -> img.(lbn + i) <- Types.copy_cell c) cells)
+       r.Explorer.rec_writes;
+     (cfg.Fs.geom, img))
+
+let corrupt rng img =
+  let n = Array.length img in
+  let hits = 1 + Su_util.Rng.int rng 8 in
+  for _ = 1 to hits do
+    let lbn = Su_util.Rng.int rng n in
+    match Su_util.Rng.int rng 4, img.(lbn) with
+    | 0, _ -> img.(lbn) <- Types.Empty
+    | 1, Types.Meta (Types.Dir entries) ->
+      let slot = Su_util.Rng.int rng (Array.length entries) in
+      entries.(slot) <-
+        Some { Types.name = "zz"; inum = Su_util.Rng.int rng 2048 }
+    | 2, Types.Meta (Types.Inodes ds) ->
+      let d = ds.(Su_util.Rng.int rng (Array.length ds)) in
+      d.Types.nlink <- Su_util.Rng.int rng 5;
+      d.Types.db.(0) <- Su_util.Rng.int rng n
+    | 3, _ -> img.(lbn) <- Types.Frag Types.Zeroed
+    | _, _ -> ()
+  done
+
+let prop_repair_converges =
+  QCheck.Test.make ~name:"fsck repair converges on randomly corrupted images"
+    ~count:40 QCheck.(int_bound 100000)
+    (fun seed ->
+      let geom, base = Lazy.force base_image in
+      let img = Array.map Types.copy_cell base in
+      corrupt (Su_util.Rng.create seed) img;
+      let outcome = Fsck.repair ~geom ~image:img ~check_exposure:false in
+      if not (outcome.Fsck.converged && Fsck.ok outcome.Fsck.final) then begin
+        Printf.eprintf "[seed=%d] converged=%b rounds=%d\n%!" seed
+          outcome.Fsck.converged outcome.Fsck.rounds;
+        List.iter
+          (fun v -> Format.eprintf "  residual: %a@." Fsck.pp_violation v)
+          outcome.Fsck.final.Fsck.violations;
+        false
+      end
+      else true)
+
+(* --- NVRAM destage ----------------------------------------------------- *)
+
+let test_crash_during_nvram_destage () =
+  (* with a small NVRAM front the churny workload keeps the destage
+     pump busy; crashing at any instant — including mid-destage — must
+     leave a consistent image (acceptance made the data durable) *)
+  List.iter
+    (fun t ->
+      let cfg = { (sweep_cfg Fs.Soft_updates) with Fs.nvram_mb = 1 } in
+      let w = Fs.make cfg in
+      ignore
+        (Proc.spawn w.Fs.engine ~name:"wl" (fun () ->
+             Explorer.smallfiles.Explorer.wl_run w.Fs.st));
+      let r = Crash.crash_and_check w t in
+      if not (Fsck.ok r) then
+        List.iter
+          (fun v -> Format.eprintf "[nvram t=%.2f] %a@." t Fsck.pp_violation v)
+          r.Fsck.violations;
+      Alcotest.(check bool)
+        (Printf.sprintf "consistent at %.2fs" t)
+        true (Fsck.ok r))
+    [ 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 ]
+
+(* --- full-stack fault shakedown ---------------------------------------- *)
+
+let test_shakedown_rides_out_transients () =
+  let cfg =
+    {
+      (sweep_cfg Fs.Soft_updates) with
+      Fs.fault = Su_disk.Fault.transient ~seed:97 ~rate:0.1 ();
+    }
+  in
+  let s = Explorer.fault_shakedown ~cfg Explorer.smallfiles in
+  Alcotest.(check bool) "faults injected" true (s.Explorer.f_injected > 0);
+  Alcotest.(check bool) "retries used" true (s.Explorer.f_retries > 0);
+  Alcotest.(check int) "no request failed outright" 0 s.Explorer.f_failures;
+  Alcotest.(check int) "no write abandoned at the cache" 0
+    s.Explorer.f_cache_failures;
+  Alcotest.(check bool) "workload completed" true s.Explorer.f_completed;
+  Alcotest.(check bool) "final image consistent" true s.Explorer.f_consistent
+
+let suite =
+  [
+    Alcotest.test_case "sweep: soft updates / smallfiles" `Quick
+      (test_sweep_consistent Fs.Soft_updates Explorer.smallfiles);
+    Alcotest.test_case "sweep: soft updates / dirtree" `Quick
+      (test_sweep_consistent Fs.Soft_updates Explorer.dirtree);
+    Alcotest.test_case "sweep: scheduler chains / smallfiles" `Slow
+      (test_sweep_consistent
+         (Fs.Scheduler_chains { barrier_dealloc = false })
+         Explorer.smallfiles);
+    Alcotest.test_case "sweep: journaled / smallfiles" `Slow
+      (test_sweep_consistent (Fs.Journaled { group_commit = false })
+         Explorer.smallfiles);
+    Alcotest.test_case "sweep: no order violates but repairs" `Quick
+      test_no_order_violates_but_repairs;
+    Alcotest.test_case "crash_points enumerates completions" `Quick
+      test_crash_points_enumerates_completions;
+    Alcotest.test_case "torn variants mid-write" `Quick
+      test_torn_variants_mid_write;
+    QCheck_alcotest.to_alcotest prop_repair_converges;
+    Alcotest.test_case "crash during NVRAM destage" `Quick
+      test_crash_during_nvram_destage;
+    Alcotest.test_case "fault shakedown" `Quick
+      test_shakedown_rides_out_transients;
+  ]

@@ -11,7 +11,9 @@ let mk_disk ?(nfrags = 65536) () =
 let run_one e d ~lbn ~nfrags ~op ~payload =
   let result = ref None in
   Disk.submit d ~lbn ~nfrags ~op ~payload ~on_done:(fun data svc ->
-      result := Some (data, svc));
+      match data with
+      | Ok data -> result := Some (data, svc)
+      | Error err -> Alcotest.fail (Fault.error_to_string err));
   Engine.run e;
   match !result with
   | Some r -> r

@@ -128,7 +128,9 @@ let test_repair_no_order_crash () =
   let image = Crash.crash_at w 6.0 in
   let before = Fsck.check ~geom:cfg.Fs.geom ~image ~check_exposure:false in
   Alcotest.(check bool) "broken before repair" false (Fsck.ok before);
-  let actions, after = Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure:false in
+  let { Fsck.actions; final = after; _ } =
+    Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure:false
+  in
   Alcotest.(check bool) "repair acted" true (List.length actions > 0);
   if not (Fsck.ok after) then
     List.iter
@@ -159,7 +161,9 @@ let test_repair_idempotent_on_clean () =
       Fsops.append w.Fs.st "/d/x" ~bytes:2048;
       Fsops.sync w.Fs.st);
   let image = Su_disk.Disk.image_snapshot w.Fs.disk in
-  let actions, after = Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure:true in
+  let { Fsck.actions; final = after; _ } =
+    Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure:true
+  in
   Alcotest.(check bool) "clean stays clean" true (Fsck.ok after);
   (* only the unconditional map rebuild *)
   Alcotest.(check bool) "no destructive actions" true

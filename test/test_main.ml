@@ -19,5 +19,7 @@ let () =
       ("model", Test_model.suite);
       ("experiments", Test_experiments.suite);
       ("regressions", Test_regressions.suite);
+      ("fault", Test_fault.suite);
+      ("check", Test_check.suite);
       ("trace-golden", Test_trace_golden.suite);
     ]

@@ -9,7 +9,15 @@
    digests below were captured from the seed implementation (linear
    eligible-list scan in the driver, full-table eviction scan in the
    cache); the indexed implementation must reproduce every dispatch
-   decision and eviction choice bit-for-bit. *)
+   decision and eviction choice bit-for-bit.
+
+   The fig1 digests were recaptured (TRACE_GOLDEN_CAPTURE=1) after
+   mkdir stopped running the link-addition hook for ".": the entry's
+   ordering is structural (see Dir.insert_prepared), and dropping the
+   hook removes the extra per-mkdir inode writes the flag/chains
+   schemes issued for it. Run with the environment variable set to
+   print fresh (count, digest) pairs after a deliberate behaviour
+   change; any unexplained mismatch is still a regression. *)
 
 open Su_fs
 open Su_workload
@@ -104,20 +112,20 @@ let cases =
   [
     ( "fig1 copy, flag Part-NR/CB",
       (fun () -> run_world (flag_cfg Su_driver.Ordering.Part) (copy_workload ~users:2)),
-      (1662, "dd844694a841cea61a4734d45f05c0e7") );
+      (1522, "dcf970d8c1e7520af62447dcd39417cf") );
     ( "fig1 copy, flag Full barrier",
       (fun () ->
         run_world
           { (flag_cfg Su_driver.Ordering.Full) with Fs.nr = false }
           (copy_workload ~users:2)),
-      (1747, "f6dcfdb0f599b3fe6ff1a589a9fe2800") );
+      (1640, "fab8904a51b6e88f61833ec5baba979c") );
     ( "fig1 copy, chains FCFS",
       (fun () ->
         run_world
           { (Fs.config ~scheme:(Fs.Scheduler_chains { barrier_dealloc = false }) ())
             with Fs.policy = Su_driver.Driver.Fcfs; cache_mb = 1 }
           (copy_workload ~users:2)),
-      (2332, "cce40296fab1743d585e81e6819798fc") );
+      (2251, "64a73bfd6b9ae011fc69b3287406be4d") );
     ( "fig5 churn, soft updates",
       (fun () ->
         run_world
