@@ -5,14 +5,36 @@
      dune exec bench/main.exe                 # everything, full scale
      dune exec bench/main.exe -- --quick      # reduced workloads
      dune exec bench/main.exe -- fig5 tab2    # selected experiments
+     dune exec bench/main.exe -- --jobs 4     # figure runs over 4 domains
      dune exec bench/main.exe -- --micro      # Bechamel micro-benchmarks
      dune exec bench/main.exe -- --hotpaths [--json BENCH_hotpaths.json]
                                               # dispatch/eviction hot paths
+     dune exec bench/main.exe -- --crashsweep [--json BENCH_crashsweep.json]
+                                              # delta snapshots + work pool
      dune exec bench/main.exe -- --list       # available ids *)
 
 let available =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "tab1"; "tab2"; "tab3"; "fig6";
     "chains-dealloc"; "chains-cb"; "crash"; "soft-ablate"; "journal"; "nvram"; "aging" ]
+
+let usage () =
+  print_string
+    "usage: main.exe [options] [experiment ids]\n\
+     \n\
+     With no ids, every experiment runs in paper order.\n\
+     \n\
+     options:\n\
+     \  --quick         reduced workload sizes (smoke scale)\n\
+     \  --jobs N        worker domains for figure runs and --crashsweep\n\
+     \                  (default 1 = serial; 0 = one per core); results\n\
+     \                  and output are byte-identical at any value\n\
+     \  --list          print available experiment ids\n\
+     \  --micro         Bechamel micro-benchmarks of the core structures\n\
+     \  --hotpaths      driver-dispatch / cache-eviction hot paths\n\
+     \  --crashsweep    crash-state materialization (delta log vs deep\n\
+     \                  copy) and full-sweep scaling across the pool\n\
+     \  --json PATH     with --hotpaths/--crashsweep: write results JSON\n\
+     \  --help          this text\n"
 
 (* --- Bechamel micro-benchmarks of the core data structures ------------- *)
 
@@ -237,31 +259,210 @@ let run_hotpaths ~quick ~json_path =
     close_out oc;
     Printf.printf "# wrote %s\n" path
 
+(* --- crash-state materialization + sweep scaling ----------------------- *)
+
+(* Two measurements per built-in workload, written to
+   BENCH_crashsweep.json so the perf trajectory is tracked across PRs:
+
+   1. materialization throughput: producing the durable image at every
+      crash state (each write boundary + every torn prefix), comparing
+      the pre-delta approach — a full [Array.map Types.copy_cell] deep
+      copy per state — against the write-delta log, which seeks one
+      reusable base image in O(cells touched) per step. This isolates
+      exactly the cost the delta log removes.
+
+   2. full-sweep wall clock: Explorer.sweep (fsck + repair + remount +
+      continuation per state) at --jobs 1 and --jobs N, states/sec
+      each, pinning the work pool's scaling. *)
+
+module Explorer = Su_check.Explorer
+module Delta = Su_check.Delta
+
+let crashsweep_cfg =
+  {
+    (Su_fs.Fs.config ~scheme:Su_fs.Fs.Soft_updates ()) with
+    Su_fs.Fs.geom = Su_fstypes.Geom.v ~mb:32 ~cg_mb:16 ~inodes_per_cg:1024 ();
+    cache_mb = 4;
+    journal_mb = 2;
+  }
+
+(* The pre-delta materialization: advance a private base incrementally,
+   then take a full deep-copy snapshot per state (plus the torn-prefix
+   overlay), exactly as the seed explorer did. *)
+let materialize_deepcopy (r : Explorer.recording) states =
+  let open Su_fstypes in
+  let cur = Array.map Types.copy_cell r.Explorer.rec_initial in
+  let pos = ref 0 in
+  let live = ref 0 in
+  Array.iter
+    (fun (k, torn) ->
+      while !pos < k do
+        let d = r.Explorer.rec_deltas.(!pos) in
+        Array.iteri
+          (fun i c -> cur.(d.Delta.d_lbn + i) <- Types.copy_cell c)
+          d.Delta.d_post;
+        incr pos
+      done;
+      let img = Array.map Types.copy_cell cur in
+      (match torn with
+       | Some applied ->
+         let d = r.Explorer.rec_deltas.(k) in
+         for i = 0 to applied - 1 do
+           img.(d.Delta.d_lbn + i) <- Types.copy_cell d.Delta.d_post.(i)
+         done
+       | None -> ());
+      ignore (Sys.opaque_identity img);
+      incr live)
+    states;
+  !live
+
+(* The delta-log materialization: one reusable base, O(cells touched)
+   per seek; torn prefixes are applied and immediately undone. *)
+let materialize_delta (r : Explorer.recording) states =
+  let cur = Delta.cursor ~initial:r.Explorer.rec_initial ~log:r.Explorer.rec_deltas in
+  let base = Delta.image cur in
+  let live = ref 0 in
+  Array.iter
+    (fun (k, torn) ->
+      Delta.seek cur k;
+      (match torn with
+       | Some applied ->
+         let d = (Delta.log cur).(k) in
+         Array.blit d.Delta.d_post 0 base d.Delta.d_lbn applied;
+         (* the state is live here; restore boundary [k] for the next seek *)
+         Array.blit d.Delta.d_pre 0 base d.Delta.d_lbn applied
+       | None -> ());
+      ignore (Sys.opaque_identity base);
+      incr live)
+    states;
+  !live
+
+(* Repeat [f] over the state list until ~0.25s of wall clock has
+   accumulated, so per-state times in the nanosecond range still
+   measure cleanly. *)
+let time_states f states =
+  let t0 = Unix.gettimeofday () in
+  let total = ref 0 in
+  let reps = ref 0 in
+  while Unix.gettimeofday () -. t0 < 0.25 || !reps = 0 do
+    total := !total + f states;
+    incr reps
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  float_of_int !total /. wall
+
+let run_crashsweep ~quick ~jobs ~json_path =
+  let jobs_n = Su_util.Pool.resolve_jobs jobs in
+  let max_boundaries = if quick then Some 30 else None in
+  let results =
+    List.map
+      (fun wl ->
+        let r = Explorer.record ~cfg:crashsweep_cfg wl in
+        let states = Explorer.crash_states ?max_boundaries r in
+        let deep_sps = time_states (materialize_deepcopy r) states in
+        let delta_sps = time_states (materialize_delta r) states in
+        let sweep_at jobs =
+          let t0 = Unix.gettimeofday () in
+          let s =
+            Explorer.sweep_recording ~jobs ?max_boundaries ~cfg:crashsweep_cfg
+              ~workload:wl.Explorer.wl_name r
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          (s, wall, float_of_int s.Explorer.s_states /. wall)
+        in
+        let s1, wall1, sps1 = sweep_at 1 in
+        let _sn, walln, spsn = sweep_at jobs_n in
+        Printf.printf
+          "%-12s states=%-5d materialize: deepcopy %10.0f/s  delta %12.0f/s \
+           (%5.1fx)\n"
+          wl.Explorer.wl_name (Array.length states) deep_sps delta_sps
+          (delta_sps /. deep_sps);
+        Printf.printf
+          "%-12s sweep: jobs=1 %6.2fs (%5.1f states/s)   jobs=%d %6.2fs \
+           (%5.1f states/s)\n%!"
+          "" wall1 sps1 jobs_n walln spsn;
+        (wl.Explorer.wl_name, s1, Array.length states, deep_sps, delta_sps,
+         wall1, sps1, walln, spsn))
+      Explorer.builtin_workloads
+  in
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"scale\": \"%s\",\n  \"jobs\": %d,\n"
+      (if quick then "quick" else "full")
+      jobs_n;
+    Printf.fprintf oc "  \"workloads\": [\n";
+    List.iteri
+      (fun i (name, s1, states, deep, delta, wall1, sps1, walln, spsn) ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"scheme\": %S, \"writes\": %d, \"states\": %d,\n\
+          \     \"materialize\": {\"deepcopy_states_per_sec\": %.0f, \
+           \"delta_states_per_sec\": %.0f, \"speedup\": %.1f},\n\
+          \     \"sweep\": {\"jobs1_wall_s\": %.3f, \"jobs1_states_per_sec\": \
+           %.1f, \"jobsN\": %d, \"jobsN_wall_s\": %.3f, \
+           \"jobsN_states_per_sec\": %.1f}}%s\n"
+          name
+          (Su_fs.Fs.scheme_kind_name s1.Explorer.s_scheme)
+          s1.Explorer.s_writes states deep delta (delta /. deep) wall1 sps1
+          jobs_n walln spsn
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "# wrote %s\n" path
+
 (* --- main --------------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro" args in
+  if List.mem "--help" args || List.mem "-h" args then begin
+    usage ();
+    exit 0
+  end;
   if List.mem "--list" args then begin
     List.iter print_endline available;
     exit 0
   end;
+  let rec json_of = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> json_of rest
+    | [] -> None
+  in
+  let rec jobs_of = function
+    | "--jobs" :: n :: _ ->
+      (match int_of_string_opt n with
+       | Some j when j >= 0 -> j
+       | Some _ | None ->
+         Printf.eprintf "bad --jobs value %S (want an int >= 0)\n" n;
+         exit 2)
+    | _ :: rest -> jobs_of rest
+    | [] -> 1
+  in
+  let jobs = jobs_of args in
   if micro_only then begin
     micro ();
     exit 0
   end;
   if List.mem "--hotpaths" args then begin
-    let rec json_of = function
-      | "--json" :: path :: _ -> Some path
-      | _ :: rest -> json_of rest
-      | [] -> None
-    in
     run_hotpaths ~quick ~json_path:(json_of args);
     exit 0
   end;
+  if List.mem "--crashsweep" args then begin
+    run_crashsweep ~quick ~jobs ~json_path:(json_of args);
+    exit 0
+  end;
   let selected =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+    let rec drop_opts = function
+      | [] -> []
+      | ("--jobs" | "--json") :: _ :: rest -> drop_opts rest
+      | a :: rest ->
+        if String.length a > 1 && a.[0] = '-' then drop_opts rest
+        else a :: drop_opts rest
+    in
+    drop_opts args
   in
   let scale = if quick then `Quick else `Full in
   let wanted = if selected = [] then available else selected in
@@ -270,13 +471,30 @@ let () =
     "# Metadata Update Performance in File Systems (Ganger & Patt, OSDI 94)\n";
   Printf.printf "# simulated reproduction - %s scale\n\n"
     (if quick then "quick" else "full");
-  List.iter
-    (fun id ->
-      match List.assoc_opt id (Su_experiments.Experiments.all scale) with
+  (* Each experiment renders its tables into a buffer inside a pool
+     worker; printing happens here, in id order, so output is
+     byte-identical at any --jobs value. *)
+  let wanted = Array.of_list wanted in
+  let rendered =
+    Su_util.Pool.map ~jobs (Array.length wanted) (fun i ->
+        let id = wanted.(i) in
+        match List.assoc_opt id (Su_experiments.Experiments.all scale) with
+        | None -> (id, None)
+        | Some thunk ->
+          let t0 = Unix.gettimeofday () in
+          let tables = thunk () in
+          let buf = Buffer.create 4096 in
+          List.iter
+            (fun t -> Buffer.add_string buf (Su_util.Text_table.render t))
+            tables;
+          (id, Some (Buffer.contents buf, Unix.gettimeofday () -. t0)))
+  in
+  Array.iter
+    (fun (id, outcome) ->
+      match outcome with
       | None -> Printf.eprintf "unknown experiment %S (try --list)\n" id
-      | Some thunk ->
-        let t0 = Unix.gettimeofday () in
-        List.iter Su_util.Text_table.print (thunk ());
-        Printf.printf "[%s took %.1fs wall]\n\n%!" id (Unix.gettimeofday () -. t0))
-    wanted;
+      | Some (text, wall) ->
+        print_string text;
+        Printf.printf "[%s took %.1fs wall]\n\n%!" id wall)
+    rendered;
   Printf.printf "# total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)

@@ -224,6 +224,24 @@ let crashsweep_cmd =
       value & opt float 0.1
       & info [ "fault-rate" ] ~doc:"Transient failure probability per request.")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for per-state verification (default 1 = serial; \
+             0 = one per core, Domain.recommended_domain_count). Verdicts \
+             and output are byte-identical at any value.")
+  in
+  let max_boundaries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-boundaries" ]
+          ~doc:
+            "Cap the write boundaries explored per sweep (smoke runs; \
+             default: all).")
+  in
   let sweep_cfg scheme =
     (* a compact volume keeps the per-state pipeline (copy, fsck,
        repair, remount, continue) cheap enough to run at every write
@@ -235,7 +253,7 @@ let crashsweep_cmd =
       journal_mb = 2;
     }
   in
-  let run schemes workload_names no_torn faults fault_rate =
+  let run schemes workload_names no_torn faults fault_rate jobs max_boundaries =
     let schemes =
       match schemes with
       | Some s -> s
@@ -267,8 +285,8 @@ let crashsweep_cmd =
         List.iter
           (fun wl ->
             let s =
-              Su_check.Explorer.sweep ~torn:(not no_torn)
-                ~cfg:(sweep_cfg scheme) wl
+              Su_check.Explorer.sweep ~torn:(not no_torn) ~jobs
+                ?max_boundaries ~cfg:(sweep_cfg scheme) wl
             in
             let verdict =
               if Su_check.Explorer.consistent s then "consistent"
@@ -347,7 +365,7 @@ let crashsweep_cmd =
           remount per scheme.")
     Term.(
       const run $ schemes_arg $ workloads_arg $ no_torn_arg $ faults_arg
-      $ fault_rate_arg)
+      $ fault_rate_arg $ jobs_arg $ max_boundaries_arg)
 
 let trace_cmd =
   let count_arg =

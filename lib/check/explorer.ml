@@ -64,19 +64,23 @@ let find_workload name =
 
 type recording = {
   rec_initial : Types.cell array;
-  rec_writes : (int * Types.cell array) array;
+  rec_deltas : Delta.t array;
 }
 
+let rec_writes r =
+  Array.map (fun d -> (d.Delta.d_lbn, d.Delta.d_post)) r.rec_deltas
+
 (* One fault-free run under the given configuration, observing every
-   extent the disk applies to the media (in completion order). Crash
-   states are then reconstructed by replaying write prefixes over the
-   initial image — no re-execution per crash point. *)
+   extent the disk applies to the media (in completion order) together
+   with the cells it replaced. Crash states are then materialized by
+   seeking a {!Delta.cursor} over the log — no re-execution and no
+   full-image copy per crash point. *)
 let record ~cfg wl =
   let w = Fs.make cfg in
   let initial = Su_disk.Disk.image_snapshot w.Fs.disk in
-  let writes = ref [] in
-  Su_disk.Disk.set_write_observer w.Fs.disk (fun ~lbn cells ->
-      writes := (lbn, cells) :: !writes);
+  let deltas = ref [] in
+  Su_disk.Disk.set_delta_observer w.Fs.disk (fun ~lbn ~pre ~post ->
+      deltas := Delta.v ~lbn ~pre ~post :: !deltas);
   let controller () =
     let h = Proc.spawn w.Fs.engine ~name:"workload" (fun () -> wl.wl_run w.Fs.st) in
     Proc.join_all w.Fs.engine [ h ];
@@ -86,7 +90,7 @@ let record ~cfg wl =
   in
   ignore (Proc.spawn w.Fs.engine ~name:"controller" controller);
   Engine.run w.Fs.engine;
-  { rec_initial = initial; rec_writes = Array.of_list (List.rev !writes) }
+  { rec_initial = initial; rec_deltas = Array.of_list (List.rev !deltas) }
 
 (* --- per-state verification ------------------------------------------ *)
 
@@ -175,37 +179,62 @@ let consistent s =
 let repairable s =
   s.s_unrepaired = 0 && s.s_unconverged = 0 && s.s_remount_failures = 0
 
-let sweep ?(torn = true) ~cfg wl =
-  let r = record ~cfg wl in
-  let n = Array.length r.rec_writes in
-  let cur = Array.map Types.copy_cell r.rec_initial in
-  let verdicts = ref [] in
-  let snapshot () = Array.map Types.copy_cell cur in
-  for k = 0 to n do
-    (* crash after exactly [k] completed writes *)
-    verdicts := verify_state ~cfg ~boundary:k ~torn:None (snapshot ()) :: !verdicts;
-    if k < n then begin
-      let lbn, cells = r.rec_writes.(k) in
-      (if torn then
-         (* the (k+1)-th write torn mid-extent: 1 .. nfrags-1 leading
-            fragments reach the media, the tail is lost *)
-         for applied = 1 to Array.length cells - 1 do
-           let img = snapshot () in
-           for i = 0 to applied - 1 do
-             img.(lbn + i) <- Types.copy_cell cells.(i)
-           done;
-           verdicts :=
-             verify_state ~cfg ~boundary:k ~torn:(Some applied) img :: !verdicts
-         done);
-      Array.iteri (fun i c -> cur.(lbn + i) <- Types.copy_cell c) cells
-    end
+(* Enumerate the crash states of a recording in sweep order: each
+   write boundary, then (optionally) every torn prefix of the next
+   write. [max_boundaries] caps the boundaries explored (CI smoke). *)
+let crash_states ?(torn = true) ?max_boundaries r =
+  let n = Array.length r.rec_deltas in
+  let last = match max_boundaries with Some m -> min (max m 0) n | None -> n in
+  let states = ref [] in
+  for k = 0 to last do
+    states := (k, None) :: !states;
+    if torn && k < last then
+      let d = r.rec_deltas.(k) in
+      (* the (k+1)-th write torn mid-extent: 1 .. nfrags-1 leading
+         fragments reach the media, the tail is lost *)
+      for applied = 1 to Array.length d.Delta.d_post - 1 do
+        states := (k, Some applied) :: !states
+      done
   done;
-  let verdicts = List.rev !verdicts in
+  Array.of_list (List.rev !states)
+
+(* Materialize one crash state as a private image a verifier may
+   mutate: seek the cursor to the boundary (O(cells touched)), take a
+   copy-on-share snapshot (immutable cells shared, mutable metadata
+   deep-copied by [Types.copy_cell]), then overlay any torn prefix. *)
+let materialize cur (boundary, torn) =
+  Delta.seek cur boundary;
+  let img = Array.map Types.copy_cell (Delta.image cur) in
+  (match torn with
+   | None -> ()
+   | Some applied ->
+     let d = (Delta.log cur).(boundary) in
+     for i = 0 to applied - 1 do
+       img.(d.Delta.d_lbn + i) <- Types.copy_cell d.Delta.d_post.(i)
+     done);
+  img
+
+let sweep_recording ?torn ?(jobs = 1) ?max_boundaries ~cfg ~workload r =
+  let states = crash_states ?torn ?max_boundaries r in
+  (* Fan the per-state verification jobs out over a Domain pool. Each
+     worker owns a private cursor; indices are claimed in increasing
+     order, so a worker's cursor only ever seeks forward. Results are
+     merged by job index: verdict order — and therefore every digest
+     or table derived from it — is identical at any [jobs] value. *)
+  let verdicts =
+    Su_util.Pool.map_with ~jobs
+      ~init:(fun () -> Delta.cursor ~initial:r.rec_initial ~log:r.rec_deltas)
+      (Array.length states)
+      (fun cur i ->
+        let (boundary, torn) as state = states.(i) in
+        verify_state ~cfg ~boundary ~torn (materialize cur state))
+  in
+  let verdicts = Array.to_list verdicts in
   let count p = List.length (List.filter p verdicts) in
   {
     s_scheme = cfg.Fs.scheme;
-    s_workload = wl.wl_name;
-    s_writes = n;
+    s_workload = workload;
+    s_writes = Array.length r.rec_deltas;
     s_states = List.length verdicts;
     s_torn_states = count (fun v -> v.v_torn <> None);
     s_dirty_states = count (fun v -> v.v_pre_violations > 0);
@@ -214,6 +243,10 @@ let sweep ?(torn = true) ~cfg wl =
     s_remount_failures = count (fun v -> not v.v_remount_ok);
     s_verdicts = verdicts;
   }
+
+let sweep ?torn ?jobs ?max_boundaries ~cfg wl =
+  let r = record ~cfg wl in
+  sweep_recording ?torn ?jobs ?max_boundaries ~cfg ~workload:wl.wl_name r
 
 (* --- fault shakedown -------------------------------------------------- *)
 

@@ -32,14 +32,21 @@ val find_workload : string -> workload option
 
 type recording = {
   rec_initial : Types.cell array;  (** image as formatted, pre-run *)
-  rec_writes : (int * Types.cell array) array;
-      (** applied extents, completion order: (start lbn, cells) *)
+  rec_deltas : Delta.t array;
+      (** applied extents, completion order, with pre- and
+          post-images: the write-delta log crash states are
+          materialized from *)
 }
+
+val rec_writes : recording -> (int * Types.cell array) array
+(** The applied extents as (start lbn, cells landed) — the post-image
+    view of the delta log, for consumers that only replay forward. *)
 
 val record : cfg:Su_fs.Fs.config -> workload -> recording
 (** Run the workload once (no faults) and log every write the disk
-    applies. The run is driven to completion and quiesced, so the log
-    covers all deferred writes too. *)
+    applies — payload and replaced cells both. The run is driven to
+    completion and quiesced, so the log covers all deferred writes
+    too. *)
 
 type verdict = {
   v_boundary : int;  (** completed writes when the crash hit *)
@@ -80,9 +87,43 @@ val repairable : summary -> bool
 (** Possibly violated, but every state repaired, remounted and stayed
     clean (the promise fsck makes even for No Order — when it holds). *)
 
-val sweep : ?torn:bool -> cfg:Su_fs.Fs.config -> workload -> summary
+val crash_states :
+  ?torn:bool -> ?max_boundaries:int -> recording -> (int * int option) array
+(** The crash states of a recording in sweep order: [(k, None)] for a
+    crash after exactly [k] completed writes, [(k, Some applied)] for
+    the (k+1)-th write torn after [applied] fragments. [torn]
+    (default true) includes the torn states; [max_boundaries] caps
+    the write boundaries explored (smoke runs). *)
+
+val materialize : Delta.cursor -> int * int option -> Types.cell array
+(** Materialize one crash state as a private image the verify
+    pipeline may mutate: seek the cursor, snapshot, overlay any torn
+    prefix. Seeking costs O(cells touched) per boundary crossed; the
+    snapshot shares immutable cells and deep-copies only metadata. *)
+
+val sweep_recording :
+  ?torn:bool ->
+  ?jobs:int ->
+  ?max_boundaries:int ->
+  cfg:Su_fs.Fs.config ->
+  workload:string ->
+  recording ->
+  summary
+(** Verify every crash state of an existing recording. [jobs] > 1
+    fans the per-state verification out over a {!Su_util.Pool} of
+    that many domains ([0] = all cores); verdict order and all counts
+    are identical at any [jobs] value. *)
+
+val sweep :
+  ?torn:bool ->
+  ?jobs:int ->
+  ?max_boundaries:int ->
+  cfg:Su_fs.Fs.config ->
+  workload ->
+  summary
 (** Record once, then verify every crash state. [torn] (default true)
-    includes the torn-write intermediate states. *)
+    includes the torn-write intermediate states; [jobs] as in
+    {!sweep_recording}. *)
 
 type shakedown = {
   f_injected : int;  (** faults the disk injected *)

@@ -30,6 +30,8 @@ type t = {
       (* mechanical write being serviced right now: its payload has not
          reached the media yet, so a crash may tear it *)
   mutable write_observer : (lbn:int -> Types.cell array -> unit) option;
+  mutable delta_observer :
+    (lbn:int -> pre:Types.cell array -> post:Types.cell array -> unit) option;
 }
 
 let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none) () =
@@ -53,6 +55,7 @@ let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none) () =
     on_idle = (fun () -> ());
     inflight = None;
     write_observer = None;
+    delta_observer = None;
   }
 
 let busy t = t.busy
@@ -66,6 +69,7 @@ let fault t = t.fault
 let faults_injected t = Fault.injected t.fault
 let inflight_write t = t.inflight
 let set_write_observer t f = t.write_observer <- Some f
+let set_delta_observer t f = t.delta_observer <- Some f
 
 let cyl_of_lbn t lbn = lbn / Disk_params.frags_per_cyl t.params
 
@@ -159,14 +163,27 @@ let rec maybe_destage t =
   end
 
 let apply_write t ~lbn ~nfrags cells =
+  (* pre-images are captured before the blit so a delta observer can
+     undo the write as well as replay it *)
+  let pre =
+    match t.delta_observer with
+    | Some _ when nfrags > 0 ->
+      Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+    | Some _ | None -> None
+  in
   Array.blit cells 0 t.image lbn nfrags;
   (* a write invalidates overlapping cached streams *)
   t.streams <-
     List.filter (fun s -> s.limit <= lbn || s.next_lbn >= lbn + nfrags) t.streams;
-  match t.write_observer with
-  | Some f when nfrags > 0 ->
-    f ~lbn (Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
-  | Some _ | None -> ()
+  (match t.write_observer with
+   | Some f when nfrags > 0 ->
+     f ~lbn (Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
+   | Some _ | None -> ());
+  match t.delta_observer, pre with
+  | Some f, Some pre ->
+    f ~lbn ~pre
+      ~post:(Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
+  | (Some _ | None), _ -> ()
 
 let submit t ~lbn ~nfrags ~op ~payload ~on_done =
   if t.busy then invalid_arg "Disk.submit: device busy";

@@ -104,3 +104,19 @@ val set_write_observer : t -> (lbn:int -> Su_fstypes.Types.cell array -> unit) -
     and — with only the surviving prefix — when a write fails torn.
     The crash-state explorer uses this to rebuild the image at every
     write boundary without re-running the workload. *)
+
+val set_delta_observer :
+  t ->
+  (lbn:int ->
+  pre:Su_fstypes.Types.cell array ->
+  post:Su_fstypes.Types.cell array ->
+  unit) ->
+  unit
+(** [f ~lbn ~pre ~post] fires at the same instants as the write
+    observer, but additionally captures the cells the write replaced:
+    [pre] is the image content of [lbn ..] immediately before the
+    payload landed, [post] the content after (both private deep
+    copies, same length). A log of these deltas can materialize the
+    durable image at {e any} write boundary by replaying forward or
+    undoing backward from a single base image in O(cells touched) per
+    step — see {!Su_check.Delta}. *)

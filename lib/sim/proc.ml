@@ -9,30 +9,37 @@ exception Process_failure of string * exn
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
-(* The simulator is single-threaded and engines run one at a time, so a
-   module-level "current process" register is sound; it is saved and
-   restored around every resumption so nested wake-ups cannot clobber
-   it. *)
-let current : handle option ref = ref None
+(* Engines run one at a time *per domain*, so the "current process"
+   register is domain-local: each worker domain of a {!Su_util.Pool}
+   fan-out gets its own, and concurrently running simulated worlds
+   cannot clobber each other's. It is saved and restored around every
+   resumption so nested wake-ups cannot clobber it either. *)
+let current_key : handle option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get current_key
 
 let name h = h.pname
 let finished h = h.dead
 let cpu_time h = h.cpu
 let charge_cpu h dt = h.cpu <- h.cpu +. dt
 
-let self_opt () = !current
+let self_opt () = !(current ())
 
 let self () =
-  match !current with
+  match !(current ()) with
   | Some h -> h
   | None -> invalid_arg "Proc.self: not in process context"
 
-let counter = ref 0
+(* Only feeds default process names; atomic so concurrent domains can
+   spawn without a race (names stay unique, not globally dense). *)
+let counter = Atomic.make 0
 
 let spawn engine ?name f =
-  incr counter;
   let pname =
-    match name with Some n -> n | None -> Printf.sprintf "proc-%d" !counter
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "proc-%d" (Atomic.fetch_and_add counter 1 + 1)
   in
   let h = { pname; cpu = 0.0; dead = false; waiters = [] } in
   let finish () =
@@ -58,10 +65,11 @@ let spawn engine ?name f =
                     if !resumed then
                       invalid_arg "Proc: continuation resumed twice";
                     resumed := true;
-                    let saved = !current in
-                    current := Some h;
+                    let cur = current () in
+                    let saved = !cur in
+                    cur := Some h;
                     Fun.protect
-                      ~finally:(fun () -> current := saved)
+                      ~finally:(fun () -> cur := saved)
                       (fun () -> continue k ())
                   in
                   register resume)
@@ -69,9 +77,10 @@ let spawn engine ?name f =
       }
   in
   Engine.soon engine (fun () ->
-      let saved = !current in
-      current := Some h;
-      Fun.protect ~finally:(fun () -> current := saved) body);
+      let cur = current () in
+      let saved = !cur in
+      cur := Some h;
+      Fun.protect ~finally:(fun () -> cur := saved) body);
   h
 
 let suspend register = Effect.perform (Suspend register)

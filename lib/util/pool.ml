@@ -1,0 +1,80 @@
+let recommended () = Domain.recommended_domain_count ()
+
+let resolve_jobs = function
+  | 0 -> recommended ()
+  | j when j < 0 -> invalid_arg "Pool.resolve_jobs: negative jobs"
+  | j -> j
+
+(* Domain-local flag: set for the lifetime of a worker domain so a
+   nested map degrades to serial execution instead of spawning domains
+   from domains. *)
+let worker_key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get worker_key
+
+exception Job_failure of int * exn
+
+let run_serial ~init n f =
+  let s = init () in
+  Array.init n (fun i -> f s i)
+
+let run_parallel ~jobs ~init n f =
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  (* first-failing-index exception, so error reporting is as
+     deterministic as the results; once a failure is recorded, workers
+     stop claiming new indices *)
+  let failure : (int * exn) option Atomic.t = Atomic.make None in
+  let failure_mu = Mutex.create () in
+  let record_failure i e =
+    Mutex.lock failure_mu;
+    (match Atomic.get failure with
+     | Some (j, _) when j <= i -> ()
+     | Some _ | None -> Atomic.set failure (Some (i, e)));
+    Mutex.unlock failure_mu
+  in
+  let worker () =
+    (* the calling domain doubles as a worker: restore its flag on exit *)
+    Domain.DLS.set worker_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set worker_key false)
+      (fun () ->
+        match init () with
+        | exception e -> record_failure (-1) e
+        | s ->
+          let rec loop () =
+            if Atomic.get failure = None then begin
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                (match f s i with
+                 | v -> results.(i) <- Some v
+                 | exception e -> record_failure i e);
+                loop ()
+              end
+            end
+          in
+          loop ())
+  in
+  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  match Atomic.get failure with
+  | Some (i, e) -> raise (Job_failure (i, e))
+  | None ->
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Pool.map: missing result")
+      results
+
+let map_with ?(jobs = 1) ~init n f =
+  if n < 0 then invalid_arg "Pool.map: negative count";
+  let jobs = resolve_jobs jobs in
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 || in_worker () then run_serial ~init n f
+  else
+    match run_parallel ~jobs:(min jobs n) ~init n f with
+    | r -> r
+    | exception Job_failure (_, e) -> raise e
+
+let map ?jobs n f = map_with ?jobs ~init:(fun () -> ()) n (fun () i -> f i)

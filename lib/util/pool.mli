@@ -1,0 +1,46 @@
+(** A small Domain-based work pool for data-parallel fan-out.
+
+    The pool maps a function over the index range [0 .. n-1] using up
+    to [jobs] worker domains. Indices are claimed from a shared atomic
+    counter, so each worker sees a {e monotonically increasing}
+    sequence of indices — stages that maintain incremental per-worker
+    state (a delta-log cursor, a streaming accumulator) never need to
+    rewind. Results are merged by job index, not completion order, so
+    the output array is byte-identical at any [jobs] value.
+
+    Determinism contract: if [f] is deterministic per index and shares
+    no mutable state across indices, then [map ~jobs n f] returns the
+    same array for every [jobs]. The harness relies on this to keep
+    golden digests stable whether a sweep runs serially or fanned out.
+
+    Nested use: a [map] issued from inside a worker runs serially in
+    that worker (no recursive domain explosion). The simulator's
+    per-domain state ({!Su_sim.Proc}'s current-process register) is
+    domain-local, so whole simulated worlds can run concurrently as
+    long as each world is built and run entirely within one job. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool's meaning of
+    "all cores". *)
+
+val resolve_jobs : int -> int
+(** Normalise a user-facing [--jobs] value: [0] means
+    {!recommended}; anything below zero is an error.
+    @raise Invalid_argument on negative input. *)
+
+val in_worker : unit -> bool
+(** True while executing inside a pool worker domain (or in a nested
+    serial section of one). *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [| f 0; f 1; ...; f (n-1) |], computed by up to
+    [jobs] domains ([jobs] is {!resolve_jobs}-normalised; default 1 =
+    serial). If any [f i] raises, the exception for the {e smallest}
+    failing index is re-raised after all workers stop claiming work —
+    again independent of [jobs]. *)
+
+val map_with :
+  ?jobs:int -> init:(unit -> 's) -> int -> ('s -> int -> 'a) -> 'a array
+(** Like {!map}, but each worker first builds private state with
+    [init] and threads it through every index it claims (in increasing
+    order). [init] runs once per worker, inside that worker's domain. *)

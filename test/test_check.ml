@@ -136,17 +136,147 @@ let test_torn_variants_mid_write () =
          Alcotest.(check bool) "torn state consistent" true (Fsck.ok r))
        variants)
 
+(* --- delta-log crash-state materialization ----------------------------- *)
+
+let smallfiles_recording =
+  lazy (Explorer.record ~cfg:(sweep_cfg Fs.Soft_updates) Explorer.smallfiles)
+
+(* The reference reconstruction the delta log replaced: replay the
+   post-images forward into a private base and take a full deep copy
+   per state, plus the torn-prefix overlay. *)
+let reconstruct_deepcopy (r : Explorer.recording) (boundary, torn) =
+  let img = Array.map Types.copy_cell r.Explorer.rec_initial in
+  for k = 0 to boundary - 1 do
+    let d = r.Explorer.rec_deltas.(k) in
+    Array.iteri (fun i c -> img.(d.Delta.d_lbn + i) <- Types.copy_cell c)
+      d.Delta.d_post
+  done;
+  (match torn with
+   | None -> ()
+   | Some applied ->
+     let d = r.Explorer.rec_deltas.(boundary) in
+     for i = 0 to applied - 1 do
+       img.(d.Delta.d_lbn + i) <- Types.copy_cell d.Delta.d_post.(i)
+     done);
+  img
+
+let test_materialize_matches_deepcopy () =
+  (* every crash state — all boundaries, all torn prefixes — comes out
+     of the delta cursor structurally equal to a from-scratch replay *)
+  let r = Lazy.force smallfiles_recording in
+  let states = Explorer.crash_states r in
+  Alcotest.(check bool) "plenty of states" true (Array.length states > 20);
+  let cur = Delta.cursor ~initial:r.Explorer.rec_initial ~log:r.Explorer.rec_deltas in
+  Array.iter
+    (fun ((boundary, torn) as state) ->
+      let via_delta = Explorer.materialize cur state in
+      let via_copy = reconstruct_deepcopy r state in
+      Alcotest.(check bool)
+        (Printf.sprintf "state k=%d torn=%s equal" boundary
+           (match torn with None -> "-" | Some a -> string_of_int a))
+        true
+        (via_delta = via_copy))
+    states;
+  (* and the cursor still seeks backwards correctly after the sweep *)
+  Delta.seek cur 0;
+  Alcotest.(check bool) "rewound to the initial image" true
+    (Delta.image cur = r.Explorer.rec_initial)
+
+let test_crash_states_cap () =
+  let r = Lazy.force smallfiles_recording in
+  let n = Array.length r.Explorer.rec_deltas in
+  let full = Explorer.crash_states r in
+  let capped = Explorer.crash_states ~max_boundaries:5 r in
+  Alcotest.(check bool) "cap shrinks the sweep" true
+    (Array.length capped < Array.length full);
+  Array.iter
+    (fun (k, _) -> Alcotest.(check bool) "within cap" true (k <= 5))
+    capped;
+  let uncapped = Explorer.crash_states ~max_boundaries:(n + 100) r in
+  Alcotest.(check int) "oversized cap is the full sweep"
+    (Array.length full) (Array.length uncapped);
+  let no_torn = Explorer.crash_states ~torn:false r in
+  Alcotest.(check int) "boundaries only" (n + 1) (Array.length no_torn)
+
+(* Random write sequences over a small image: applying all deltas
+   forward then undoing them all must restore the exact initial image,
+   and any interleaving of seeks lands on the same state as a replay. *)
+let prop_delta_apply_undo =
+  QCheck.Test.make ~name:"delta apply/undo round-trips random sequences"
+    ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 1 40))
+    (fun (seed, nwrites) ->
+      let rng = Su_util.Rng.create seed in
+      let size = 64 in
+      let img =
+        Array.init size (fun i ->
+            if i mod 3 = 0 then Types.Empty else Types.Frag Types.Zeroed)
+      in
+      let log =
+        Array.init nwrites (fun _ ->
+            let nfrags = 1 + Su_util.Rng.int rng 4 in
+            let lbn = Su_util.Rng.int rng (size - nfrags) in
+            let pre = Array.init nfrags (fun i -> Types.copy_cell img.(lbn + i)) in
+            let post =
+              Array.init nfrags (fun _ ->
+                  if Su_util.Rng.int rng 2 = 0 then Types.Empty
+                  else Types.Frag Types.Zeroed)
+            in
+            let d = Delta.v ~lbn ~pre ~post in
+            Delta.apply img d;
+            d)
+      in
+      (* rebuild the initial image by undoing in reverse *)
+      let back = Array.map Types.copy_cell img in
+      for k = nwrites - 1 downto 0 do
+        Delta.undo back log.(k)
+      done;
+      let initial =
+        Array.init size (fun i ->
+            if i mod 3 = 0 then Types.Empty else Types.Frag Types.Zeroed)
+      in
+      back = initial
+      &&
+      (* a cursor seeking to random positions matches a fresh forward
+         replay to the same position *)
+      let cur = Delta.cursor ~initial ~log in
+      List.for_all
+        (fun _ ->
+          let k = Su_util.Rng.int rng (nwrites + 1) in
+          Delta.seek cur k;
+          let replay = Array.map Types.copy_cell initial in
+          for j = 0 to k - 1 do
+            Delta.apply replay log.(j)
+          done;
+          Delta.image cur = replay)
+        [ (); (); (); (); () ])
+
+let test_sweep_jobs_deterministic () =
+  (* the same recording swept serially and over the pool yields the
+     same verdicts in the same order *)
+  let cfg = sweep_cfg Fs.Soft_updates in
+  let r = Lazy.force smallfiles_recording in
+  let s1 =
+    Explorer.sweep_recording ~jobs:1 ~cfg ~workload:"smallfiles" r
+  in
+  let s2 =
+    Explorer.sweep_recording ~jobs:2 ~cfg ~workload:"smallfiles" r
+  in
+  Alcotest.(check bool) "identical summaries" true (s1 = s2);
+  Alcotest.(check int) "verdict count" s1.Explorer.s_states
+    (List.length s2.Explorer.s_verdicts)
+
 (* --- fsck repair convergence under random corruption ------------------- *)
 
 let base_image =
   lazy
     (let cfg = sweep_cfg Fs.Soft_updates in
      let r = Explorer.record ~cfg Explorer.smallfiles in
-     let img = Array.map Types.copy_cell r.Explorer.rec_initial in
-     Array.iter
-       (fun (lbn, cells) ->
-         Array.iteri (fun i c -> img.(lbn + i) <- Types.copy_cell c) cells)
-       r.Explorer.rec_writes;
+     let cur =
+       Delta.cursor ~initial:r.Explorer.rec_initial ~log:r.Explorer.rec_deltas
+     in
+     Delta.seek cur (Array.length r.Explorer.rec_deltas);
+     let img = Array.map Types.copy_cell (Delta.image cur) in
      (cfg.Fs.geom, img))
 
 let corrupt rng img =
@@ -242,6 +372,13 @@ let suite =
          Explorer.smallfiles);
     Alcotest.test_case "sweep: no order violates but repairs" `Quick
       test_no_order_violates_but_repairs;
+    Alcotest.test_case "delta materialization matches deep copy" `Quick
+      test_materialize_matches_deepcopy;
+    Alcotest.test_case "crash_states respects max_boundaries" `Quick
+      test_crash_states_cap;
+    QCheck_alcotest.to_alcotest prop_delta_apply_undo;
+    Alcotest.test_case "sweep deterministic across jobs" `Quick
+      test_sweep_jobs_deterministic;
     Alcotest.test_case "crash_points enumerates completions" `Quick
       test_crash_points_enumerates_completions;
     Alcotest.test_case "torn variants mid-write" `Quick

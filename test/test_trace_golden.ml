@@ -140,6 +140,26 @@ let cases =
       (74, "def1cfb5362af4d3401ce7625320dad2") );
   ]
 
+(* The same five worlds, but run inside Su_util.Pool workers: the
+   simulator's per-domain state (Proc's current-process register, the
+   engine, every RNG) must be fully domain-local for the digests to
+   survive. Any cross-domain leak shows up as a digest mismatch. *)
+let test_golden_under_pool () =
+  let cases = Array.of_list cases in
+  let got =
+    Su_util.Pool.map ~jobs:2 (Array.length cases) (fun i ->
+        let _, run, _ = cases.(i) in
+        run ())
+  in
+  Array.iteri
+    (fun i (n, digest) ->
+      let name, _, (exp_n, exp_digest) = cases.(i) in
+      Alcotest.(check int) (name ^ ": record count under pool") exp_n n;
+      Alcotest.(check string)
+        (name ^ ": trace digest under pool")
+        exp_digest digest)
+    got
+
 let suite =
   List.map
     (fun (name, run, (exp_n, exp_digest)) ->
@@ -150,3 +170,7 @@ let suite =
           Alcotest.(check int) (name ^ ": record count") exp_n n;
           Alcotest.(check string) (name ^ ": trace digest") exp_digest digest))
     cases
+  @ [
+      Alcotest.test_case "golden digests unchanged under the pool" `Quick
+        test_golden_under_pool;
+    ]

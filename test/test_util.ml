@@ -235,6 +235,77 @@ let test_table_render () =
   Alcotest.(check bool) "pads short rows" true
     (String.split_on_char '\n' out |> List.length >= 5)
 
+(* --- Pool: the Domain-based work pool ---------------------------------- *)
+
+let test_pool_ordering () =
+  (* results land at their job index no matter which worker ran them *)
+  let n = 200 in
+  let r = Pool.map ~jobs:4 n (fun i -> i * i) in
+  Alcotest.(check int) "length" n (Array.length r);
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v)
+    r;
+  let serial = Pool.map n (fun i -> i * i) in
+  Alcotest.(check bool) "serial identical" true (r = serial)
+
+let test_pool_jobs_zero () =
+  (* jobs:0 resolves to one worker per core and still merges in order *)
+  Alcotest.(check bool) "recommended >= 1" true (Pool.recommended () >= 1);
+  Alcotest.(check int) "resolve 0" (Pool.recommended ()) (Pool.resolve_jobs 0);
+  Alcotest.(check int) "resolve 3" 3 (Pool.resolve_jobs 3);
+  let r = Pool.map ~jobs:0 50 (fun i -> i + 1) in
+  Alcotest.(check int) "slot 49" 50 r.(49)
+
+let test_pool_exception () =
+  (* the smallest failing index wins, matching what a serial run would
+     raise first *)
+  match Pool.map ~jobs:4 100 (fun i -> if i >= 40 then failwith "boom" else i) with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure m -> Alcotest.(check string) "original exn" "boom" m
+
+let test_pool_map_with_init () =
+  (* each worker gets private state from init; a worker's jobs see its
+     counter advance 1, 2, 3, ... with no interleaving from others *)
+  let next_id = Atomic.make 0 in
+  let r =
+    Pool.map_with ~jobs:3
+      ~init:(fun () -> (Atomic.fetch_and_add next_id 1, ref 0))
+      60
+      (fun (wid, acc) i ->
+        incr acc;
+        (i, wid, !acc))
+  in
+  Alcotest.(check int) "every job ran" 60 (Array.length r);
+  Array.iteri (fun i (j, _, _) -> Alcotest.(check int) "index" i j) r;
+  let per_worker = Hashtbl.create 8 in
+  Array.iter
+    (fun (_, wid, c) ->
+      let expect = (try Hashtbl.find per_worker wid with Not_found -> 0) + 1 in
+      Alcotest.(check int)
+        (Printf.sprintf "worker %d counter monotone" wid)
+        expect c;
+      Hashtbl.replace per_worker wid expect)
+    r;
+  let total = Hashtbl.fold (fun _ c acc -> c + acc) per_worker 0 in
+  Alcotest.(check int) "counters partition the jobs" 60 total
+
+let test_pool_nested_serial () =
+  (* a map launched from inside a worker degrades to serial instead of
+     oversubscribing with nested domains *)
+  let r =
+    Pool.map ~jobs:2 4 (fun i ->
+        Alcotest.(check bool) "in worker" true (Pool.in_worker ());
+        let inner = Pool.map ~jobs:4 3 (fun j -> (10 * i) + j) in
+        Array.to_list inner)
+  in
+  Alcotest.(check bool) "outside worker again" false (Pool.in_worker ());
+  Alcotest.(check (list int)) "nested results" [ 30; 31; 32 ] r.(3)
+
+let test_pool_empty_and_single () =
+  Alcotest.(check int) "n=0" 0 (Array.length (Pool.map ~jobs:4 0 (fun i -> i)));
+  let one = Pool.map ~jobs:4 1 (fun i -> i + 7) in
+  Alcotest.(check int) "n=1" 7 one.(0)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -258,4 +329,12 @@ let suite =
     Alcotest.test_case "percentile" `Quick test_percentile;
     QCheck_alcotest.to_alcotest prop_stats_mean_matches;
     Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
+    Alcotest.test_case "pool jobs=0 resolves" `Quick test_pool_jobs_zero;
+    Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool per-worker init" `Quick test_pool_map_with_init;
+    Alcotest.test_case "pool nested maps run serial" `Quick
+      test_pool_nested_serial;
+    Alcotest.test_case "pool empty and single" `Quick
+      test_pool_empty_and_single;
   ]
