@@ -174,7 +174,7 @@ let crash_cmd =
         match cfg.Fs.scheme with Fs.Journaled _ -> false | _ -> cfg.Fs.alloc_init
       in
       let { Fsck.actions; final; converged; _ } =
-        Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure
+        Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure ()
       in
       Printf.printf "\n# repair\n";
       List.iter (fun a -> Format.printf "  %a@." Fsck.pp_repair_action a) actions;
@@ -201,9 +201,11 @@ let crashsweep_cmd =
   let workloads_arg =
     Arg.(
       value
-      & opt (list string) [ "smallfiles"; "dirtree" ]
+      & opt (list string) [ "smallfiles"; "dirtree"; "renamefile"; "renamedir" ]
       & info [ "w"; "workloads" ]
-          ~doc:"Comma-separated built-in workloads: smallfiles, dirtree.")
+          ~doc:
+            "Comma-separated built-in workloads: smallfiles, dirtree, \
+             renamefile, renamedir.")
   in
   let no_torn_arg =
     Arg.(
@@ -242,6 +244,22 @@ let crashsweep_cmd =
             "Cap the write boundaries explored per sweep (smoke runs; \
              default: all).")
   in
+  let nested_arg =
+    Arg.(
+      value & flag
+      & info [ "nested" ]
+          ~doc:
+            "Re-crash the recovery pipeline at every one of its own write \
+             boundaries, for every outer crash state, and require recovery \
+             to be re-entrant: each nested state must settle in one round \
+             and reach the write-free fixed point by the second.")
+  in
+  let fail_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:"Stop at the first sweep that misses its expected verdict.")
+  in
   let sweep_cfg scheme =
     (* a compact volume keeps the per-state pipeline (copy, fsck,
        repair, remount, continue) cheap enough to run at every write
@@ -253,7 +271,8 @@ let crashsweep_cmd =
       journal_mb = 2;
     }
   in
-  let run schemes workload_names no_torn faults fault_rate jobs max_boundaries =
+  let run schemes workload_names no_torn faults fault_rate jobs max_boundaries
+      nested fail_fast =
     let schemes =
       match schemes with
       | Some s -> s
@@ -272,43 +291,77 @@ let crashsweep_cmd =
     let table =
       Su_util.Text_table.create
         ~title:
-          (Printf.sprintf "crash sweep: every write boundary%s"
-             (if no_torn then "" else " + torn states"))
+          (Printf.sprintf "crash sweep: every write boundary%s%s"
+             (if no_torn then "" else " + torn states")
+             (if nested then " + crashes during recovery" else ""))
         ~headers:
-          [
-            "scheme"; "workload"; "writes"; "states"; "torn"; "violated";
-            "unrepaired"; "remount-fail"; "verdict";
-          ]
+          ([
+             "scheme"; "workload"; "writes"; "states"; "torn"; "violated";
+             "unrepaired"; "remount-fail";
+           ]
+          @ (if nested then [ "nested"; "nested-fail" ] else [])
+          @ [ "verdict" ])
     in
-    List.iter
-      (fun scheme ->
-        List.iter
-          (fun wl ->
-            let s =
-              Su_check.Explorer.sweep ~torn:(not no_torn) ~jobs
-                ?max_boundaries ~cfg:(sweep_cfg scheme) wl
-            in
-            let verdict =
-              if Su_check.Explorer.consistent s then "consistent"
-              else if Su_check.Explorer.repairable s then "repairable"
-              else "BROKEN"
-            in
-            Su_util.Text_table.add_row table
-              [
-                Fs.scheme_kind_name scheme;
-                s.Su_check.Explorer.s_workload;
-                Su_util.Text_table.cell_i s.Su_check.Explorer.s_writes;
-                Su_util.Text_table.cell_i s.Su_check.Explorer.s_states;
-                Su_util.Text_table.cell_i s.Su_check.Explorer.s_torn_states;
-                Su_util.Text_table.cell_i s.Su_check.Explorer.s_dirty_states;
-                Su_util.Text_table.cell_i s.Su_check.Explorer.s_unrepaired;
-                Su_util.Text_table.cell_i
-                  s.Su_check.Explorer.s_remount_failures;
-                verdict;
-              ])
-          workloads)
-      schemes;
+    (* No Order promises only repairability; every ordered scheme (and
+       the journal) must come through consistent. *)
+    let failed = ref false in
+    (try
+       List.iter
+         (fun scheme ->
+           List.iter
+             (fun wl ->
+               let s =
+                 Su_check.Explorer.sweep ~torn:(not no_torn) ~jobs
+                   ?max_boundaries ~nested ~cfg:(sweep_cfg scheme) wl
+               in
+               let ok =
+                 match scheme with
+                 | Fs.No_order -> Su_check.Explorer.repairable s
+                 | _ -> Su_check.Explorer.consistent s
+               in
+               let verdict =
+                 if Su_check.Explorer.consistent s then "consistent"
+                 else if Su_check.Explorer.repairable s then "repairable"
+                 else "BROKEN"
+               in
+               Su_util.Text_table.add_row table
+                 ([
+                    Fs.scheme_kind_name scheme;
+                    s.Su_check.Explorer.s_workload;
+                    Su_util.Text_table.cell_i s.Su_check.Explorer.s_writes;
+                    Su_util.Text_table.cell_i s.Su_check.Explorer.s_states;
+                    Su_util.Text_table.cell_i s.Su_check.Explorer.s_torn_states;
+                    Su_util.Text_table.cell_i s.Su_check.Explorer.s_dirty_states;
+                    Su_util.Text_table.cell_i s.Su_check.Explorer.s_unrepaired;
+                    Su_util.Text_table.cell_i
+                      s.Su_check.Explorer.s_remount_failures;
+                  ]
+                 @ (if nested then
+                      [
+                        Su_util.Text_table.cell_i
+                          s.Su_check.Explorer.s_nested_states;
+                        Su_util.Text_table.cell_i
+                          (s.Su_check.Explorer.s_nested_unrecovered
+                          + s.Su_check.Explorer.s_nested_unsettled);
+                      ]
+                    else [])
+                 @ [ (if ok then verdict else verdict ^ " *") ]);
+               if not ok then begin
+                 failed := true;
+                 if fail_fast then raise Exit
+               end)
+             workloads)
+         schemes
+     with Exit -> ());
     Su_util.Text_table.print table;
+    if !failed then begin
+      prerr_endline
+        (if fail_fast then
+           "crashsweep: violation found (stopped early; * marks the failing \
+            row)"
+         else "crashsweep: violation found (* marks failing rows)");
+      exit 1
+    end;
     if faults then begin
       let table =
         Su_util.Text_table.create
@@ -362,10 +415,162 @@ let crashsweep_cmd =
        ~doc:
          "Systematically re-crash a recorded workload at every write \
           boundary (plus torn mid-write states) and verify fsck, repair and \
-          remount per scheme.")
+          remount per scheme. Exits non-zero if any scheme misses its \
+          promise (consistent; repairable for no-order).")
     Term.(
       const run $ schemes_arg $ workloads_arg $ no_torn_arg $ faults_arg
-      $ fault_rate_arg $ jobs_arg $ max_boundaries_arg)
+      $ fault_rate_arg $ jobs_arg $ max_boundaries_arg $ nested_arg
+      $ fail_fast_arg)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 12 & info [ "ops" ] ~doc:"Generated ops per workload.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "n"; "count" ] ~doc:"Consecutive seeds to fuzz.")
+  in
+  let schemes_arg =
+    Arg.(
+      value
+      & opt (some (list scheme_conv)) None
+      & info [ "schemes" ]
+          ~doc:
+            "Comma-separated schemes to fuzz (default: the paper's five \
+             plus journaled).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for per-crash-state verification (0 = one per \
+             core).")
+  in
+  let max_boundaries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-boundaries" ]
+          ~doc:"Cap the write boundaries swept per case (smoke runs).")
+  in
+  let no_torn_arg =
+    Arg.(
+      value & flag
+      & info [ "no-torn" ]
+          ~doc:"Skip torn mid-write states (sector-atomic crashes only).")
+  in
+  let no_nested_arg =
+    Arg.(
+      value & flag
+      & info [ "no-nested" ]
+          ~doc:"Skip re-crashing the recovery pipeline inside its own writes.")
+  in
+  let fail_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ] ~doc:"Stop at the first failing case.")
+  in
+  let fuzz_cfg scheme =
+    {
+      (Fs.config ~scheme ()) with
+      Fs.geom = Su_fstypes.Geom.v ~mb:32 ~cg_mb:16 ~inodes_per_cg:1024 ();
+      cache_mb = 4;
+      journal_mb = 2;
+    }
+  in
+  let run seed0 ops_n count schemes jobs max_boundaries no_torn no_nested
+      fail_fast =
+    let schemes =
+      match schemes with
+      | Some s -> s
+      | None -> Fs.all_schemes @ [ Fs.Journaled { group_commit = false } ]
+    in
+    let nested = not no_nested in
+    let table =
+      Su_util.Text_table.create
+        ~title:
+          (Printf.sprintf "workload fuzz: %d seed%s x %d ops, per scheme%s"
+             count
+             (if count = 1 then "" else "s")
+             ops_n
+             (if nested then ", crashes during recovery included" else ""))
+        ~headers:
+          [
+            "scheme"; "seed"; "ops"; "writes"; "states"; "nested"; "verdict";
+          ]
+    in
+    let failed = ref false in
+    (try
+       List.iter
+         (fun scheme ->
+           let cfg = fuzz_cfg scheme in
+           for k = 0 to count - 1 do
+             let seed = seed0 + k in
+             let ops = Fuzz.gen ~seed ~ops:ops_n in
+             let name = Printf.sprintf "fuzz-%d" seed in
+             let case ops =
+               Fuzz.run_case ~nested ~torn:(not no_torn) ~jobs ?max_boundaries
+                 ~cfg ~name ops
+             in
+             let r = case ops in
+             let s = r.Fuzz.cr_summary in
+             let why = Fuzz.failure r in
+             Su_util.Text_table.add_row table
+               [
+                 Fs.scheme_kind_name scheme;
+                 string_of_int seed;
+                 Su_util.Text_table.cell_i (List.length ops);
+                 Su_util.Text_table.cell_i s.Su_check.Explorer.s_writes;
+                 Su_util.Text_table.cell_i s.Su_check.Explorer.s_states;
+                 Su_util.Text_table.cell_i s.Su_check.Explorer.s_nested_states;
+                 (match why with None -> "pass" | Some w -> "FAIL: " ^ w);
+               ];
+             match why with
+             | None -> ()
+             | Some why ->
+               failed := true;
+               Printf.eprintf "seed %d under %s: %s; shrinking...\n%!" seed
+                 (Fs.scheme_kind_name scheme)
+                 why;
+               let minimal =
+                 Fuzz.shrink
+                   ~still_fails:(fun ops' -> Fuzz.failure (case ops') <> None)
+                   ops
+               in
+               Printf.eprintf
+                 "minimal reproducer (seed %d, %d of %d ops, scheme %s):\n"
+                 seed (List.length minimal) (List.length ops)
+                 (Fs.scheme_kind_name scheme);
+               List.iter
+                 (fun op -> Printf.eprintf "  %s\n" (Fuzz.op_to_string op))
+                 minimal;
+               Printf.eprintf "%!";
+               if fail_fast then raise Exit
+           done)
+         schemes
+     with Exit -> ());
+    Su_util.Text_table.print table;
+    if !failed then begin
+      prerr_endline "fuzz: failing case found (reproducers above)";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Seeded workload fuzzing: generate op sequences over the full \
+          syscall surface, crash-sweep each at every write boundary \
+          (re-crashing recovery inside its own writes too), check the \
+          final image against an in-memory model, and greedily shrink any \
+          violation to a minimal reproducer. Exits non-zero on failure.")
+    Term.(
+      const run $ seed_arg $ ops_arg $ count_arg $ schemes_arg $ jobs_arg
+      $ max_boundaries_arg $ no_torn_arg $ no_nested_arg $ fail_fast_arg)
 
 let trace_cmd =
   let count_arg =
@@ -440,4 +645,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; crash_cmd; crashsweep_cmd; trace_cmd; exp_cmd ]))
+          [ run_cmd; crash_cmd; crashsweep_cmd; fuzz_cmd; trace_cmd; exp_cmd ]))

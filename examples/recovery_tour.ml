@@ -76,7 +76,7 @@ let () =
     (fun i v -> if i < 3 then Format.printf "  - %a@." Fsck.pp_violation v)
     broken.Fsck.violations;
   let { Fsck.actions; final = repaired; _ } =
-    Fsck.repair ~geom:ncfg.Fs.geom ~image:nimage ~check_exposure:false
+    Fsck.repair ~geom:ncfg.Fs.geom ~image:nimage ~check_exposure:false ()
   in
   Printf.printf "fsck repair took %d action(s); verdict: %s (%d files survive)\n"
     (List.length actions)

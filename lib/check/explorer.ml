@@ -55,7 +55,43 @@ let dirtree =
         Fsops.sync st);
   }
 
-let builtin_workloads = [ smallfiles; dirtree ]
+(* Rename crash coverage: a cross-directory rename of a file and of a
+   directory, swept at every write boundary. The directory move
+   exercises the ".."-rewrite choreography (raised link counts, the
+   in-place entry change, deferred decrements). *)
+
+let renamefile =
+  {
+    wl_name = "renamefile";
+    wl_run =
+      (fun st ->
+        Fsops.mkdir st "/ra";
+        Fsops.mkdir st "/rb";
+        Fsops.create st "/ra/f";
+        Fsops.append st "/ra/f" ~bytes:3072;
+        Fsops.rename st ~src:"/ra/f" ~dst:"/rb/g";
+        Fsops.rename st ~src:"/rb/g" ~dst:"/rb/h";
+        Fsops.sync st);
+  }
+
+let renamedir =
+  {
+    wl_name = "renamedir";
+    wl_run =
+      (fun st ->
+        Fsops.mkdir st "/ra";
+        Fsops.mkdir st "/rb";
+        Fsops.mkdir st "/ra/d";
+        Fsops.create st "/ra/d/f";
+        Fsops.append st "/ra/d/f" ~bytes:2048;
+        (* move across parents, then rename in place: back-to-back
+           moves also exercise a ".." change superseding a pending one *)
+        Fsops.rename st ~src:"/ra/d" ~dst:"/rb/e";
+        Fsops.rename st ~src:"/rb/e" ~dst:"/ra/d2";
+        Fsops.sync st);
+  }
+
+let builtin_workloads = [ smallfiles; dirtree; renamefile; renamedir ]
 
 let find_workload name =
   List.find_opt (fun w -> w.wl_name = name) builtin_workloads
@@ -94,6 +130,13 @@ let record ~cfg wl =
 
 (* --- per-state verification ------------------------------------------ *)
 
+type nested = {
+  n_writes : int;  (** writes the recovery pipeline issued *)
+  n_states : int;  (** nested crash states verified *)
+  n_unrecovered : int;
+  n_unsettled : int;  (** states where a second recovery still wrote *)
+}
+
 type verdict = {
   v_boundary : int;  (** completed writes when the crash hit *)
   v_torn : int option;  (** [Some k]: k fragments of the next write landed *)
@@ -101,6 +144,7 @@ type verdict = {
   v_repair_converged : bool;
   v_post_violations : int;
   v_remount_ok : bool;
+  v_nested : nested option;  (** crash-during-recovery sub-sweep *)
 }
 
 let check_exposure_of cfg =
@@ -140,13 +184,71 @@ let remount_and_continue ~cfg image =
          ~check_exposure:(check_exposure_of cfg))
   with _ -> false
 
-let verify_state ~cfg ~boundary ~torn image =
+(* Re-crash recovery inside its own write stream. [base] is the crash
+   image before any recovery ran; [events] the (lbn, pre, post) cell
+   writes the outer recovery pipeline issued against it, in order. For
+   every prefix of that stream — recovery cut short after k of its own
+   writes — run recovery again and require convergence: round one must
+   leave a clean image, and a further round must find nothing left to
+   write (all recovery writes are equality-suppressed, so an idempotent
+   pipeline's second pass is empty — that emptiness IS the fixed-point
+   test). Cell writes are single-fragment, so there are no torn
+   variants at this level. *)
+let nested_verify ?max_boundaries ~cfg base events =
+  let log =
+    Array.map
+      (fun (lbn, pre, post) -> Delta.v ~lbn ~pre:[| pre |] ~post:[| post |])
+      events
+  in
+  let cur = Delta.cursor ~initial:base ~log in
+  let n = Array.length log in
+  let last = match max_boundaries with Some m -> min (max m 0) n | None -> n in
+  let check_exposure = check_exposure_of cfg in
+  let unrecovered = ref 0 and unsettled = ref 0 in
+  for k = 0 to last do
+    Delta.seek cur k;
+    let img = Array.map Types.copy_cell (Delta.image cur) in
+    (* round one: recovery over its own partial effects must settle *)
+    Fs.recover_image cfg img;
+    let outcome = Fsck.repair ~geom:cfg.Fs.geom ~image:img ~check_exposure () in
+    if not (outcome.Fsck.converged && Fsck.ok outcome.Fsck.final) then
+      incr unrecovered;
+    (* round two: the fixed point — nothing left to change *)
+    let r2 = Imglog.recorder () in
+    let observer = Imglog.observe r2 in
+    Fs.recover_image ~observer cfg img;
+    ignore (Fsck.repair ~observer ~geom:cfg.Fs.geom ~image:img ~check_exposure ());
+    if Imglog.count r2 > 0 then incr unsettled
+  done;
+  {
+    n_writes = n;
+    n_states = last + 1;
+    n_unrecovered = !unrecovered;
+    n_unsettled = !unsettled;
+  }
+
+let verify_state ?(nested = false) ?nested_max_boundaries ~cfg ~boundary ~torn
+    image =
+  (* recovery cells are installed copy-on-write (never mutated in
+     place), so a shallow snapshot of the pre-recovery image is enough
+     for the nested sweep to rewind over *)
+  let base = if nested then Some (Array.copy image) else None in
+  let recovery_log = Imglog.recorder () in
+  let observer = if nested then Some (Imglog.observe recovery_log) else None in
   (* journaled configurations replay the log before checking, exactly
      as mount-time recovery would *)
-  Fs.recover_image cfg image;
+  Fs.recover_image ?observer cfg image;
   let check_exposure = check_exposure_of cfg in
   let pre = Fsck.check ~geom:cfg.Fs.geom ~image ~check_exposure in
-  let outcome = Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure in
+  let outcome = Fsck.repair ?observer ~geom:cfg.Fs.geom ~image ~check_exposure () in
+  let v_nested =
+    match base with
+    | None -> None
+    | Some base ->
+      Some
+        (nested_verify ?max_boundaries:nested_max_boundaries ~cfg base
+           (Imglog.events recovery_log))
+  in
   let remount_ok = remount_and_continue ~cfg image in
   {
     v_boundary = boundary;
@@ -155,6 +257,7 @@ let verify_state ~cfg ~boundary ~torn image =
     v_repair_converged = outcome.Fsck.converged;
     v_post_violations = List.length outcome.Fsck.final.Fsck.violations;
     v_remount_ok = remount_ok;
+    v_nested;
   }
 
 (* --- the sweep ------------------------------------------------------- *)
@@ -169,15 +272,20 @@ type summary = {
   s_unrepaired : int;  (** states still violated after repair *)
   s_unconverged : int;  (** states where repair hit its round limit *)
   s_remount_failures : int;
+  s_nested_states : int;  (** crash-during-recovery states verified *)
+  s_nested_unrecovered : int;
+  s_nested_unsettled : int;
   s_verdicts : verdict list;  (** per-state detail, crash order *)
 }
 
 let consistent s =
   s.s_dirty_states = 0 && s.s_unrepaired = 0 && s.s_unconverged = 0
   && s.s_remount_failures = 0
+  && s.s_nested_unrecovered = 0 && s.s_nested_unsettled = 0
 
 let repairable s =
   s.s_unrepaired = 0 && s.s_unconverged = 0 && s.s_remount_failures = 0
+  && s.s_nested_unrecovered = 0 && s.s_nested_unsettled = 0
 
 (* Enumerate the crash states of a recording in sweep order: each
    write boundary, then (optionally) every torn prefix of the next
@@ -214,7 +322,8 @@ let materialize cur (boundary, torn) =
      done);
   img
 
-let sweep_recording ?torn ?(jobs = 1) ?max_boundaries ~cfg ~workload r =
+let sweep_recording ?torn ?(jobs = 1) ?max_boundaries ?nested
+    ?nested_max_boundaries ~cfg ~workload r =
   let states = crash_states ?torn ?max_boundaries r in
   (* Fan the per-state verification jobs out over a Domain pool. Each
      worker owns a private cursor; indices are claimed in increasing
@@ -227,10 +336,16 @@ let sweep_recording ?torn ?(jobs = 1) ?max_boundaries ~cfg ~workload r =
       (Array.length states)
       (fun cur i ->
         let (boundary, torn) as state = states.(i) in
-        verify_state ~cfg ~boundary ~torn (materialize cur state))
+        verify_state ?nested ?nested_max_boundaries ~cfg ~boundary ~torn
+          (materialize cur state))
   in
   let verdicts = Array.to_list verdicts in
   let count p = List.length (List.filter p verdicts) in
+  let nsum f =
+    List.fold_left
+      (fun acc v -> match v.v_nested with None -> acc | Some n -> acc + f n)
+      0 verdicts
+  in
   {
     s_scheme = cfg.Fs.scheme;
     s_workload = workload;
@@ -241,12 +356,16 @@ let sweep_recording ?torn ?(jobs = 1) ?max_boundaries ~cfg ~workload r =
     s_unrepaired = count (fun v -> v.v_post_violations > 0);
     s_unconverged = count (fun v -> not v.v_repair_converged);
     s_remount_failures = count (fun v -> not v.v_remount_ok);
+    s_nested_states = nsum (fun n -> n.n_states);
+    s_nested_unrecovered = nsum (fun n -> n.n_unrecovered);
+    s_nested_unsettled = nsum (fun n -> n.n_unsettled);
     s_verdicts = verdicts;
   }
 
-let sweep ?torn ?jobs ?max_boundaries ~cfg wl =
+let sweep ?torn ?jobs ?max_boundaries ?nested ?nested_max_boundaries ~cfg wl =
   let r = record ~cfg wl in
-  sweep_recording ?torn ?jobs ?max_boundaries ~cfg ~workload:wl.wl_name r
+  sweep_recording ?torn ?jobs ?max_boundaries ?nested ?nested_max_boundaries
+    ~cfg ~workload:wl.wl_name r
 
 (* --- fault shakedown -------------------------------------------------- *)
 

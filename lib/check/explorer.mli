@@ -26,6 +26,15 @@ val smallfiles : workload
 val dirtree : workload
 (** mkdir/rename/rmdir tree manipulation with a hard link, then sync. *)
 
+val renamefile : workload
+(** Cross-directory rename of a file (plus an in-place rename), swept
+    at every write boundary. *)
+
+val renamedir : workload
+(** Cross-directory rename of a directory, then a second move back:
+    the ".."-rewrite choreography at every write boundary, including a
+    change superseding a still-pending one. *)
+
 val builtin_workloads : workload list
 
 val find_workload : string -> workload option
@@ -48,6 +57,20 @@ val record : cfg:Su_fs.Fs.config -> workload -> recording
     completion and quiesced, so the log covers all deferred writes
     too. *)
 
+(** Result of re-crashing the recovery pipeline inside its own write
+    stream (the nested, crash-during-recovery sweep). *)
+type nested = {
+  n_writes : int;  (** cell writes the outer recovery pipeline issued *)
+  n_states : int;  (** nested crash states verified (prefixes of that stream) *)
+  n_unrecovered : int;
+      (** nested states a fresh recovery failed to settle (repair did
+          not converge, or violations survived) *)
+  n_unsettled : int;
+      (** nested states where a second recovery round still wrote:
+          recovery is not idempotent — it never reaches the write-free
+          fixed point within two rounds *)
+}
+
 type verdict = {
   v_boundary : int;  (** completed writes when the crash hit *)
   v_torn : int option;  (** [Some k]: k fragments of the next write landed *)
@@ -55,16 +78,25 @@ type verdict = {
   v_repair_converged : bool;
   v_post_violations : int;  (** violations surviving repair *)
   v_remount_ok : bool;  (** repaired image remounted, ran on, stayed clean *)
+  v_nested : nested option;  (** crash-during-recovery sub-sweep, if run *)
 }
 
 val verify_state :
+  ?nested:bool ->
+  ?nested_max_boundaries:int ->
   cfg:Su_fs.Fs.config ->
   boundary:int ->
   torn:int option ->
   Types.cell array ->
   verdict
 (** Full recovery pipeline on one crash image (mutates it: journal
-    replay, then repair). *)
+    replay, then repair). With [nested] (default false), the pipeline's
+    own write stream is recorded — every cell the journal replay, log
+    retirement, map rebuild and fsck repair change — and recovery is
+    re-crashed after every prefix of it: each truncated state must
+    recover cleanly in one round and reach the write-free fixed point
+    by the second (recovery re-entrancy). [nested_max_boundaries] caps
+    the prefixes explored. *)
 
 type summary = {
   s_scheme : Su_fs.Fs.scheme_kind;
@@ -76,16 +108,21 @@ type summary = {
   s_unrepaired : int;  (** states still violated after repair *)
   s_unconverged : int;  (** states where repair hit its round limit *)
   s_remount_failures : int;
+  s_nested_states : int;  (** crash-during-recovery states verified *)
+  s_nested_unrecovered : int;  (** nested states recovery failed to settle *)
+  s_nested_unsettled : int;  (** nested states short of the fixed point *)
   s_verdicts : verdict list;  (** per-state detail, crash order *)
 }
 
 val consistent : summary -> bool
 (** Zero violations at every explored state (the ordered-scheme
-    promise: nothing for fsck to fix beyond leaks). *)
+    promise: nothing for fsck to fix beyond leaks), and — when the
+    nested sweep ran — every crash-during-recovery state settled too. *)
 
 val repairable : summary -> bool
 (** Possibly violated, but every state repaired, remounted and stayed
-    clean (the promise fsck makes even for No Order — when it holds). *)
+    clean (the promise fsck makes even for No Order — when it holds),
+    including every nested crash-during-recovery state. *)
 
 val crash_states :
   ?torn:bool -> ?max_boundaries:int -> recording -> (int * int option) array
@@ -105,6 +142,8 @@ val sweep_recording :
   ?torn:bool ->
   ?jobs:int ->
   ?max_boundaries:int ->
+  ?nested:bool ->
+  ?nested_max_boundaries:int ->
   cfg:Su_fs.Fs.config ->
   workload:string ->
   recording ->
@@ -112,18 +151,22 @@ val sweep_recording :
 (** Verify every crash state of an existing recording. [jobs] > 1
     fans the per-state verification out over a {!Su_util.Pool} of
     that many domains ([0] = all cores); verdict order and all counts
-    are identical at any [jobs] value. *)
+    are identical at any [jobs] value. [nested] re-crashes the
+    recovery pipeline at every one of its own write boundaries for
+    every outer crash state (see {!verify_state}). *)
 
 val sweep :
   ?torn:bool ->
   ?jobs:int ->
   ?max_boundaries:int ->
+  ?nested:bool ->
+  ?nested_max_boundaries:int ->
   cfg:Su_fs.Fs.config ->
   workload ->
   summary
 (** Record once, then verify every crash state. [torn] (default true)
-    includes the torn-write intermediate states; [jobs] as in
-    {!sweep_recording}. *)
+    includes the torn-write intermediate states; [jobs], [nested] as
+    in {!sweep_recording}. *)
 
 type shakedown = {
   f_injected : int;  (** faults the disk injected *)

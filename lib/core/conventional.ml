@@ -13,9 +13,23 @@ let make cache =
         Bcache.bwrite_sync cache dir);
     (* the name must be gone from disk before the link count drops *)
     link_remove =
-      (fun ~dir ~slot:_ ~inum:_ ~ibuf:_ ~decrement ->
+      (fun ~dir ~slot:_ ~inum:_ ~ibuf:_ ~parent_inum:_ ~parent_ibuf:_
+           ~decrement ->
         Bcache.bwrite_sync cache dir;
         decrement ());
+    (* the new target's inode before the changed entry, the changed
+       entry before the old target's count drops *)
+    link_change =
+      (fun ~dir ~slot:_ ~ibuf ~inum:_ ~old_entry:_ ~old_ibuf:_ ~decrement ->
+        Bcache.bwrite_sync cache ibuf;
+        Bcache.bwrite_sync cache dir;
+        decrement ());
+    (* the dots block is written synchronously by the initialising
+       allocation below, ahead of any entry write *)
+    (* a size/mtime-only change has no dependent structure: the
+       delayed inode write needs no ordering *)
+    attr_update = (fun ~ibuf:_ ~inum:_ -> ());
+    mkdir_body = (fun ~body:_ ~inum:_ -> ());
     block_alloc =
       (fun req ->
         if req.Scheme_intf.init_required then

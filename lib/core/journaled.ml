@@ -154,47 +154,59 @@ let entry_rec (dir : Buf.t) slot =
 
 (* --- recovery ------------------------------------------------------------ *)
 
-let ensure_meta image blk fresh =
-  match image.(blk) with
-  | Types.Meta m -> m
-  | Types.Empty | Types.Pad | Types.Frag _ | Types.Jlog _ ->
-    let m = fresh () in
-    image.(blk) <- Types.Meta m;
-    m
+(* Replay mutates the image copy-on-write through [Imglog.write]: the
+   current cell (or a fresh one, if the block was never written) is
+   deep-copied, the record's post-image applied to the copy, and the
+   copy installed — an identical result is dropped entirely. Replaying
+   the same record twice is therefore both harmless and silent, which
+   is what lets recovery be re-entered over its own partial effects. *)
 
-let replay_rec geom image = function
+let replay_meta ?observer _geom image blk fresh f =
+  let m =
+    match image.(blk) with
+    | Types.Meta m -> Types.copy_meta m
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Jlog _ -> fresh ()
+  in
+  f m;
+  Imglog.write ?observer image blk (Types.Meta m)
+
+let replay_rec ?observer geom image = function
   | Types.J_dinode { inum; din } ->
     let blk = Geom.inode_block_frag geom inum in
-    (match ensure_meta image blk (fun () -> Types.fresh_inode_block geom) with
-     | Types.Inodes dinodes ->
-       dinodes.(Geom.inode_index_in_block geom inum) <- Types.copy_dinode din
-     | _ -> ())
+    replay_meta ?observer geom image blk
+      (fun () -> Types.fresh_inode_block geom)
+      (function
+        | Types.Inodes dinodes ->
+          dinodes.(Geom.inode_index_in_block geom inum) <-
+            Types.copy_dinode din
+        | _ -> ())
   | Types.J_entry { blk; slot; entry } ->
-    (match
-       ensure_meta image blk (fun () -> Types.Dir (Types.fresh_dir_block geom))
-     with
-     | Types.Dir entries -> entries.(slot) <- entry
-     | _ -> ())
+    replay_meta ?observer geom image blk
+      (fun () -> Types.Dir (Types.fresh_dir_block geom))
+      (function
+        | Types.Dir entries -> entries.(slot) <- entry
+        | _ -> ())
   | Types.J_dir_init { blk } ->
     (* the block is brand new: reset it, wiping any stale contents
        from an earlier life (the same transaction re-adds the current
        entries) *)
-    image.(blk) <- Types.Meta (Types.Dir (Types.fresh_dir_block geom))
+    Imglog.write ?observer image blk
+      (Types.Meta (Types.Dir (Types.fresh_dir_block geom)))
   | Types.J_ind_init { blk } ->
-    image.(blk) <- Types.Meta (Types.Indirect (Types.fresh_indirect geom))
+    Imglog.write ?observer image blk
+      (Types.Meta (Types.Indirect (Types.fresh_indirect geom)))
   | Types.J_ind_set { blk; slot; ptr } ->
-    (match
-       ensure_meta image blk (fun () ->
-           Types.Indirect (Types.fresh_indirect geom))
-     with
-     | Types.Indirect arr -> arr.(slot) <- ptr
-     | _ -> ())
+    replay_meta ?observer geom image blk
+      (fun () -> Types.Indirect (Types.fresh_indirect geom))
+      (function
+        | Types.Indirect arr -> arr.(slot) <- ptr
+        | _ -> ())
 
 (* Rebuild the per-group bitmaps from the reachable tree: everything a
    live inode references is in use, everything else in the data areas
    is free. Unreachable (leaked) resources are thereby reclaimed — the
    recovery-time equivalent of fsck's map rebuild. *)
-let rebuild_maps geom image =
+let rebuild_maps ?observer geom image =
   let ncg = Geom.cg_count geom in
   let cgs =
     Array.init ncg (fun c ->
@@ -334,31 +346,39 @@ let rebuild_maps geom image =
   done;
   Array.iteri
     (fun c cg ->
-      image.(Geom.cg_header_frag geom c) <- Types.Meta (Types.Cgroup cg))
+      Imglog.write ?observer image (Geom.cg_header_frag geom c)
+        (Types.Meta (Types.Cgroup cg)))
     cgs
 
-let recover ~geom ~log_start ~log_frags image =
+let recover ?observer ~geom ~log_start ~log_frags image =
   let txns = ref [] in
   for i = 0 to log_frags - 1 do
     if log_start + i < Array.length image then
       match image.(log_start + i) with
-      | Types.Jlog { seq; recs } -> txns := (seq, recs) :: !txns
+      | Types.Jlog { seq; recs } -> txns := (seq, recs, log_start + i) :: !txns
       | _ -> ()
   done;
-  let txns = List.sort (fun (a, _) (b, _) -> compare a b) !txns in
-  List.iter (fun (_, recs) -> List.iter (replay_rec geom image) recs) txns;
+  let txns = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !txns in
+  List.iter
+    (fun (_, recs, _) -> List.iter (replay_rec ?observer geom image) recs)
+    txns;
   (* recovery is a checkpoint: every replayed record is now reflected
      in the metadata blocks, so retire the log. Leaving records behind
      would corrupt the next mount — its journal restarts at sequence
      zero, so the stale records (with higher sequence numbers) would
-     replay on top of the new mount's transactions. *)
-  for i = 0 to log_frags - 1 do
-    if log_start + i < Array.length image then
-      match image.(log_start + i) with
-      | Types.Jlog _ -> image.(log_start + i) <- Types.Empty
-      | _ -> ()
-  done;
-  rebuild_maps geom image
+     replay on top of the new mount's transactions. Retirement runs
+     oldest sequence first (after a wrap-around the cursor position
+     order differs!): if retirement is itself interrupted, the
+     surviving suffix holds only the newest records, whose absolute
+     post-images re-apply as no-ops — never stale ones that would
+     regress metadata already overwritten by a newer transaction. *)
+  List.iter
+    (fun (_, _, frag) ->
+      match image.(frag) with
+      | Types.Jlog _ -> Imglog.write ?observer image frag Types.Empty
+      | _ -> ())
+    txns;
+  rebuild_maps ?observer geom image
 
 (* --- the scheme ----------------------------------------------------------- *)
 
@@ -396,7 +416,7 @@ let make ~cache ~geom ~log_start ~log_frags ~mode ?(group_interval = 0.25) () =
           commit t ~bufs:[ dir; ibuf ]
             [ dinode_rec t ibuf inum; entry_rec dir slot ]);
       link_remove =
-        (fun ~dir ~slot ~inum ~ibuf ~decrement ->
+        (fun ~dir ~slot ~inum ~ibuf ~parent_inum ~parent_ibuf ~decrement ->
           (* write-ahead discipline: the entry deletion must be
              durable before the de-allocation records that [decrement]
              commits (block_dealloc logs the cleared dinode); a crash
@@ -404,8 +424,43 @@ let make ~cache ~geom ~log_start ~log_frags ~mode ?(group_interval = 0.25) () =
              still-logged name *)
           commit t ~bufs:[ dir ]
             [ Types.J_entry { blk = dir.Buf.key; slot; entry = None } ];
+          let parent_before = dinode_rec t parent_ibuf parent_inum in
           decrement ();
+          (* rmdir's decrement also drops the parent's count (its lost
+             ".."): re-log the parent's dinode whenever the decrement
+             changed it, or replay would resurrect the stale count *)
+          let parent_after = dinode_rec t parent_ibuf parent_inum in
+          let recs =
+            if parent_after <> parent_before && parent_inum <> inum then
+              [ parent_after; dinode_rec t ibuf inum ]
+            else [ dinode_rec t ibuf inum ]
+          in
+          let bufs =
+            if parent_after <> parent_before && parent_inum <> inum then
+              [ parent_ibuf; ibuf ]
+            else [ ibuf ]
+          in
+          commit t ~bufs recs);
+      link_change =
+        (fun ~dir ~slot ~ibuf ~inum ~old_entry ~old_ibuf ~decrement ->
+          (* the change (new target's inode + rewritten entry) is one
+             transaction; the old target's decrement is logged after
+             it, so replay always lands on one side of the swap *)
+          commit t ~bufs:[ dir; ibuf ]
+            [ dinode_rec t ibuf inum; entry_rec dir slot ];
+          decrement ();
+          commit t ~bufs:[ old_ibuf ]
+            [ dinode_rec t old_ibuf old_entry.Types.inum ]);
+      attr_update =
+        (fun ~ibuf ~inum ->
+          (* an append that fit inside already-allocated fragments:
+             no alloc record will carry the new size, so the dinode
+             must be re-logged or replay rolls the size back to its
+             last logged value *)
           commit t ~bufs:[ ibuf ] [ dinode_rec t ibuf inum ]);
+      (* the dots land as J_dir_init/J_entry records in the same log
+         stream as the parent entry; replay reconstructs them *)
+      mkdir_body = (fun ~body:_ ~inum:_ -> ());
       block_alloc =
         (fun req ->
           let init_recs =

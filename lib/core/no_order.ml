@@ -3,7 +3,16 @@ let make cache =
     Scheme_intf.name = "No Order";
     link_add = (fun ~dir:_ ~slot:_ ~ibuf:_ ~inum:_ -> ());
     link_remove =
-      (fun ~dir:_ ~slot:_ ~inum:_ ~ibuf:_ ~decrement -> decrement ());
+      (fun ~dir:_ ~slot:_ ~inum:_ ~ibuf:_ ~parent_inum:_ ~parent_ibuf:_
+           ~decrement ->
+        decrement ());
+    link_change =
+      (fun ~dir:_ ~slot:_ ~ibuf:_ ~inum:_ ~old_entry:_ ~old_ibuf:_ ~decrement ->
+        decrement ());
+    (* a size/mtime-only change has no dependent structure: the
+       delayed inode write needs no ordering *)
+    attr_update = (fun ~ibuf:_ ~inum:_ -> ());
+    mkdir_body = (fun ~body:_ ~inum:_ -> ());
     block_alloc = (fun req -> req.Scheme_intf.free_moved ());
     block_dealloc =
       (fun ~ibuf:_ ~inum:_ ~runs:_ ~inode_freed:_ ~do_free -> do_free ());

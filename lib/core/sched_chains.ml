@@ -49,12 +49,29 @@ let make ?(barrier_dealloc = false) cache =
         let rid = Bcache.bawrite cache ibuf in
         add_dep dir rid);
     link_remove =
-      (fun ~dir ~slot:_ ~inum:_ ~ibuf ~decrement ->
+      (fun ~dir ~slot:_ ~inum:_ ~ibuf ~parent_inum:_ ~parent_ibuf ~decrement ->
         let rid = Bcache.bawrite cache dir in
-        (* the link-count decrement (or cleared dinode) must follow the
-           directory write; deeper ordering happens inside decrement *)
+        (* the link-count decrements (or cleared dinode) must follow
+           the directory write — the removed inode's and, for rmdir,
+           the parent's lost ".." — deeper ordering happens inside
+           decrement *)
         add_dep ibuf rid;
+        add_dep parent_ibuf rid;
         decrement ());
+    link_change =
+      (fun ~dir ~slot:_ ~ibuf ~inum:_ ~old_entry:_ ~old_ibuf ~decrement ->
+        (* new target's inode -> changed entry -> old target's inode *)
+        let rid_inode = Bcache.bawrite cache ibuf in
+        add_dep dir rid_inode;
+        let rid_dir = Bcache.bawrite cache dir in
+        add_dep old_ibuf rid_dir;
+        decrement ());
+    (* the allocation hook below chains the dots block's initialising
+       write ahead of the inode, which the parent entry follows *)
+    (* a size/mtime-only change has no dependent structure: the
+       delayed inode write needs no ordering *)
+    attr_update = (fun ~ibuf:_ ~inum:_ -> ());
+    mkdir_body = (fun ~body:_ ~inum:_ -> ());
     block_alloc =
       (fun req ->
         if req.Scheme_intf.init_required then begin

@@ -6,9 +6,27 @@ let make cache =
     Scheme_intf.name = "Scheduler Flag";
     link_add = (fun ~dir:_ ~slot:_ ~ibuf ~inum:_ -> flagged_write ibuf);
     link_remove =
-      (fun ~dir ~slot:_ ~inum:_ ~ibuf:_ ~decrement ->
+      (fun ~dir ~slot:_ ~inum:_ ~ibuf:_ ~parent_inum:_ ~parent_ibuf:_
+           ~decrement ->
+        (* the flagged entry write goes ahead of every delayed inode
+           write the decrement leaves behind (the removed inode and,
+           for rmdir, the parent's) *)
         flagged_write dir;
         decrement ());
+    link_change =
+      (fun ~dir ~slot:_ ~ibuf ~inum:_ ~old_entry:_ ~old_ibuf:_ ~decrement ->
+        (* new target's inode flagged ahead of the (delayed) entry
+           write; entry flagged ahead of the old target's (delayed)
+           decremented inode *)
+        flagged_write ibuf;
+        flagged_write dir;
+        decrement ());
+    (* the dots block's initialising write is flagged ahead of the
+       parent-entry write by the allocation hook below *)
+    (* a size/mtime-only change has no dependent structure: the
+       delayed inode write needs no ordering *)
+    attr_update = (fun ~ibuf:_ ~inum:_ -> ());
+    mkdir_body = (fun ~body:_ ~inum:_ -> ());
     block_alloc =
       (fun req ->
         if req.Scheme_intf.init_required then flagged_write req.Scheme_intf.data;

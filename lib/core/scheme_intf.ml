@@ -55,12 +55,62 @@ type t = {
           block [dir]; the (new or re-linked) inode lives in [ibuf].
           Required order: inode block before directory block. *)
   link_remove :
-    dir:Buf.t -> slot:int -> inum:int -> ibuf:Buf.t -> decrement:(unit -> unit) -> unit;
-      (** the entry at [slot] was removed from [dir]. [decrement]
+    dir:Buf.t ->
+    slot:int ->
+    inum:int ->
+    ibuf:Buf.t ->
+    parent_inum:int ->
+    parent_ibuf:Buf.t ->
+    decrement:(unit -> unit) ->
+    unit;
+      (** the entry at [slot] was removed from [dir], the directory of
+          inode [parent_inum] (living in [parent_ibuf]). [decrement]
           performs the link-count decrement (and file release when it
           reaches zero); it must not be applied to stable storage
           before the directory block. May be deferred (soft updates)
-          or called inline after ordering is ensured. *)
+          or called inline after ordering is ensured. rmdir routes
+          {e all} its drops through the one decrement — the removed
+          directory's two counts and the parent's lost ".." — so
+          schemes that materialise inode changes themselves (the
+          journal) must re-capture [parent_ibuf] after [decrement]
+          runs, and ordered schemes must keep the parent's inode
+          behind the directory write too. *)
+  link_change :
+    dir:Buf.t ->
+    slot:int ->
+    ibuf:Buf.t ->
+    inum:int ->
+    old_entry:Su_fstypes.Types.dirent ->
+    old_ibuf:Buf.t ->
+    decrement:(unit -> unit) ->
+    unit;
+      (** the entry at [slot] of [dir] was changed in place from
+          [old_entry] to one naming [inum] (whose inode lives in
+          [ibuf]; [old_ibuf] holds [old_entry]'s). Directory rename
+          uses this for the ".." rewrite: the entry must never be
+          absent from the on-disk block, only old or new. Required
+          order: [inum]'s inode block (carrying its raised link count)
+          before the changed entry — rolling back must restore
+          [old_entry], not clear the slot (BSD softdep's DIRCHG) — and
+          [decrement] (the old target's link-count drop) must not be
+          applied to stable storage before the changed entry is. *)
+  attr_update : ibuf:Buf.t -> inum:int -> unit;
+      (** [inum]'s cached dinode changed with no structural
+          counterpart — an append that fit inside already-allocated
+          fragments (new size/mtime, no pointer change). Nothing
+          depends on the write, so ordered schemes leave the delayed
+          inode write alone; schemes that materialise metadata
+          elsewhere (the journal) must re-capture the dinode, or
+          recovery would roll the attribute back to its last logged
+          value. *)
+  mkdir_body : body:Buf.t -> inum:int -> unit;
+      (** [inum] is a freshly created directory whose first block
+          [body] was just seeded with "." and "..". Required order:
+          [body], carrying its dots in full form, before any directory
+          entry that makes [inum] reachable (BSD softdep's MKDIR_BODY).
+          Schemes whose other orderings already imply this — the dots
+          block is initialisation-ordered or logged ahead of the
+          parent entry — leave it a no-op. *)
   block_alloc : alloc_req -> unit;
       (** see {!alloc_req}; required order (when [init_required]):
           extent contents before pointer. *)

@@ -28,13 +28,27 @@ type diradd = {
   d_dir_key : int;
   d_slot : int;
   d_inum : int;
+  d_old : Types.dirent option;
+      (* what write-time rollback restores while the inode is not yet
+         durable: [None] for a plain addition (clear the slot), [Some]
+         for an in-place change (re-instate the old entry — BSD
+         softdep's DIRCHG; the slot must never be written empty) *)
   mutable d_covered : bool;  (* inode is in the in-flight inode-block write *)
+  mutable d_pending : int;
+      (* prerequisites outstanding before the entry may roll forward:
+         the target inode's write, plus — when the target is a fresh
+         directory — its dots block written in full form *)
 }
 
 type dirrem = {
   r_decrement : unit -> unit;
   r_slot : int;
   mutable r_covered : bool;  (* removal is in the in-flight dir write *)
+  mutable r_guard : diradd option;
+      (* an entry change's removal half: the old target loses its
+         reference only when the slot is written in its *new* form, so
+         the decrement stays pending while the guarding diradd still
+         rolls the slot back to the old entry *)
 }
 
 type freework = {
@@ -42,16 +56,33 @@ type freework = {
   mutable f_covered : bool;  (* reset pointers are in the in-flight write *)
 }
 
+(* BSD softdep's MKDIR_BODY: a fresh directory's first block must be
+   on disk with its dots in full form before any entry that makes the
+   directory reachable. Entries gated on the body keep rolling back
+   (an extra [d_pending] prerequisite) until a write of the body block
+   lands with none of [bd_dots] rolled back. *)
+type body = {
+  bd_inum : int;  (* the new directory *)
+  mutable bd_dots : diradd list;
+      (* the dots adds that must have rolled forward (just ".."; "."
+         carries no dependency) — re-pointed if a rename re-targets
+         ".." while it is still pending *)
+  mutable bd_waiters : diradd list;  (* entries gated on this body *)
+  mutable bd_covered : bool;  (* the in-flight write carries full dots *)
+}
+
 type inodedep = {
   i_inum : int;
   mutable i_allocs : alloc list;
   mutable i_waiting_adds : diradd list;  (* diradds waiting for this inode *)
   mutable i_freework : freework list;
+  mutable i_body : body option;  (* this inode's dots block, until durable *)
 }
 
 type pagedep = {
   mutable p_adds : diradd list;
   mutable p_rems : dirrem list;
+  mutable p_body : body option;  (* this block is a fresh directory's body *)
 }
 
 type indirdep = {
@@ -73,7 +104,10 @@ let get_inodedep t inum =
   match Hashtbl.find_opt t.inodedeps inum with
   | Some d -> d
   | None ->
-    let d = { i_inum = inum; i_allocs = []; i_waiting_adds = []; i_freework = [] } in
+    let d =
+      { i_inum = inum; i_allocs = []; i_waiting_adds = []; i_freework = [];
+        i_body = None }
+    in
     Hashtbl.replace t.inodedeps inum d;
     d
 
@@ -81,16 +115,19 @@ let get_pagedep t key =
   match Hashtbl.find_opt t.pagedeps key with
   | Some p -> p
   | None ->
-    let p = { p_adds = []; p_rems = [] } in
+    let p = { p_adds = []; p_rems = []; p_body = None } in
     Hashtbl.replace t.pagedeps key p;
     p
 
 let drop_inodedep_if_empty t (d : inodedep) =
-  if d.i_allocs = [] && d.i_waiting_adds = [] && d.i_freework = [] then
-    Hashtbl.remove t.inodedeps d.i_inum
+  if
+    d.i_allocs = [] && d.i_waiting_adds = [] && d.i_freework = []
+    && d.i_body = None
+  then Hashtbl.remove t.inodedeps d.i_inum
 
 let drop_pagedep_if_empty t key (p : pagedep) =
-  if p.p_adds = [] && p.p_rems = [] then Hashtbl.remove t.pagedeps key
+  if p.p_adds = [] && p.p_rems = [] && p.p_body = None then
+    Hashtbl.remove t.pagedeps key
 
 let enqueue t action =
   t.stats.workitems <- t.stats.workitems + 1;
@@ -146,13 +183,28 @@ let pre_write_dir t (b : Buf.t) (entries : Types.dirent option array) =
   | Some p ->
     let copy = Array.copy entries in
     let rolled = ref false in
+    (* does this write carry the dots in full form? (a dots add still
+       in p_adds is about to be rolled back below) *)
+    (match p.p_body with
+     | Some bd ->
+       bd.bd_covered <-
+         List.for_all (fun a -> not (List.memq a p.p_adds)) bd.bd_dots
+     | None -> ());
     List.iter
       (fun (d : diradd) ->
-        copy.(d.d_slot) <- None;
+        copy.(d.d_slot) <- d.d_old;
         rolled := true;
         t.stats.rollbacks <- t.stats.rollbacks + 1)
       p.p_adds;
-    List.iter (fun r -> r.r_covered <- true) p.p_rems;
+    List.iter
+      (fun (r : dirrem) ->
+        match r.r_guard with
+        | Some g when List.memq g p.p_adds ->
+          (* the guarding change was just rolled back to its old form:
+             the old target is still referenced by this write *)
+          ()
+        | Some _ | None -> r.r_covered <- true)
+      p.p_rems;
     (Buf.Cmeta (Types.Dir copy), !rolled)
 
 let pre_write t (b : Buf.t) =
@@ -207,7 +259,9 @@ let data_write_done t key =
       allocs
 
 let complete_diradd t (d : diradd) =
-  (* the referenced inode is on disk: stop rolling the entry back *)
+  (* every prerequisite is on disk (or the add was cancelled): stop
+     rolling the entry back *)
+  d.d_pending <- 0;
   (match Hashtbl.find_opt t.pagedeps d.d_dir_key with
    | None -> ()
    | Some p ->
@@ -218,6 +272,37 @@ let complete_diradd t (d : diradd) =
   | Some dep ->
     dep.i_waiting_adds <- List.filter (fun x -> x != d) dep.i_waiting_adds;
     drop_inodedep_if_empty t dep
+
+let satisfy_diradd t (d : diradd) =
+  (* one prerequisite became durable; completion at zero. Cancelled
+     adds (pending already zero) are left alone. *)
+  if d.d_pending > 0 then begin
+    d.d_pending <- d.d_pending - 1;
+    if d.d_pending = 0 then complete_diradd t d
+  end
+
+let gate_on_body t (d : diradd) =
+  (* an entry naming a fresh directory also waits for that
+     directory's body (its dots block, written in full form) *)
+  match Hashtbl.find_opt t.inodedeps d.d_inum with
+  | Some { i_body = Some bd; _ } ->
+    d.d_pending <- d.d_pending + 1;
+    bd.bd_waiters <- d :: bd.bd_waiters
+  | Some { i_body = None; _ } | None -> ()
+
+let body_durable t (bd : body) =
+  (* the dots block reached the disk in full form: release the gated
+     entries and forget the body (dots never regress) *)
+  List.iter (satisfy_diradd t) bd.bd_waiters;
+  bd.bd_waiters <- [];
+  match Hashtbl.find_opt t.inodedeps bd.bd_inum with
+  | None -> ()
+  | Some dep ->
+    (match dep.i_body with
+     | Some x when x == bd ->
+       dep.i_body <- None;
+       drop_inodedep_if_empty t dep
+     | Some _ | None -> ())
 
 let post_write_inodes t (b : Buf.t) (dinodes : Types.dinode array) =
   let base = first_inum_of_inode_block t b.Buf.key in
@@ -234,11 +319,13 @@ let post_write_inodes t (b : Buf.t) (dinodes : Types.dinode array) =
         List.iter
           (fun a -> List.iter (fun f -> enqueue t f) a.a_free_moved)
           done_allocs;
-        (* diradds covered by this write: the inode is now stable *)
-        let covered_adds =
-          List.filter (fun (d : diradd) -> d.d_covered) dep.i_waiting_adds
+        (* diradds covered by this write: the inode is now stable
+           (and stays stable — the prerequisite fires exactly once) *)
+        let covered_adds, waiting =
+          List.partition (fun (d : diradd) -> d.d_covered) dep.i_waiting_adds
         in
-        List.iter (complete_diradd t) covered_adds;
+        dep.i_waiting_adds <- waiting;
+        List.iter (satisfy_diradd t) covered_adds;
         (* freework covered by this write: reset pointers are stable *)
         let done_free, pending_free =
           List.partition (fun f -> f.f_covered) dep.i_freework
@@ -259,6 +346,11 @@ let post_write_dir t (b : Buf.t) =
     in
     p.p_rems <- pending_rems;
     List.iter (fun r -> enqueue t r.r_decrement) done_rems;
+    (match p.p_body with
+     | Some bd when bd.bd_covered ->
+       p.p_body <- None;
+       body_durable t bd
+     | Some _ | None -> ());
     drop_pagedep_if_empty t b.Buf.key p
 
 let post_write t (b : Buf.t) =
@@ -393,6 +485,11 @@ let purge_for_runs t ~inum runs =
          | Some p ->
            List.iter (complete_diradd t) p.p_adds;
            List.iter (fun r -> extra := r.r_decrement :: !extra) p.p_rems;
+           (* a freed body can gate nothing: the directory is going
+              away, and so (via cancellation) are the gated entries *)
+           (match p.p_body with
+            | Some bd -> body_durable t bd
+            | None -> ());
            Hashtbl.remove t.pagedeps k);
   !extra
 
@@ -418,14 +515,16 @@ let make ~cache ~geom =
       Scheme_intf.name = "Soft Updates";
       link_add =
         (fun ~dir ~slot ~ibuf:_ ~inum ->
-          let d = { d_dir_key = dir.Buf.key; d_slot = slot; d_inum = inum; d_covered = false } in
+          let d = { d_dir_key = dir.Buf.key; d_slot = slot; d_inum = inum;
+                    d_old = None; d_covered = false; d_pending = 1 } in
           stats.created <- stats.created + 1;
           let p = get_pagedep t dir.Buf.key in
           p.p_adds <- d :: p.p_adds;
+          gate_on_body t d;
           let dep = get_inodedep t inum in
           dep.i_waiting_adds <- d :: dep.i_waiting_adds);
       link_remove =
-        (fun ~dir ~slot ~inum ~ibuf:_ ~decrement ->
+        (fun ~dir ~slot ~inum ~ibuf:_ ~parent_inum:_ ~parent_ibuf:_ ~decrement ->
           let p = get_pagedep t dir.Buf.key in
           match
             List.find_opt
@@ -442,8 +541,77 @@ let make ~cache ~geom =
           | None ->
             stats.created <- stats.created + 1;
             p.p_rems <-
-              { r_decrement = decrement; r_slot = slot; r_covered = false }
+              { r_decrement = decrement; r_slot = slot; r_covered = false;
+                r_guard = None }
               :: p.p_rems);
+      link_change =
+        (fun ~dir ~slot ~ibuf:_ ~inum ~old_entry ~old_ibuf:_ ~decrement ->
+          let p = get_pagedep t dir.Buf.key in
+          match
+            List.find_opt (fun (d : diradd) -> d.d_slot = slot) p.p_adds
+          with
+          | Some pending ->
+            (* the slot's current target never reached the disk:
+               replace the pending add outright, inheriting its on-disk
+               rollback image, re-point removals guarded by it at the
+               new add, and drop the superseded target's count with no
+               disk ordering at all *)
+            let d = { d_dir_key = dir.Buf.key; d_slot = slot; d_inum = inum;
+                      d_old = pending.d_old; d_covered = false;
+                      d_pending = 1 } in
+            stats.created <- stats.created + 1;
+            stats.cancelled_adds <- stats.cancelled_adds + 1;
+            complete_diradd t pending;
+            let p = get_pagedep t dir.Buf.key in
+            p.p_adds <- d :: p.p_adds;
+            List.iter
+              (fun (r : dirrem) ->
+                match r.r_guard with
+                | Some g when g == pending -> r.r_guard <- Some d
+                | Some _ | None -> ())
+              p.p_rems;
+            (* if the superseded add was a still-pending dots entry,
+               the body now waits for the re-targeted one *)
+            (match p.p_body with
+             | Some bd ->
+               bd.bd_dots <-
+                 List.map (fun x -> if x == pending then d else x) bd.bd_dots
+             | None -> ());
+            gate_on_body t d;
+            let dep = get_inodedep t inum in
+            dep.i_waiting_adds <- d :: dep.i_waiting_adds;
+            decrement ()
+          | None ->
+            let d = { d_dir_key = dir.Buf.key; d_slot = slot; d_inum = inum;
+                      d_old = Some old_entry; d_covered = false;
+                      d_pending = 1 } in
+            stats.created <- stats.created + 2;
+            p.p_adds <- d :: p.p_adds;
+            gate_on_body t d;
+            let dep = get_inodedep t inum in
+            dep.i_waiting_adds <- d :: dep.i_waiting_adds;
+            (* the old target's decrement: guarded until the slot is
+               written carrying the new entry *)
+            p.p_rems <-
+              { r_decrement = decrement; r_slot = slot; r_covered = false;
+                r_guard = Some d }
+              :: p.p_rems);
+      (* a size/mtime-only change carries no dependency: the delayed
+         inode write rolls nothing back and orders nothing *)
+      attr_update = (fun ~ibuf:_ ~inum:_ -> ());
+      mkdir_body =
+        (fun ~body ~inum ->
+          (* remember the dots block; its pending adds right now are
+             exactly the dots entries that must roll forward before
+             the block counts as durable in full form *)
+          let p = get_pagedep t body.Buf.key in
+          let bd =
+            { bd_inum = inum; bd_dots = p.p_adds; bd_waiters = [];
+              bd_covered = false }
+          in
+          stats.created <- stats.created + 1;
+          p.p_body <- Some bd;
+          (get_inodedep t inum).i_body <- Some bd);
       block_alloc =
         (fun req ->
           if req.Scheme_intf.init_required || req.Scheme_intf.freed <> [] then

@@ -99,6 +99,24 @@ let add_entry st dip name inum =
         commit ();
         do_link_add st ~dir:buf ~slot:0 ~inum)
 
+let change_entry st dip name new_inum ~decrement =
+  let changed =
+    find st dip name (fun buf entries slot e ->
+        if e.Types.inum = new_inum then ()
+        else begin
+          Bcache.prepare_modify st.State.cache buf;
+          entries.(slot) <- Some { Types.name; inum = new_inum };
+          State.charge st st.State.costs.Costs.dirent_update;
+          Bcache.bdwrite st.State.cache buf;
+          Inode.with_ibuf st new_inum (fun ibuf ->
+              Inode.with_ibuf st e.Types.inum (fun old_ibuf ->
+                  st.State.scheme.Intf.link_change ~dir:buf ~slot ~ibuf
+                    ~inum:new_inum ~old_entry:e ~old_ibuf
+                    ~decrement:(fun () -> decrement e.Types.inum)))
+        end)
+  in
+  Option.is_some changed
+
 let remove_entry st dip name ~decrement =
   let removed =
     find st dip name (fun buf entries slot e ->
@@ -107,9 +125,12 @@ let remove_entry st dip name ~decrement =
         State.charge st st.State.costs.Costs.dirent_update;
         Bcache.bdwrite st.State.cache buf;
         let inum = e.Types.inum in
+        let parent_inum = dip.State.inum in
         Inode.with_ibuf st inum (fun ibuf ->
-            st.State.scheme.Intf.link_remove ~dir:buf ~slot ~inum ~ibuf
-              ~decrement:(fun () -> decrement inum)))
+            Inode.with_ibuf st parent_inum (fun parent_ibuf ->
+                st.State.scheme.Intf.link_remove ~dir:buf ~slot ~inum ~ibuf
+                  ~parent_inum ~parent_ibuf
+                  ~decrement:(fun () -> decrement inum))))
   in
   Option.is_some removed
 

@@ -12,6 +12,16 @@ val add_entry : State.t -> State.incore -> string -> int -> unit
 (** Insert an entry (growing the directory if needed) and run the
     ordering scheme's link-addition hook against the named inode. *)
 
+val change_entry :
+  State.t -> State.incore -> string -> int -> decrement:(int -> unit) -> bool
+(** [change_entry st dip name new_inum ~decrement] re-points the
+    existing entry [name] at [new_inum] in place — the slot is never
+    empty, only old or new (directory rename's ".." rewrite). Runs the
+    ordering scheme's entry-change hook: the new target's inode is
+    ordered ahead of the rewritten entry, and [decrement old_inum] (the
+    old target's link-count drop) behind it. Returns whether the entry
+    existed; re-pointing at the current target is a no-op. *)
+
 val remove_entry :
   State.t -> State.incore -> string -> decrement:(int -> unit) -> bool
 (** Remove the entry; [decrement inum] is handed to the ordering

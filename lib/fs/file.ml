@@ -338,6 +338,7 @@ let append st ip ~bytes =
   in
   let last = last_lbn st ~size:target in
   let size_before = ref cur in
+  let allocated = ref false in
   for lbn = first to last do
     let have = extent_len st ~size:cur ~lbn in
     let want_bytes = min target ((lbn + 1) * bb) - (lbn * bb) in
@@ -348,12 +349,19 @@ let append st ip ~bytes =
     if want > have then begin
       let new_size = min target ((lbn + 1) * bb) in
       grow_block st ip ~lbn ~have ~want ~old_size:!size_before ~new_size;
-      size_before := new_size
+      size_before := new_size;
+      allocated := true
     end
   done;
   ip.State.din.Types.size <- target;
   ip.State.din.Types.mtime <- Su_sim.Engine.now st.State.engine;
-  Inode.update st ip
+  Inode.update st ip;
+  (* the write fit inside already-allocated fragments: no alloc hook
+     saw the new size, so let the scheme capture the attribute change
+     (the journal re-logs the dinode; ordered schemes need nothing) *)
+  if not !allocated then
+    Inode.with_ibuf st ip.State.inum (fun ibuf ->
+        st.State.scheme.Intf.attr_update ~ibuf ~inum:ip.State.inum)
 
 let grow_dir_block st ip =
   let lbn = Geom.blocks_of_bytes st.State.geom ip.State.din.Types.size in

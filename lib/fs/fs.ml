@@ -85,10 +85,11 @@ let journal_region cfg =
   | Conventional | Scheduler_flag | Scheduler_chains _ | Soft_updates | No_order
     -> None
 
-let recover_image cfg image =
+let recover_image ?observer cfg image =
   match journal_region cfg with
   | Some (log_start, log_frags) ->
-    Su_core.Journaled.recover ~geom:cfg.geom ~log_start ~log_frags image
+    Su_core.Journaled.recover ?observer ~geom:cfg.geom ~log_start ~log_frags
+      image
   | None -> ()
 
 let driver_mode cfg =

@@ -84,8 +84,14 @@ val mount_image : config -> Su_fstypes.Types.cell array -> world
 val journal_region : config -> (int * int) option
 (** [(log_start, log_frags)] for journaled configurations. *)
 
-val recover_image : config -> Su_fstypes.Types.cell array -> unit
+val recover_image :
+  ?observer:Su_fstypes.Imglog.observer ->
+  config ->
+  Su_fstypes.Types.cell array ->
+  unit
 (** Journal replay + map rebuild, when the configuration journals;
-    no-op otherwise. *)
+    no-op otherwise. [observer] sees every cell the replay changes
+    (see {!Su_fstypes.Imglog}); the crash-state explorer uses it to
+    re-crash recovery inside its own write stream. *)
 
 val driver_mode : config -> Su_driver.Ordering.mode

@@ -340,11 +340,38 @@ let pp_repair_action ppf = function
     Format.fprintf ppf "reclaimed %d unreachable inode(s)" inodes
   | Rebuilt_maps -> Format.fprintf ppf "rebuilt allocation maps"
 
-let mutable_dinode geom image inum =
+(* Read access to an inode slot. The returned record aliases the
+   image: callers must not mutate it — all repair writes go through
+   {!update_dinode} / {!update_dir_block}, which copy the cell, apply
+   the change, and install the copy via [Imglog.write] so an observer
+   sees every effective mutation (and re-running a repair that has
+   nothing left to change writes nothing at all). *)
+let peek_dinode geom image inum =
   match image.(Geom.inode_block_frag geom inum) with
   | Types.Meta (Types.Inodes dinodes) ->
     Some dinodes.(Geom.inode_index_in_block geom inum)
   | _ -> None
+
+let update_dinode ?observer geom image inum f =
+  let blk = Geom.inode_block_frag geom inum in
+  match image.(blk) with
+  | Types.Meta (Types.Inodes _) ->
+    (match Types.copy_cell image.(blk) with
+     | Types.Meta (Types.Inodes dinodes) as cell ->
+       f dinodes.(Geom.inode_index_in_block geom inum);
+       Imglog.write ?observer image blk cell
+     | _ -> ())
+  | _ -> ()
+
+let update_dir_block ?observer image ptr f =
+  match image.(ptr) with
+  | Types.Meta (Types.Dir _) ->
+    (match Types.copy_cell image.(ptr) with
+     | Types.Meta (Types.Dir entries) as cell ->
+       f entries;
+       Imglog.write ?observer image ptr cell
+     | _ -> ())
+  | _ -> ()
 
 (* All readable directory blocks of a directory, with their addresses. *)
 let dir_blocks_with_addr geom image (din : Types.dinode) =
@@ -370,33 +397,39 @@ let dir_blocks_with_addr geom image (din : Types.dinode) =
   end;
   List.rev !out
 
-let clear_entry geom image ~dir ~name =
-  match mutable_dinode geom image dir with
+let clear_entry ?observer geom image ~dir ~name =
+  match peek_dinode geom image dir with
   | None -> ()
   | Some din ->
     List.iter
-      (fun (_, entries) ->
-        Array.iteri
-          (fun i e ->
-            match e with
-            | Some en when en.Types.name = name -> entries.(i) <- None
-            | Some _ | None -> ())
-          entries)
+      (fun (ptr, blk_entries) ->
+        if
+          Array.exists
+            (function
+              | Some en -> en.Types.name = name
+              | None -> false)
+            blk_entries
+        then
+          update_dir_block ?observer image ptr (fun entries ->
+              Array.iteri
+                (fun i e ->
+                  match e with
+                  | Some en when en.Types.name = name -> entries.(i) <- None
+                  | Some _ | None -> ())
+                entries))
       (dir_blocks_with_addr geom image din)
 
-let truncate_file geom image inum =
-  match mutable_dinode geom image inum with
-  | None -> ()
-  | Some din ->
-    Array.fill din.Types.db 0 (Array.length din.Types.db) 0;
-    din.Types.ib <- 0;
-    din.Types.ib2 <- 0;
-    din.Types.size <- 0
+let truncate_file ?observer geom image inum =
+  update_dinode ?observer geom image inum (fun din ->
+      Array.fill din.Types.db 0 (Array.length din.Types.db) 0;
+      din.Types.ib <- 0;
+      din.Types.ib2 <- 0;
+      din.Types.size <- 0)
 
-let clear_bad_dir_block geom image inum =
+let clear_bad_dir_block ?observer geom image inum =
   (* remove pointers to unreadable blocks from a directory, then
      compact the survivors: directories must be dense *)
-  match mutable_dinode geom image inum with
+  match peek_dinode geom image inum with
   | None -> ()
   | Some din ->
     let keep = ref [] in
@@ -408,28 +441,30 @@ let clear_bad_dir_block geom image inum =
           | _ -> ())
       din.Types.db;
     let survivors = Array.of_list (List.rev !keep) in
-    Array.fill din.Types.db 0 (Array.length din.Types.db) 0;
-    Array.blit survivors 0 din.Types.db 0 (Array.length survivors);
-    din.Types.ib <- 0;
-    din.Types.ib2 <- 0;
-    din.Types.size <- Array.length survivors * Geom.block_bytes geom
+    update_dinode ?observer geom image inum (fun din ->
+        Array.fill din.Types.db 0 (Array.length din.Types.db) 0;
+        Array.blit survivors 0 din.Types.db 0 (Array.length survivors);
+        din.Types.ib <- 0;
+        din.Types.ib2 <- 0;
+        din.Types.size <- Array.length survivors * Geom.block_bytes geom)
 
-let restore_dots geom image ~inum ~parent =
-  match mutable_dinode geom image inum with
+let restore_dots ?observer geom image ~inum ~parent =
+  match peek_dinode geom image inum with
   | None -> ()
   | Some din ->
     (match dir_blocks_with_addr geom image din with
-     | (_, entries) :: _ ->
-       if Types.dir_find entries "." = None then begin
-         match Types.dir_free_slot entries with
-         | Some s -> entries.(s) <- Some { Types.name = "."; inum }
-         | None -> ()
-       end;
-       if Types.dir_find entries ".." = None then begin
-         match Types.dir_free_slot entries with
-         | Some s -> entries.(s) <- Some { Types.name = ".."; inum = parent }
-         | None -> ()
-       end
+     | (ptr, _) :: _ ->
+       update_dir_block ?observer image ptr (fun entries ->
+           if Types.dir_find entries "." = None then begin
+             match Types.dir_free_slot entries with
+             | Some s -> entries.(s) <- Some { Types.name = "."; inum }
+             | None -> ()
+           end;
+           if Types.dir_find entries ".." = None then begin
+             match Types.dir_free_slot entries with
+             | Some s -> entries.(s) <- Some { Types.name = ".."; inum = parent }
+             | None -> ()
+           end)
      | [] -> ())
 
 (* Walk the tree recording reference counts and each directory's
@@ -487,7 +522,26 @@ type repair_outcome = {
   converged : bool;
 }
 
-let repair ~geom ~image ~check_exposure =
+(* Test-only: extra image writes injected at the top of every repair
+   call, routed through the same observed write path as real repair
+   actions. The nested (crash-during-recovery) sweep uses this to
+   prove it catches a non-idempotent repair: a hook whose writes
+   depend on the current image content never reaches a write-free
+   round, and the sweep's fixed-point check flags it. Never set
+   outside tests. *)
+let repair_test_hook :
+    (Su_fstypes.Types.cell array -> (int * Su_fstypes.Types.cell) list)
+      option
+      ref =
+  ref None
+
+let repair ?observer ~geom ~image ~check_exposure () =
+  (match !repair_test_hook with
+   | Some hook ->
+     List.iter
+       (fun (lbn, cell) -> Imglog.write ?observer image lbn cell)
+       (hook image)
+   | None -> ());
   let actions = ref [] in
   let note a = actions := a :: !actions in
   let rounds = ref 0 in
@@ -516,14 +570,14 @@ let repair ~geom ~image ~check_exposure =
           (fun v ->
             match v with
             | Dangling_entry { dir; name; _ } ->
-              clear_entry geom image ~dir ~name;
+              clear_entry ?observer geom image ~dir ~name;
               note (Cleared_entry { dir; name })
             | Cross_allocated { owners = (_, b); _ } ->
-              truncate_file geom image b;
+              truncate_file ?observer geom image b;
               note (Truncated_file { inum = b })
             | Exposure { inum; _ } | Bad_pointer { inum; _ } ->
               if inum > 0 then begin
-                truncate_file geom image inum;
+                truncate_file ?observer geom image inum;
                 note (Truncated_file { inum })
               end
             | Bad_dir { inum; reason } when inum > 0 ->
@@ -533,11 +587,11 @@ let repair ~geom ~image ~check_exposure =
                   Option.value ~default:Geom.root_inum
                     (Hashtbl.find_opt parents inum)
                 in
-                restore_dots geom image ~inum ~parent;
+                restore_dots ?observer geom image ~inum ~parent;
                 note (Restored_dots { inum })
               end
               else begin
-                clear_bad_dir_block geom image inum;
+                clear_bad_dir_block ?observer geom image inum;
                 note (Cleared_dir_block { inum; ptr = 0 })
               end
             | Bad_dir _ | Nlink_low _ -> ())
@@ -550,12 +604,13 @@ let repair ~geom ~image ~check_exposure =
   let refs, _, seen = count_refs geom image in
   Hashtbl.iter
     (fun inum () ->
-      match mutable_dinode geom image inum with
+      match peek_dinode geom image inum with
       | Some din when din.Types.ftype <> Types.F_free ->
         let want = Option.value ~default:0 (Hashtbl.find_opt refs inum) in
         if din.Types.nlink <> want && want > 0 then begin
           note (Fixed_nlink { inum; from_ = din.Types.nlink; to_ = want });
-          din.Types.nlink <- want
+          update_dinode ?observer geom image inum (fun d ->
+              d.Types.nlink <- want)
         end
       | Some _ | None -> ())
     seen;
@@ -567,17 +622,21 @@ let repair ~geom ~image ~check_exposure =
     for j = 0 to geom.Geom.inodes_per_cg - 1 do
       let inum = first + j in
       if not (Hashtbl.mem seen inum) then
-        match mutable_dinode geom image inum with
+        match peek_dinode geom image inum with
         | Some din when din.Types.ftype <> Types.F_free ->
-          din.Types.ftype <- Types.F_free;
-          din.Types.nlink <- 0;
-          truncate_file geom image inum;
+          update_dinode ?observer geom image inum (fun d ->
+              d.Types.ftype <- Types.F_free;
+              d.Types.nlink <- 0;
+              Array.fill d.Types.db 0 (Array.length d.Types.db) 0;
+              d.Types.ib <- 0;
+              d.Types.ib2 <- 0;
+              d.Types.size <- 0);
           incr freed
         | Some _ | None -> ()
     done
   done;
   if !freed > 0 then note (Freed_unreachable { inodes = !freed });
-  Su_core.Journaled.rebuild_maps geom image;
+  Su_core.Journaled.rebuild_maps ?observer geom image;
   note Rebuilt_maps;
   let final = check ~geom ~image ~check_exposure in
   {

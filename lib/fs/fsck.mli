@@ -74,13 +74,32 @@ type repair_outcome = {
 }
 
 val repair :
+  ?observer:Imglog.observer ->
   geom:Geom.t ->
   image:Types.cell array ->
   check_exposure:bool ->
+  unit ->
   repair_outcome
 (** Fix the image in place, fsck-style: clear dangling entries, drop
     the data of cross-allocated/exposed files, restore "."/"..",
     settle link counts to the observed reference counts, reclaim
     unreachable resources and rebuild the allocation maps. Never
     raises on bad images: non-convergence is reported in the
-    outcome. *)
+    outcome.
+
+    Every cell the repair changes flows through
+    {!Su_fstypes.Imglog.write}: an [observer] sees repair's own write
+    stream (writes that would not change the image are dropped), so
+    the crash-state explorer can re-crash repair at any of its write
+    boundaries. Repair actions are restartable over their own partial
+    effects — each is recomputed from the image it finds — and a
+    repair with nothing left to do writes nothing, which is the
+    fixed-point the nested sweep checks. *)
+
+val repair_test_hook :
+  (Types.cell array -> (int * Types.cell) list) option ref
+(** Test-only. When set, [repair] first applies the returned
+    [(lbn, cell)] writes through its observed write path. Tests
+    install a content-dependent hook here to prove the nested sweep
+    catches a non-idempotent repair (one that never reaches a
+    write-free round). Always reset to [None] afterwards. *)

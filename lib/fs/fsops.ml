@@ -6,6 +6,7 @@ exception Eexist of string
 exception Enotdir of string
 exception Eisdir of string
 exception Enotempty of string
+exception Einval of string
 
 type file_stat = {
   st_inum : int;
@@ -131,6 +132,9 @@ let mkdir st path =
               Dir.insert_prepared ~link_dep:false st ~dir:buf ~slot:0 "."
                 ip.State.inum;
               Dir.insert_prepared st ~dir:buf ~slot:1 ".." parent;
+              (* entries making the new directory reachable must wait
+                 for this block, dots in full form (MKDIR_BODY) *)
+              st.State.scheme.Intf.mkdir_body ~body:buf ~inum:ip.State.inum;
               commit ());
           Dir.add_entry st dip name ip.State.inum))
 
@@ -183,20 +187,22 @@ let rmdir st path =
       Inode.with_inode st inum (fun ip ->
           as_dir st path ip;
           if not (Dir.is_empty st ip) then raise (Enotempty path));
-      (* the parent's entry goes first: once the name is off disk the
-         directory is unreachable, and only then may its own block
-         shed "." and ".." (a crash between a dots-removal write and
-         the parent write would otherwise expose a reachable
-         directory without its dots) *)
+      (* the parent's entry removal is the single ordering point (BSD's
+         RMDIR dirrem): its deferred decrement carries all three drops —
+         the parent's lost "..", the entry itself and the child's "." —
+         so nothing is freed before the name is off the disk. The
+         child's own block is never rewritten: removing its dots
+         in place could reach the disk before the parent's write and
+         expose a reachable directory without "." or ".."; the dots
+         simply remain in the freed block, where nothing references
+         them, and reuse rewrites the block under the allocation
+         ordering *)
       ignore
-        (Dir.remove_entry st dip name ~decrement:(fun i -> dec_link st i));
-      Inode.with_inode st inum (fun ip ->
-          (* ".." decrements the parent, "." the directory itself;
-             "." last so the final decrement releases the inode *)
-          ignore
-            (Dir.remove_entry st ip ".." ~decrement:(fun _ -> dec_link st parent));
-          ignore
-            (Dir.remove_entry st ip "." ~decrement:(fun i -> dec_link st i))))
+        (Dir.remove_entry st dip name ~decrement:(fun i ->
+             dec_link st parent;
+             dec_link st i;
+             (* the child's "." last: this drop releases the inode *)
+             dec_link st i)))
 
 let link st ~src ~dst =
   charge_syscall st;
@@ -211,13 +217,103 @@ let link st ~src ~dst =
           Inode.update st ip);
       Dir.add_entry st dip name src_inum)
 
+(* Is [anc] equal to [inum] or an ancestor of it? Walks the ".."
+   chain; a rename may not move a directory under itself. *)
+let is_self_or_ancestor st anc inum =
+  let rec walk i =
+    if i = anc then true
+    else if i = Geom.root_inum then false
+    else
+      match Inode.with_inode st i (fun dip -> Dir.lookup st dip "..") with
+      | Some p when p <> i -> walk p
+      | Some _ | None -> false
+  in
+  walk inum
+
+(* Directory rename. The choreography keeps every write boundary
+   consistent (no link count ever below its reference count, ".."
+   never absent):
+   1. raise the child's count — it is about to be named twice;
+   2. cross-directory only: raise the new parent's count (it gains the
+      child's ".."), then add the new name (ordered behind the child's
+      raised inode) and re-point ".." in place (ordered behind the new
+      parent's raised inode; the old parent's drop waits for the
+      rewritten entry);
+   3. remove the old name, deferring the child's compensating drop. *)
+let rename_dir st ~src ~dst ~inum =
+  let src_parent, src_name = resolve_parent st src in
+  let dst_parent, dst_name = resolve_parent st dst in
+  if is_self_or_ancestor st inum dst_parent then raise (Einval dst);
+  if src_parent = dst_parent then
+    Inode.with_inode st src_parent (fun dip ->
+        as_dir st dst dip;
+        if Dir.lookup st dip dst_name <> None then raise (Eexist dst);
+        Inode.with_inode st inum (fun ip ->
+            ip.State.din.Types.nlink <- ip.State.din.Types.nlink + 1;
+            Inode.update st ip);
+        Dir.add_entry st dip dst_name inum;
+        ignore
+          (Dir.remove_entry st dip src_name ~decrement:(fun i -> dec_link st i)))
+  else begin
+    Inode.with_inode st inum (fun ip ->
+        ip.State.din.Types.nlink <- ip.State.din.Types.nlink + 1;
+        Inode.update st ip);
+    Inode.with_inode st dst_parent (fun dip ->
+        as_dir st dst dip;
+        if Dir.lookup st dip dst_name <> None then raise (Eexist dst);
+        dip.State.din.Types.nlink <- dip.State.din.Types.nlink + 1;
+        Inode.update st dip;
+        Dir.add_entry st dip dst_name inum);
+    Inode.with_inode st inum (fun ip ->
+        ignore
+          (Dir.change_entry st ip ".." dst_parent
+             ~decrement:(fun old_parent -> dec_link st old_parent)));
+    Inode.with_inode st src_parent (fun dip ->
+        ignore
+          (Dir.remove_entry st dip src_name ~decrement:(fun i -> dec_link st i)))
+  end
+
 let rename st ~src ~dst =
   charge_syscall st;
-  (* rule 1: create the new name before destroying the old one *)
-  let dst_inum = try Some (resolve st dst) with Enoent _ -> None in
-  (match dst_inum with Some _ -> unlink st dst | None -> ());
-  link st ~src ~dst;
-  unlink st src
+  let src_inum = resolve st src in
+  let src_is_dir =
+    Inode.with_inode st src_inum (fun ip ->
+        ip.State.din.Types.ftype = Types.F_dir)
+  in
+  if not src_is_dir then begin
+    (* rule 1: create the new name before destroying the old one *)
+    let dst_inum = try Some (resolve st dst) with Enoent _ -> None in
+    match dst_inum with
+    | Some d when d = src_inum ->
+      (* both names are links to the same file: POSIX says do
+         nothing (unlinking [dst] first would eat the file when the
+         paths coincide) *)
+      ()
+    | Some _ ->
+      unlink st dst;
+      link st ~src ~dst;
+      unlink st src
+    | None ->
+      link st ~src ~dst;
+      unlink st src
+  end
+  else begin
+    (* an existing destination must be an empty directory; it makes
+       way first (not atomically — the window where neither name
+       resolves is crash-equivalent to rmdir; rename) *)
+    match resolve st dst with
+    | dst_inum when dst_inum = src_inum -> ()
+    | (_ : int) ->
+      let empty =
+        Inode.with_inode st (resolve st dst) (fun ip ->
+            as_dir st dst ip;
+            Dir.is_empty st ip)
+      in
+      if not empty then raise (Enotempty dst);
+      rmdir st dst;
+      rename_dir st ~src ~dst ~inum:src_inum
+    | exception Enoent _ -> rename_dir st ~src ~dst ~inum:src_inum
+  end
 
 let stat st path =
   charge_syscall st;

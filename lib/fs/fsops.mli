@@ -11,6 +11,9 @@ exception Enotdir of string
 exception Eisdir of string
 exception Enotempty of string
 
+exception Einval of string
+(** rename: destination inside the directory being moved *)
+
 type file_stat = {
   st_inum : int;
   st_ftype : Su_fstypes.Types.ftype;
@@ -36,7 +39,17 @@ val rmdir : State.t -> string -> unit
 val link : State.t -> src:string -> dst:string -> unit
 val rename : State.t -> src:string -> dst:string -> unit
 (** Implemented, as the paper describes, by first adding the new name
-    and only then removing the old one (rule 1). *)
+    and only then removing the old one (rule 1). Renaming a name onto
+    another link to the same file (or onto itself) is a no-op, as
+    POSIX requires. Directories move too
+    (including across parents): the child's and the new parent's link
+    counts are raised before the names change hands, ".." is re-pointed
+    in place through the scheme's entry-change hook (never absent on
+    disk, only old or new), and the compensating decrements are ordered
+    behind the entry writes. An existing destination must be empty
+    (directories) and makes way first.
+    @raise Einval when [dst] lies inside the directory being moved.
+    @raise Enotempty when [dst] is a non-empty directory. *)
 
 val stat : State.t -> string -> file_stat
 val exists : State.t -> string -> bool

@@ -1,0 +1,18 @@
+type observer = lbn:int -> pre:Types.cell -> post:Types.cell -> unit
+
+let write ?observer image lbn cell =
+  let pre = image.(lbn) in
+  if pre <> cell then begin
+    image.(lbn) <- cell;
+    match observer with None -> () | Some f -> f ~lbn ~pre ~post:cell
+  end
+
+type recorder = { mutable events : (int * Types.cell * Types.cell) list }
+
+let recorder () = { events = [] }
+
+let observe r ~lbn ~pre ~post = r.events <- (lbn, pre, post) :: r.events
+
+let events r = Array.of_list (List.rev r.events)
+
+let count r = List.length r.events

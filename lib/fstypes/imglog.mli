@@ -1,0 +1,37 @@
+(** Observed writes to a raw disk image.
+
+    The recovery pipeline (journal replay, fsck repair) mutates crash
+    images directly, outside the simulated disk. Routing every one of
+    those mutations through {!write} gives recovery the same
+    write-boundary structure the disk gives a running workload: an
+    observer sees each cell that changes, with its pre- and
+    post-image, in order. The crash-state explorer logs these events
+    and re-crashes {e recovery itself} at every one of them.
+
+    Writes that would leave the cell structurally unchanged are
+    dropped (neither applied nor observed): a recovery round that has
+    nothing left to change therefore produces an empty event stream,
+    which is exactly the fixed-point test re-entrant recovery is held
+    to. *)
+
+type observer = lbn:int -> pre:Types.cell -> post:Types.cell -> unit
+(** Invoked after the image is updated. [pre] is the displaced cell
+    (no longer referenced by the image), [post] the cell now installed
+    — callers must treat both as frozen. *)
+
+val write : ?observer:observer -> Types.cell array -> int -> Types.cell -> unit
+(** [write ?observer image lbn cell] installs [cell] at [lbn],
+    notifying the observer — unless [cell] is structurally equal to
+    the current content, in which case nothing happens. The caller
+    must never mutate [cell] afterwards (copy-on-write discipline:
+    mutate a private {!Types.copy_cell} copy, then install it). *)
+
+type recorder
+(** Accumulates observed writes in order. *)
+
+val recorder : unit -> recorder
+val observe : recorder -> observer
+val events : recorder -> (int * Types.cell * Types.cell) array
+(** [(lbn, pre, post)] per effective write, chronological. *)
+
+val count : recorder -> int

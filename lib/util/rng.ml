@@ -13,6 +13,18 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+(* Key the parent state with the stream index and run it through the
+   full splitmix finalizer twice: adjacent indices land in unrelated
+   regions of the state space, and the parent is left untouched. *)
+let substream t i =
+  if i < 0 then invalid_arg "Rng.substream: negative index";
+  let keyed =
+    Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1)))
+  in
+  let probe = { state = keyed } in
+  let s0 = bits64 probe in
+  { state = s0 }
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -12,6 +12,16 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator, advancing [t]. *)
 
+val substream : t -> int -> t
+(** [substream t i] derives the [i]-th independent generator keyed off
+    [t]'s {e current} state without advancing it: the same seed always
+    yields the same family of streams, and draws from one stream never
+    perturb another. Consumers with several independent sources of
+    randomness (the fuzzer's op generation, fault injection and
+    shrinking) give each its own substream so that, e.g., changing the
+    fault configuration cannot change which workload a seed denotes.
+    @raise Invalid_argument if [i < 0]. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing it. *)
 

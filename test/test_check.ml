@@ -305,7 +305,7 @@ let prop_repair_converges =
       let geom, base = Lazy.force base_image in
       let img = Array.map Types.copy_cell base in
       corrupt (Su_util.Rng.create seed) img;
-      let outcome = Fsck.repair ~geom ~image:img ~check_exposure:false in
+      let outcome = Fsck.repair ~geom ~image:img ~check_exposure:false () in
       if not (outcome.Fsck.converged && Fsck.ok outcome.Fsck.final) then begin
         Printf.eprintf "[seed=%d] converged=%b rounds=%d\n%!" seed
           outcome.Fsck.converged outcome.Fsck.rounds;
@@ -357,6 +357,80 @@ let test_shakedown_rides_out_transients () =
   Alcotest.(check bool) "workload completed" true s.Explorer.f_completed;
   Alcotest.(check bool) "final image consistent" true s.Explorer.f_consistent
 
+(* --- rename crash-state coverage --------------------------------------- *)
+
+let ordered_schemes =
+  [
+    Fs.Conventional;
+    Fs.Scheduler_flag;
+    Fs.Scheduler_chains { barrier_dealloc = false };
+    Fs.Soft_updates;
+    Fs.Journaled { group_commit = false };
+  ]
+
+let rename_sweep_cases =
+  List.concat_map
+    (fun scheme ->
+      List.map
+        (fun wl ->
+          Alcotest.test_case
+            (Printf.sprintf "sweep: %s / %s" (Fs.scheme_kind_name scheme)
+               wl.Explorer.wl_name)
+            `Slow
+            (test_sweep_consistent scheme wl))
+        [ Explorer.renamefile; Explorer.renamedir ])
+    ordered_schemes
+
+(* --- the nested, crash-during-recovery sweep ---------------------------- *)
+
+let test_nested_consistent scheme wl () =
+  let s = Explorer.sweep ~jobs:0 ~nested:true ~cfg:(sweep_cfg scheme) wl in
+  if not (Explorer.consistent s) then show_failures s;
+  Alcotest.(check bool) "nested states explored" true
+    (s.Explorer.s_nested_states > s.Explorer.s_states);
+  Alcotest.(check int) "recovery settles at every nested state" 0
+    s.Explorer.s_nested_unrecovered;
+  Alcotest.(check int) "second recovery round is write-free" 0
+    s.Explorer.s_nested_unsettled;
+  Alcotest.(check bool) "consistent including nested states" true
+    (Explorer.consistent s)
+
+let test_no_order_nested_repairs () =
+  let s =
+    Explorer.sweep ~jobs:0 ~nested:true ~cfg:(sweep_cfg Fs.No_order)
+      Explorer.smallfiles
+  in
+  Alcotest.(check bool) "violations found" true (s.Explorer.s_dirty_states > 0);
+  Alcotest.(check bool) "nested states explored" true
+    (s.Explorer.s_nested_states > 0);
+  if not (Explorer.repairable s) then show_failures s;
+  Alcotest.(check bool) "repairable including crashes during recovery" true
+    (Explorer.repairable s)
+
+(* A deliberately non-idempotent repair: each invocation inspects the
+   image and writes something different from what it finds, so a
+   second recovery round can never be write-free. The nested sweep's
+   fixed-point check must flag it. *)
+let test_hook_catches_nonidempotent_repair () =
+  let lbn_of image = Array.length image - 1 in
+  Su_fs.Fsck.repair_test_hook :=
+    Some
+      (fun image ->
+        let lbn = lbn_of image in
+        match image.(lbn) with
+        | Types.Frag Types.Zeroed -> [ (lbn, Types.Empty) ]
+        | _ -> [ (lbn, Types.Frag Types.Zeroed) ]);
+  Fun.protect
+    ~finally:(fun () -> Su_fs.Fsck.repair_test_hook := None)
+    (fun () ->
+      let s =
+        Explorer.sweep ~torn:false ~max_boundaries:4 ~jobs:0 ~nested:true
+          ~cfg:(sweep_cfg Fs.Soft_updates)
+          Explorer.smallfiles
+      in
+      Alcotest.(check bool) "non-idempotent repair caught as unsettled" true
+        (s.Explorer.s_nested_unsettled > 0))
+
 let suite =
   [
     Alcotest.test_case "sweep: soft updates / smallfiles" `Quick
@@ -389,3 +463,16 @@ let suite =
     Alcotest.test_case "fault shakedown" `Quick
       test_shakedown_rides_out_transients;
   ]
+  @ rename_sweep_cases
+  @ [
+      Alcotest.test_case "nested sweep: soft updates / renamedir" `Slow
+        (test_nested_consistent Fs.Soft_updates Explorer.renamedir);
+      Alcotest.test_case "nested sweep: journaled / smallfiles" `Slow
+        (test_nested_consistent
+           (Fs.Journaled { group_commit = false })
+           Explorer.smallfiles);
+      Alcotest.test_case "nested sweep: no order repairs" `Slow
+        test_no_order_nested_repairs;
+      Alcotest.test_case "nested sweep flags non-idempotent repair" `Quick
+        test_hook_catches_nonidempotent_repair;
+    ]

@@ -129,7 +129,7 @@ let test_repair_no_order_crash () =
   let before = Fsck.check ~geom:cfg.Fs.geom ~image ~check_exposure:false in
   Alcotest.(check bool) "broken before repair" false (Fsck.ok before);
   let { Fsck.actions; final = after; _ } =
-    Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure:false
+    Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure:false ()
   in
   Alcotest.(check bool) "repair acted" true (List.length actions > 0);
   if not (Fsck.ok after) then
@@ -162,7 +162,7 @@ let test_repair_idempotent_on_clean () =
       Fsops.sync w.Fs.st);
   let image = Su_disk.Disk.image_snapshot w.Fs.disk in
   let { Fsck.actions; final = after; _ } =
-    Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure:true
+    Fsck.repair ~geom:cfg.Fs.geom ~image ~check_exposure:true ()
   in
   Alcotest.(check bool) "clean stays clean" true (Fsck.ok after);
   (* only the unconditional map rebuild *)

@@ -21,5 +21,6 @@ let () =
       ("regressions", Test_regressions.suite);
       ("fault", Test_fault.suite);
       ("check", Test_check.suite);
+      ("fuzz", Test_fuzz.suite);
       ("trace-golden", Test_trace_golden.suite);
     ]

@@ -26,6 +26,27 @@ let test_rng_split_independent () =
   let b = Rng.split a in
   Alcotest.(check bool) "streams differ" true (Rng.bits64 a <> Rng.bits64 b)
 
+let test_rng_substream () =
+  (* same family from equal seeds; derivation leaves the parent alone *)
+  let a = Rng.create 9 and b = Rng.create 9 in
+  let sa = Rng.substream a 3 and sb = Rng.substream b 3 in
+  Alcotest.(check int64) "same seed, same substream" (Rng.bits64 sa)
+    (Rng.bits64 sb);
+  Alcotest.(check int64) "parent not perturbed" (Rng.bits64 a) (Rng.bits64 b);
+  (* distinct indices are independent streams *)
+  let c = Rng.create 9 in
+  let s0 = Rng.substream c 0 and s1 = Rng.substream c 1 in
+  Alcotest.(check bool) "indices differ" true (Rng.bits64 s0 <> Rng.bits64 s1);
+  (* draws from one substream never move another *)
+  let d = Rng.create 9 in
+  let before = Rng.bits64 (Rng.substream d 1) in
+  ignore (Rng.bits64 (Rng.substream d 0));
+  Alcotest.(check int64) "sibling draws don't interfere" before
+    (Rng.bits64 (Rng.substream d 1));
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.substream: negative index") (fun () ->
+      ignore (Rng.substream (Rng.create 1) (-1)))
+
 let test_rng_weighted () =
   let r = Rng.create 3 in
   let counts = Hashtbl.create 4 in
@@ -312,6 +333,7 @@ let suite =
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng range" `Quick test_rng_range;
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng substream" `Quick test_rng_substream;
     Alcotest.test_case "rng weighted" `Quick test_rng_weighted;
     Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
     Alcotest.test_case "heap empty" `Quick test_heap_empty;
