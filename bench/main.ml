@@ -33,7 +33,13 @@ let usage () =
      \  --hotpaths      driver-dispatch / cache-eviction hot paths\n\
      \  --crashsweep    crash-state materialization (delta log vs deep\n\
      \                  copy) and full-sweep scaling across the pool\n\
-     \  --json PATH     with --hotpaths/--crashsweep: write results JSON\n\
+     \  --json PATH     write results JSON: experiment tables (the\n\
+     \                  document EXPERIMENTS.md specifies), or the\n\
+     \                  --hotpaths/--crashsweep perf records\n\
+     \  --assert-shapes PATH\n\
+     \                  parse an experiments JSON written by --json and\n\
+     \                  check the calibrated shape claims (exit 1 on any\n\
+     \                  failure); runs no experiments itself\n\
      \  --help          this text\n"
 
 (* --- Bechamel micro-benchmarks of the core data structures ------------- *)
@@ -442,6 +448,47 @@ let () =
     | [] -> 1
   in
   let jobs = jobs_of args in
+  let rec assert_shapes_of = function
+    | "--assert-shapes" :: path :: _ -> Some path
+    | _ :: rest -> assert_shapes_of rest
+    | [] -> None
+  in
+  (match assert_shapes_of args with
+   | None -> ()
+   | Some path ->
+     let doc =
+       let s =
+         try
+           let ic = open_in_bin path in
+           let s = really_input_string ic (in_channel_length ic) in
+           close_in ic;
+           s
+         with Sys_error e ->
+           Printf.eprintf "cannot read %s: %s\n" path e;
+           exit 2
+       in
+       match Su_obs.Json.parse s with
+       | Ok doc -> doc
+       | Error e ->
+         Printf.eprintf "%s: JSON parse error: %s\n" path e;
+         exit 2
+     in
+     let claims = Su_experiments.Shapes.check doc in
+     if claims = [] then begin
+       Printf.eprintf "%s: no recognisable experiment tables to assert\n" path;
+       exit 2
+     end;
+     let nfail =
+       List.fold_left (fun n (_, ok, _) -> if ok then n else n + 1) 0 claims
+     in
+     List.iter
+       (fun (name, ok, detail) ->
+         Printf.printf "%-48s %-4s %s\n" name
+           (if ok then "ok" else "FAIL")
+           detail)
+       claims;
+     Printf.printf "# %d claims, %d failed\n" (List.length claims) nfail;
+     exit (if nfail = 0 then 0 else 1));
   if micro_only then begin
     micro ();
     exit 0
@@ -457,13 +504,23 @@ let () =
   let selected =
     let rec drop_opts = function
       | [] -> []
-      | ("--jobs" | "--json") :: _ :: rest -> drop_opts rest
+      | ("--jobs" | "--json" | "--assert-shapes") :: _ :: rest -> drop_opts rest
       | a :: rest ->
         if String.length a > 1 && a.[0] = '-' then drop_opts rest
         else a :: drop_opts rest
     in
     drop_opts args
   in
+  (* Fail fast and non-zero on unknown ids, before any experiment
+     burns wall clock (scripted runs used to get a stderr line and a
+     zero exit). *)
+  List.iter
+    (fun id ->
+      if not (List.mem id available) then begin
+        Printf.eprintf "unknown experiment %S (try --list)\n" id;
+        exit 2
+      end)
+    selected;
   let scale = if quick then `Quick else `Full in
   let wanted = if selected = [] then available else selected in
   let t_start = Unix.gettimeofday () in
@@ -487,14 +544,36 @@ let () =
           List.iter
             (fun t -> Buffer.add_string buf (Su_util.Text_table.render t))
             tables;
-          (id, Some (Buffer.contents buf, Unix.gettimeofday () -. t0)))
+          (id, Some (Buffer.contents buf, tables, Unix.gettimeofday () -. t0)))
   in
   Array.iter
     (fun (id, outcome) ->
       match outcome with
       | None -> Printf.eprintf "unknown experiment %S (try --list)\n" id
-      | Some (text, wall) ->
+      | Some (text, _, wall) ->
         print_string text;
         Printf.printf "[%s took %.1fs wall]\n\n%!" id wall)
     rendered;
+  (match json_of args with
+   | None -> ()
+   | Some path ->
+     let entries =
+       Array.to_list rendered
+       |> List.filter_map (fun (id, outcome) ->
+              Option.map (fun (_, tables, wall) -> (id, wall, tables)) outcome)
+     in
+     let doc =
+       Su_experiments.Shapes.experiments_json
+         ~scale:(if quick then "quick" else "full")
+         entries
+     in
+     (try
+        let oc = open_out path in
+        output_string oc (Su_obs.Json.to_string_pretty doc);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "# wrote %s\n" path
+      with Sys_error e ->
+        Printf.eprintf "cannot write %s: %s\n" path e;
+        exit 2));
   Printf.printf "# total wall time: %.1fs\n" (Unix.gettimeofday () -. t_start)

@@ -53,8 +53,10 @@ let nvram_arg =
     value & opt int 0
     & info [ "nvram" ] ~doc:"Battery-backed disk write cache in MB (0 = none).")
 
-let make_cfg scheme alloc_init nvram =
-  let cfg = { (Fs.config ~scheme ()) with Fs.nvram_mb = nvram } in
+let make_cfg ?sink scheme alloc_init nvram =
+  let cfg =
+    { (Fs.config ~scheme ()) with Fs.nvram_mb = nvram; Fs.trace_sink = sink }
+  in
   match alloc_init with
   | None -> cfg
   | Some b -> { cfg with Fs.alloc_init = b }
@@ -78,52 +80,141 @@ let print_measures (m : Runner.measures) =
       s.Su_core.Softdep.cancelled_adds s.Su_core.Softdep.workitems
 
 let run_cmd =
+  (* A validating conv (not a bare string) so an unknown name is a
+     command-line error with a non-zero exit — scripted runs used to
+     get an stderr line and exit 0, which CI can't catch. *)
+  let bench_names =
+    [ "copy"; "remove"; "create"; "remove-files"; "create-remove"; "sdet";
+      "andrew" ]
+  in
+  let bench_conv =
+    let parse s =
+      let s = String.lowercase_ascii s in
+      if List.mem s bench_names then Ok s
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (expected one of %s)" s
+               (String.concat ", " bench_names)))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
   let bench_arg =
     let doc = "Benchmark: copy, remove, create, remove-files, create-remove, sdet, andrew." in
-    Arg.(value & pos 0 string "copy" & info [] ~docv:"BENCH" ~doc)
+    Arg.(value & pos 0 bench_conv "copy" & info [] ~docv:"BENCH" ~doc)
   in
   let files_arg =
     Arg.(value & opt int 10_000 & info [ "files" ] ~doc:"Total files (throughput benchmarks).")
   in
-  let run bench scheme users seed alloc_init nvram files =
-    let cfg = make_cfg scheme alloc_init nvram in
-    Printf.printf "# %s, %s, %d user(s)\n" bench (Fs.scheme_kind_name scheme) users;
-    match bench with
-    | "copy" -> print_measures (Benchmarks.copy ~cfg ~users ~seed ())
-    | "remove" -> print_measures (Benchmarks.remove ~cfg ~users ~seed ())
-    | "create" ->
-      let m = Benchmarks.create_files ~cfg ~users ~total_files:files in
-      print_measures m;
-      Printf.printf "throughput:       %.1f files/s\n"
-        (Benchmarks.files_per_second ~total_files:files m)
-    | "remove-files" ->
-      let m = Benchmarks.remove_files ~cfg ~users ~total_files:files in
-      print_measures m;
-      Printf.printf "throughput:       %.1f files/s\n"
-        (Benchmarks.files_per_second ~total_files:files m)
-    | "create-remove" ->
-      let m = Benchmarks.create_remove_files ~cfg ~users ~total_files:files in
-      print_measures m;
-      Printf.printf "throughput:       %.1f files/s\n"
-        (Benchmarks.files_per_second ~total_files:files m)
-    | "sdet" ->
-      let r = Sdet.run ~cfg ~concurrency:users () in
-      print_measures r.Sdet.measures;
-      Printf.printf "throughput:       %.1f scripts/hour\n" r.Sdet.scripts_per_hour
-    | "andrew" ->
-      let s = Andrew.run ~cfg ~reps:3 in
-      Array.iteri
-        (fun i v -> Printf.printf "phase %d: %.2f s (stdev %.2f)\n" (i + 1) v
-            s.Andrew.stdev.Andrew.phases.(i))
-        s.Andrew.mean.Andrew.phases;
-      Printf.printf "total:   %.2f s\n" s.Andrew.mean.Andrew.total
-    | other -> Printf.eprintf "unknown benchmark %S\n" other
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the measurements as one JSON object (percentiles and \
+             cross-layer counters included) instead of text.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"PATH"
+          ~doc:
+            "Write a simulated-clock JSONL event trace (one event per FS \
+             operation, cache transition and I/O issue/start/complete) to \
+             $(docv).")
+  in
+  let run bench scheme users seed alloc_init nvram files json trace_out =
+    let sink =
+      match trace_out with
+      | None -> None
+      | Some _ -> Some (Su_obs.Events.create ())
+    in
+    let cfg = make_cfg ?sink scheme alloc_init nvram in
+    let emit_json fields =
+      print_endline
+        (Su_obs.Json.to_string_pretty
+           (Su_obs.Json.Obj
+              (("benchmark", Su_obs.Json.Str bench)
+               :: ("scheme", Su_obs.Json.Str (Fs.scheme_kind_name scheme))
+               :: fields)))
+    in
+    (match bench with
+     | "andrew" ->
+       let s = Andrew.run ~cfg ~reps:3 in
+       let floats a = Su_obs.Json.List (Array.to_list (Array.map (fun v -> Su_obs.Json.Float v) a)) in
+       if json then
+         emit_json
+           [
+             ("phases_s", floats s.Andrew.mean.Andrew.phases);
+             ("phases_stdev_s", floats s.Andrew.stdev.Andrew.phases);
+             ("total_s", Su_obs.Json.Float s.Andrew.mean.Andrew.total);
+           ]
+       else begin
+         Printf.printf "# %s, %s, %d user(s)\n" bench
+           (Fs.scheme_kind_name scheme) users;
+         Array.iteri
+           (fun i v -> Printf.printf "phase %d: %.2f s (stdev %.2f)\n" (i + 1) v
+               s.Andrew.stdev.Andrew.phases.(i))
+           s.Andrew.mean.Andrew.phases;
+         Printf.printf "total:   %.2f s\n" s.Andrew.mean.Andrew.total
+       end
+     | _ ->
+       let with_throughput m =
+         (m, [ ("files_per_second",
+                Su_obs.Json.Float
+                  (Benchmarks.files_per_second ~total_files:files m)) ])
+       in
+       let m, extra =
+         match bench with
+         | "copy" -> (Benchmarks.copy ~cfg ~users ~seed (), [])
+         | "remove" -> (Benchmarks.remove ~cfg ~users ~seed (), [])
+         | "create" ->
+           with_throughput (Benchmarks.create_files ~cfg ~users ~total_files:files)
+         | "remove-files" ->
+           with_throughput (Benchmarks.remove_files ~cfg ~users ~total_files:files)
+         | "create-remove" ->
+           with_throughput
+             (Benchmarks.create_remove_files ~cfg ~users ~total_files:files)
+         | "sdet" ->
+           let r = Sdet.run ~cfg ~concurrency:users () in
+           ( r.Sdet.measures,
+             [ ("scripts_per_hour", Su_obs.Json.Float r.Sdet.scripts_per_hour) ]
+           )
+         | _ -> assert false (* bench_conv validated the name *)
+       in
+       if json then emit_json (("measures", Runner.measures_json m) :: extra)
+       else begin
+         Printf.printf "# %s, %s, %d user(s)\n" bench
+           (Fs.scheme_kind_name scheme) users;
+         print_measures m;
+         List.iter
+           (fun (_, v) ->
+             match v with
+             | Su_obs.Json.Float t ->
+               Printf.printf "throughput:       %.1f %s\n" t
+                 (if bench = "sdet" then "scripts/hour" else "files/s")
+             | _ -> ())
+           extra
+       end);
+    match (trace_out, sink) with
+    | Some path, Some ev -> (
+      try
+        let oc = open_out path in
+        Su_obs.Events.write_jsonl ev oc;
+        close_out oc;
+        Printf.eprintf "# wrote %s (%d events)\n" path
+          (Su_obs.Events.count ev)
+      with Sys_error e ->
+        Printf.eprintf "cannot write %s: %s\n" path e;
+        exit 2)
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one ordering scheme.")
     Term.(
       const run $ bench_arg $ scheme_arg $ users_arg $ seed_arg
-      $ alloc_init_arg $ nvram_arg $ files_arg)
+      $ alloc_init_arg $ nvram_arg $ files_arg $ json_arg $ trace_out_arg)
 
 let crash_cmd =
   let time_arg =
@@ -260,6 +351,18 @@ let crashsweep_cmd =
       & info [ "fail-fast" ]
           ~doc:"Stop at the first sweep that misses its expected verdict.")
   in
+  let demand_arg =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("consistent", `Consistent) ])
+          `Default
+      & info [ "demand" ]
+          ~doc:
+            "Verdict each scheme must meet: $(b,default) holds every scheme \
+             to consistency except No Order, which only promises \
+             repairability; $(b,consistent) holds every swept scheme to \
+             consistency (so sweeping no-order deliberately fails).")
+  in
   let sweep_cfg scheme =
     (* a compact volume keeps the per-state pipeline (copy, fsck,
        repair, remount, continue) cheap enough to run at every write
@@ -272,7 +375,7 @@ let crashsweep_cmd =
     }
   in
   let run schemes workload_names no_torn faults fault_rate jobs max_boundaries
-      nested fail_fast =
+      nested fail_fast demand =
     let schemes =
       match schemes with
       | Some s -> s
@@ -288,6 +391,10 @@ let crashsweep_cmd =
             None)
         workload_names
     in
+    if workloads = [] then begin
+      prerr_endline "crashsweep: no valid workloads left to sweep";
+      exit 2
+    end;
     let table =
       Su_util.Text_table.create
         ~title:
@@ -315,9 +422,10 @@ let crashsweep_cmd =
                    ?max_boundaries ~nested ~cfg:(sweep_cfg scheme) wl
                in
                let ok =
-                 match scheme with
-                 | Fs.No_order -> Su_check.Explorer.repairable s
-                 | _ -> Su_check.Explorer.consistent s
+                 match (demand, scheme) with
+                 | `Consistent, _ -> Su_check.Explorer.consistent s
+                 | `Default, Fs.No_order -> Su_check.Explorer.repairable s
+                 | `Default, _ -> Su_check.Explorer.consistent s
                in
                let verdict =
                  if Su_check.Explorer.consistent s then "consistent"
@@ -420,7 +528,7 @@ let crashsweep_cmd =
     Term.(
       const run $ schemes_arg $ workloads_arg $ no_torn_arg $ faults_arg
       $ fault_rate_arg $ jobs_arg $ max_boundaries_arg $ nested_arg
-      $ fail_fast_arg)
+      $ fail_fast_arg $ demand_arg)
 
 let fuzz_cmd =
   let seed_arg =
@@ -618,22 +726,64 @@ let trace_cmd =
     Term.(const run $ scheme_arg $ count_arg)
 
 let exp_cmd =
+  (* Validated against the experiment registry so an unknown name is a
+     non-zero command-line error, same as [run]'s benchmark arg. *)
+  let name_conv =
+    let names = List.map fst (Su_experiments.Experiments.all `Quick) in
+    let parse s =
+      if List.mem s names then Ok s
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "unknown experiment %S (expected one of %s)" s
+               (String.concat ", " names)))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
   let name_arg =
-    Arg.(value & pos 0 string "tab2" & info [] ~docv:"EXPERIMENT"
+    Arg.(value & pos 0 name_conv "tab2" & info [] ~docv:"EXPERIMENT"
            ~doc:"fig1..fig6, tab1..tab3, chains-dealloc, chains-cb, crash, soft-ablate.")
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes.")
   in
-  let run name quick =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also write the rendered tables as JSON to $(docv) (the same \
+             document shape bench/main.exe --json emits).")
+  in
+  let run name quick json_path =
     let scale = if quick then `Quick else `Full in
-    match List.assoc_opt name (Su_experiments.Experiments.all scale) with
-    | Some thunk -> List.iter Su_util.Text_table.print (thunk ())
-    | None -> Printf.eprintf "unknown experiment %S\n" name
+    let thunk = List.assoc name (Su_experiments.Experiments.all scale) in
+    let t0 = Unix.gettimeofday () in
+    let tables = thunk () in
+    let wall = Unix.gettimeofday () -. t0 in
+    List.iter Su_util.Text_table.print tables;
+    match json_path with
+    | None -> ()
+    | Some path ->
+      let doc =
+        Su_experiments.Shapes.experiments_json
+          ~scale:(if quick then "quick" else "full")
+          [ (name, wall, tables) ]
+      in
+      (try
+         let oc = open_out path in
+         output_string oc (Su_obs.Json.to_string_pretty doc);
+         output_char oc '\n';
+         close_out oc;
+         Printf.eprintf "# wrote %s\n" path
+       with Sys_error e ->
+         Printf.eprintf "cannot write %s: %s\n" path e;
+         exit 2)
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run one named experiment (figure or table).")
-    Term.(const run $ name_arg $ quick_arg)
+    Term.(const run $ name_arg $ quick_arg $ json_arg)
 
 let () =
   let info =

@@ -59,10 +59,12 @@ type config = {
   capacity_frags : int;
   cb : bool;
   copy_cost : int -> unit;
+  sink : Su_obs.Events.t option;
 }
 
 let default_config =
-  { capacity_frags = 32 * 1024; cb = false; copy_cost = (fun _ -> ()) }
+  { capacity_frags = 32 * 1024; cb = false; copy_cost = (fun _ -> ());
+    sink = None }
 
 type t = {
   engine : Engine.t;
@@ -80,6 +82,9 @@ type t = {
   mutable copies : int;  (* fragments held by in-flight write snapshots *)
   mutable ndirty : int;
   mutable nio_failures : int;  (* writes failed by the driver (fail-fast) *)
+  mutable nhits : int;  (* getblk/bread found the extent cached *)
+  mutable nmisses : int;  (* extent not cached: created or read in *)
+  mutable nevictions : int;  (* buffers reclaimed under space pressure *)
   mutable lru_counter : int;
   space_waiters : Sync.Waitq.t;
   mutable workitems : (unit -> unit) list;  (* reversed *)
@@ -105,6 +110,9 @@ let create ~engine ~driver config =
     copies = 0;
     ndirty = 0;
     nio_failures = 0;
+    nhits = 0;
+    nmisses = 0;
+    nevictions = 0;
     lru_counter = 0;
     space_waiters = Sync.Waitq.create engine;
     workitems = [];
@@ -117,6 +125,19 @@ let cb_enabled t = t.config.cb
 let dirty_count t = t.ndirty
 let used_frags t = t.used
 let io_failures t = t.nio_failures
+let hits t = t.nhits
+let misses t = t.nmisses
+let evictions t = t.nevictions
+
+let emit t ~kind fields =
+  match t.config.sink with
+  | None -> ()
+  | Some sink ->
+    Su_obs.Events.emit sink ~t_sim:(Engine.now t.engine) ~kind fields
+
+let emit_buf t ~kind (b : Buf.t) =
+  emit t ~kind
+    [ ("lbn", Su_obs.Json.Int b.Buf.key); ("nfrags", Su_obs.Json.Int b.Buf.nfrags) ]
 
 let lru_of t (b : Buf.t) = if b.Buf.dirty then t.dirty_lru else t.clean_lru
 
@@ -145,6 +166,7 @@ let set_dirty t (b : Buf.t) v =
     if b.Buf.valid then Su_util.Lru.remove (lru_of t b) b.Buf.lru;
     b.Buf.dirty <- v;
     t.ndirty <- t.ndirty + (if v then 1 else -1);
+    emit_buf t ~kind:(if v then "cache.dirty" else "cache.clean") b;
     (* migrate with the stamp unchanged: dirtying/cleaning a buffer is
        not a recency event (only [touch] is), so it keeps its position
        in the global LRU order *)
@@ -275,6 +297,7 @@ let remove_from_table t (b : Buf.t) =
 
 let invalidate t (b : Buf.t) =
   if b.Buf.valid then begin
+    emit_buf t ~kind:"cache.invalidate" b;
     t.hooks.pre_invalidate b;
     remove_from_table t b;
     Sync.Waitq.signal t.space_waiters
@@ -326,9 +349,17 @@ let ensure_space t needed =
         wait_write t b;
         (* it may have been re-dirtied by a rollback; if so, it stays
            and we try another victim *)
-        if (not b.Buf.dirty) && evictable b then invalidate t b
+        if (not b.Buf.dirty) && evictable b then begin
+          t.nevictions <- t.nevictions + 1;
+          emit_buf t ~kind:"cache.evict" b;
+          invalidate t b
+        end
       end
-      else invalidate t b
+      else begin
+        t.nevictions <- t.nevictions + 1;
+        emit_buf t ~kind:"cache.evict" b;
+        invalidate t b
+      end
   done
 
 (* --- lookup / read --------------------------------------------------- *)
@@ -358,6 +389,7 @@ let new_buf t ~lbn ~nfrags content =
   touch t b;
   Hashtbl.replace t.tbl lbn b;
   t.used <- t.used + nfrags;
+  emit_buf t ~kind:"cache.fill" b;
   b
 
 let getblk t ~lbn ~nfrags ~init =
@@ -367,10 +399,12 @@ let getblk t ~lbn ~nfrags ~init =
       invalid_arg
         (Printf.sprintf "Bcache.getblk: extent mismatch at %d (%d vs %d)" lbn
            b.Buf.nfrags nfrags);
+    t.nhits <- t.nhits + 1;
     b.Buf.refcount <- b.Buf.refcount + 1;
     touch t b;
     b
   | None ->
+    t.nmisses <- t.nmisses + 1;
     ensure_space t nfrags;
     new_buf t ~lbn ~nfrags (init ())
 
@@ -381,10 +415,12 @@ let bread t ~lbn ~nfrags =
       invalid_arg
         (Printf.sprintf "Bcache.bread: extent mismatch at %d (%d vs %d)" lbn
            b.Buf.nfrags nfrags);
+    t.nhits <- t.nhits + 1;
     b.Buf.refcount <- b.Buf.refcount + 1;
     touch t b;
     b
   | None ->
+    t.nmisses <- t.nmisses + 1;
     ensure_space t nfrags;
     let iv : (Su_fstypes.Types.cell array, Su_disk.Fault.error) result Proc.Ivar.t
         =

@@ -57,10 +57,14 @@ type config = {
       (** charge CPU for copying [n] fragments (block-copy / rollback
           copies); called in process or engine context, must not
           block *)
+  sink : Su_obs.Events.t option;
+      (** when set, the cache emits [cache.fill] / [cache.dirty] /
+          [cache.clean] / [cache.evict] / [cache.invalidate] events.
+          Never perturbs cache behavior or simulated time. *)
 }
 
 val default_config : config
-(** 32 MB cache, no block copy, free copies. *)
+(** 32 MB cache, no block copy, free copies, no event sink. *)
 
 type t
 
@@ -141,6 +145,16 @@ val used_frags : t -> int
 val io_failures : t -> int
 (** Writes the driver failed after exhausting its retry budget; each
     left its buffer dirty for a later re-flush. *)
+
+val hits : t -> int
+(** [getblk]/[bread] calls that found their extent cached. *)
+
+val misses : t -> int
+(** Calls that created the buffer (read in or freshly initialised). *)
+
+val evictions : t -> int
+(** Buffers reclaimed by [ensure_space] under capacity pressure
+    (explicit {!invalidate} calls are not counted). *)
 
 val pick_victim : t -> Buf.t option
 (** The buffer space reclaim would take next: the least recently used

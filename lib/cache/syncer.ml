@@ -8,6 +8,9 @@ type t = {
   mutable stopped : bool;
   mutable writes : int;
   mutable items : int;
+  mutable npasses : int;
+  batch : Su_obs.Hist.t;  (* writes issued per sweep *)
+  residency : Su_obs.Hist.t;  (* dirty-buffer count sampled per sweep *)
 }
 
 (* Issue writes for the blocks marked one pass ago (if still dirty),
@@ -15,6 +18,9 @@ type t = {
    A block is therefore written within roughly (passes + 1) x interval
    of being dirtied, and the write-back load is spread smoothly. *)
 let sweep t =
+  t.npasses <- t.npasses + 1;
+  Su_obs.Hist.add t.residency (float_of_int (Bcache.dirty_count t.cache));
+  let writes_before = t.writes in
   let due = t.marked in
   t.marked <- [];
   List.iter
@@ -50,7 +56,8 @@ let sweep t =
     (* next tick continues after the last key processed; when we ran
        off the end the find above wraps to the beginning *)
     t.cursor <- keys.((start + slice - 1) mod n) + 1
-  end
+  end;
+  Su_obs.Hist.add t.batch (float_of_int (t.writes - writes_before))
 
 let rec loop t () =
   Su_sim.Proc.sleep t.engine t.interval;
@@ -68,7 +75,9 @@ let rec loop t () =
 let start ~engine ~cache ?(interval = 1.0) ?(passes = 30) () =
   let t =
     { engine; cache; interval; passes; cursor = 0; marked = []; stopped = false;
-      writes = 0; items = 0 }
+      writes = 0; items = 0; npasses = 0;
+      batch = Su_obs.Hist.create ~base:1.0 ~buckets:32 ();
+      residency = Su_obs.Hist.create ~base:1.0 ~buckets:32 () }
   in
   ignore (Su_sim.Proc.spawn engine ~name:"syncer" (loop t));
   t
@@ -77,3 +86,6 @@ let stop t = t.stopped <- true
 
 let writes_issued t = t.writes
 let workitems_run t = t.items
+let passes_run t = t.npasses
+let batch_hist t = t.batch
+let residency_hist t = t.residency

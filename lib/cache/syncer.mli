@@ -26,3 +26,12 @@ val stop : t -> unit
 
 val writes_issued : t -> int
 val workitems_run : t -> int
+
+val passes_run : t -> int
+(** Sweeps executed so far. *)
+
+val batch_hist : t -> Su_obs.Hist.t
+(** Writes issued per sweep (flush batch sizes; base-1 buckets). *)
+
+val residency_hist : t -> Su_obs.Hist.t
+(** Dirty-buffer count sampled at the start of each sweep. *)

@@ -6,6 +6,9 @@ type stats = {
   mutable rollbacks : int;
   mutable cancelled_adds : int;
   mutable workitems : int;
+  mutable live_deps : int;
+  mutable peak_live_deps : int;
+  dep_lifetimes : Su_obs.Hist.t;
 }
 
 (* An allocdirect or allocindirect. *)
@@ -73,6 +76,7 @@ type body = {
 
 type inodedep = {
   i_inum : int;
+  i_birth : float;  (* simulated time the record was allocated *)
   mutable i_allocs : alloc list;
   mutable i_waiting_adds : diradd list;  (* diradds waiting for this inode *)
   mutable i_freework : freework list;
@@ -80,12 +84,14 @@ type inodedep = {
 }
 
 type pagedep = {
+  p_birth : float;
   mutable p_adds : diradd list;
   mutable p_rems : dirrem list;
   mutable p_body : body option;  (* this block is a fresh directory's body *)
 }
 
 type indirdep = {
+  n_birth : float;
   n_safe : int array;  (* on-disk-consistent pointer copy *)
   mutable n_allocs : alloc list;
 }
@@ -100,14 +106,30 @@ type t = {
   allocs_by_data : (int, alloc list) Hashtbl.t;  (* by new-extent lbn *)
 }
 
+let now t = Su_sim.Engine.now (Bcache.engine t.cache)
+
+(* Aggregate dependency-record lifetime accounting: a record is born
+   when first needed and retired when its last constituent clears —
+   the residency the paper's §5 memory-overhead discussion cares
+   about. Pure accumulation; never touches simulated time. *)
+let dep_born t =
+  t.stats.live_deps <- t.stats.live_deps + 1;
+  if t.stats.live_deps > t.stats.peak_live_deps then
+    t.stats.peak_live_deps <- t.stats.live_deps
+
+let dep_retired t birth =
+  t.stats.live_deps <- t.stats.live_deps - 1;
+  Su_obs.Hist.add t.stats.dep_lifetimes (now t -. birth)
+
 let get_inodedep t inum =
   match Hashtbl.find_opt t.inodedeps inum with
   | Some d -> d
   | None ->
     let d =
-      { i_inum = inum; i_allocs = []; i_waiting_adds = []; i_freework = [];
-        i_body = None }
+      { i_inum = inum; i_birth = now t; i_allocs = []; i_waiting_adds = [];
+        i_freework = []; i_body = None }
     in
+    dep_born t;
     Hashtbl.replace t.inodedeps inum d;
     d
 
@@ -115,19 +137,39 @@ let get_pagedep t key =
   match Hashtbl.find_opt t.pagedeps key with
   | Some p -> p
   | None ->
-    let p = { p_adds = []; p_rems = []; p_body = None } in
+    let p = { p_birth = now t; p_adds = []; p_rems = []; p_body = None } in
+    dep_born t;
     Hashtbl.replace t.pagedeps key p;
     p
+
+let remove_inodedep t (d : inodedep) =
+  if Hashtbl.mem t.inodedeps d.i_inum then begin
+    Hashtbl.remove t.inodedeps d.i_inum;
+    dep_retired t d.i_birth
+  end
+
+let remove_pagedep t key (p : pagedep) =
+  if Hashtbl.mem t.pagedeps key then begin
+    Hashtbl.remove t.pagedeps key;
+    dep_retired t p.p_birth
+  end
+
+let remove_indirdep t key =
+  match Hashtbl.find_opt t.indirdeps key with
+  | None -> ()
+  | Some n ->
+    Hashtbl.remove t.indirdeps key;
+    dep_retired t n.n_birth
 
 let drop_inodedep_if_empty t (d : inodedep) =
   if
     d.i_allocs = [] && d.i_waiting_adds = [] && d.i_freework = []
     && d.i_body = None
-  then Hashtbl.remove t.inodedeps d.i_inum
+  then remove_inodedep t d
 
 let drop_pagedep_if_empty t key (p : pagedep) =
   if p.p_adds = [] && p.p_rems = [] && p.p_body = None then
-    Hashtbl.remove t.pagedeps key
+    remove_pagedep t key p
 
 let enqueue t action =
   t.stats.workitems <- t.stats.workitems + 1;
@@ -230,7 +272,7 @@ let remove_alloc_from_owner t (a : alloc) =
        n.n_safe.(slot) <- a.a_new_ptr;
        n.n_allocs <- List.filter (fun x -> x != a) n.n_allocs;
        if n.n_allocs = [] then begin
-         Hashtbl.remove t.indirdeps a.a_owner_key;
+         remove_indirdep t a.a_owner_key;
          match Bcache.lookup t.cache a.a_owner_key with
          | Some ob -> ob.Buf.sticky <- false
          | None -> ()
@@ -367,7 +409,7 @@ let pre_invalidate t (b : Buf.t) =
      this is a defensive sweep for stragglers. *)
   Hashtbl.remove t.allocs_by_data b.Buf.key;
   match b.Buf.content with
-  | Buf.Cmeta (Types.Indirect _) -> Hashtbl.remove t.indirdeps b.Buf.key
+  | Buf.Cmeta (Types.Indirect _) -> remove_indirdep t b.Buf.key
   | Buf.Cmeta _ | Buf.Cdata _ -> ()
 
 (* ---------- the four structural changes ------------------------------- *)
@@ -402,7 +444,8 @@ let attach_alloc t (req : Scheme_intf.alloc_req) =
             (* the safe copy starts from the pointers already on disk:
                current contents minus this (not yet applied) update *)
             let safe = Array.copy actual in
-            let n = { n_safe = safe; n_allocs = [] } in
+            let n = { n_birth = now t; n_safe = safe; n_allocs = [] } in
+            dep_born t;
             (* pending pointers must not leak into the safe copy *)
             safe.(slot) <- a.a_old_ptr;
             Hashtbl.replace t.indirdeps a.a_owner_key n;
@@ -471,7 +514,7 @@ let purge_for_runs t ~inum runs =
   Hashtbl.fold (fun k _ acc -> if in_runs k then k :: acc else acc)
     t.indirdeps []
   |> List.iter (fun k ->
-         Hashtbl.remove t.indirdeps k;
+         remove_indirdep t k;
          match Bcache.lookup t.cache k with
          | Some ob -> ob.Buf.sticky <- false
          | None -> ());
@@ -490,11 +533,15 @@ let purge_for_runs t ~inum runs =
            (match p.p_body with
             | Some bd -> body_durable t bd
             | None -> ());
-           Hashtbl.remove t.pagedeps k);
+           remove_pagedep t k p);
   !extra
 
 let make ~cache ~geom =
-  let stats = { created = 0; rollbacks = 0; cancelled_adds = 0; workitems = 0 } in
+  let stats =
+    { created = 0; rollbacks = 0; cancelled_adds = 0; workitems = 0;
+      live_deps = 0; peak_live_deps = 0;
+      dep_lifetimes = Su_obs.Hist.create ~base:1e-3 () }
+  in
   let t =
     {
       cache;

@@ -36,6 +36,13 @@ type stats = {
   mutable rollbacks : int;  (** update undos applied to write-out copies *)
   mutable cancelled_adds : int;  (** create+remove pairs serviced with no I/O *)
   mutable workitems : int;  (** background completions queued *)
+  mutable live_deps : int;
+      (** aggregate dependency records (inodedep/pagedep/indirdep)
+          currently resident *)
+  mutable peak_live_deps : int;  (** high-water mark of [live_deps] *)
+  dep_lifetimes : Su_obs.Hist.t;
+      (** simulated seconds each aggregate record stayed resident,
+          birth to retirement (1 ms base buckets) *)
 }
 
 val make :

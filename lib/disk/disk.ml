@@ -18,6 +18,13 @@ type t = {
   mutable streams : stream list;
   mutable serviced : int;
   mutable service_time : float;
+  (* where service time goes, accumulated per operation (media
+     operations and destages alike); cache-hit reads count their burst
+     transfer and overhead, NVRAM-accepted writes are excluded *)
+  mutable t_seek : float;
+  mutable t_rot : float;
+  mutable t_transfer : float;
+  mutable t_overhead : float;
   nvram_frags : int;  (* 0 = no NVRAM *)
   mutable nv_used : int;
   nv_queue : destage Queue.t;
@@ -47,6 +54,10 @@ let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none) () =
     streams = [];
     serviced = 0;
     service_time = 0.0;
+    t_seek = 0.0;
+    t_rot = 0.0;
+    t_transfer = 0.0;
+    t_overhead = 0.0;
     nvram_frags;
     nv_used = 0;
     nv_queue = Queue.create ();
@@ -62,6 +73,10 @@ let busy t = t.busy
 let nfrags t = Array.length t.image
 let requests_serviced t = t.serviced
 let total_service_time t = t.service_time
+let seek_time_total t = t.t_seek
+let rot_wait_time_total t = t.t_rot
+let transfer_time_total t = t.t_transfer
+let overhead_time_total t = t.t_overhead
 let nvram_pending t = t.nv_used
 let destages t = t.ndestages
 let set_idle_callback t f = t.on_idle <- f
@@ -121,6 +136,10 @@ let mechanical_time t ~lbn ~nfrags ~now =
   let transfer =
     float_of_int nfrags /. float_of_int p.Disk_params.frags_per_track *. rot
   in
+  t.t_seek <- t.t_seek +. seek;
+  t.t_rot <- t.t_rot +. (wait *. rot);
+  t.t_transfer <- t.t_transfer +. transfer;
+  t.t_overhead <- t.t_overhead +. p.Disk_params.overhead;
   p.Disk_params.overhead +. seek +. (wait *. rot) +. transfer
 
 let service_time_for t ~lbn ~nfrags ~op ~now =
@@ -134,6 +153,8 @@ let service_time_for t ~lbn ~nfrags ~op ~now =
       /. 4.0
       (* cache-to-host burst is much faster than media rate *)
     in
+    t.t_transfer <- t.t_transfer +. transfer;
+    t.t_overhead <- t.t_overhead +. p.Disk_params.overhead;
     p.Disk_params.overhead +. transfer
   | Read | Write -> mechanical_time t ~lbn ~nfrags ~now
 

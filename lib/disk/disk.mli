@@ -75,6 +75,19 @@ val nfrags : t -> int
 val requests_serviced : t -> int
 val total_service_time : t -> float
 
+(** {2 Service-time breakdown}
+
+    Where the device's busy time went, accumulated per operation.
+    Media operations (including background destages) contribute seek,
+    rotational wait, transfer and controller overhead; cache-hit reads
+    contribute overhead and their burst transfer; NVRAM acceptances
+    are excluded (electronic, not mechanical). All in seconds. *)
+
+val seek_time_total : t -> float
+val rot_wait_time_total : t -> float
+val transfer_time_total : t -> float
+val overhead_time_total : t -> float
+
 val set_idle_callback : t -> (unit -> unit) -> unit
 (** Invoked (engine context) when a background NVRAM destage finishes
     and the device is idle again — the driver uses it to re-dispatch,

@@ -19,6 +19,7 @@ type config = {
   max_attempts : int;
   retry_backoff : float;
   request_timeout : float;
+  sink : Su_obs.Events.t option;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     max_attempts = 5;
     retry_backoff = 0.002;
     request_timeout = 0.0;
+    sink = None;
   }
 
 (* The queue is maintained as a dispatch index so that accepting a
@@ -91,8 +93,17 @@ and pending_retry = {
 let trace t = t.trace
 let mode t = t.config.mode
 
+let emit t ~kind fields =
+  match t.config.sink with
+  | None -> ()
+  | Some sink ->
+    Su_obs.Events.emit sink ~t_sim:(Su_sim.Engine.now t.engine) ~kind fields
+
 let reset_trace t =
-  t.trace <- Trace.create ~keep_records:t.config.keep_records ()
+  t.trace <- Trace.create ~keep_records:t.config.keep_records ();
+  (* Marker so a trace replay can count only post-reset events,
+     matching the statistics the fresh Trace will accumulate. *)
+  emit t ~kind:"trace.reset" []
 
 let completed t id = not (IntSet.mem id t.outstanding_ids)
 let outstanding t = IntSet.cardinal t.outstanding_ids
@@ -273,11 +284,13 @@ let rec try_dispatch t =
       (match pick_head t with
        | None -> ()
        | Some head ->
+         Trace.note_qdepth t.trace (Hashtbl.length t.reqs);
          let run = concat_run t head in
          List.iter
            (fun (r : Request.t) ->
              Hashtbl.remove t.reqs r.Request.id;
-             Hashtbl.replace t.start_times r.Request.id now)
+             Hashtbl.replace t.start_times r.Request.id now;
+             emit t ~kind:"io.start" [ ("id", Su_obs.Json.Int r.Request.id) ])
            run;
          let lbn = head.Request.lbn in
          let nfrags =
@@ -331,6 +344,8 @@ and submit_run t ~run ~lbn ~nfrags ~op ~payload ~attempts =
         if attempts >= t.config.max_attempts then fail_run t ~run err
         else begin
           Trace.note_retry t.trace;
+          emit t ~kind:"io.retry"
+            [ ("lbn", Su_obs.Json.Int lbn); ("attempts", Su_obs.Json.Int attempts) ];
           let delay =
             t.config.retry_backoff *. (2.0 ** float_of_int (attempts - 1))
           in
@@ -369,6 +384,12 @@ and complete_run t ~run ~lbn ~nfrags data =
           r_start = start;
           r_complete = complete_time;
         };
+      emit t ~kind:"io.complete"
+        [
+          ("id", Su_obs.Json.Int r.Request.id);
+          ("lbn", Su_obs.Json.Int r.Request.lbn);
+          ("response_s", Su_obs.Json.Float (complete_time -. r.Request.issue_time));
+        ];
       (* promote before the completion callback runs: a
          callback may submit new requests and trigger a
          dispatch, which must already see the requests this
@@ -399,6 +420,7 @@ and fail_run t ~run err =
       if r.Request.kind = Request.Write then remove_write_index t r;
       Hashtbl.remove t.start_times r.Request.id;
       Trace.note_failure t.trace;
+      emit t ~kind:"io.fail" [ ("id", Su_obs.Json.Int r.Request.id) ];
       promote_waiters t r.Request.id;
       r.Request.on_complete (Error err))
     run;
@@ -454,6 +476,14 @@ let submit t ~kind ~lbn ~nfrags ?(flagged = false) ?(deps = []) ?(sync = false)
     }
   in
   if flagged then t.last_flagged <- Some id;
+  emit t ~kind:"io.issue"
+    [
+      ("id", Su_obs.Json.Int id);
+      ("op", Su_obs.Json.Str (match kind with Request.Read -> "read" | Request.Write -> "write"));
+      ("lbn", Su_obs.Json.Int lbn);
+      ("nfrags", Su_obs.Json.Int nfrags);
+      ("sync", Su_obs.Json.Bool sync);
+    ];
   Hashtbl.replace t.reqs id r;
   t.outstanding_ids <- IntSet.add id t.outstanding_ids;
   if kind = Request.Write then add_write_index t r;

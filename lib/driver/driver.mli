@@ -23,11 +23,16 @@ type config = {
   request_timeout : float;
       (** per-attempt deadline, seconds; an attempt completing later
           is treated as failed and re-driven. 0 disables. *)
+  sink : Su_obs.Events.t option;
+      (** when set, the driver emits [io.issue] / [io.start] /
+          [io.complete] / [io.retry] / [io.fail] events (and a
+          [trace.reset] marker) into the sink. Never perturbs
+          scheduling or simulated time. *)
 }
 
 val default_config : config
 (** Unordered, C-LOOK, 64-fragment concatenation, aggregates only;
-    5 attempts with 2 ms base backoff, no timeout. *)
+    5 attempts with 2 ms base backoff, no timeout, no event sink. *)
 
 type t
 

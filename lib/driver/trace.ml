@@ -1,4 +1,4 @@
-open Su_util
+open Su_obs
 
 type record = {
   r_id : int;
@@ -13,29 +13,35 @@ type record = {
 
 type t = {
   keep : bool;
-  mutable recs : record list;
+  mutable recs_rev : record list;
+  mutable recs_cache : record list option;
   mutable nreads : int;
   mutable nwrites : int;
   mutable nretries : int;
   mutable nfailures : int;
-  access : Stats.t;
-  response : Stats.t;
-  queue : Stats.t;
-  sync_response : Stats.t;
+  access : Hist.t;
+  response : Hist.t;
+  queue : Hist.t;
+  sync_response : Hist.t;
+  qdepth : Hist.t;
 }
 
 let create ?(keep_records = false) () =
   {
     keep = keep_records;
-    recs = [];
+    recs_rev = [];
+    recs_cache = None;
     nreads = 0;
     nwrites = 0;
     nretries = 0;
     nfailures = 0;
-    access = Stats.create ();
-    response = Stats.create ();
-    queue = Stats.create ();
-    sync_response = Stats.create ();
+    access = Hist.create ();
+    response = Hist.create ();
+    queue = Hist.create ();
+    sync_response = Hist.create ();
+    (* Queue-depth samples are small integers; base 1 keeps the low
+       buckets meaningful (0..1, 1..2, 2..4, ...). *)
+    qdepth = Hist.create ~base:1.0 ~buckets:32 ();
   }
 
 let note_retry t = t.nretries <- t.nretries + 1
@@ -47,21 +53,41 @@ let note t r =
   (match r.r_kind with
    | Request.Read -> t.nreads <- t.nreads + 1
    | Request.Write -> t.nwrites <- t.nwrites + 1);
-  Stats.add t.access (r.r_complete -. r.r_start);
-  Stats.add t.response (r.r_complete -. r.r_issue);
-  Stats.add t.queue (r.r_start -. r.r_issue);
-  if r.r_sync then Stats.add t.sync_response (r.r_complete -. r.r_issue);
-  if t.keep then t.recs <- r :: t.recs
+  Hist.add t.access (r.r_complete -. r.r_start);
+  Hist.add t.response (r.r_complete -. r.r_issue);
+  Hist.add t.queue (r.r_start -. r.r_issue);
+  if r.r_sync then Hist.add t.sync_response (r.r_complete -. r.r_issue);
+  if t.keep then begin
+    t.recs_rev <- r :: t.recs_rev;
+    t.recs_cache <- None
+  end
+
+let note_qdepth t depth = Hist.add t.qdepth (float_of_int depth)
 
 let requests t = t.nreads + t.nwrites
 let reads t = t.nreads
 let writes t = t.nwrites
 
-let ms stats = 1000.0 *. Stats.mean stats
+let ms h = 1000.0 *. Hist.mean h
 
 let avg_access_ms t = ms t.access
 let avg_response_ms t = ms t.response
 let avg_queue_ms t = ms t.queue
 let sync_avg_response_ms t = ms t.sync_response
 
-let records t = List.rev t.recs
+let access_hist t = t.access
+let response_hist t = t.response
+let queue_hist t = t.queue
+let sync_response_hist t = t.sync_response
+let qdepth_hist t = t.qdepth
+
+let response_percentile_ms t p = 1000.0 *. Hist.percentile t.response p
+let response_max_ms t = 1000.0 *. Hist.max_value t.response
+
+let records t =
+  match t.recs_cache with
+  | Some rs -> rs
+  | None ->
+    let rs = List.rev t.recs_rev in
+    t.recs_cache <- Some rs;
+    rs

@@ -43,5 +43,26 @@ val avg_queue_ms : t -> float
 val sync_avg_response_ms : t -> float
 (** Response time averaged over requests a process waited for. *)
 
+val note_qdepth : t -> int -> unit
+(** Sample the dispatch-queue depth (taken at each dispatch decision). *)
+
+val access_hist : t -> Su_obs.Hist.t
+(** Disk service times, seconds. Count/sum/min/max exact, so the
+    [avg_*_ms] accessors are identical to the old bare-mean trace. *)
+
+val response_hist : t -> Su_obs.Hist.t
+val queue_hist : t -> Su_obs.Hist.t
+val sync_response_hist : t -> Su_obs.Hist.t
+
+val qdepth_hist : t -> Su_obs.Hist.t
+(** Queue-depth samples (dimensionless; base-1 buckets). *)
+
+val response_percentile_ms : t -> float -> float
+(** [response_percentile_ms t p]: bucket-resolution percentile of the
+    driver response time, milliseconds. *)
+
+val response_max_ms : t -> float
+
 val records : t -> record list
-(** Chronological; empty unless [keep_records] was set. *)
+(** Chronological; empty unless [keep_records] was set. The reversal
+    is computed once and cached until the next [note]. *)

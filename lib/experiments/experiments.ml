@@ -186,6 +186,8 @@ let tab12 ~title ~bench scale =
           "CPU (s)";
           "disk requests";
           "I/O response (ms)";
+          "p90 (ms)";
+          "p99 (ms)";
         ]
   in
   let base_cfg = Fs.config ~scheme:Fs.No_order () in
@@ -207,6 +209,8 @@ let tab12 ~title ~bench scale =
               f1 m.Runner.cpu_total;
               Text_table.cell_i m.Runner.disk_requests;
               f1 m.Runner.avg_response_ms;
+              f1 m.Runner.response_p90_ms;
+              f1 m.Runner.response_p99_ms;
             ])
         inits)
     scheme_rows;

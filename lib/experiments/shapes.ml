@@ -1,0 +1,238 @@
+open Su_util
+module Json = Su_obs.Json
+
+let table_json t =
+  let row_json cells = Json.List (List.map (fun c -> Json.Str c) cells) in
+  Json.Obj
+    [
+      ("title", Json.Str (Text_table.title t));
+      ("headers", row_json (Text_table.headers t));
+      ("rows", Json.List (List.map row_json (Text_table.rows t)));
+    ]
+
+let experiments_json ~scale entries =
+  Json.Obj
+    [
+      ("scale", Json.Str scale);
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (id, wall_s, tables) ->
+               Json.Obj
+                 [
+                   ("id", Json.Str id);
+                   ("wall_s", Json.Float wall_s);
+                   ("tables", Json.List (List.map table_json tables));
+                 ])
+             entries) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Parsed-table access                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type table = {
+  tt_title : string;
+  tt_headers : string list;
+  tt_rows : string list list;
+}
+
+let strings_of = function
+  | Json.List xs -> Some (List.filter_map Json.to_str xs)
+  | _ -> None
+
+let table_of_json v =
+  match
+    ( Option.bind (Json.member "title" v) Json.to_str,
+      Option.bind (Json.member "headers" v) strings_of,
+      Option.bind (Json.member "rows" v) Json.to_list )
+  with
+  | Some title, Some headers, Some rows ->
+    Some
+      {
+        tt_title = title;
+        tt_headers = headers;
+        tt_rows = List.filter_map strings_of rows;
+      }
+  | _ -> None
+
+(* Collect every table object anywhere in the document. *)
+let rec collect_tables v =
+  match table_of_json v with
+  | Some t -> [ t ]
+  | None -> (
+    match v with
+    | Json.List xs -> List.concat_map collect_tables xs
+    | Json.Obj kvs -> List.concat_map (fun (_, x) -> collect_tables x) kvs
+    | _ -> [])
+
+let find_table tables prefix =
+  List.find_opt
+    (fun t ->
+      String.length t.tt_title >= String.length prefix
+      && String.sub t.tt_title 0 (String.length prefix) = prefix)
+    tables
+
+let col_index t name =
+  let rec idx i = function
+    | [] -> None
+    | h :: _ when h = name -> Some i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  idx 0 t.tt_headers
+
+let cell t row name =
+  Option.bind (col_index t name) (fun i -> List.nth_opt row i)
+
+let cell_float t row name = Option.bind (cell t row name) float_of_string_opt
+
+(* Row of a table-1/2-shaped table for a given scheme name and alloc
+   init flag. *)
+let scheme_row t ~scheme ~init =
+  List.find_opt
+    (fun row ->
+      cell t row "scheme" = Some scheme && cell t row "alloc init" = Some init)
+    t.tt_rows
+
+(* ------------------------------------------------------------------ *)
+(* Claims                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let claim name cond detail = (name, cond, detail)
+
+let failed name detail = (name, false, detail)
+
+(* Qualitative bounds, calibrated at Quick scale with wide margins
+   (e.g. measured Conventional remove is ~9x No Order; we assert
+   >= 3x). See EXPERIMENTS.md "CI-asserted shape claims". *)
+
+let pct_claims ~tag t =
+  let pct scheme init = Option.bind (scheme_row t ~scheme ~init) (fun r -> cell_float t r "% of No Order") in
+  let two name a b f detail =
+    match (a, b) with
+    | Some a, Some b -> claim name (f a b) (detail a b)
+    | _ -> failed name "row or column missing"
+  in
+  let one name a f detail =
+    match a with
+    | Some a -> claim name (f a) (detail a)
+    | None -> failed name "row or column missing"
+  in
+  [
+    one
+      (tag ^ ".soft_within_110pct_of_noorder")
+      (pct "Soft Updates" "N")
+      (fun s -> s <= 110.0)
+      (Printf.sprintf "Soft Updates at %.1f%% of No Order (limit 110%%)");
+    one
+      (tag ^ ".conventional_slower_than_noorder")
+      (pct "Conventional" "N")
+      (fun c -> c >= 105.0)
+      (Printf.sprintf "Conventional at %.1f%% of No Order (must be >= 105%%)");
+    two
+      (tag ^ ".soft_beats_conventional")
+      (pct "Soft Updates" "N")
+      (pct "Conventional" "N")
+      (fun s c -> s < c)
+      (Printf.sprintf "Soft %.1f%% vs Conventional %.1f%%");
+    two
+      (tag ^ ".soft_beats_flag")
+      (pct "Soft Updates" "N")
+      (pct "Scheduler Flag" "N")
+      (fun s f -> s < f)
+      (Printf.sprintf "Soft %.1f%% vs Flag %.1f%%");
+    two
+      (tag ^ ".soft_beats_chains")
+      (pct "Soft Updates" "N")
+      (pct "Scheduler Chains" "N")
+      (fun s c -> s < c)
+      (Printf.sprintf "Soft %.1f%% vs Chains %.1f%%");
+  ]
+
+let tab2_claims t =
+  let reqs scheme init =
+    Option.bind (scheme_row t ~scheme ~init) (fun r ->
+        cell_float t r "disk requests")
+  in
+  let conv_pct =
+    Option.bind (scheme_row t ~scheme:"Conventional" ~init:"N") (fun r ->
+        cell_float t r "% of No Order")
+  in
+  [
+    (match conv_pct with
+     | Some c ->
+       claim "tab2.conventional_at_least_3x_noorder" (c >= 300.0)
+         (Printf.sprintf "Conventional remove at %.0f%% of No Order" c)
+     | None -> failed "tab2.conventional_at_least_3x_noorder" "row missing");
+    (match (reqs "Soft Updates" "N", reqs "Conventional" "N") with
+     | Some s, Some c ->
+       claim "tab2.soft_halves_disk_requests"
+         (s <= 0.5 *. c)
+         (Printf.sprintf "Soft %.0f requests vs Conventional %.0f" s c)
+     | _ -> failed "tab2.soft_halves_disk_requests" "row missing");
+  ]
+
+(* Figure 5 tables: first column is the scheme, the rest are
+   files/second at increasing user counts. *)
+let fig5_claims ?(monotone = true) ~tag t =
+  let row_vals row =
+    match row with
+    | _scheme :: cells -> List.filter_map float_of_string_opt cells
+    | [] -> []
+  in
+  let row_of scheme =
+    List.find_opt (fun r -> List.nth_opt r 0 = Some scheme) t.tt_rows
+  in
+  let monotone_claims =
+    if not monotone then []
+    else
+    List.map
+      (fun row ->
+        let name = Option.value ~default:"?" (List.nth_opt row 0) in
+        let vals = row_vals row in
+        let rec nondecreasing = function
+          | a :: (b :: _ as rest) ->
+            (* 2% slack: ties and measurement wiggle are fine, real
+               throughput collapse is not *)
+            b >= 0.98 *. a && nondecreasing rest
+          | _ -> true
+        in
+        claim
+          (Printf.sprintf "%s.monotone.%s" tag name)
+          (nondecreasing vals)
+          (String.concat " -> " (List.map (Printf.sprintf "%.1f") vals)))
+      t.tt_rows
+  in
+  let soft_vs_noorder =
+    match (row_of "Soft Updates", row_of "No Order") with
+    | Some s, Some n ->
+      let sv = row_vals s and nv = row_vals n in
+      let ok =
+        List.length sv = List.length nv
+        && List.for_all2 (fun a b -> a >= 0.8 *. b) sv nv
+      in
+      [
+        claim
+          (tag ^ ".soft_at_least_80pct_of_noorder")
+          ok
+          (Printf.sprintf "soft [%s] vs no-order [%s]"
+             (String.concat "; " (List.map (Printf.sprintf "%.1f") sv))
+             (String.concat "; " (List.map (Printf.sprintf "%.1f") nv)));
+      ]
+    | _ -> [ failed (tag ^ ".soft_at_least_80pct_of_noorder") "row missing" ]
+  in
+  monotone_claims @ soft_vs_noorder
+
+let check doc =
+  let tables = collect_tables doc in
+  let for_table prefix f =
+    match find_table tables prefix with Some t -> f t | None -> []
+  in
+  for_table "Table 1" (fun t -> pct_claims ~tag:"tab1" t)
+  @ for_table "Table 2" (fun t -> pct_claims ~tag:"tab2" t @ tab2_claims t)
+  (* creates scale up with concurrency (throughput nondecreasing in
+     users); removes batch differently and are only bounded relative
+     to No Order *)
+  @ for_table "Figure 5a" (fun t -> fig5_claims ~tag:"fig5a" t)
+  @ for_table "Figure 5b" (fun t -> fig5_claims ~monotone:false ~tag:"fig5b" t)
+  @ for_table "Figure 5c" (fun t -> fig5_claims ~monotone:false ~tag:"fig5c" t)

@@ -48,6 +48,7 @@ type config = {
   io_max_attempts : int;
   io_retry_backoff : float;
   io_request_timeout : float;
+  trace_sink : Su_obs.Events.t option;
 }
 
 let config ?(scheme = Soft_updates) () =
@@ -77,6 +78,7 @@ let config ?(scheme = Soft_updates) () =
     io_max_attempts = Su_driver.Driver.default_config.max_attempts;
     io_retry_backoff = Su_driver.Driver.default_config.retry_backoff;
     io_request_timeout = Su_driver.Driver.default_config.request_timeout;
+    trace_sink = None;
   }
 
 let journal_region cfg =
@@ -199,6 +201,7 @@ let build ?image cfg =
         max_attempts = cfg.io_max_attempts;
         retry_backoff = cfg.io_retry_backoff;
         request_timeout = cfg.io_request_timeout;
+        sink = cfg.trace_sink;
       }
   in
   let copy_cost_holder = ref (fun (_ : int) -> ()) in
@@ -208,6 +211,7 @@ let build ?image cfg =
         Su_cache.Bcache.capacity_frags = cfg.cache_mb * 1024;
         cb = cfg.cb;
         copy_cost = (fun n -> !copy_cost_holder n);
+        sink = cfg.trace_sink;
       }
   in
   let scheme, softdep_stats, journal_stats, extra_stop =
@@ -259,6 +263,7 @@ let build ?image cfg =
       gen_counter = 1;
       softdep_stats;
       journal_stats;
+      obs = cfg.trace_sink;
     }
   in
   (* copy costs go to the CPU without blocking: an engine-context

@@ -45,6 +45,10 @@ type config = {
   io_max_attempts : int;  (** driver attempts per request (see {!Su_driver.Driver.config}) *)
   io_retry_backoff : float;  (** base retry delay, seconds *)
   io_request_timeout : float;  (** per-attempt deadline, 0 = none *)
+  trace_sink : Su_obs.Events.t option;
+      (** when set, the driver, cache and FS operations emit JSONL
+          trace events into the sink (default [None]). Observability
+          only: simulation behavior is bit-identical either way. *)
 }
 
 val config : ?scheme:scheme_kind -> unit -> config

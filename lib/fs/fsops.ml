@@ -20,6 +20,18 @@ let components path =
 
 let charge_syscall st = State.charge st st.State.costs.Costs.syscall
 
+(* One trace event per operation invocation, at entry (composite ops
+   like rename also trace the ops they are built from). Accumulation
+   only — no simulated time is consumed. *)
+let emit_op st op path =
+  match st.State.obs with
+  | None -> ()
+  | Some sink ->
+    Su_obs.Events.emit sink
+      ~t_sim:(Su_sim.Engine.now st.State.engine)
+      ~kind:("fs." ^ op)
+      [ ("path", Su_obs.Json.Str path) ]
+
 let as_dir st path (ip : State.incore) =
   ignore st;
   if ip.State.din.Types.ftype <> Types.F_dir then raise (Enotdir path)
@@ -84,6 +96,7 @@ let attach_inode_reuse_deps st inum =
 
 let create st path =
   charge_syscall st;
+  emit_op st "create" path;
   let parent, name = resolve_parent st path in
   Inode.with_inode st parent (fun dip ->
       as_dir st path dip;
@@ -100,6 +113,7 @@ let create st path =
 
 let mkdir st path =
   charge_syscall st;
+  emit_op st "mkdir" path;
   let parent, name = resolve_parent st path in
   Inode.with_inode st parent (fun dip ->
       as_dir st path dip;
@@ -140,6 +154,7 @@ let mkdir st path =
 
 let append st path ~bytes =
   charge_syscall st;
+  emit_op st "append" path;
   let inum = resolve st path in
   Inode.with_inode st inum (fun ip ->
       if ip.State.din.Types.ftype = Types.F_dir then raise (Eisdir path);
@@ -147,6 +162,7 @@ let append st path ~bytes =
 
 let write_file st path ~bytes =
   charge_syscall st;
+  emit_op st "write" path;
   let inum = resolve st path in
   Inode.with_inode st inum (fun ip ->
       if ip.State.din.Types.ftype = Types.F_dir then raise (Eisdir path);
@@ -156,11 +172,13 @@ let write_file st path ~bytes =
 
 let read_file st path =
   charge_syscall st;
+  emit_op st "read" path;
   let inum = resolve st path in
   Inode.with_inode st inum (fun ip -> File.read_all st ip)
 
 let unlink st path =
   charge_syscall st;
+  emit_op st "unlink" path;
   let parent, name = resolve_parent st path in
   let found =
     Inode.with_inode st parent (fun dip ->
@@ -176,6 +194,7 @@ let unlink st path =
 
 let rmdir st path =
   charge_syscall st;
+  emit_op st "rmdir" path;
   let parent, name = resolve_parent st path in
   Inode.with_inode st parent (fun dip ->
       as_dir st path dip;
@@ -206,6 +225,7 @@ let rmdir st path =
 
 let link st ~src ~dst =
   charge_syscall st;
+  emit_op st "link" dst;
   let src_inum = resolve st src in
   let parent, name = resolve_parent st dst in
   Inode.with_inode st parent (fun dip ->
@@ -275,6 +295,7 @@ let rename_dir st ~src ~dst ~inum =
 
 let rename st ~src ~dst =
   charge_syscall st;
+  emit_op st "rename" dst;
   let src_inum = resolve st src in
   let src_is_dir =
     Inode.with_inode st src_inum (fun ip ->
@@ -340,10 +361,13 @@ let readdir st path =
 
 let fsync st path =
   charge_syscall st;
+  emit_op st "fsync" path;
   let inum = resolve st path in
   Inode.with_inode st inum (fun ip ->
       ignore ip;
       Inode.with_ibuf st inum (fun ibuf ->
           st.State.scheme.Intf.fsync ~inum ~ibuf))
 
-let sync st = Su_cache.Bcache.sync_all st.State.cache
+let sync st =
+  emit_op st "sync" "/";
+  Su_cache.Bcache.sync_all st.State.cache

@@ -24,6 +24,7 @@ type t = {
   mutable gen_counter : int;
   softdep_stats : Su_core.Softdep.stats option;
   journal_stats : Su_core.Journaled.stats option;
+  obs : Su_obs.Events.t option;
 }
 
 let charge t cost = Su_sim.Cpu.consume t.cpu cost

@@ -33,6 +33,9 @@ type t = {
   mutable gen_counter : int;
   softdep_stats : Su_core.Softdep.stats option;
   journal_stats : Su_core.Journaled.stats option;
+  obs : Su_obs.Events.t option;
+      (** event sink for the JSONL trace; shared with the driver and
+          cache configs when [Fs.config.trace_sink] is set *)
 }
 
 val charge : t -> float -> unit

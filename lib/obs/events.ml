@@ -1,0 +1,46 @@
+type t = { mutable rev : Json.t list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let emit t ~t_sim ~kind fields =
+  let ev = Json.Obj (("t", Json.Float t_sim) :: ("kind", Json.Str kind) :: fields) in
+  t.rev <- ev :: t.rev;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let kind_of ev =
+  match Json.member "kind" ev with Some (Json.Str k) -> Some k | _ -> None
+
+let count_kind t k =
+  List.fold_left
+    (fun acc ev -> if kind_of ev = Some k then acc + 1 else acc)
+    0 t.rev
+
+let count_kind_since_marker t ~marker ~kind =
+  (* t.rev is newest-first: count [kind] events until we hit the most
+     recent [marker]. *)
+  let rec loop acc = function
+    | [] -> acc
+    | ev :: rest -> (
+      match kind_of ev with
+      | Some k when k = marker -> acc
+      | Some k when k = kind -> loop (acc + 1) rest
+      | _ -> loop acc rest)
+  in
+  loop 0 t.rev
+
+let events t = List.rev t.rev
+let to_lines t = List.rev_map Json.to_string t.rev
+
+let write_jsonl t oc =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (to_lines t);
+  flush oc
+
+let clear t =
+  t.rev <- [];
+  t.n <- 0

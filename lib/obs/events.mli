@@ -1,0 +1,43 @@
+(** Simulated-clock JSONL event trace.
+
+    A sink is an in-memory buffer of JSON event records. Layers that
+    hold a sink emit one event per interesting transition (FS op,
+    cache state change, disk request issue/start/complete). Every
+    event carries the simulated time [t] and a dotted event [kind]
+    ("fs.create", "cache.evict", "io.complete", ...), plus arbitrary
+    extra fields.
+
+    Emission is pure accumulation — it never advances simulated time
+    or schedules work, so instrumented and uninstrumented runs are
+    bit-identical. Under [--jobs], each worker world gets its own sink
+    and files are written whole-lines-at-a-time, so concatenated
+    outputs stay parseable line-by-line. *)
+
+type t
+
+val create : unit -> t
+
+val emit : t -> t_sim:float -> kind:string -> (string * Json.t) list -> unit
+(** Append one event. The record is [{"t": t_sim, "kind": kind, ...fields}]. *)
+
+val count : t -> int
+(** Total events emitted. *)
+
+val count_kind : t -> string -> int
+(** Events whose [kind] equals the argument. *)
+
+val count_kind_since_marker : t -> marker:string -> kind:string -> int
+(** Events of [kind] emitted after the last event of kind [marker]
+    (all of them if no marker event exists). Used to replay request
+    counts after a [trace.reset]. *)
+
+val events : t -> Json.t list
+(** In emission order. *)
+
+val to_lines : t -> string list
+(** One compact JSON document per event, in emission order. *)
+
+val write_jsonl : t -> out_channel -> unit
+(** Write [to_lines], newline-terminated, and flush. *)
+
+val clear : t -> unit

@@ -1,0 +1,98 @@
+type t = {
+  base : float;
+  counts : int array;
+  mutable n : int;
+  mutable ndropped : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(base = 1e-6) ?(buckets = 64) () =
+  if base <= 0.0 then invalid_arg "Hist.create: base must be positive";
+  if buckets < 2 then invalid_arg "Hist.create: need at least two buckets";
+  {
+    base;
+    counts = Array.make buckets 0;
+    n = 0;
+    ndropped = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let bucket_of t x =
+  if x < t.base then 0
+  else
+    let i = 1 + int_of_float (Float.log2 (x /. t.base)) in
+    min i (Array.length t.counts - 1)
+
+(* upper bound of bucket [i] *)
+let bucket_hi t i = t.base *. (2.0 ** float_of_int i)
+
+let add t x =
+  if Float.is_nan x || x < 0.0 || x = infinity then
+    t.ndropped <- t.ndropped + 1
+  else begin
+    t.counts.(bucket_of t x) <- t.counts.(bucket_of t x) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end
+
+let count t = t.n
+let dropped t = t.ndropped
+let sum t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+let min_value t = if t.n = 0 then 0.0 else t.min_v
+let max_value t = if t.n = 0 then 0.0 else t.max_v
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    if p = 0.0 then t.min_v
+    else if p = 100.0 then t.max_v
+    else
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+      if r < 1 then 1 else r
+    in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < Array.length t.counts do
+      seen := !seen + t.counts.(!i);
+      incr i
+    done;
+    let b = !i - 1 in
+    (* geometric midpoint of the bucket, clamped to observed extremes *)
+    let hi = bucket_hi t b in
+    let lo = if b = 0 then t.base /. 2.0 else bucket_hi t (b - 1) in
+    let est = sqrt (lo *. hi) in
+    Float.max t.min_v (Float.min t.max_v est)
+  end
+
+let merge_into ~dst src =
+  if dst.base <> src.base || Array.length dst.counts <> Array.length src.counts
+  then invalid_arg "Hist.merge_into: incompatible histograms";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.ndropped <- dst.ndropped + src.ndropped;
+  dst.sum <- dst.sum +. src.sum;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.ndropped <- 0;
+  t.sum <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_hi t i, t.counts.(i)) :: !acc
+  done;
+  !acc

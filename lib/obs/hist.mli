@@ -1,0 +1,51 @@
+(** Log-bucketed latency/size histograms.
+
+    Fixed power-of-two bucket boundaries starting at [base] (default
+    1 µs for latencies in seconds), so [add] is O(1), memory is
+    constant, and two histograms over the same base can be merged
+    exactly. Count, sum (hence mean), min and max are tracked exactly;
+    percentiles are bucket-resolution approximations (the geometric
+    midpoint of the bucket containing the requested rank, clamped to
+    the exact observed min/max).
+
+    Recording into a histogram never touches simulated time — it is
+    pure accumulation, safe to call from engine context. *)
+
+type t
+
+val create : ?base:float -> ?buckets:int -> unit -> t
+(** [base] is the upper bound of the first bucket (default [1e-6]);
+    bucket [i] covers [[base * 2^(i-1), base * 2^i)]. Values below
+    land in bucket 0, values beyond the last bucket in the last.
+    Default 64 buckets (covers 1 µs to ~2e13 s). *)
+
+val add : t -> float -> unit
+(** Record a non-negative sample. Negative or non-finite samples are
+    counted in [dropped] and otherwise ignored. *)
+
+val count : t -> int
+val dropped : t -> int
+val sum : t -> float
+
+val mean : t -> float
+(** Exact; 0.0 when empty. *)
+
+val min_value : t -> float
+(** Exact; 0.0 when empty (never [inf]). *)
+
+val max_value : t -> float
+(** Exact; 0.0 when empty (never [-inf]). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]: nearest-rank percentile
+    at bucket resolution; [p = 0] and [p = 100] return the exact
+    observed min/max. 0.0 when empty; always finite. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every bucket and moment of the source into [dst]. The two must
+    share [base] and bucket count. *)
+
+val clear : t -> unit
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)], ascending. *)

@@ -30,8 +30,10 @@ let coeff_var t =
   let m = mean t in
   if m = 0.0 then 0.0 else stdev t /. m
 
-let min_value t = t.min_v
-let max_value t = t.max_v
+(* 0.0, not ±inf, on an empty population: these feed printf cells and
+   JSON records directly *)
+let min_value t = if t.n = 0 then 0.0 else t.min_v
+let max_value t = if t.n = 0 then 0.0 else t.max_v
 
 let of_list xs =
   let t = create () in

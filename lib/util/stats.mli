@@ -17,10 +17,10 @@ val coeff_var : t -> float
 (** stdev / mean; 0.0 when the mean is zero. *)
 
 val min_value : t -> float
-(** +inf when empty. *)
+(** 0.0 when empty (never [inf] — the value feeds report cells). *)
 
 val max_value : t -> float
-(** -inf when empty. *)
+(** 0.0 when empty (never [-inf]). *)
 
 val of_list : float list -> t
 

@@ -53,5 +53,14 @@ let print t =
   print_string (render t);
   print_newline ()
 
-let cell_f ?(dec = 1) x = Printf.sprintf "%.*f" dec x
+let cell_f ?(dec = 1) x =
+  (* an empty population upstream (no sync writes, zero-sample stats)
+     must never leak "nan"/"inf" into a report cell *)
+  if Float.is_nan x || x = infinity || x = neg_infinity then "-"
+  else Printf.sprintf "%.*f" dec x
+
 let cell_i n = string_of_int n
+
+let title t = t.title
+let headers t = t.headers
+let rows t = List.rev t.rows

@@ -16,6 +16,13 @@ val print : t -> unit
 (** [render] followed by [print_string] and a trailing newline. *)
 
 val cell_f : ?dec:int -> float -> string
-(** Format a float with [dec] decimals (default 1). *)
+(** Format a float with [dec] decimals (default 1). Non-finite values
+    (an empty population's mean or extremum) render as ["-"]. *)
 
 val cell_i : int -> string
+
+val title : t -> string
+val headers : t -> string list
+
+val rows : t -> string list list
+(** In insertion order (as rendered). *)

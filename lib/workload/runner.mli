@@ -14,6 +14,15 @@ type measures = {
   avg_response_ms : float;  (** driver response: queue + access *)
   avg_access_ms : float;  (** disk service only *)
   sync_response_ms : float;  (** response over process-blocking requests *)
+  response_p50_ms : float;  (** driver response percentiles (bucket *)
+  response_p90_ms : float;  (** resolution, exact min/max clamp) *)
+  response_p99_ms : float;
+  response_max_ms : float;  (** exact *)
+  counters : (string * float) list;
+      (** cross-layer counters in one flat namespace ([cache.*],
+          [syncer.*], [io.*], [disk.*], plus [softdep.*] /
+          [journal.*] when the scheme has them); see HACKING.md for
+          the glossary *)
   softdep : Su_core.Softdep.stats option;
 }
 
@@ -33,6 +42,12 @@ val run :
     after the set-up phase, so the measured phase re-reads its
     metadata from the disk — the benchmarks model a fresh session over
     pre-existing trees. *)
+
+val measures_json : measures -> Su_obs.Json.t
+(** One flat object: scalar fields by name (durations suffixed [_s] or
+    [_ms]) plus a ["counters"] sub-object mapping each cross-layer
+    counter to its value. This is the ["measures"] payload of
+    [metasim run --json]. *)
 
 val repeat :
   reps:int ->

@@ -19,7 +19,8 @@ let mk ?(cb = false) ?(capacity = 1024) () =
   let drv = Su_driver.Driver.create ~engine:e ~disk Su_driver.Driver.default_config in
   let bc =
     Bcache.create ~engine:e ~driver:drv
-      { Bcache.capacity_frags = capacity; cb; copy_cost = (fun _ -> ()) }
+      { Bcache.capacity_frags = capacity; cb; copy_cost = (fun _ -> ());
+        sink = None }
   in
   { e; disk; drv; bc }
 

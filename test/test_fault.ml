@@ -153,7 +153,8 @@ let test_cache_redirties_failed_write () =
   let e, _d, drv = mk_stack ~fault ~config () in
   let bc =
     Su_cache.Bcache.create ~engine:e ~driver:drv
-      { Su_cache.Bcache.capacity_frags = 1024; cb = false; copy_cost = (fun _ -> ()) }
+      { Su_cache.Bcache.capacity_frags = 1024; cb = false;
+        copy_cost = (fun _ -> ()); sink = None }
   in
   let result = ref None in
   let _p =
@@ -184,7 +185,8 @@ let test_cache_sync_io_error_typed () =
   let e, _d, drv = mk_stack ~fault ~config () in
   let bc =
     Su_cache.Bcache.create ~engine:e ~driver:drv
-      { Su_cache.Bcache.capacity_frags = 1024; cb = false; copy_cost = (fun _ -> ()) }
+      { Su_cache.Bcache.capacity_frags = 1024; cb = false;
+        copy_cost = (fun _ -> ()); sink = None }
   in
   let raised = ref false in
   let _p =

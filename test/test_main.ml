@@ -23,4 +23,7 @@ let () =
       ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
       ("trace-golden", Test_trace_golden.suite);
+      ("obs", Test_obs.suite);
+      ("shapes", Test_shapes.suite);
+      ("cli", Test_cli.suite);
     ]

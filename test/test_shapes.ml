@@ -1,0 +1,154 @@
+(* Shape claims over experiment output: checker unit tests on
+   synthetic tables, then the real thing — tab1/tab2/fig5 at Quick
+   scale, serialised to JSON, parsed back and asserted. *)
+open Su_util
+module Json = Su_obs.Json
+module Shapes = Su_experiments.Shapes
+
+(* --- synthetic tables: the checker itself ------------------------------- *)
+
+let tab2_headers =
+  [
+    "scheme"; "alloc init"; "elapsed (s)"; "% of No Order"; "CPU (s)";
+    "disk requests"; "I/O response (ms)"; "p90 (ms)"; "p99 (ms)";
+  ]
+
+(* rows as (scheme, init, pct of no-order, disk requests) *)
+let mk_tab2 rows =
+  let t = Text_table.create ~title:"Table 2: synthetic" ~headers:tab2_headers in
+  List.iter
+    (fun (scheme, init, pct, reqs) ->
+      Text_table.add_row t
+        [
+          scheme; init; "1.0"; Printf.sprintf "%.1f" pct; "0.5";
+          string_of_int reqs; "10.0"; "20.0"; "30.0";
+        ])
+    rows;
+  t
+
+let healthy_tab2 =
+  mk_tab2
+    [
+      ("No Order", "N", 100.0, 1000);
+      ("Conventional", "N", 880.0, 5000);
+      ("Scheduler Flag", "N", 140.0, 1500);
+      ("Scheduler Chains", "N", 500.0, 2000);
+      ("Soft Updates", "N", 64.0, 260);
+    ]
+
+let sick_tab2 =
+  (* soft updates slower than conventional and issuing more requests *)
+  mk_tab2
+    [
+      ("No Order", "N", 100.0, 1000);
+      ("Conventional", "N", 880.0, 5000);
+      ("Scheduler Flag", "N", 140.0, 1500);
+      ("Scheduler Chains", "N", 500.0, 2000);
+      ("Soft Updates", "N", 900.0, 6000);
+    ]
+
+let test_checker_passes_healthy () =
+  let claims = Shapes.check (Shapes.table_json healthy_tab2) in
+  Alcotest.(check bool) "claims found" true (List.length claims > 0);
+  List.iter
+    (fun (name, ok, detail) ->
+      Alcotest.(check bool) (name ^ ": " ^ detail) true ok)
+    claims
+
+let test_checker_fails_sick () =
+  let claims = Shapes.check (Shapes.table_json sick_tab2) in
+  let failed = List.filter (fun (_, ok, _) -> not ok) claims in
+  Alcotest.(check bool) "violations detected" true (List.length failed > 0);
+  let names = List.map (fun (n, _, _) -> n) failed in
+  Alcotest.(check bool) "soft-vs-conventional claim failed" true
+    (List.mem "tab2.soft_beats_conventional" names);
+  Alcotest.(check bool) "request-count claim failed" true
+    (List.mem "tab2.soft_halves_disk_requests" names)
+
+let test_checker_missing_rows () =
+  (* a recognisable table with a missing scheme row must report the
+     claim as failed, not silently skip it *)
+  let t = mk_tab2 [ ("No Order", "N", 100.0, 1000) ] in
+  let claims = Shapes.check (Shapes.table_json t) in
+  Alcotest.(check bool) "claims reported" true (List.length claims > 0);
+  Alcotest.(check bool) "all failed" true
+    (List.for_all (fun (_, ok, _) -> not ok) claims)
+
+let test_checker_empty_doc () =
+  Alcotest.(check int) "no tables, no claims" 0
+    (List.length (Shapes.check (Json.Obj [ ("hello", Json.Int 1) ])))
+
+let test_fig5_monotone_detection () =
+  let mk rows =
+    let t =
+      Text_table.create ~title:"Figure 5a: synthetic"
+        ~headers:[ "scheme"; "1"; "2"; "4" ]
+    in
+    List.iter (fun r -> Text_table.add_row t r) rows;
+    Shapes.table_json t
+  in
+  let healthy =
+    mk
+      [
+        [ "Soft Updates"; "50.0"; "90.0"; "120.0" ];
+        [ "No Order"; "50.0"; "91.0"; "121.0" ];
+      ]
+  in
+  List.iter
+    (fun (name, ok, detail) ->
+      Alcotest.(check bool) (name ^ ": " ^ detail) true ok)
+    (Shapes.check healthy);
+  let collapsing =
+    mk
+      [
+        [ "Soft Updates"; "50.0"; "90.0"; "30.0" ];
+        [ "No Order"; "50.0"; "91.0"; "121.0" ];
+      ]
+  in
+  let failed =
+    List.filter (fun (_, ok, _) -> not ok) (Shapes.check collapsing)
+  in
+  Alcotest.(check bool) "collapse detected" true
+    (List.exists
+       (fun (n, _, _) -> n = "fig5a.monotone.Soft Updates")
+       failed)
+
+(* --- the real experiments at Quick scale -------------------------------- *)
+
+let test_quick_experiments_shapes () =
+  let all = Su_experiments.Experiments.all `Quick in
+  let entries =
+    List.map
+      (fun id -> (id, 0.0, (List.assoc id all) ()))
+      [ "tab1"; "tab2"; "fig5" ]
+  in
+  let doc = Shapes.experiments_json ~scale:"quick" entries in
+  (* the document must survive print -> parse bit-exactly *)
+  let doc' =
+    match Json.parse (Json.to_string_pretty doc) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "experiments JSON does not parse: %s" e
+  in
+  Alcotest.(check bool) "JSON round-trips" true (Json.equal doc doc');
+  let claims = Shapes.check doc' in
+  (* tab1 and tab2 contribute 5+7, fig5a/b/c contribute 5+1+1+1 *)
+  Alcotest.(check int) "all claims evaluated" 20 (List.length claims);
+  List.iter
+    (fun (name, ok, detail) ->
+      Alcotest.(check bool) (name ^ ": " ^ detail) true ok)
+    claims
+
+let suite =
+  [
+    Alcotest.test_case "checker passes healthy table" `Quick
+      test_checker_passes_healthy;
+    Alcotest.test_case "checker flags violations" `Quick
+      test_checker_fails_sick;
+    Alcotest.test_case "missing rows fail loudly" `Quick
+      test_checker_missing_rows;
+    Alcotest.test_case "no tables, no claims" `Quick test_checker_empty_doc;
+    Alcotest.test_case "fig5 monotonicity detection" `Quick
+      test_fig5_monotone_detection;
+    Alcotest.test_case "quick tab1/tab2/fig5 shapes hold" `Slow
+      test_quick_experiments_shapes;
+  ]

@@ -126,6 +126,11 @@ let test_runner_repeat_averages () =
       avg_response_ms = 0.0;
       avg_access_ms = 0.0;
       sync_response_ms = 0.0;
+      response_p50_ms = 0.0;
+      response_p90_ms = 0.0;
+      response_p99_ms = 0.0;
+      response_max_ms = 0.0;
+      counters = [ ("cache.hits", float_of_int (10 * u)) ];
       softdep = None;
     }
   in
