@@ -31,6 +31,10 @@ let usage () =
      \  --list          print available experiment ids\n\
      \  --micro         Bechamel micro-benchmarks of the core structures\n\
      \  --hotpaths      driver-dispatch / cache-eviction hot paths\n\
+     \  --min-driver-eps N\n\
+     \                  with --hotpaths: exit 1 if any driver-burst-*\n\
+     \                  benchmark falls below N events/sec (a generous\n\
+     \                  anti-regression floor for CI, not a target)\n\
      \  --crashsweep    crash-state materialization (delta log vs deep\n\
      \                  copy) and full-sweep scaling across the pool\n\
      \  --json PATH     write results JSON: experiment tables (the\n\
@@ -141,30 +145,63 @@ let mk_disk_driver ~mode ~policy =
 let wpayload n = Array.make n Su_fstypes.Types.Empty
 
 (* [n] writes queued up-front at pseudo-random positions: every disk
-   completion must pick the next request from an [n]-deep queue. *)
+   completion must pick the next request from an [n]-deep queue.
+
+   Each hotpath bench is staged: calling it builds the world (engine,
+   disk image, driver, cache) and returns the run thunk, so the timed
+   region covers only the submit + drain hot paths — not the one-off
+   8 MB disk-image allocation, which would otherwise be ~10% of the
+   wall at current throughput. *)
 let bench_driver_burst ~mode ?(policy = Su_driver.Driver.Clook)
     ?(flag_every = 0) ?(read_every = 0) ?(chain = false) n () =
   let e, drv = mk_disk_driver ~mode ~policy in
+  (* Workload generation is prepare work too: the RNG's int64 mixing
+     is measurably more expensive than a dispatch-index lookup, and it
+     is not the system under test. *)
   let rng = Su_util.Rng.create 42 in
+  let lbns = Array.make n 0 in
+  for i = 0 to n - 1 do
+    lbns.(i) <- 64 + (Su_util.Rng.int rng 65_000 * 8)
+  done;
+  let payload = Some (wpayload 1) in
+  fun () ->
   let done_ = ref 0 in
-  let prev = ref None in
+  let on_complete _ = incr done_ in
+  let prev = ref (-1) in
   for i = 1 to n do
-    let lbn = 64 + (Su_util.Rng.int rng 65_000 * 8) in
+    let lbn = lbns.(i - 1) in
     let kind =
       if read_every > 0 && i mod read_every = 0 then Su_driver.Request.Read
       else Su_driver.Request.Write
     in
     let flagged = flag_every > 0 && i mod flag_every = 0 in
-    let deps = if chain then match !prev with Some p -> [ p ] | None -> [] else [] in
+    let deps = if chain && !prev >= 0 then [ !prev ] else [] in
+    let is_write =
+      match kind with Su_driver.Request.Write -> true | Su_driver.Request.Read -> false
+    in
     let id =
       Su_driver.Driver.submit drv ~kind ~lbn ~nfrags:1 ~flagged ~deps
-        ?payload:(if kind = Su_driver.Request.Write then Some (wpayload 1) else None)
-        ~on_complete:(fun _ -> incr done_)
-        ()
+        ?payload:(if is_write then payload else None)
+        ~on_complete ()
     in
-    if kind = Su_driver.Request.Write then prev := Some id
+    if is_write then prev := id
   done;
-  Su_sim.Engine.run e;
+  (* BENCH_ALLOC_PROBE=1 isolates the drain phase — the steady-state
+     event loop with no submissions — and prints its minor-heap words
+     and microseconds per request to stderr. This is the number behind
+     the "near-zero allocation per event" budget in HACKING.md. *)
+  (if Sys.getenv_opt "BENCH_ALLOC_PROBE" <> None then begin
+     let w0 = Gc.minor_words () in
+     let t0 = Unix.gettimeofday () in
+     Su_sim.Engine.run e;
+     let dt = Unix.gettimeofday () -. t0 in
+     let w1 = Gc.minor_words () in
+     Printf.eprintf "drain: %.1f words/req, %.2f us/req (%d events executed)\n%!"
+       ((w1 -. w0) /. float_of_int n)
+       (dt /. float_of_int n *. 1e6)
+       (Su_sim.Engine.events_executed e)
+   end
+   else Su_sim.Engine.run e);
   assert (!done_ = n);
   n
 
@@ -177,6 +214,7 @@ let bench_cache_evict n () =
     Su_cache.Bcache.create ~engine:e ~driver:drv
       { Su_cache.Bcache.default_config with capacity_frags = n / 2 }
   in
+  fun () ->
   ignore
     (Su_sim.Proc.spawn e (fun () ->
          for i = 0 to n - 1 do
@@ -198,6 +236,7 @@ let bench_cache_sync_all n () =
     Su_cache.Bcache.create ~engine:e ~driver:drv
       { Su_cache.Bcache.default_config with capacity_frags = 2 * n }
   in
+  fun () ->
   ignore
     (Su_sim.Proc.spawn e (fun () ->
          for i = 0 to n - 1 do
@@ -231,39 +270,90 @@ let hotpath_benches n =
     ("cache-sync-all", bench_cache_sync_all n);
   ]
 
-let run_hotpaths ~quick ~json_path =
+(* Each benchmark runs bracketed by [Gc.quick_stat] so the zero-alloc
+   claim on the event core is a measured number: minor-heap words per
+   event and major collections, persisted alongside the throughput. *)
+let run_hotpaths ~quick ~jobs ~json_path ~min_driver_eps =
   let n = hotpath_scale quick in
+  let benches = Array.of_list (hotpath_benches n) in
+  (* Fan independent benchmark worlds across the pool; results are
+     merged (and printed) by index, so names/events are byte-identical
+     at any --jobs value — only the timings vary.
+
+     Each bench runs [reps] times in a fresh world and the fastest rep
+     is recorded: per-run wall times of 10-30 ms are at the mercy of
+     scheduler noise, and the minimum is the standard stable estimate
+     of what the code itself costs. Allocation counts are per-rep
+     deterministic, so they come from the same (fastest) rep. *)
+  let reps = if quick then 2 else 7 in
   let results =
-    List.map
-      (fun (name, f) ->
-        let t0 = Unix.gettimeofday () in
-        let events = f () in
-        let wall = Unix.gettimeofday () -. t0 in
-        let eps = if wall > 0.0 then float_of_int events /. wall else 0.0 in
-        Printf.printf "%-30s n=%-6d %8.3fs wall %12.0f events/s\n%!" name
-          events wall eps;
-        (name, events, wall, eps))
-      (hotpath_benches n)
+    Su_util.Pool.map ~jobs (Array.length benches) (fun i ->
+        let name, bench = benches.(i) in
+        let best = ref None in
+        for _ = 1 to reps do
+          let run = bench () in
+          Gc.full_major ();
+          let s0 = Gc.quick_stat () in
+          let t0 = Unix.gettimeofday () in
+          let events = run () in
+          let wall = Unix.gettimeofday () -. t0 in
+          let s1 = Gc.quick_stat () in
+          let eps = if wall > 0.0 then float_of_int events /. wall else 0.0 in
+          let words_per_event =
+            (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int events
+          in
+          let majors = s1.Gc.major_collections - s0.Gc.major_collections in
+          match !best with
+          | Some (_, _, best_wall, _, _, _) when best_wall <= wall -> ()
+          | _ -> best := Some (name, events, wall, eps, words_per_event, majors)
+        done;
+        match !best with
+        | Some r -> r
+        | None -> (name, 0, 0.0, 0.0, 0.0, 0))
   in
-  match json_path with
+  Array.iter
+    (fun (name, events, wall, eps, wpe, majors) ->
+      Printf.printf
+        "%-30s n=%-6d %8.3fs wall %12.0f events/s %9.1f mwords/ev %3d majors\n%!"
+        name events wall eps wpe majors)
+    results;
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Printf.fprintf oc "{\n  \"scale\": \"%s\",\n  \"requests\": %d,\n"
+       (if quick then "quick" else "full")
+       n;
+     Printf.fprintf oc "  \"results\": [\n";
+     Array.iteri
+       (fun i (name, events, wall, eps, wpe, majors) ->
+         Printf.fprintf oc
+           "    {\"name\": %S, \"events\": %d, \"wall_s\": %.4f, \
+            \"events_per_sec\": %.1f, \"minor_words_per_event\": %.1f, \
+            \"major_collections\": %d}%s\n"
+           name events wall eps wpe majors
+           (if i = Array.length results - 1 then "" else ","))
+       results;
+     Printf.fprintf oc "  ]\n}\n";
+     close_out oc;
+     Printf.printf "# wrote %s\n" path);
+  match min_driver_eps with
   | None -> ()
-  | Some path ->
-    let oc = open_out path in
-    Printf.fprintf oc "{\n  \"scale\": \"%s\",\n  \"requests\": %d,\n"
-      (if quick then "quick" else "full")
-      n;
-    Printf.fprintf oc "  \"results\": [\n";
-    List.iteri
-      (fun i (name, events, wall, eps) ->
-        Printf.fprintf oc
-          "    {\"name\": %S, \"events\": %d, \"wall_s\": %.4f, \
-           \"events_per_sec\": %.1f}%s\n"
-          name events wall eps
-          (if i = List.length results - 1 then "" else ","))
+  | Some floor ->
+    let failed = ref false in
+    Array.iter
+      (fun (name, _, _, eps, _, _) ->
+        if
+          String.length name >= 12
+          && String.sub name 0 12 = "driver-burst"
+          && eps < floor
+        then begin
+          failed := true;
+          Printf.eprintf "FAIL: %s at %.0f events/s is below the %.0f floor\n"
+            name eps floor
+        end)
       results;
-    Printf.fprintf oc "  ]\n}\n";
-    close_out oc;
-    Printf.printf "# wrote %s\n" path
+    if !failed then exit 1
 
 (* --- crash-state materialization + sweep scaling ----------------------- *)
 
@@ -448,6 +538,17 @@ let () =
     | [] -> 1
   in
   let jobs = jobs_of args in
+  let rec min_eps_of = function
+    | "--min-driver-eps" :: n :: _ ->
+      (match float_of_string_opt n with
+       | Some f when f > 0.0 -> Some f
+       | Some _ | None ->
+         Printf.eprintf "bad --min-driver-eps value %S (want a number > 0)\n" n;
+         exit 2)
+    | _ :: rest -> min_eps_of rest
+    | [] -> None
+  in
+  let min_driver_eps = min_eps_of args in
   let rec assert_shapes_of = function
     | "--assert-shapes" :: path :: _ -> Some path
     | _ :: rest -> assert_shapes_of rest
@@ -494,7 +595,7 @@ let () =
     exit 0
   end;
   if List.mem "--hotpaths" args then begin
-    run_hotpaths ~quick ~json_path:(json_of args);
+    run_hotpaths ~quick ~jobs ~json_path:(json_of args) ~min_driver_eps;
     exit 0
   end;
   if List.mem "--crashsweep" args then begin
@@ -504,7 +605,9 @@ let () =
   let selected =
     let rec drop_opts = function
       | [] -> []
-      | ("--jobs" | "--json" | "--assert-shapes") :: _ :: rest -> drop_opts rest
+      | ("--jobs" | "--json" | "--assert-shapes" | "--min-driver-eps")
+        :: _ :: rest ->
+        drop_opts rest
       | a :: rest ->
         if String.length a > 1 && a.[0] = '-' then drop_opts rest
         else a :: drop_opts rest

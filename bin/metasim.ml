@@ -740,12 +740,24 @@ let exp_cmd =
     in
     Arg.conv (parse, Format.pp_print_string)
   in
-  let name_arg =
-    Arg.(value & pos 0 name_conv "tab2" & info [] ~docv:"EXPERIMENT"
-           ~doc:"fig1..fig6, tab1..tab3, chains-dealloc, chains-cb, crash, soft-ablate.")
+  let names_arg =
+    Arg.(value & pos_all name_conv [ "tab2" ] & info [] ~docv:"EXPERIMENT"
+           ~doc:"fig1..fig6, tab1..tab3, chains-dealloc, chains-cb, crash, soft-ablate. \
+                 Several may be given; they render in argument order.")
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Render the named experiments in up to $(docv) pool worker \
+             domains (0 = all cores). Each experiment is an independent \
+             simulated world; results are merged and printed in argument \
+             order, so the rendered output is identical at any $(docv).")
   in
   let json_arg =
     Arg.(
@@ -756,20 +768,28 @@ let exp_cmd =
             "Also write the rendered tables as JSON to $(docv) (the same \
              document shape bench/main.exe --json emits).")
   in
-  let run name quick json_path =
+  let run names quick jobs json_path =
     let scale = if quick then `Quick else `Full in
-    let thunk = List.assoc name (Su_experiments.Experiments.all scale) in
-    let t0 = Unix.gettimeofday () in
-    let tables = thunk () in
-    let wall = Unix.gettimeofday () -. t0 in
-    List.iter Su_util.Text_table.print tables;
+    let names = Array.of_list names in
+    let results =
+      Su_util.Pool.map ~jobs (Array.length names) (fun i ->
+          let name = names.(i) in
+          let thunk = List.assoc name (Su_experiments.Experiments.all scale) in
+          let t0 = Unix.gettimeofday () in
+          let tables = thunk () in
+          let wall = Unix.gettimeofday () -. t0 in
+          (name, wall, tables))
+    in
+    Array.iter
+      (fun (_, _, tables) -> List.iter Su_util.Text_table.print tables)
+      results;
     match json_path with
     | None -> ()
     | Some path ->
       let doc =
         Su_experiments.Shapes.experiments_json
           ~scale:(if quick then "quick" else "full")
-          [ (name, wall, tables) ]
+          (Array.to_list results)
       in
       (try
          let oc = open_out path in
@@ -782,8 +802,11 @@ let exp_cmd =
          exit 2)
   in
   Cmd.v
-    (Cmd.info "exp" ~doc:"Run one named experiment (figure or table).")
-    Term.(const run $ name_arg $ quick_arg $ json_arg)
+    (Cmd.info "exp"
+       ~doc:
+         "Run one or more named experiments (figures or tables), optionally \
+          fanned out across domains with --jobs.")
+    Term.(const run $ names_arg $ quick_arg $ jobs_arg $ json_arg)
 
 let () =
   let info =

@@ -136,8 +136,14 @@ let emit t ~kind fields =
     Su_obs.Events.emit sink ~t_sim:(Engine.now t.engine) ~kind fields
 
 let emit_buf t ~kind (b : Buf.t) =
-  emit t ~kind
-    [ ("lbn", Su_obs.Json.Int b.Buf.key); ("nfrags", Su_obs.Json.Int b.Buf.nfrags) ]
+  (* build the field list only when a sink is attached: this runs on
+     every dirty/clean/fill/evict transition *)
+  match t.config.sink with
+  | None -> ()
+  | Some _ ->
+    emit t ~kind
+      [ ("lbn", Su_obs.Json.Int b.Buf.key);
+        ("nfrags", Su_obs.Json.Int b.Buf.nfrags) ]
 
 let lru_of t (b : Buf.t) = if b.Buf.dirty then t.dirty_lru else t.clean_lru
 
@@ -158,7 +164,7 @@ let all_bufs t = Hashtbl.fold (fun _ b acc -> b :: acc) t.tbl []
 let sorted_keys t =
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] in
   let arr = Array.of_list keys in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 let set_dirty t (b : Buf.t) v =

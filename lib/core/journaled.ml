@@ -358,7 +358,7 @@ let recover ?observer ~geom ~log_start ~log_frags image =
       | Types.Jlog { seq; recs } -> txns := (seq, recs, log_start + i) :: !txns
       | _ -> ()
   done;
-  let txns = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !txns in
+  let txns = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !txns in
   List.iter
     (fun (_, recs, _) -> List.iter (replay_rec ?observer geom image) recs)
     txns;

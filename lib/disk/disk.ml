@@ -8,6 +8,8 @@ type stream = { mutable next_lbn : int; mutable limit : int }
 
 type destage = { d_lbn : int; d_nfrags : int }
 
+let no_done (_ : (Types.cell array option, Fault.error) result) (_ : float) = ()
+
 type t = {
   engine : Su_sim.Engine.t;
   params : Disk_params.t;
@@ -17,14 +19,20 @@ type t = {
   mutable busy : bool;
   mutable streams : stream list;
   mutable serviced : int;
-  mutable service_time : float;
-  (* where service time goes, accumulated per operation (media
+  fl : floatarray;
+  (* Float accumulators and the in-flight service time, kept in a flat
+     float array because mutable float fields of this (mixed) record
+     would box on every store — several allocations per operation.
+     Slots: 0 = total service time, 1 = seek, 2 = rotation wait,
+     3 = transfer, 4 = overhead, 5 = service time of the operation in
+     flight. Service time is accumulated per operation (media
      operations and destages alike); cache-hit reads count their burst
-     transfer and overhead, NVRAM-accepted writes are excluded *)
-  mutable t_seek : float;
-  mutable t_rot : float;
-  mutable t_transfer : float;
-  mutable t_overhead : float;
+     transfer and overhead, NVRAM-accepted writes are excluded.
+     Slots 6 and 7 cache two per-disk constants of the mechanical
+     model — the rotation period and [sqrt (cylinders - 2)] — so the
+     per-operation timing math pays no repeated division or square
+     root (the cached values are bit-identical to recomputation, so
+     simulated times are unchanged). *)
   nvram_frags : int;  (* 0 = no NVRAM *)
   mutable nv_used : int;
   nv_queue : destage Queue.t;
@@ -33,56 +41,50 @@ type t = {
   mutable on_idle : unit -> unit;
       (* lets the layer above re-dispatch when a background destage
          finishes (it gets no request completion to react to) *)
-  mutable inflight : (int * Types.cell array) option;
+  mutable inflight_lbn : int;
+  mutable inflight_payload : Types.cell array option;
       (* mechanical write being serviced right now: its payload has not
-         reached the media yet, so a crash may tear it *)
+         reached the media yet, so a crash may tear it (the pair is
+         split into two fields so the hot write path stores immediates
+         instead of allocating a tuple option per operation) *)
   mutable write_observer : (lbn:int -> Types.cell array -> unit) option;
   mutable delta_observer :
     (lbn:int -> pre:Types.cell array -> post:Types.cell array -> unit) option;
+  (* The operation being serviced, stashed here so its completion is a
+     registered handler event instead of a fresh closure per I/O (the
+     device services one operation at a time, so one set of fields
+     suffices; [p_on_done] is reset to [no_done] at completion). *)
+  mutable done_h : Su_sim.Engine.handler;
+  mutable destage_h : Su_sim.Engine.handler;
+  mutable p_lbn : int;
+  mutable p_nfrags : int;
+  mutable p_op : op;
+  mutable p_payload : Types.cell array option;
+  mutable p_verdict : Fault.verdict;
+  mutable p_nvram_hit : bool;
+  mutable p_on_done : (Types.cell array option, Fault.error) result -> float -> unit;
+  (* destage in flight (mutually exclusive with a foreground op) *)
+  mutable p_destage : destage;
 }
-
-let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none) () =
-  if nfrags > Disk_params.capacity_frags params then
-    invalid_arg "Disk.create: file system larger than the drive";
-  {
-    engine;
-    params;
-    fault = Fault.create fault;
-    image = Array.make nfrags Types.Empty;
-    cur_cyl = 0;
-    busy = false;
-    streams = [];
-    serviced = 0;
-    service_time = 0.0;
-    t_seek = 0.0;
-    t_rot = 0.0;
-    t_transfer = 0.0;
-    t_overhead = 0.0;
-    nvram_frags;
-    nv_used = 0;
-    nv_queue = Queue.create ();
-    nv_resident = Hashtbl.create 64;
-    ndestages = 0;
-    on_idle = (fun () -> ());
-    inflight = None;
-    write_observer = None;
-    delta_observer = None;
-  }
 
 let busy t = t.busy
 let nfrags t = Array.length t.image
 let requests_serviced t = t.serviced
-let total_service_time t = t.service_time
-let seek_time_total t = t.t_seek
-let rot_wait_time_total t = t.t_rot
-let transfer_time_total t = t.t_transfer
-let overhead_time_total t = t.t_overhead
+let total_service_time t = Float.Array.get t.fl 0
+let seek_time_total t = Float.Array.get t.fl 1
+let rot_wait_time_total t = Float.Array.get t.fl 2
+let transfer_time_total t = Float.Array.get t.fl 3
+let overhead_time_total t = Float.Array.get t.fl 4
 let nvram_pending t = t.nv_used
 let destages t = t.ndestages
 let set_idle_callback t f = t.on_idle <- f
 let fault t = t.fault
 let faults_injected t = Fault.injected t.fault
-let inflight_write t = t.inflight
+
+let inflight_write t =
+  match t.inflight_payload with
+  | Some p -> Some (t.inflight_lbn, p)
+  | None -> None
 let set_write_observer t f = t.write_observer <- Some f
 let set_delta_observer t f = t.delta_observer <- Some f
 
@@ -93,7 +95,7 @@ let angle_of_lbn t lbn =
   float_of_int (lbn mod per_track) /. float_of_int per_track
 
 let angle_at_time t time =
-  let rot = Disk_params.rotation_time t.params in
+  let rot = Float.Array.get t.fl 6 in
   let frac = time /. rot in
   frac -. Float.of_int (int_of_float frac)
 
@@ -122,10 +124,21 @@ let advance_stream t lbn nfrags =
     in
     t.streams <- s :: keep
 
+(* [Disk_params.seek_time] with the constant divisor cached: same
+   operations in the same order, so the result is bit-identical. *)
+let seek_time t distance =
+  let p = t.params in
+  if distance <= 0 then 0.0
+  else if distance = 1 then p.Disk_params.seek_single
+  else
+    let frac = sqrt (float_of_int (distance - 1)) /. Float.Array.get t.fl 7 in
+    p.Disk_params.seek_single
+    +. ((p.Disk_params.seek_max -. p.Disk_params.seek_single) *. frac)
+
 let mechanical_time t ~lbn ~nfrags ~now =
   let p = t.params in
-  let rot = Disk_params.rotation_time p in
-  let seek = Disk_params.seek_time p (abs (cyl_of_lbn t lbn - t.cur_cyl)) in
+  let rot = Float.Array.get t.fl 6 in
+  let seek = seek_time t (abs (cyl_of_lbn t lbn - t.cur_cyl)) in
   let arrive = now +. p.Disk_params.overhead +. seek in
   let target = angle_of_lbn t lbn in
   let cur = angle_at_time t arrive in
@@ -136,10 +149,10 @@ let mechanical_time t ~lbn ~nfrags ~now =
   let transfer =
     float_of_int nfrags /. float_of_int p.Disk_params.frags_per_track *. rot
   in
-  t.t_seek <- t.t_seek +. seek;
-  t.t_rot <- t.t_rot +. (wait *. rot);
-  t.t_transfer <- t.t_transfer +. transfer;
-  t.t_overhead <- t.t_overhead +. p.Disk_params.overhead;
+  Float.Array.set t.fl 1 (Float.Array.get t.fl 1 +. seek);
+  Float.Array.set t.fl 2 (Float.Array.get t.fl 2 +. (wait *. rot));
+  Float.Array.set t.fl 3 (Float.Array.get t.fl 3 +. transfer);
+  Float.Array.set t.fl 4 (Float.Array.get t.fl 4 +. p.Disk_params.overhead);
   p.Disk_params.overhead +. seek +. (wait *. rot) +. transfer
 
 let service_time_for t ~lbn ~nfrags ~op ~now =
@@ -149,12 +162,12 @@ let service_time_for t ~lbn ~nfrags ~op ~now =
     let transfer =
       float_of_int nfrags
       /. float_of_int p.Disk_params.frags_per_track
-      *. Disk_params.rotation_time p
+      *. Float.Array.get t.fl 6
       /. 4.0
       (* cache-to-host burst is much faster than media rate *)
     in
-    t.t_transfer <- t.t_transfer +. transfer;
-    t.t_overhead <- t.t_overhead +. p.Disk_params.overhead;
+    Float.Array.set t.fl 3 (Float.Array.get t.fl 3 +. transfer);
+    Float.Array.set t.fl 4 (Float.Array.get t.fl 4 +. p.Disk_params.overhead);
     p.Disk_params.overhead +. transfer
   | Read | Write -> mechanical_time t ~lbn ~nfrags ~now
 
@@ -172,16 +185,20 @@ let rec maybe_destage t =
     let now = Su_sim.Engine.now t.engine in
     let svc = mechanical_time t ~lbn:d.d_lbn ~nfrags:d.d_nfrags ~now in
     t.busy <- true;
-    Su_sim.Engine.after t.engine svc (fun () ->
-        t.busy <- false;
-        t.cur_cyl <- cyl_of_lbn t (d.d_lbn + d.d_nfrags - 1);
-        t.ndestages <- t.ndestages + 1;
-        t.nv_used <- t.nv_used - d.d_nfrags;
-        Hashtbl.remove t.nv_resident d.d_lbn;
-        (* let queued foreground requests go first *)
-        t.on_idle ();
-        maybe_destage t)
+    t.p_destage <- d;
+    Su_sim.Engine.after_handler t.engine svc t.destage_h 0
   end
+
+and complete_destage t =
+  let d = t.p_destage in
+  t.busy <- false;
+  t.cur_cyl <- cyl_of_lbn t (d.d_lbn + d.d_nfrags - 1);
+  t.ndestages <- t.ndestages + 1;
+  t.nv_used <- t.nv_used - d.d_nfrags;
+  Hashtbl.remove t.nv_resident d.d_lbn;
+  (* let queued foreground requests go first *)
+  t.on_idle ();
+  maybe_destage t
 
 let apply_write t ~lbn ~nfrags cells =
   (* pre-images are captured before the blit so a delta observer can
@@ -206,6 +223,50 @@ let apply_write t ~lbn ~nfrags cells =
       ~post:(Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
   | (Some _ | None), _ -> ()
 
+(* Completion of the stashed foreground operation: same sequence as
+   the seed's per-submit closure, reading the [p_*] fields instead of
+   captured variables. The fields are read out (and [p_on_done] and
+   [p_payload] dropped) before [on_done] runs, because the callback
+   routinely submits the next operation and re-fills them. *)
+let complete_op t =
+  let lbn = t.p_lbn and nfrags = t.p_nfrags and op = t.p_op in
+  let payload = t.p_payload and verdict = t.p_verdict in
+  let svc = Float.Array.get t.fl 5 in
+  let nvram_hit = t.p_nvram_hit in
+  let on_done = t.p_on_done in
+  t.p_on_done <- no_done;
+  t.p_payload <- None;
+  t.busy <- false;
+  t.inflight_payload <- None;
+  if not nvram_hit then t.cur_cyl <- cyl_of_lbn t (lbn + nfrags - 1);
+  t.serviced <- t.serviced + 1;
+  Float.Array.set t.fl 0 (Float.Array.get t.fl 0 +. svc);
+  match verdict with
+  | Fault.Failed { err; applied } ->
+    (* a torn write: only the leading [applied] fragments reached
+       the media before the failure *)
+    (match op, payload with
+     | Write, Some cells when applied > 0 ->
+       apply_write t ~lbn ~nfrags:applied cells
+     | _ -> ());
+    on_done (Error err) svc;
+    maybe_destage t
+  | Fault.Ok_attempt | Fault.Stalled ->
+    let result =
+      match op with
+      | Read ->
+        advance_stream t lbn nfrags;
+        Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+      | Write ->
+        (match payload with
+         | Some cells ->
+           if not nvram_hit then apply_write t ~lbn ~nfrags cells;
+           None
+         | None -> None)
+    in
+    on_done (Ok result) svc;
+    maybe_destage t
+
 let submit t ~lbn ~nfrags ~op ~payload ~on_done =
   if t.busy then invalid_arg "Disk.submit: device busy";
   if nfrags <= 0 || lbn < 0 || lbn + nfrags > Array.length t.image then
@@ -216,15 +277,18 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
      invalid_arg "Disk.submit: payload length mismatch"
    | Write, Some _ | Read, _ -> ());
   let now = Su_sim.Engine.now t.engine in
+  let is_write = match op with Write -> true | Read -> false in
   (* a write to an extent already buffered coalesces in place: no new
      space, no extra destage (the destage writes the latest contents) *)
   let nvram_coalesce =
-    op = Write && t.nvram_frags > 0
-    && Hashtbl.find_opt t.nv_resident lbn = Some nfrags
+    is_write && t.nvram_frags > 0
+    && (match Hashtbl.find_opt t.nv_resident lbn with
+        | Some n -> n = nfrags
+        | None -> false)
   in
   let nvram_hit =
     nvram_coalesce
-    || (op = Write && t.nvram_frags > 0 && t.nv_used + nfrags <= t.nvram_frags)
+    || (is_write && t.nvram_frags > 0 && t.nv_used + nfrags <= t.nvram_frags)
   in
   (* the fault model only covers media operations; an NVRAM-accepted
      write is a RAM copy and cannot fail or tear *)
@@ -255,39 +319,62 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
       Queue.add { d_lbn = lbn; d_nfrags = nfrags } t.nv_queue
     end
   end
-  else if op = Write then
-    t.inflight <- (match payload with Some p -> Some (lbn, p) | None -> None);
-  Su_sim.Engine.after t.engine svc (fun () ->
-      t.busy <- false;
-      t.inflight <- None;
-      if not nvram_hit then t.cur_cyl <- cyl_of_lbn t (lbn + nfrags - 1);
-      t.serviced <- t.serviced + 1;
-      t.service_time <- t.service_time +. svc;
-      match verdict with
-      | Fault.Failed { err; applied } ->
-        (* a torn write: only the leading [applied] fragments reached
-           the media before the failure *)
-        (match op, payload with
-         | Write, Some cells when applied > 0 ->
-           apply_write t ~lbn ~nfrags:applied cells
-         | _ -> ());
-        on_done (Error err) svc;
-        maybe_destage t
-      | Fault.Ok_attempt | Fault.Stalled ->
-        let result =
-          match op with
-          | Read ->
-            advance_stream t lbn nfrags;
-            Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
-          | Write ->
-            (match payload with
-             | Some cells ->
-               if not nvram_hit then apply_write t ~lbn ~nfrags cells;
-               None
-             | None -> None)
-        in
-        on_done (Ok result) svc;
-        maybe_destage t)
+  else if is_write then begin
+    t.inflight_lbn <- lbn;
+    t.inflight_payload <- payload
+  end;
+  t.p_lbn <- lbn;
+  t.p_nfrags <- nfrags;
+  t.p_op <- op;
+  t.p_payload <- payload;
+  t.p_verdict <- verdict;
+  Float.Array.set t.fl 5 svc;
+  t.p_nvram_hit <- nvram_hit;
+  t.p_on_done <- on_done;
+  Su_sim.Engine.after_handler t.engine svc t.done_h 0
+
+let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none) () =
+  if nfrags > Disk_params.capacity_frags params then
+    invalid_arg "Disk.create: file system larger than the drive";
+  let t =
+    {
+      engine;
+      params;
+      fault = Fault.create fault;
+      image = Array.make nfrags Types.Empty;
+      cur_cyl = 0;
+      busy = false;
+      streams = [];
+      serviced = 0;
+      fl = Float.Array.make 8 0.0;
+      nvram_frags;
+      nv_used = 0;
+      nv_queue = Queue.create ();
+      nv_resident = Hashtbl.create 64;
+      ndestages = 0;
+      on_idle = (fun () -> ());
+      inflight_lbn = -1;
+      inflight_payload = None;
+      write_observer = None;
+      delta_observer = None;
+      done_h = Su_sim.Engine.null;
+      destage_h = Su_sim.Engine.null;
+      p_lbn = 0;
+      p_nfrags = 0;
+      p_op = Read;
+      p_payload = None;
+      p_verdict = Fault.Ok_attempt;
+      p_nvram_hit = false;
+      p_on_done = no_done;
+      p_destage = { d_lbn = 0; d_nfrags = 0 };
+    }
+  in
+  Float.Array.set t.fl 6 (Disk_params.rotation_time params);
+  Float.Array.set t.fl 7
+    (sqrt (float_of_int (params.Disk_params.cylinders - 2)));
+  t.done_h <- Su_sim.Engine.register engine (fun _ -> complete_op t);
+  t.destage_h <- Su_sim.Engine.register engine (fun _ -> complete_destage t);
+  t
 
 let install t lbn cell =
   if lbn < 0 || lbn >= Array.length t.image then

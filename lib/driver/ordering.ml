@@ -72,51 +72,52 @@ let flag_eligible sem ctx (r : Request.t) =
    conflict check, which the driver applies to every ready candidate
    anyway, so we report such reads as unblocked here and let the
    driver park them under the conflicting write's id. *)
+(* Helpers for [first_blocker] live at toplevel so the Unordered path
+   (and every classify call) allocates no closures. *)
+let nr_read nr (r : Request.t) =
+  nr && (match r.Request.kind with Request.Read -> true | Request.Write -> false)
+
+let gate_blocker ctx (r : Request.t) =
+  match r.Request.gate with
+  | Some g when ctx.is_outstanding g -> Some g
+  | Some _ | None -> None
+
+let below_blocker ctx bound =
+  match ctx.min_outstanding () with
+  | Some m when m < bound -> Some m
+  | Some _ | None -> None
+
 let first_blocker mode ctx (r : Request.t) =
-  let nr_read nr = nr && r.Request.kind = Request.Read in
-  let gate_blocker () =
-    match r.Request.gate with
-    | Some g when ctx.is_outstanding g -> Some g
-    | Some _ | None -> None
-  in
-  let below_blocker bound =
-    match ctx.min_outstanding () with
-    | Some m when m < bound -> Some m
-    | Some _ | None -> None
-  in
-  let ordering_blocker =
-    match mode with
-    | Unordered -> None
-    | Flag { sem; nr } ->
-      let flag_blocker =
-        match sem with
-        | Ignore -> None
-        | Part -> gate_blocker ()
-        | Back ->
-          (match gate_blocker () with
-           | Some g -> Some g
-           | None ->
-             (match r.Request.gate with
-              | None -> None
-              | Some g -> below_blocker g))
-        | Full ->
-          if r.Request.flagged then below_blocker r.Request.id
-          else gate_blocker ()
-      in
-      (match flag_blocker with
-       | None -> None
-       | Some w -> if nr_read nr then None else Some w)
-    | Chains { nr } ->
-      let dep_blocker =
-        match List.find_opt ctx.is_outstanding r.Request.deps with
-        | Some d -> Some d
-        | None -> gate_blocker ()
-      in
-      (match dep_blocker with
-       | None -> None
-       | Some w -> if nr_read nr then None else Some w)
-  in
-  ordering_blocker
+  match mode with
+  | Unordered -> None
+  | Flag { sem; nr } ->
+    let flag_blocker =
+      match sem with
+      | Ignore -> None
+      | Part -> gate_blocker ctx r
+      | Back ->
+        (match gate_blocker ctx r with
+         | Some g -> Some g
+         | None ->
+           (match r.Request.gate with
+            | None -> None
+            | Some g -> below_blocker ctx g))
+      | Full ->
+        if r.Request.flagged then below_blocker ctx r.Request.id
+        else gate_blocker ctx r
+    in
+    (match flag_blocker with
+     | None -> None
+     | Some w -> if nr_read nr r then None else Some w)
+  | Chains { nr } ->
+    let dep_blocker =
+      match List.find_opt ctx.is_outstanding r.Request.deps with
+      | Some d -> Some d
+      | None -> gate_blocker ctx r
+    in
+    (match dep_blocker with
+     | None -> None
+     | Some w -> if nr_read nr r then None else Some w)
 
 let eligible mode ctx (r : Request.t) =
   match mode with
@@ -129,13 +130,7 @@ let eligible mode ctx (r : Request.t) =
       && gate_completed ctx r
     in
     if deps_ok then true
-    else
-      nr
-      && r.Request.kind = Request.Read
-      && not (ctx.conflicting_earlier_write r)
+    else nr_read nr r && not (ctx.conflicting_earlier_write r)
   | Flag { sem; nr } ->
     if flag_eligible sem ctx r then true
-    else
-      nr
-      && r.Request.kind = Request.Read
-      && not (ctx.conflicting_earlier_write r)
+    else nr_read nr r && not (ctx.conflicting_earlier_write r)

@@ -1,17 +1,22 @@
 type kind = Read | Write
 
+(* Fields are mutable so the driver can recycle request records
+   through a free pool instead of allocating one per I/O; outside the
+   driver a request is logically immutable from submit to
+   completion. *)
 type t = {
-  id : int;
-  kind : kind;
-  lbn : int;
-  nfrags : int;
-  payload : Su_fstypes.Types.cell array option;
-  flagged : bool;
-  gate : int option;
-  deps : int list;
-  sync : bool;
-  issue_time : float;
-  on_complete :
+  mutable id : int;
+  mutable kind : kind;
+  mutable lbn : int;
+  mutable nfrags : int;
+  mutable payload : Su_fstypes.Types.cell array option;
+  mutable flagged : bool;
+  mutable gate : int option;
+  mutable deps : int list;
+  mutable sync : bool;
+  mutable issue_time : float;
+  mutable start_time : float;
+  mutable on_complete :
     (Su_fstypes.Types.cell array option, Su_disk.Fault.error) result -> unit;
 }
 

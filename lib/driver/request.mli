@@ -1,21 +1,29 @@
-(** Disk requests as seen by the device driver. *)
+(** Disk requests as seen by the device driver.
+
+    Records are recycled through the driver's request pool, so the
+    fields are mutable; between [Driver.submit] and the completion
+    callback a record is logically immutable, and after completion it
+    must not be retained (its identity is reused for a later id). *)
 
 type kind = Read | Write
 
 type t = {
-  id : int;  (** unique, increasing in issue order *)
-  kind : kind;
-  lbn : int;
-  nfrags : int;
-  payload : Su_fstypes.Types.cell array option;  (** writes only *)
-  flagged : bool;  (** ordering flag (scheduler-flag schemes) *)
-  gate : int option;
+  mutable id : int;  (** unique, increasing in issue order *)
+  mutable kind : kind;
+  mutable lbn : int;
+  mutable nfrags : int;
+  mutable payload : Su_fstypes.Types.cell array option;  (** writes only *)
+  mutable flagged : bool;  (** ordering flag (scheduler-flag schemes) *)
+  mutable gate : int option;
       (** id of the most recent flagged request issued before this
           one, if any (assigned by the driver) *)
-  deps : int list;  (** ids this request must follow (scheduler chains) *)
-  sync : bool;  (** a process is blocked on this request *)
-  issue_time : float;
-  on_complete :
+  mutable deps : int list;  (** ids this request must follow (scheduler chains) *)
+  mutable sync : bool;  (** a process is blocked on this request *)
+  mutable issue_time : float;
+  mutable start_time : float;
+      (** device start time of the operation that carried it;
+          [issue_time] until dispatched *)
+  mutable on_complete :
     (Su_fstypes.Types.cell array option, Su_disk.Fault.error) result -> unit;
       (** [Ok data] on success ([Some cells] for reads); [Error e]
           after the driver's retry budget is exhausted *)

@@ -49,20 +49,37 @@ let note_failure t = t.nfailures <- t.nfailures + 1
 let io_retries t = t.nretries
 let io_failures t = t.nfailures
 
-let note t r =
-  (match r.r_kind with
+(* Field-wise fast path: the driver's completion loop measures a
+   request without materializing a [record] unless records are kept. *)
+let note_io t ~id ~kind ~lbn ~nfrags ~sync ~issue ~start ~complete =
+  (match kind with
    | Request.Read -> t.nreads <- t.nreads + 1
    | Request.Write -> t.nwrites <- t.nwrites + 1);
-  Hist.add t.access (r.r_complete -. r.r_start);
-  Hist.add t.response (r.r_complete -. r.r_issue);
-  Hist.add t.queue (r.r_start -. r.r_issue);
-  if r.r_sync then Hist.add t.sync_response (r.r_complete -. r.r_issue);
+  Hist.add t.access (complete -. start);
+  Hist.add t.response (complete -. issue);
+  Hist.add t.queue (start -. issue);
+  if sync then Hist.add t.sync_response (complete -. issue);
   if t.keep then begin
-    t.recs_rev <- r :: t.recs_rev;
+    t.recs_rev <-
+      {
+        r_id = id;
+        r_kind = kind;
+        r_lbn = lbn;
+        r_nfrags = nfrags;
+        r_sync = sync;
+        r_issue = issue;
+        r_start = start;
+        r_complete = complete;
+      }
+      :: t.recs_rev;
     t.recs_cache <- None
   end
 
-let note_qdepth t depth = Hist.add t.qdepth (float_of_int depth)
+let note t r =
+  note_io t ~id:r.r_id ~kind:r.r_kind ~lbn:r.r_lbn ~nfrags:r.r_nfrags
+    ~sync:r.r_sync ~issue:r.r_issue ~start:r.r_start ~complete:r.r_complete
+
+let note_qdepth t depth = Hist.add_int t.qdepth depth
 
 let requests t = t.nreads + t.nwrites
 let reads t = t.nreads

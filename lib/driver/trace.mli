@@ -19,6 +19,21 @@ val create : ?keep_records:bool -> unit -> t
 
 val note : t -> record -> unit
 
+val note_io :
+  t ->
+  id:int ->
+  kind:Request.kind ->
+  lbn:int ->
+  nfrags:int ->
+  sync:bool ->
+  issue:float ->
+  start:float ->
+  complete:float ->
+  unit
+(** Same accounting as {!note} taken field-wise; a [record] is only
+    materialized when [keep_records] is set, so the driver's hot
+    completion path avoids the allocation. *)
+
 val note_retry : t -> unit
 val note_failure : t -> unit
 

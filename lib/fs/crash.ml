@@ -4,7 +4,7 @@ let crash_at (w : Fs.world) time =
   Su_disk.Disk.image_snapshot w.Fs.disk
 
 let crash_points trace =
-  List.sort_uniq compare
+  List.sort_uniq Float.compare
     (List.filter_map
        (fun (r : Su_driver.Trace.record) ->
          match r.Su_driver.Trace.r_kind with

@@ -1,31 +1,54 @@
+(* The scalar accumulators (sum/min/max) live in a [floatarray]: in a
+   record that also holds non-float fields, mutable float members are
+   boxed and every store allocates; the flat float array keeps
+   [add] — called several times per simulated I/O — allocation-free. *)
 type t = {
   base : float;
   counts : int array;
   mutable n : int;
   mutable ndropped : int;
-  mutable sum : float;
-  mutable min_v : float;
-  mutable max_v : float;
+  fl : floatarray;  (* 0 = sum, 1 = min, 2 = max *)
 }
+
+let sum t = Float.Array.get t.fl 0
+let raw_min t = Float.Array.get t.fl 1
+let raw_max t = Float.Array.get t.fl 2
+
+let reset_fl t =
+  Float.Array.set t.fl 0 0.0;
+  Float.Array.set t.fl 1 infinity;
+  Float.Array.set t.fl 2 neg_infinity
 
 let create ?(base = 1e-6) ?(buckets = 64) () =
   if base <= 0.0 then invalid_arg "Hist.create: base must be positive";
   if buckets < 2 then invalid_arg "Hist.create: need at least two buckets";
-  {
-    base;
-    counts = Array.make buckets 0;
-    n = 0;
-    ndropped = 0;
-    sum = 0.0;
-    min_v = infinity;
-    max_v = neg_infinity;
-  }
+  let t =
+    { base; counts = Array.make buckets 0; n = 0; ndropped = 0;
+      fl = Float.Array.create 3 }
+  in
+  reset_fl t;
+  t
 
+(* For y >= 1, [1 + floor(log2 y)] is the bit width of the integer
+   part of y, so the log bucket costs integer shifts instead of a libm
+   [log2] call — [add] runs three or four times per completed I/O on
+   the driver's completion path. Quotients at or beyond 2^62 (beyond
+   [int_of_float] range) saturate into the last bucket, which a
+   64-bucket histogram would do anyway. *)
 let bucket_of t x =
   if x < t.base then 0
   else
-    let i = 1 + int_of_float (Float.log2 (x /. t.base)) in
-    min i (Array.length t.counts - 1)
+    let y = x /. t.base in
+    let last = Array.length t.counts - 1 in
+    if y >= 0x1p62 then last
+    else begin
+      let v = ref (int_of_float y) and w = ref 0 in
+      while !v > 0 do
+        incr w;
+        v := !v lsr 1
+      done;
+      if !w < last then !w else last
+    end
 
 (* upper bound of bucket [i] *)
 let bucket_hi t i = t.base *. (2.0 ** float_of_int i)
@@ -34,26 +57,52 @@ let add t x =
   if Float.is_nan x || x < 0.0 || x = infinity then
     t.ndropped <- t.ndropped + 1
   else begin
-    t.counts.(bucket_of t x) <- t.counts.(bucket_of t x) + 1;
+    let b = bucket_of t x in
+    t.counts.(b) <- t.counts.(b) + 1;
     t.n <- t.n + 1;
-    t.sum <- t.sum +. x;
-    if x < t.min_v then t.min_v <- x;
-    if x > t.max_v then t.max_v <- x
+    Float.Array.set t.fl 0 (Float.Array.get t.fl 0 +. x);
+    if x < Float.Array.get t.fl 1 then Float.Array.set t.fl 1 x;
+    if x > Float.Array.get t.fl 2 then Float.Array.set t.fl 2 x
+  end
+
+(* For [base = 1.0] the bucket of an integer sample is its bit width
+   (1 + floor(log2 d)), computed here with shifts so recording an
+   integer sample — the driver's per-dispatch queue depth — costs no
+   libm call and no float comparison chain. Any other base falls back
+   to [add]. *)
+let add_int t d =
+  if d < 0 then t.ndropped <- t.ndropped + 1
+  else if t.base <> 1.0 then add t (float_of_int d)
+  else begin
+    let b =
+      let v = ref d and w = ref 0 in
+      while !v > 0 do
+        incr w;
+        v := !v lsr 1
+      done;
+      let last = Array.length t.counts - 1 in
+      if !w < last then !w else last
+    in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.n <- t.n + 1;
+    let x = float_of_int d in
+    Float.Array.set t.fl 0 (Float.Array.get t.fl 0 +. x);
+    if x < Float.Array.get t.fl 1 then Float.Array.set t.fl 1 x;
+    if x > Float.Array.get t.fl 2 then Float.Array.set t.fl 2 x
   end
 
 let count t = t.n
 let dropped t = t.ndropped
-let sum t = t.sum
-let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
-let min_value t = if t.n = 0 then 0.0 else t.min_v
-let max_value t = if t.n = 0 then 0.0 else t.max_v
+let mean t = if t.n = 0 then 0.0 else sum t /. float_of_int t.n
+let min_value t = if t.n = 0 then 0.0 else raw_min t
+let max_value t = if t.n = 0 then 0.0 else raw_max t
 
 let percentile t p =
   if t.n = 0 then 0.0
   else begin
     let p = Float.max 0.0 (Float.min 100.0 p) in
-    if p = 0.0 then t.min_v
-    else if p = 100.0 then t.max_v
+    if p = 0.0 then raw_min t
+    else if p = 100.0 then raw_max t
     else
     let rank =
       let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
@@ -69,7 +118,7 @@ let percentile t p =
     let hi = bucket_hi t b in
     let lo = if b = 0 then t.base /. 2.0 else bucket_hi t (b - 1) in
     let est = sqrt (lo *. hi) in
-    Float.max t.min_v (Float.min t.max_v est)
+    Float.max (raw_min t) (Float.min (raw_max t) est)
   end
 
 let merge_into ~dst src =
@@ -78,17 +127,15 @@ let merge_into ~dst src =
   Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
   dst.n <- dst.n + src.n;
   dst.ndropped <- dst.ndropped + src.ndropped;
-  dst.sum <- dst.sum +. src.sum;
-  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
-  if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  Float.Array.set dst.fl 0 (sum dst +. sum src);
+  if raw_min src < raw_min dst then Float.Array.set dst.fl 1 (raw_min src);
+  if raw_max src > raw_max dst then Float.Array.set dst.fl 2 (raw_max src)
 
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.n <- 0;
   t.ndropped <- 0;
-  t.sum <- 0.0;
-  t.min_v <- infinity;
-  t.max_v <- neg_infinity
+  reset_fl t
 
 let buckets t =
   let acc = ref [] in

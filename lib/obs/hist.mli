@@ -23,6 +23,11 @@ val add : t -> float -> unit
 (** Record a non-negative sample. Negative or non-finite samples are
     counted in [dropped] and otherwise ignored. *)
 
+val add_int : t -> int -> unit
+(** [add_int t d] records [float_of_int d], bucketed identically to
+    [add], but when [base = 1.0] the bucket index is computed with
+    integer shifts — no libm call. Negative samples are dropped. *)
+
 val count : t -> int
 val dropped : t -> int
 val sum : t -> float

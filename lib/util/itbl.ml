@@ -1,0 +1,125 @@
+(* Open-addressing hash table keyed by non-negative ints: linear
+   probing, power-of-two capacity, backward-shift deletion (no
+   tombstones). The driver's dispatch index performs several keyed
+   lookups per simulated I/O; [Stdlib.Hashtbl] pays a C call into the
+   generic hash plus a bucket allocation per [replace], where this
+   table is a pair of flat arrays with an inline multiplicative hash —
+   no allocation on any operation except growth.
+
+   Missing keys map to a caller-supplied [absent] value (for the
+   driver's buckets, the empty list), which merges the usual
+   [find_opt] + default dance into one probe. [absent] must never be
+   [set]: use [remove] to restore a key to the absent state. *)
+
+type 'a t = {
+  mutable keys : int array;  (* -1 = empty slot *)
+  mutable vals : 'a array;
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable size : int;
+  absent : 'a;
+}
+
+let create ?(capacity = 16) ~absent () =
+  let cap =
+    let rec up c = if c >= capacity || c >= 1 lsl 30 then c else up (c * 2) in
+    up 8
+  in
+  {
+    keys = Array.make cap (-1);
+    vals = Array.make cap absent;
+    mask = cap - 1;
+    size = 0;
+    absent;
+  }
+
+(* Multiplicative mix; the xor-shift folds high bits down so keys with
+   a common power-of-two stride (block-aligned lbns) still spread. *)
+let[@inline] slot t k =
+  let h = k * 0x9E3779B1 in
+  (h lxor (h lsr 16)) land t.mask
+
+let length t = t.size
+
+let rec find_from t k i =
+  let key = t.keys.(i) in
+  if key = k then i
+  else if key = -1 then -1
+  else find_from t k ((i + 1) land t.mask)
+
+let get t k =
+  let i = find_from t k (slot t k) in
+  if i < 0 then t.absent else t.vals.(i)
+
+let mem t k = find_from t k (slot t k) >= 0
+
+let grow t =
+  let okeys = t.keys and ovals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap (-1);
+  t.vals <- Array.make cap t.absent;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = ref (slot t k) in
+        while t.keys.(!j) >= 0 do
+          j := (!j + 1) land t.mask
+        done;
+        t.keys.(!j) <- k;
+        t.vals.(!j) <- ovals.(i)
+      end)
+    okeys
+
+let set t k v =
+  if k < 0 then invalid_arg "Itbl.set: negative key";
+  if 2 * (t.size + 1) > t.mask + 1 then grow t;
+  let rec place i =
+    let key = t.keys.(i) in
+    if key = k then t.vals.(i) <- v
+    else if key = -1 then begin
+      t.keys.(i) <- k;
+      t.vals.(i) <- v;
+      t.size <- t.size + 1
+    end
+    else place ((i + 1) land t.mask)
+  in
+  place (slot t k)
+
+let remove t k =
+  let i = find_from t k (slot t k) in
+  if i >= 0 then begin
+    t.size <- t.size - 1;
+    (* Backward-shift: walk the probe chain after the hole and pull
+       back any entry whose home slot lies outside the cyclic range
+       (hole, current]; repeat from the entry's old position. *)
+    let mask = t.mask in
+    let hole = ref i in
+    let j = ref i in
+    let finished = ref false in
+    while not !finished do
+      t.keys.(!hole) <- -1;
+      t.vals.(!hole) <- t.absent;
+      let moved = ref false in
+      while not (!moved || !finished) do
+        j := (!j + 1) land mask;
+        let kj = t.keys.(!j) in
+        if kj = -1 then finished := true
+        else begin
+          let h = slot t kj in
+          let in_range =
+            if !hole < !j then h > !hole && h <= !j
+            else h > !hole || h <= !j
+          in
+          if not in_range then begin
+            t.keys.(!hole) <- kj;
+            t.vals.(!hole) <- t.vals.(!j);
+            hole := !j;
+            moved := true
+          end
+        end
+      done
+    done
+  end
+
+let iter f t =
+  Array.iteri (fun i k -> if k >= 0 then f k t.vals.(i)) t.keys

@@ -1,0 +1,35 @@
+(** Open-addressing hash table with non-negative int keys.
+
+    Built for per-event lookups on the simulator's hot paths: linear
+    probing over flat arrays, an inline multiplicative hash (no C call
+    into the generic hash), and backward-shift deletion so probe
+    chains stay short without tombstones. No operation allocates
+    except internal growth.
+
+    Missing keys map to the [absent] value given at creation, merging
+    [find_opt] + default into a single probe. [absent] is a sentinel:
+    storing it with [set] is not meaningful — use [remove]. *)
+
+type 'a t
+
+val create : ?capacity:int -> absent:'a -> unit -> 'a t
+(** [create ~absent ()] makes an empty table. [capacity] is rounded up
+    to a power of two (minimum 8). *)
+
+val get : 'a t -> int -> 'a
+(** [get t k] is the value bound to [k], or [absent] if unbound. *)
+
+val mem : 'a t -> int -> bool
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t k v] binds [k] to [v], replacing any previous binding.
+    Raises [Invalid_argument] if [k < 0]. *)
+
+val remove : 'a t -> int -> unit
+(** [remove t k] unbinds [k]; no-op if unbound. *)
+
+val length : 'a t -> int
+(** Number of bound keys. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f] to every binding, in unspecified order. *)

@@ -41,7 +41,7 @@ let of_list xs =
   t
 
 let percentile xs p =
-  match List.sort compare xs with
+  match List.sort Float.compare xs with
   | [] -> 0.0
   | sorted ->
     let n = List.length sorted in

@@ -465,6 +465,7 @@ let prop_first_blocker_agrees_with_eligible =
           deps;
           sync = false;
           issue_time = 0.0;
+          start_time = 0.0;
           on_complete = (fun _ -> ());
         }
       in
@@ -481,9 +482,61 @@ let prop_first_blocker_agrees_with_eligible =
       | None -> Ordering.eligible mode ctx r
       | Some w -> List.mem w outstanding && not (Ordering.eligible mode ctx r))
 
+(* The driver recycles request records through a pool; far more
+   requests than the pool's growth quantum guarantees reuse. Every
+   write carries a distinct payload, every read must observe exactly
+   the latest write to its block, and every callback fires exactly
+   once — a stale payload, dependency list or completion callback
+   surviving recycling would break one of these. *)
+let test_request_pool_recycling () =
+  let e, _, drv = mk () in
+  let nblocks = 32 in
+  let rounds = 20 in
+  let completions = ref 0 in
+  let failures = ref 0 in
+  let stamp round lbn = Types.Written { inum = round; gen = lbn; flbn = round * 1000 + lbn } in
+  for round = 0 to rounds - 1 do
+    for lbn = 0 to nblocks - 1 do
+      (* alternate flagged/dep-carrying writes so gate/deps fields are
+         populated in some lives and absent in others *)
+      ignore
+        (Driver.submit drv ~kind:Request.Write ~lbn ~nfrags:1
+           ~flagged:(lbn mod 7 = 0)
+           ~payload:[| Types.Frag (stamp round lbn) |]
+           ~on_complete:(fun res ->
+             incr completions;
+             if Result.is_error res then incr failures)
+           ())
+    done;
+    Engine.run e
+  done;
+  (* read everything back: each block must hold its final write *)
+  for lbn = 0 to nblocks - 1 do
+    ignore
+      (Driver.submit drv ~kind:Request.Read ~lbn ~nfrags:1
+         ~on_complete:(fun res ->
+           incr completions;
+           match res with
+           | Ok (Some cells) ->
+             let expect = Types.Frag (stamp (rounds - 1) lbn) in
+             if cells.(0) <> expect then
+               Alcotest.failf "lbn %d: stale payload after recycling" lbn
+           | Ok None -> Alcotest.failf "lbn %d: read returned no data" lbn
+           | Error _ -> Alcotest.failf "lbn %d: read failed" lbn)
+         ())
+  done;
+  Engine.run e;
+  Alcotest.(check int) "every callback fired exactly once"
+    ((rounds * nblocks) + nblocks)
+    !completions;
+  Alcotest.(check int) "no failures" 0 !failures;
+  Alcotest.(check int) "nothing outstanding" 0 (Driver.outstanding drv)
+
 let suite =
   [
     Alcotest.test_case "all complete" `Quick test_all_complete;
+    Alcotest.test_case "request pool recycling" `Quick
+      test_request_pool_recycling;
     QCheck_alcotest.to_alcotest prop_first_blocker_agrees_with_eligible;
     QCheck_alcotest.to_alcotest prop_full_flag_total_barrier;
     QCheck_alcotest.to_alcotest prop_back_flag_freezes_prefix;

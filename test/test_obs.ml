@@ -80,6 +80,38 @@ let sample_doc =
         Json.List [ Json.Int 1; Json.Str "two"; Json.List []; Json.Obj [] ] );
     ]
 
+(* [add_int]'s shift-based bucketing must agree exactly with [add] on
+   the float value, across powers of two and their neighbours (where
+   an off-by-one in the log would land in the wrong bucket), for both
+   the integer fast path (base 1.0) and the fallback. *)
+let test_hist_add_int_matches_add () =
+  List.iter
+    (fun base ->
+      let a = Hist.create ~base ~buckets:32 () in
+      let b = Hist.create ~base ~buckets:32 () in
+      let samples =
+        [ 0; 1; 2; 3; 4; 7; 8; 9; 63; 64; 65; 1023; 1024; 1025; 123_456 ]
+      in
+      List.iter
+        (fun d ->
+          Hist.add a (float_of_int d);
+          Hist.add_int b d)
+        samples;
+      Alcotest.(check int)
+        (Printf.sprintf "count at base %g" base)
+        (Hist.count a) (Hist.count b);
+      Alcotest.(check (list (pair (float 1e-9) int)))
+        (Printf.sprintf "buckets at base %g" base)
+        (Hist.buckets a) (Hist.buckets b);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "sum at base %g" base)
+        (Hist.sum a) (Hist.sum b))
+    [ 1.0; 0.5 ];
+  let h = Hist.create ~base:1.0 () in
+  Hist.add_int h (-3);
+  Alcotest.(check int) "negative dropped" 1 (Hist.dropped h);
+  Alcotest.(check int) "negative not counted" 0 (Hist.count h)
+
 let test_json_roundtrip () =
   List.iter
     (fun render ->
@@ -216,6 +248,8 @@ let suite =
     Alcotest.test_case "hist bucketed percentiles" `Quick
       test_hist_percentile_bucketed;
     Alcotest.test_case "hist merge" `Quick test_hist_merge;
+    Alcotest.test_case "hist add_int matches add" `Quick
+      test_hist_add_int_matches_add;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json floats exact" `Quick test_json_float_exact;
     Alcotest.test_case "json non-finite is null" `Quick

@@ -162,6 +162,174 @@ let test_cpu_fcfs () =
   Alcotest.(check (float 1e-9)) "b charged" 1.0 (Proc.cpu_time b);
   Alcotest.(check (float 1e-9)) "cpu busy total" 3.0 (Cpu.busy_time cpu)
 
+(* --- run ~until resume semantics (flat event core) ------------------- *)
+
+let test_run_until_resume () =
+  (* two bounded runs must equal one longer run, log and clock alike *)
+  let mk_world () =
+    let e = Engine.create () in
+    let log = ref [] in
+    List.iter
+      (fun t -> Engine.at e t (fun () -> log := t :: !log))
+      [ 5.0; 1.0; 3.0; 3.0; 8.0 ];
+    (e, log)
+  in
+  let e1, log1 = mk_world () in
+  Engine.run ~until:4.0 e1;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 4.0 (Engine.now e1);
+  Alcotest.(check int) "future events stay queued" 2 (Engine.pending e1);
+  Engine.run ~until:9.0 e1;
+  let e2, log2 = mk_world () in
+  Engine.run ~until:9.0 e2;
+  Alcotest.(check (list (float 1e-9))) "same firing order" !log2 !log1;
+  Alcotest.(check (float 1e-9)) "same clock" (Engine.now e2) (Engine.now e1);
+  Alcotest.(check int) "same residue" (Engine.pending e2) (Engine.pending e1)
+
+let test_run_until_never_rewinds () =
+  let e = Engine.create () in
+  Engine.at e 5.0 (fun () -> ());
+  Engine.run ~until:2.0 e;
+  Alcotest.(check (float 1e-9)) "clamped forward" 2.0 (Engine.now e);
+  Engine.run ~until:1.0 e;
+  Alcotest.(check (float 1e-9)) "smaller horizon is a no-op" 2.0 (Engine.now e);
+  Alcotest.(check int) "event still queued" 1 (Engine.pending e);
+  Engine.run ~until:5.0 e;
+  Alcotest.(check (float 1e-9)) "event picked up" 5.0 (Engine.now e);
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_run_until_halted () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.at e 1.0 (fun () ->
+      incr count;
+      Engine.stop e);
+  Engine.at e 2.0 (fun () -> incr count);
+  Engine.run ~until:10.0 e;
+  Alcotest.(check int) "halted after first" 1 !count;
+  Alcotest.(check (float 1e-9)) "clock stays at halt" 1.0 (Engine.now e);
+  Alcotest.(check int) "event stays queued" 1 (Engine.pending e);
+  Engine.run ~until:10.0 e;
+  Engine.run e;
+  Alcotest.(check int) "halt is sticky" 1 !count;
+  Alcotest.(check (float 1e-9)) "clock pinned" 1.0 (Engine.now e)
+
+let test_handlers_interleave_closures () =
+  (* registered-handler events and closure events share one (time,
+     seq) order *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let h = Engine.register e (fun arg -> log := arg :: !log) in
+  Engine.at e 1.0 (fun () -> log := 100 :: !log);
+  Engine.at_handler e 1.0 h 1;
+  Engine.at e 1.0 (fun () -> log := 101 :: !log);
+  Engine.after_handler e 0.5 h 2;
+  Engine.run e;
+  Alcotest.(check (list int)) "scheduling order within equal times"
+    [ 2; 100; 1; 101 ] (List.rev !log)
+
+let test_null_handler_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "null handler"
+    (Invalid_argument "Engine.at_handler: bad handler") (fun () ->
+      Engine.at_handler e 1.0 Engine.null 0)
+
+let test_free_list_bounds_capacity () =
+  (* ten self-rescheduling chains keep at most ten events pending;
+     slot recycling must hold the backing arrays at their first
+     power-of-two size no matter how many events execute *)
+  let e = Engine.create () in
+  let remaining = ref 1000 in
+  let h_ref = ref Engine.null in
+  let h =
+    Engine.register e (fun i ->
+        if !remaining > 0 then begin
+          decr remaining;
+          Engine.after_handler e 0.1 !h_ref i
+        end)
+  in
+  h_ref := h;
+  for i = 1 to 10 do
+    Engine.at_handler e (0.01 *. float_of_int i) h i
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all chains ran" 0 !remaining;
+  Alcotest.(check bool) "capacity stayed at high-water mark" true
+    (Engine.capacity e <= 16)
+
+(* Reference model for the flat queue: a sorted association list with
+   explicit (time, seq) keys and the documented [run ~until] clock
+   rules. Random schedule/run interleavings must agree exactly. *)
+let prop_flat_queue_matches_sorted_model =
+  let print_ops ops =
+    String.concat ";"
+      (List.map
+         (function
+           | `S t -> Printf.sprintf "S %g" t
+           | `R u -> Printf.sprintf "R %g" u)
+         ops)
+  in
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map (fun t -> `S t) (float_bound_inclusive 10.0));
+          (1, map (fun u -> `R u) (float_bound_inclusive 12.0));
+        ])
+  in
+  let arb_ops =
+    QCheck.make ~print:print_ops QCheck.Gen.(list_size (1 -- 60) gen_op)
+  in
+  QCheck.Test.make ~name:"flat event queue matches sorted-list model"
+    ~count:300 arb_ops (fun ops ->
+      (* real engine *)
+      let e = Engine.create () in
+      let log = ref [] in
+      let n = ref 0 in
+      List.iter
+        (function
+          | `S t ->
+            let i = !n in
+            incr n;
+            Engine.at e t (fun () -> log := i :: !log)
+          | `R u -> Engine.run ~until:u e)
+        ops;
+      Engine.run e;
+      (* model *)
+      let clock = ref 0.0 and seq = ref 0 and q = ref [] and mlog = ref [] in
+      let mi = ref 0 in
+      let msched t =
+        let t = if t >= !clock then t else !clock in
+        incr seq;
+        q := (t, !seq, !mi) :: !q;
+        incr mi
+      in
+      let mrun u =
+        let continue_ = ref true in
+        while !continue_ do
+          match
+            List.sort
+              (fun (t1, s1, _) (t2, s2, _) ->
+                let c = Float.compare t1 t2 in
+                if c <> 0 then c else Int.compare s1 s2)
+              !q
+          with
+          | [] -> continue_ := false
+          | (t, _, i) :: rest ->
+            if t > u then begin
+              if u > !clock && u < infinity then clock := u;
+              continue_ := false
+            end
+            else begin
+              q := rest;
+              clock := t;
+              mlog := i :: !mlog
+            end
+        done
+      in
+      List.iter (function `S t -> msched t | `R u -> mrun u) ops;
+      mrun infinity;
+      !mlog = !log && Float.equal !clock (Engine.now e))
+
 let prop_engine_monotonic_clock =
   QCheck.Test.make ~name:"engine clock is monotonic" ~count:100
     QCheck.(list_of_size Gen.(1 -- 30) (float_bound_inclusive 10.0))
@@ -183,6 +351,17 @@ let suite =
     Alcotest.test_case "event order" `Quick test_event_order;
     Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
     Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "run until resume" `Quick test_run_until_resume;
+    Alcotest.test_case "run until never rewinds" `Quick
+      test_run_until_never_rewinds;
+    Alcotest.test_case "run until halted" `Quick test_run_until_halted;
+    Alcotest.test_case "handlers interleave closures" `Quick
+      test_handlers_interleave_closures;
+    Alcotest.test_case "null handler rejected" `Quick
+      test_null_handler_rejected;
+    Alcotest.test_case "free list bounds capacity" `Quick
+      test_free_list_bounds_capacity;
+    QCheck_alcotest.to_alcotest prop_flat_queue_matches_sorted_model;
     Alcotest.test_case "stop" `Quick test_stop;
     Alcotest.test_case "proc sleep" `Quick test_proc_sleep;
     Alcotest.test_case "proc join" `Quick test_proc_join;

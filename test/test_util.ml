@@ -327,6 +327,159 @@ let test_pool_empty_and_single () =
   let one = Pool.map ~jobs:4 1 (fun i -> i + 7) in
   Alcotest.(check int) "n=1" 7 one.(0)
 
+(* --- hierarchical bitset vs. IntSet model ---------------------------- *)
+
+module IntSet = Set.Make (Int)
+
+let prop_bitset_matches_intset =
+  let print_ops ops =
+    String.concat ";"
+      (List.map
+         (function
+           | `Set i -> Printf.sprintf "+%d" i
+           | `Clear i -> Printf.sprintf "-%d" i
+           | `Next i -> Printf.sprintf "?%d" i)
+         ops)
+  in
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (fun i -> `Set i) (int_bound 2000));
+          (2, map (fun i -> `Clear i) (int_bound 2000));
+          (2, map (fun i -> `Next i) (int_bound 2100));
+        ])
+  in
+  let arb = QCheck.make ~print:print_ops QCheck.Gen.(list_size (1 -- 200) gen_op) in
+  QCheck.Test.make ~name:"bitset matches IntSet model" ~count:300 arb
+    (fun ops ->
+      let b = Bitset.create () in
+      let model = ref IntSet.empty in
+      List.for_all
+        (function
+          | `Set i ->
+            Bitset.set b i;
+            model := IntSet.add i !model;
+            Bitset.mem b i
+          | `Clear i ->
+            Bitset.clear b i;
+            model := IntSet.remove i !model;
+            not (Bitset.mem b i)
+          | `Next i ->
+            let expect =
+              match IntSet.find_first_opt (fun x -> x >= i) !model with
+              | Some x -> x
+              | None -> -1
+            in
+            Bitset.next_geq b i = expect
+            && Bitset.min_elt b
+               = (match IntSet.min_elt_opt !model with
+                  | Some x -> x
+                  | None -> -1)
+            && Bitset.is_empty b = IntSet.is_empty !model)
+        ops)
+
+(* Itbl backs the driver's dispatch index; check it against the stdlib
+   hash table. Keys are drawn from a small range against a tiny
+   initial capacity so probe clusters, growth, and backward-shift
+   deletion inside clusters are all exercised. *)
+let prop_itbl_matches_model =
+  let print_ops ops =
+    String.concat " "
+      (List.map
+         (function
+           | `Set (k, v) -> Printf.sprintf "%d:=%d" k v
+           | `Remove k -> Printf.sprintf "-%d" k
+           | `Get k -> Printf.sprintf "?%d" k)
+         ops)
+  in
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map2 (fun k v -> `Set (k, v)) (int_bound 64) (int_bound 1000));
+          (2, map (fun k -> `Remove k) (int_bound 64));
+          (2, map (fun k -> `Get k) (int_bound 64));
+        ])
+  in
+  let arb =
+    QCheck.make ~print:print_ops QCheck.Gen.(list_size (1 -- 300) gen_op)
+  in
+  QCheck.Test.make ~name:"itbl matches Hashtbl model" ~count:300 arb
+    (fun ops ->
+      let t = Itbl.create ~capacity:8 ~absent:(-1) () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      List.for_all
+        (function
+          | `Set (k, v) ->
+            Itbl.set t k v;
+            Hashtbl.replace model k v;
+            Itbl.get t k = v
+          | `Remove k ->
+            Itbl.remove t k;
+            Hashtbl.remove model k;
+            (not (Itbl.mem t k)) && Itbl.get t k = -1
+          | `Get k ->
+            Itbl.get t k
+            = (match Hashtbl.find_opt model k with Some v -> v | None -> -1)
+            && Itbl.mem t k = Hashtbl.mem model k)
+        ops
+      && Itbl.length t = Hashtbl.length model
+      &&
+      let pairs = ref [] in
+      Itbl.iter (fun k v -> pairs := (k, v) :: !pairs) t;
+      List.sort compare !pairs
+      = List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []))
+
+let test_itbl_basics () =
+  let t = Itbl.create ~capacity:8 ~absent:0 () in
+  Alcotest.(check int) "absent for unbound" 0 (Itbl.get t 42);
+  Alcotest.(check bool) "mem unbound" false (Itbl.mem t 42);
+  Itbl.set t 42 7;
+  Alcotest.(check int) "bound" 7 (Itbl.get t 42);
+  Itbl.set t 42 8;
+  Alcotest.(check int) "rebound replaces" 8 (Itbl.get t 42);
+  Alcotest.(check int) "length counts keys" 1 (Itbl.length t);
+  (* force growth past the initial capacity, then delete half: the
+     survivors must stay reachable through shifted probe chains *)
+  for k = 0 to 15 do
+    Itbl.set t k (k * 10)
+  done;
+  for k = 0 to 15 do
+    if k mod 2 = 0 then Itbl.remove t k
+  done;
+  for k = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d after churn" k)
+      (if k mod 2 = 1 then k * 10 else 0)
+      (Itbl.get t k)
+  done;
+  Alcotest.(check int) "length after churn" 9 (Itbl.length t);
+  Alcotest.check_raises "negative key rejected"
+    (Invalid_argument "Itbl.set: negative key") (fun () -> Itbl.set t (-1) 1)
+
+let test_bitset_growth_and_bounds () =
+  let b = Bitset.create () in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Alcotest.(check int) "next on empty" (-1) (Bitset.next_geq b 0);
+  Bitset.set b 0;
+  Bitset.set b 100_000;
+  Alcotest.(check bool) "low member" true (Bitset.mem b 0);
+  Alcotest.(check bool) "high member after growth" true (Bitset.mem b 100_000);
+  Alcotest.(check int) "skips the gap" 100_000 (Bitset.next_geq b 1);
+  Alcotest.(check int) "negative query clamps" 0 (Bitset.next_geq b (-5));
+  Bitset.clear b 0;
+  Alcotest.(check int) "min after clear" 100_000 (Bitset.min_elt b);
+  Bitset.clear b 100_000;
+  Alcotest.(check bool) "empty again" true (Bitset.is_empty b);
+  (* members are visited in increasing order *)
+  List.iter (Bitset.set b) [ 9; 3; 500; 77 ];
+  let seen = ref [] in
+  Bitset.iter b (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "iter ascending" [ 3; 9; 77; 500 ]
+    (List.rev !seen)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -346,6 +499,11 @@ let suite =
     Alcotest.test_case "lru insert by stamp" `Quick test_lru_insert_by_stamp;
     Alcotest.test_case "lru find skips" `Quick test_lru_find_skips;
     QCheck_alcotest.to_alcotest prop_lru_matches_model;
+    QCheck_alcotest.to_alcotest prop_bitset_matches_intset;
+    Alcotest.test_case "bitset growth and bounds" `Quick
+      test_bitset_growth_and_bounds;
+    QCheck_alcotest.to_alcotest prop_itbl_matches_model;
+    Alcotest.test_case "itbl basics" `Quick test_itbl_basics;
     Alcotest.test_case "stats basic" `Quick test_stats_basic;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "percentile" `Quick test_percentile;
