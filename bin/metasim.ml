@@ -53,6 +53,70 @@ let nvram_arg =
     value & opt int 0
     & info [ "nvram" ] ~doc:"Battery-backed disk write cache in MB (0 = none).")
 
+(* --- device-fault flags (run / fuzz) --------------------------------
+
+   Validating convs, like [run]'s benchmark name: a rate outside
+   [0, 1] or a negative sector is a command-line error with a non-zero
+   exit, not a silently absurd fault model. *)
+
+let rate_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+    | Some _ -> Error (`Msg "fault rate must lie in [0, 1]")
+    | None -> Error (`Msg (Printf.sprintf "invalid rate %S" s))
+  in
+  Arg.conv (parse, fun ppf r -> Format.fprintf ppf "%g" r)
+
+let nonneg_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (`Msg (what ^ " must be non-negative"))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"S"
+        ~doc:"PRNG seed for the device fault model (replays identically).")
+
+let fault_rate_flag =
+  Arg.(
+    value
+    & opt rate_conv 0.0
+    & info [ "fault-rate" ] ~docv:"R"
+        ~doc:
+          "Transient read/write failure probability per device attempt, in \
+           [0, 1] (0 = perfect device). Implies occasional stalls and torn \
+           writes, as $(b,Su_disk.Fault.transient).")
+
+let bad_sectors_arg =
+  Arg.(
+    value
+    & opt (list (nonneg_conv "sector")) []
+    & info [ "bad-sectors" ] ~docv:"LBN,..."
+        ~doc:"Fragments that fail permanently on every access.")
+
+let spares_arg ~default =
+  Arg.(
+    value
+    & opt (nonneg_conv "spare count") default
+    & info [ "spares" ] ~docv:"N"
+        ~doc:
+          "Spare fragments for bad-sector remapping (0 = no remap layer; \
+           the simulation is then bit-identical to a fault-intolerant \
+           build).")
+
+let fault_of ~seed ~rate ~bad_sectors =
+  if rate = 0.0 && bad_sectors = [] then Su_disk.Fault.none
+  else if rate > 0.0 then
+    { (Su_disk.Fault.transient ~seed ~rate ()) with
+      Su_disk.Fault.bad_sectors }
+  else { Su_disk.Fault.none with Su_disk.Fault.seed; bad_sectors }
+
 let make_cfg ?sink scheme alloc_init nvram =
   let cfg =
     { (Fs.config ~scheme ()) with Fs.nvram_mb = nvram; Fs.trace_sink = sink }
@@ -124,13 +188,28 @@ let run_cmd =
              operation, cache transition and I/O issue/start/complete) to \
              $(docv).")
   in
-  let run bench scheme users seed alloc_init nvram files json trace_out =
+  let scrub_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "scrub-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Background scrubber wake-up period in simulated seconds \
+             (0 = no scrubber).")
+  in
+  let run bench scheme users seed alloc_init nvram files json trace_out
+      fault_seed fault_rate bad_sectors spares scrub_interval =
     let sink =
       match trace_out with
       | None -> None
       | Some _ -> Some (Su_obs.Events.create ())
     in
-    let cfg = make_cfg ?sink scheme alloc_init nvram in
+    let cfg =
+      { (make_cfg ?sink scheme alloc_init nvram) with
+        Fs.fault = fault_of ~seed:fault_seed ~rate:fault_rate ~bad_sectors;
+        spare_frags = spares;
+        scrub_interval }
+    in
     let emit_json fields =
       print_endline
         (Su_obs.Json.to_string_pretty
@@ -214,7 +293,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one benchmark under one ordering scheme.")
     Term.(
       const run $ bench_arg $ scheme_arg $ users_arg $ seed_arg
-      $ alloc_init_arg $ nvram_arg $ files_arg $ json_arg $ trace_out_arg)
+      $ alloc_init_arg $ nvram_arg $ files_arg $ json_arg $ trace_out_arg
+      $ fault_seed_arg $ fault_rate_flag $ bad_sectors_arg
+      $ spares_arg ~default:0 $ scrub_arg)
 
 let crash_cmd =
   let time_arg =
@@ -530,6 +611,169 @@ let crashsweep_cmd =
       $ fault_rate_arg $ jobs_arg $ max_boundaries_arg $ nested_arg
       $ fail_fast_arg $ demand_arg)
 
+let faultsweep_cmd =
+  let schemes_arg =
+    Arg.(
+      value
+      & opt (some (list scheme_conv)) None
+      & info [ "schemes" ]
+          ~doc:
+            "Comma-separated schemes to sweep (default: the paper's five \
+             plus journaled).")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (list string) [ "smallfiles"; "dirtree"; "renamefile"; "renamedir" ]
+      & info [ "w"; "workloads" ]
+          ~doc:
+            "Comma-separated built-in workloads: smallfiles, dirtree, \
+             renamefile, renamedir.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for the per-sector runs (default 1 = serial; 0 \
+             = one per core). Verdicts and output are byte-identical at any \
+             value.")
+  in
+  let max_sectors_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-sectors" ]
+          ~doc:
+            "Cap the sectors injected per sweep (smoke runs; default: every \
+             touched sector).")
+  in
+  let fail_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:"Stop at the first verdict that breaks survive-or-fail-clean.")
+  in
+  let sweep_cfg scheme =
+    (* compact volume, as in crashsweep: the campaign re-runs the
+       whole workload once per touched sector *)
+    {
+      (Fs.config ~scheme ()) with
+      Fs.geom = Su_fstypes.Geom.v ~mb:32 ~cg_mb:16 ~inodes_per_cg:1024 ();
+      cache_mb = 4;
+      journal_mb = 2;
+    }
+  in
+  let run schemes workload_names jobs spares max_sectors fail_fast =
+    let schemes =
+      match schemes with
+      | Some s -> s
+      | None -> Fs.all_schemes @ [ Fs.Journaled { group_commit = false } ]
+    in
+    let workloads =
+      List.filter_map
+        (fun name ->
+          match Su_check.Explorer.find_workload name with
+          | Some w -> Some w
+          | None ->
+            Printf.eprintf "unknown workload %S (skipped)\n" name;
+            None)
+        workload_names
+    in
+    if workloads = [] then begin
+      prerr_endline "faultsweep: no valid workloads left to sweep";
+      exit 2
+    end;
+    let table =
+      Su_util.Text_table.create
+        ~title:
+          (Printf.sprintf
+             "fault sweep: a permanent bad sector at every touched fragment \
+              (%d spares)"
+             spares)
+        ~headers:
+          [
+            "scheme"; "workload"; "sectors"; "swept"; "completed"; "typed";
+            "escaped"; "remaps"; "violations"; "verdict";
+          ]
+    in
+    let failed = ref false in
+    (try
+       List.iter
+         (fun scheme ->
+           List.iter
+             (fun wl ->
+               let s =
+                 Su_check.Faultsweep.sweep ~jobs ~spares ?max_sectors
+                   ~fail_fast ~cfg:(sweep_cfg scheme) wl
+               in
+               let ok = Su_check.Faultsweep.ok s in
+               Su_util.Text_table.add_row table
+                 [
+                   Fs.scheme_kind_name scheme;
+                   s.Su_check.Faultsweep.fs_workload;
+                   Su_util.Text_table.cell_i s.Su_check.Faultsweep.fs_sectors;
+                   Su_util.Text_table.cell_i s.Su_check.Faultsweep.fs_swept;
+                   Su_util.Text_table.cell_i s.Su_check.Faultsweep.fs_completed;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Faultsweep.fs_failed_typed;
+                   Su_util.Text_table.cell_i s.Su_check.Faultsweep.fs_escaped;
+                   Su_util.Text_table.cell_i s.Su_check.Faultsweep.fs_remaps;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Faultsweep.fs_violations;
+                   (if ok then "survives-or-fails-clean" else "BROKEN *");
+                 ];
+               if not ok then begin
+                 failed := true;
+                 List.iter
+                   (fun v ->
+                     if not (Su_check.Faultsweep.fv_clean v) then
+                       Printf.eprintf
+                         "  %s/%s sector %d: %s%s (pre %d, converged %b, \
+                          post %d, remount %b)\n"
+                         (Fs.scheme_kind_name scheme)
+                         s.Su_check.Faultsweep.fs_workload
+                         v.Su_check.Faultsweep.fv_sector
+                         (Su_check.Faultsweep.outcome_name
+                            v.Su_check.Faultsweep.fv_outcome)
+                         (match v.Su_check.Faultsweep.fv_outcome with
+                          | Su_check.Faultsweep.Failed_typed m
+                          | Su_check.Faultsweep.Escaped m ->
+                            " [" ^ m ^ "]"
+                          | Su_check.Faultsweep.Completed -> "")
+                         v.Su_check.Faultsweep.fv_pre_violations
+                         v.Su_check.Faultsweep.fv_repair_converged
+                         v.Su_check.Faultsweep.fv_post_violations
+                         v.Su_check.Faultsweep.fv_remount_ok)
+                   s.Su_check.Faultsweep.fs_verdicts;
+                 if fail_fast then raise Exit
+               end)
+             workloads)
+         schemes
+     with Exit -> ());
+    Su_util.Text_table.print table;
+    if !failed then begin
+      prerr_endline
+        (if fail_fast then
+           "faultsweep: violation found (stopped early; * marks the failing \
+            row)"
+         else "faultsweep: violation found (* marks failing rows)");
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "faultsweep"
+       ~doc:
+         "Systematically inject a permanent bad sector at every distinct \
+          fragment a workload touches and verify survive-or-fail-clean per \
+          scheme: each run either completes (the remap/replica machinery \
+          absorbed the fault) or stops with a typed error leaving a \
+          repairable, remountable image. Exits non-zero on any escape or \
+          unclean failure.")
+    Term.(
+      const run $ schemes_arg $ workloads_arg $ jobs_arg
+      $ spares_arg ~default:64 $ max_sectors_arg $ fail_fast_arg)
+
 let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed.")
@@ -583,16 +827,17 @@ let fuzz_cmd =
       value & flag
       & info [ "fail-fast" ] ~doc:"Stop at the first failing case.")
   in
-  let fuzz_cfg scheme =
+  let fuzz_cfg ~fault scheme =
     {
       (Fs.config ~scheme ()) with
       Fs.geom = Su_fstypes.Geom.v ~mb:32 ~cg_mb:16 ~inodes_per_cg:1024 ();
       cache_mb = 4;
       journal_mb = 2;
+      fault;
     }
   in
   let run seed0 ops_n count schemes jobs max_boundaries no_torn no_nested
-      fail_fast =
+      fail_fast fault_seed fault_rate =
     let schemes =
       match schemes with
       | Some s -> s
@@ -616,7 +861,12 @@ let fuzz_cmd =
     (try
        List.iter
          (fun scheme ->
-           let cfg = fuzz_cfg scheme in
+           let cfg =
+             fuzz_cfg
+               ~fault:
+                 (fault_of ~seed:fault_seed ~rate:fault_rate ~bad_sectors:[])
+               scheme
+           in
            for k = 0 to count - 1 do
              let seed = seed0 + k in
              let ops = Fuzz.gen ~seed ~ops:ops_n in
@@ -678,7 +928,8 @@ let fuzz_cmd =
           violation to a minimal reproducer. Exits non-zero on failure.")
     Term.(
       const run $ seed_arg $ ops_arg $ count_arg $ schemes_arg $ jobs_arg
-      $ max_boundaries_arg $ no_torn_arg $ no_nested_arg $ fail_fast_arg)
+      $ max_boundaries_arg $ no_torn_arg $ no_nested_arg $ fail_fast_arg
+      $ fault_seed_arg $ fault_rate_flag)
 
 let trace_cmd =
   let count_arg =
@@ -808,6 +1059,24 @@ let exp_cmd =
           fanned out across domains with --jobs.")
     Term.(const run $ names_arg $ quick_arg $ jobs_arg $ json_arg)
 
+(* Typed simulation failures must reach the shell as one clean stderr
+   line and a distinct exit code (3), not an OCaml backtrace: a run
+   against a fault model that exhausts the stack's tolerance is an
+   expected outcome for scripts to branch on, not a crash. Exceptions
+   raised inside simulated processes arrive wrapped in
+   [Proc.Process_failure]; unwrap before classifying. *)
+let rec typed_error = function
+  | Su_sim.Proc.Process_failure (_, e) -> typed_error e
+  | Fsops.Eio msg -> Some ("I/O error: " ^ msg)
+  | Fsops.Erofs msg -> Some ("read-only file system: " ^ msg)
+  | Su_cache.Bcache.Io_error e ->
+    Some ("I/O error: " ^ Su_disk.Fault.error_to_string e)
+  | Su_cache.Bcache.Stuck { op; detail; buffers } ->
+    Some (Su_cache.Bcache.stuck_to_string ~op ~detail buffers)
+  | Fs.Mount_failure msg -> Some ("mount failure: " ^ msg)
+  | Failure msg -> Some msg
+  | _ -> None
+
 let () =
   let info =
     Cmd.info "metasim"
@@ -815,7 +1084,21 @@ let () =
         "Simulated UNIX FFS with five metadata update ordering schemes \
          (Ganger & Patt, OSDI 1994)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ run_cmd; crash_cmd; crashsweep_cmd; fuzz_cmd; trace_cmd; exp_cmd ]))
+  let cmds =
+    [
+      run_cmd; crash_cmd; crashsweep_cmd; faultsweep_cmd; fuzz_cmd; trace_cmd;
+      exp_cmd;
+    ]
+  in
+  match Cmd.eval_value ~catch:false (Cmd.group info cmds) with
+  | Ok (`Ok ()) -> exit 0
+  | Ok (`Help | `Version) -> exit 0
+  | Error `Parse -> exit Cmd.Exit.cli_error
+  | Error `Term -> exit Cmd.Exit.internal_error
+  | Error `Exn -> exit Cmd.Exit.internal_error
+  | exception e -> (
+    match typed_error e with
+    | Some msg ->
+      Printf.eprintf "metasim: %s\n" msg;
+      exit 3
+    | None -> raise e)

@@ -88,6 +88,9 @@ type t = {
   mutable lru_counter : int;
   space_waiters : Sync.Waitq.t;
   mutable workitems : (unit -> unit) list;  (* reversed *)
+  mutable last_io_error : Su_disk.Fault.error option;
+  mutable on_io_error : Su_disk.Fault.error -> unit;
+      (* health monitor hook: hears every definitive device failure *)
 }
 
 let default_hooks () =
@@ -116,6 +119,8 @@ let create ~engine ~driver config =
     lru_counter = 0;
     space_waiters = Sync.Waitq.create engine;
     workitems = [];
+    last_io_error = None;
+    on_io_error = (fun _ -> ());
   }
 
 let hooks t = t.hooks
@@ -128,6 +133,12 @@ let io_failures t = t.nio_failures
 let hits t = t.nhits
 let misses t = t.nmisses
 let evictions t = t.nevictions
+let set_io_error_callback t f = t.on_io_error <- f
+let last_io_error t = t.last_io_error
+
+let note_io_error t e =
+  t.last_io_error <- Some e;
+  t.on_io_error e
 
 let emit t ~kind fields =
   match t.config.sink with
@@ -255,6 +266,7 @@ let bawrite ?flagged ?deps ?(sync = false) ?notify t (b : Buf.t) =
         t.copies <- t.copies - b.Buf.nfrags;
         Sync.Waitq.signal t.space_waiters
       end;
+      (match result with Error e -> note_io_error t e | Ok _ -> ());
       let failed = Result.is_error result in
       finish_write ~failed t b;
       match notify with
@@ -444,7 +456,9 @@ let bread t ~lbn ~nfrags =
     let cells =
       match Proc.Ivar.read iv with
       | Ok cells -> cells
-      | Error e -> raise (Io_error e)
+      | Error e ->
+        note_io_error t e;
+        raise (Io_error e)
     in
     (* another process may have created the buffer while we waited *)
     (match Hashtbl.find_opt t.tbl lbn with
@@ -480,6 +494,7 @@ let take_workitems t =
 
 let sync_all t =
   let rounds = ref 0 in
+  let stalled = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     incr rounds;
@@ -498,6 +513,7 @@ let sync_all t =
              buffers =
                List.map stuck_buffer_of (Su_util.Lru.to_list t.dirty_lru);
            });
+    let dirty0 = t.ndirty and fail0 = t.nio_failures in
     List.iter (fun item -> item ()) (take_workitems t);
     (* the dirty list already holds exactly the valid dirty buffers in
        LRU (ascending stamp) order; snapshot it, skipping buffers with
@@ -513,5 +529,22 @@ let sync_all t =
         wait_write t b)
       dirty;
     Su_driver.Driver.quiesce t.driver;
-    continue_ := t.ndirty > 0 || t.workitems <> []
+    continue_ := t.ndirty > 0 || t.workitems <> [];
+    (* A dirty set pinned in place by definitive device failures is a
+       permanent fault (remap pool exhausted or no spares), not a
+       dependency cycle: surface the typed device error instead of
+       spinning toward the [Stuck] round limit. Three consecutive
+       zero-progress failing rounds ≈ 15 device attempts per buffer —
+       a transient blip cannot survive that. *)
+    if !continue_ then
+      if t.nio_failures > fail0 && t.ndirty >= dirty0 then begin
+        incr stalled;
+        if !stalled >= 3 then
+          raise
+            (Io_error
+               (match t.last_io_error with
+                | Some e -> e
+                | None -> Su_disk.Fault.Transient { op = `Write; lbn = -1 }))
+      end
+      else stalled := 0
   done

@@ -146,6 +146,15 @@ val io_failures : t -> int
 (** Writes the driver failed after exhausting its retry budget; each
     left its buffer dirty for a later re-flush. *)
 
+val set_io_error_callback : t -> (Su_disk.Fault.error -> unit) -> unit
+(** Invoked (engine or process context) on every definitive device
+    failure the cache observes — failed buffer writes and failed
+    reads — after internal accounting, before any exception is
+    raised. The FS health monitor hangs off this. *)
+
+val last_io_error : t -> Su_disk.Fault.error option
+(** Most recent definitive device failure, if any. *)
+
 val hits : t -> int
 (** [getblk]/[bread] calls that found their extent cached. *)
 
@@ -176,5 +185,8 @@ val sorted_keys : t -> int array
 val sync_all : t -> unit
 (** Flush every dirty buffer and quiesce the driver, iterating until
     dependency rollbacks converge.
-    @raise Stuck if no progress is made (dependency cycle — a bug),
-    listing the still-dirty buffers. *)
+    @raise Io_error if the dirty set stops shrinking because the
+    device keeps failing writes definitively (permanent fault with the
+    spare pool exhausted or absent).
+    @raise Stuck if no progress is made without device failures
+    (dependency cycle — a bug), listing the still-dirty buffers. *)

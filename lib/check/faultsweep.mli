@@ -1,0 +1,86 @@
+(** Systematic permanent-fault campaign.
+
+    The fault-tolerance analogue of the crash sweep in {!Explorer}:
+    one fault-free recording run discovers every distinct media sector
+    a workload touches (reads included), then the workload is re-run
+    once per sector with that sector permanently bad — and a
+    configurable spare pool for the remap machinery to absorb it with.
+    Each run must {e survive or fail clean}: either every operation
+    completes, or the run stops with a typed error
+    ({!Su_fs.Fsops.Eio} / [Erofs], {!Su_cache.Bcache.Io_error},
+    {!Su_fs.Fs.Mount_failure}) and the surviving on-disk state
+    repairs, remounts and stays clean. An untyped exception, a hang,
+    or an unrepairable image is a violation. *)
+
+val touched_sectors : cfg:Su_fs.Fs.config -> Explorer.workload -> int array
+(** Distinct fragments the workload's driver requests cover, from one
+    fault-free run with trace records kept; ascending. *)
+
+type outcome =
+  | Completed  (** every operation finished; the fault was absorbed *)
+  | Failed_typed of string
+      (** the run stopped with a typed error — legal iff the surviving
+          state is clean *)
+  | Escaped of string
+      (** an untyped exception or a hang: always a violation *)
+
+val outcome_name : outcome -> string
+
+type verdict = {
+  fv_sector : int;
+  fv_outcome : outcome;
+  fv_remaps : int;  (** bad-sector remaps performed during the run *)
+  fv_pre_violations : int;  (** fsck violations before repair *)
+  fv_repair_converged : bool;
+  fv_post_violations : int;  (** violations surviving repair *)
+  fv_remount_ok : bool;  (** repaired image remounted, ran on, stayed clean *)
+}
+
+val fv_clean : verdict -> bool
+(** The survive-or-fail-clean predicate: completed runs must have
+    nothing to repair and remount cleanly; typed failures must repair,
+    remount and stay clean; escapes never pass. *)
+
+val run_one :
+  cfg:Su_fs.Fs.config ->
+  spares:int ->
+  Explorer.workload ->
+  int ->
+  verdict
+(** Run the workload once with the given sector permanently bad and
+    [spares] spare fragments, then verify the surviving state (on the
+    {e logical} image — remapped content resolved to home addresses,
+    as a rebuilt replacement drive would hold it). *)
+
+type summary = {
+  fs_scheme : Su_fs.Fs.scheme_kind;
+  fs_workload : string;
+  fs_sectors : int;  (** distinct sectors the workload touches *)
+  fs_swept : int;  (** sectors actually injected (caps, fail-fast) *)
+  fs_completed : int;
+  fs_failed_typed : int;
+  fs_escaped : int;
+  fs_remaps : int;  (** remaps performed across all runs *)
+  fs_violations : int;  (** verdicts breaking survive-or-fail-clean *)
+  fs_verdicts : verdict list;  (** per-sector detail, ascending sector *)
+}
+
+val ok : summary -> bool
+(** No escapes and no survive-or-fail-clean violations. *)
+
+val sweep :
+  ?jobs:int ->
+  ?spares:int ->
+  ?max_sectors:int ->
+  ?fail_fast:bool ->
+  cfg:Su_fs.Fs.config ->
+  Explorer.workload ->
+  summary
+(** The campaign: one run per touched sector. [jobs] > 1 fans the
+    per-sector runs out over a {!Su_util.Pool} of that many domains
+    ([0] = all cores); verdict order and every count are identical at
+    any [jobs] value. [spares] (default 64) sizes each run's spare
+    pool. [max_sectors] caps the sectors injected (CI smoke).
+    [fail_fast] stops after the first violating verdict — the verdict
+    list is then every verdict up to and including it, still
+    independent of [jobs]. *)

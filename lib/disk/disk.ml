@@ -15,6 +15,13 @@ type t = {
   params : Disk_params.t;
   fault : Fault.t;
   image : Types.cell array;
+  (* [image] covers the addressable media ([0, media)) plus, when a
+     spare pool is configured, one reserved cell for the persisted
+     remap table at [media] and the spares above it. All external
+     addressing is logical; [remap] translates on access. *)
+  media : int;
+  remap : Remap.t option;
+  mutable nremaps : int;
   mutable cur_cyl : int;
   mutable busy : bool;
   mutable streams : stream list;
@@ -68,7 +75,27 @@ type t = {
 }
 
 let busy t = t.busy
-let nfrags t = Array.length t.image
+let nfrags t = t.media
+
+(* Remapping is consulted only when at least one entry exists, so a
+   disk with an empty (or absent) spare pool takes exactly the seed's
+   code path. *)
+let has_remaps t =
+  match t.remap with Some r -> Remap.size r > 0 | None -> false
+
+let phys_of t lbn =
+  match t.remap with Some r -> Remap.lookup r lbn | None -> lbn
+
+let remaps t = t.nremaps
+
+let spares_total t =
+  match t.remap with Some r -> Remap.nspares r | None -> 0
+
+let spares_left t =
+  match t.remap with Some r -> Remap.spares_left r | None -> 0
+
+let remap_entries t =
+  match t.remap with Some r -> Remap.entries r | None -> []
 let requests_serviced t = t.serviced
 let total_service_time t = Float.Array.get t.fl 0
 let seek_time_total t = Float.Array.get t.fl 1
@@ -108,7 +135,7 @@ let stream_hit t lbn nfrags =
 
 let advance_stream t lbn nfrags =
   let matching = List.find_opt (fun s -> lbn = s.next_lbn) t.streams in
-  let limit = min (Array.length t.image) (lbn + nfrags + t.params.Disk_params.prefetch_frags) in
+  let limit = min t.media (lbn + nfrags + t.params.Disk_params.prefetch_frags) in
   match matching with
   | Some s ->
     s.next_lbn <- lbn + nfrags;
@@ -200,28 +227,73 @@ and complete_destage t =
   t.on_idle ();
   maybe_destage t
 
-let apply_write t ~lbn ~nfrags cells =
-  (* pre-images are captured before the blit so a delta observer can
-     undo the write as well as replay it *)
+(* Land one contiguous *physical* run on the media and notify the
+   observers. Observers always see physical addresses, so a recorded
+   delta log materializes the physical image (spares and remap-table
+   cell included) at any boundary. *)
+let apply_phys_run t ~phys ~src ~len cells =
   let pre =
     match t.delta_observer with
-    | Some _ when nfrags > 0 ->
-      Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+    | Some _ when len > 0 ->
+      Some (Array.init len (fun i -> Types.copy_cell t.image.(phys + i)))
     | Some _ | None -> None
   in
-  Array.blit cells 0 t.image lbn nfrags;
-  (* a write invalidates overlapping cached streams *)
-  t.streams <-
-    List.filter (fun s -> s.limit <= lbn || s.next_lbn >= lbn + nfrags) t.streams;
+  Array.blit cells src t.image phys len;
   (match t.write_observer with
-   | Some f when nfrags > 0 ->
-     f ~lbn (Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
+   | Some f when len > 0 ->
+     f ~lbn:phys (Array.init len (fun i -> Types.copy_cell cells.(src + i)))
    | Some _ | None -> ());
   match t.delta_observer, pre with
   | Some f, Some pre ->
-    f ~lbn ~pre
-      ~post:(Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
+    f ~lbn:phys ~pre
+      ~post:(Array.init len (fun i -> Types.copy_cell cells.(src + i)))
   | (Some _ | None), _ -> ()
+
+let apply_write t ~lbn ~nfrags cells =
+  if not (has_remaps t) then begin
+    (* pre-images are captured before the blit so a delta observer can
+       undo the write as well as replay it *)
+    let pre =
+      match t.delta_observer with
+      | Some _ when nfrags > 0 ->
+        Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+      | Some _ | None -> None
+    in
+    Array.blit cells 0 t.image lbn nfrags;
+    (* a write invalidates overlapping cached streams *)
+    t.streams <-
+      List.filter (fun s -> s.limit <= lbn || s.next_lbn >= lbn + nfrags) t.streams;
+    (match t.write_observer with
+     | Some f when nfrags > 0 ->
+       f ~lbn (Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
+     | Some _ | None -> ());
+    match t.delta_observer, pre with
+    | Some f, Some pre ->
+      f ~lbn ~pre
+        ~post:(Array.init nfrags (fun i -> Types.copy_cell cells.(i)))
+    | (Some _ | None), _ -> ()
+  end
+  else begin
+    (* split the logical extent into contiguous physical runs (a
+       remapped fragment redirects to its spare) and land each run
+       separately; stream invalidation stays logical, since streams
+       are keyed by the logical addresses reads present *)
+    t.streams <-
+      List.filter (fun s -> s.limit <= lbn || s.next_lbn >= lbn + nfrags)
+        t.streams;
+    let i = ref 0 in
+    while !i < nfrags do
+      let start = phys_of t (lbn + !i) in
+      let len = ref 1 in
+      while
+        !i + !len < nfrags && phys_of t (lbn + !i + !len) = start + !len
+      do
+        incr len
+      done;
+      apply_phys_run t ~phys:start ~src:!i ~len:!len cells;
+      i := !i + !len
+    done
+  end
 
 (* Completion of the stashed foreground operation: same sequence as
    the seed's per-submit closure, reading the [p_*] fields instead of
@@ -256,7 +328,12 @@ let complete_op t =
       match op with
       | Read ->
         advance_stream t lbn nfrags;
-        Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+        if has_remaps t then
+          Some
+            (Array.init nfrags (fun i ->
+                 Types.copy_cell t.image.(phys_of t (lbn + i))))
+        else
+          Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
       | Write ->
         (match payload with
          | Some cells ->
@@ -269,7 +346,7 @@ let complete_op t =
 
 let submit t ~lbn ~nfrags ~op ~payload ~on_done =
   if t.busy then invalid_arg "Disk.submit: device busy";
-  if nfrags <= 0 || lbn < 0 || lbn + nfrags > Array.length t.image then
+  if nfrags <= 0 || lbn < 0 || lbn + nfrags > t.media then
     invalid_arg "Disk.submit: address out of range";
   (match op, payload with
    | Write, None -> invalid_arg "Disk.submit: write without payload"
@@ -294,10 +371,14 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
      write is a RAM copy and cannot fail or tear *)
   let verdict =
     if nvram_hit then Fault.Ok_attempt
+    else if has_remaps t then
+      Fault.judge t.fault ~phys:(phys_of t)
+        ~op:(match op with Read -> `Read | Write -> `Write)
+        ~lbn ~nfrags ()
     else
       Fault.judge t.fault
         ~op:(match op with Read -> `Read | Write -> `Write)
-        ~lbn ~nfrags
+        ~lbn ~nfrags ()
   in
   let svc =
     if nvram_hit then nvram_write_time t nfrags
@@ -333,15 +414,25 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
   t.p_on_done <- on_done;
   Su_sim.Engine.after_handler t.engine svc t.done_h 0
 
-let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none) () =
+let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none)
+    ?(spare_frags = 0) () =
   if nfrags > Disk_params.capacity_frags params then
     invalid_arg "Disk.create: file system larger than the drive";
+  if spare_frags < 0 then invalid_arg "Disk.create: negative spare pool";
+  (* spares (and the remap-table cell) live past the addressable media *)
+  let extra = if spare_frags > 0 then spare_frags + 1 else 0 in
   let t =
     {
       engine;
       params;
       fault = Fault.create fault;
-      image = Array.make nfrags Types.Empty;
+      image = Array.make (nfrags + extra) Types.Empty;
+      media = nfrags;
+      remap =
+        (if spare_frags > 0 then
+           Some (Remap.create ~media:nfrags ~nspares:spare_frags)
+         else None);
+      nremaps = 0;
       cur_cyl = 0;
       busy = false;
       streams = [];
@@ -379,11 +470,68 @@ let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none) () =
 let install t lbn cell =
   if lbn < 0 || lbn >= Array.length t.image then
     invalid_arg "Disk.install: address out of range";
+  let lbn = if lbn < t.media then phys_of t lbn else lbn in
   t.image.(lbn) <- cell
 
 let peek t lbn =
   if lbn < 0 || lbn >= Array.length t.image then
     invalid_arg "Disk.peek: address out of range";
-  t.image.(lbn)
+  if lbn < t.media then t.image.(phys_of t lbn) else t.image.(lbn)
 
 let image_snapshot t = Array.map Types.copy_cell t.image
+
+(* --- bad-sector remapping --------------------------------------------- *)
+
+(* The remap table is persisted as an ordinary observed write of its
+   reserved cell, so crash-materialized images carry it and
+   [reload_remap] finds it at mount. *)
+let persist_remap t r =
+  let slot = Remap.table_slot r in
+  let cell = Remap.cell r in
+  let pre =
+    match t.delta_observer with
+    | Some _ -> Some [| Types.copy_cell t.image.(slot) |]
+    | None -> None
+  in
+  t.image.(slot) <- cell;
+  (match t.write_observer with
+   | Some f -> f ~lbn:slot [| Types.copy_cell cell |]
+   | None -> ());
+  match t.delta_observer, pre with
+  | Some f, Some pre -> f ~lbn:slot ~pre ~post:[| Types.copy_cell cell |]
+  | (Some _ | None), _ -> ()
+
+let try_remap t ~lbn =
+  match t.remap with
+  | None -> false
+  | Some r ->
+    if lbn < 0 || lbn >= t.media then false
+    else (
+      match Remap.remap r lbn with
+      | None -> false (* spare pool exhausted *)
+      | Some _phys ->
+        t.nremaps <- t.nremaps + 1;
+        persist_remap t r;
+        true)
+
+let reload_remap t =
+  match t.remap with
+  | None -> ()
+  | Some r -> Remap.load r t.image.(Remap.table_slot r)
+
+let resolve_image cells ~nfrags =
+  if Array.length cells <= nfrags then Array.map Types.copy_cell cells
+  else begin
+    let logical = Array.init nfrags (fun i -> Types.copy_cell cells.(i)) in
+    (match cells.(nfrags) with
+     | Types.Rmap entries ->
+       List.iter
+         (fun (lbn, phys) ->
+            if lbn >= 0 && lbn < nfrags && phys < Array.length cells then
+              logical.(lbn) <- Types.copy_cell cells.(phys))
+         entries
+     | _ -> ());
+    logical
+  end
+
+let logical_snapshot t = resolve_image t.image ~nfrags:t.media

@@ -27,6 +27,7 @@ val create :
   nfrags:int ->
   ?nvram_frags:int ->
   ?fault:Fault.config ->
+  ?spare_frags:int ->
   unit ->
   t
 (** @raise Invalid_argument if [nfrags] exceeds the drive capacity.
@@ -40,7 +41,14 @@ val create :
 
     [fault] (default {!Fault.none}) attaches a fault model; NVRAM
     acceptances and background destages are not subject to it (the
-    data is already durable when a destage starts). *)
+    data is already durable when a destage starts).
+
+    [spare_frags] (> 0) reserves a spare-fragment pool past the
+    addressable media plus one cell holding the persisted {!Remap}
+    table. Logical addressing ([nfrags], [submit] bounds) is
+    unchanged; remapped fragments are transparently redirected. With
+    no remap entries the device behaves bit-identically to a disk
+    without spares. *)
 
 val busy : t -> bool
 
@@ -63,13 +71,55 @@ val submit :
     malformed. *)
 
 val install : t -> int -> Su_fstypes.Types.cell -> unit
-(** Write a cell directly into the image with no timing (mkfs). *)
+(** Write a cell directly into the image with no timing (mkfs, image
+    mounting, repair). Media addresses go through the remap table
+    (identity until entries exist — installing a captured
+    [image_snapshot] before {!reload_remap} reproduces the physical
+    layout verbatim); addresses past the media hit the raw spare
+    region. *)
 
 val peek : t -> int -> Su_fstypes.Types.cell
-(** Read the image directly (fsck / tests); no copy, do not mutate. *)
+(** Read the image directly (fsck / tests); no copy, do not mutate.
+    Media addresses are translated through the remap table; addresses
+    past the media read the raw spare region. *)
 
 val image_snapshot : t -> Su_fstypes.Types.cell array
-(** Deep copy of the whole image (crash-state capture). *)
+(** Deep copy of the whole {e physical} image (crash-state capture),
+    spare region and remap-table cell included when configured. *)
+
+val logical_snapshot : t -> Su_fstypes.Types.cell array
+(** Deep copy of the addressable media ([nfrags] cells) with every
+    remap entry resolved to its spare's content — what the layers
+    above observe. Equals {!image_snapshot} when no spares are
+    configured. *)
+
+val resolve_image :
+  Su_fstypes.Types.cell array -> nfrags:int -> Su_fstypes.Types.cell array
+(** [resolve_image cells ~nfrags] is the logical view of a captured
+    physical image: a deep copy truncated to [nfrags] cells with the
+    remap table at index [nfrags] (if present) applied. A plain
+    [nfrags]-length image passes through unchanged (deep-copied). *)
+
+val reload_remap : t -> unit
+(** Restore the in-core remap table from the persisted cell (mount
+    after {!install}ing a captured image). No-op without spares. *)
+
+val try_remap : t -> lbn:int -> bool
+(** Allocate a spare for a (logically addressed) bad fragment and
+    persist the updated table, notifying the write observers. Returns
+    false when no spare pool is configured, the pool is exhausted, or
+    the address is out of range. The caller (driver) re-drives the
+    failed write afterwards; the fragment's new physical home is not
+    subject to the old bad sector. *)
+
+val remaps : t -> int
+(** Remap operations performed (spares consumed). *)
+
+val spares_total : t -> int
+val spares_left : t -> int
+
+val remap_entries : t -> (int * int) list
+(** Current [(logical, spare)] table in allocation order. *)
 
 val nfrags : t -> int
 val requests_serviced : t -> int

@@ -70,17 +70,21 @@ type verdict =
   | Stalled
   | Failed of { err : error; applied : int }
 
-let first_bad t ~lbn ~nfrags =
+let ident_phys lbn = lbn
+
+let first_bad t ~phys ~lbn ~nfrags =
+  (* scan physical addresses (so a remapped fragment escapes its old
+     bad sector) but report the logical one *)
   let rec go i = if i >= nfrags then None
-    else if Hashtbl.mem t.bad (lbn + i) then Some (lbn + i)
+    else if Hashtbl.mem t.bad (phys (lbn + i)) then Some (lbn + i)
     else go (i + 1)
   in
   go 0
 
-let judge t ~op ~lbn ~nfrags =
+let judge t ?(phys = ident_phys) ~op ~lbn ~nfrags () =
   if not (enabled t) then Ok_attempt
   else
-    match first_bad t ~lbn ~nfrags with
+    match first_bad t ~phys ~lbn ~nfrags with
     | Some bad_lbn ->
       t.injected <- t.injected + 1;
       (* a write reaches the media up to (not including) the bad

@@ -68,7 +68,13 @@ type verdict =
   | Stalled
   | Failed of { err : error; applied : int }
 
-val judge : t -> op:[ `Read | `Write ] -> lbn:int -> nfrags:int -> verdict
+val judge :
+  t -> ?phys:(int -> int) -> op:[ `Read | `Write ] -> lbn:int -> nfrags:int ->
+  unit -> verdict
+(** [phys] (default identity) translates logical to physical
+    addresses before the bad-sector table is consulted, so a remapped
+    fragment escapes its old bad sector; the reported
+    [Bad_sector.lbn] and torn-write prefix remain logical. *)
 
 val injected : t -> int
 (** Total faults (failures + stalls) injected so far. *)

@@ -466,7 +466,28 @@ and handle_done t result _svc =
   | Ok data -> complete_run t ~run ~lbn ~nfrags data
   | Error err ->
     let attempts = attempts + 1 in
-    if attempts >= t.config.max_attempts then fail_run t ~run err
+    if attempts >= t.config.max_attempts then begin
+      (* Last resort before failing the run: a write that keeps dying
+         on a permanent bad sector can be relocated — remap the
+         fragment to a spare and re-drive with a fresh budget (the
+         payload is still in hand; reads have nothing to relocate).
+         Several bad sectors under one run converge one remap at a
+         time; the spare pool bounds the recursion. *)
+      let remapped =
+        match op, err with
+        | Su_disk.Disk.Write, Su_disk.Fault.Bad_sector { lbn = bad } ->
+          if Su_disk.Disk.try_remap t.disk ~lbn:bad then Some bad else None
+        | _ -> None
+      in
+      match remapped with
+      | Some bad ->
+        Trace.note_remap t.trace;
+        emit t ~kind:"io.remap"
+          [ ("lbn", Su_obs.Json.Int bad); ("run_lbn", Su_obs.Json.Int lbn) ];
+        (* completion context: the device is idle right now *)
+        submit_run t ~run ~lbn ~nfrags ~op ~payload ~attempts:0
+      | None -> fail_run t ~run err
+    end
     else begin
       Trace.note_retry t.trace;
       emit t ~kind:"io.retry"

@@ -19,6 +19,7 @@ type t = {
   mutable nwrites : int;
   mutable nretries : int;
   mutable nfailures : int;
+  mutable nremaps : int;
   access : Hist.t;
   response : Hist.t;
   queue : Hist.t;
@@ -35,6 +36,7 @@ let create ?(keep_records = false) () =
     nwrites = 0;
     nretries = 0;
     nfailures = 0;
+    nremaps = 0;
     access = Hist.create ();
     response = Hist.create ();
     queue = Hist.create ();
@@ -46,8 +48,10 @@ let create ?(keep_records = false) () =
 
 let note_retry t = t.nretries <- t.nretries + 1
 let note_failure t = t.nfailures <- t.nfailures + 1
+let note_remap t = t.nremaps <- t.nremaps + 1
 let io_retries t = t.nretries
 let io_failures t = t.nfailures
+let io_remaps t = t.nremaps
 
 (* Field-wise fast path: the driver's completion loop measures a
    request without materializing a [record] unless records are kept. *)

@@ -36,6 +36,7 @@ val note_io :
 
 val note_retry : t -> unit
 val note_failure : t -> unit
+val note_remap : t -> unit
 
 val requests : t -> int
 val reads : t -> int
@@ -46,6 +47,9 @@ val io_retries : t -> int
 
 val io_failures : t -> int
 (** Requests completed with an error after the retry budget ran out. *)
+
+val io_remaps : t -> int
+(** Bad sectors remapped to spares after retry exhaustion. *)
 
 val avg_access_ms : t -> float
 (** Mean disk service time, milliseconds. *)

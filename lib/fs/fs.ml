@@ -48,8 +48,18 @@ type config = {
   io_max_attempts : int;
   io_retry_backoff : float;
   io_request_timeout : float;
+  spare_frags : int;
+  scrub_interval : float;
+  health_max_lost : int;
   trace_sink : Su_obs.Events.t option;
 }
+
+exception Mount_failure of string
+
+let () =
+  Printexc.register_printer (function
+    | Mount_failure msg -> Some ("Fs.Mount_failure: " ^ msg)
+    | _ -> None)
 
 let config ?(scheme = Soft_updates) () =
   let cb =
@@ -78,6 +88,9 @@ let config ?(scheme = Soft_updates) () =
     io_max_attempts = Su_driver.Driver.default_config.max_attempts;
     io_retry_backoff = Su_driver.Driver.default_config.retry_backoff;
     io_request_timeout = Su_driver.Driver.default_config.request_timeout;
+    spare_frags = 0;
+    scrub_interval = 0.0;
+    health_max_lost = 8;
     trace_sink = None;
   }
 
@@ -109,6 +122,7 @@ type world = {
   driver : Su_driver.Driver.t;
   cache : Su_cache.Bcache.t;
   syncer : Su_cache.Syncer.t;
+  scrub : Scrub.t option;
   st : State.t;
   extra_stop : unit -> unit;
 }
@@ -183,14 +197,30 @@ let build ?image cfg =
     Su_disk.Disk.create ~engine ~params:cfg.disk_params ~nfrags:total_frags
       ?nvram_frags:
         (match cfg.nvram_mb with 0 -> None | mb -> Some (mb * 1024))
-      ~fault:cfg.fault ()
+      ~fault:cfg.fault ~spare_frags:cfg.spare_frags ()
+  in
+  let health =
+    Health.create ~engine ?obs:cfg.trace_sink ~max_lost:cfg.health_max_lost ()
+  in
+  (* a physical snapshot may carry the spare region and remap-table
+     cell past the media *)
+  let max_image =
+    total_frags + (if cfg.spare_frags > 0 then cfg.spare_frags + 1 else 0)
   in
   (match image with
    | None -> mkfs disk cfg.geom
    | Some cells ->
-     if Array.length cells > total_frags then
+     if Array.length cells > max_image then
        invalid_arg "Fs.mount_image: image larger than the configured disk";
-     Array.iteri (fun i c -> Su_disk.Disk.install disk i (Types.copy_cell c)) cells);
+     Array.iteri (fun i c -> Su_disk.Disk.install disk i (Types.copy_cell c)) cells;
+     (* restore the in-core remap table before anything reads through
+        the device, then cross-check the superblock replicas *)
+     Su_disk.Disk.reload_remap disk;
+     (match Replica.check_and_restore ~geom:cfg.geom disk with
+      | Ok 0 -> ()
+      | Ok n ->
+        for _ = 1 to n do Health.note_sb_restored health done
+      | Error msg -> raise (Mount_failure msg)));
   let driver =
     Su_driver.Driver.create ~engine ~disk
       {
@@ -264,7 +294,19 @@ let build ?image cfg =
       softdep_stats;
       journal_stats;
       obs = cfg.trace_sink;
+      health;
     }
+  in
+  (* the health monitor hears every definitive device failure the
+     cache observes *)
+  Su_cache.Bcache.set_io_error_callback cache (fun e ->
+      Health.note_io_error health e);
+  let scrub =
+    if cfg.scrub_interval > 0.0 then
+      Some
+        (Scrub.start ~engine ~disk ~driver ~cache ~health ~geom:cfg.geom
+           ~interval:cfg.scrub_interval ?obs:cfg.trace_sink ())
+    else None
   in
   (* copy costs go to the CPU without blocking: an engine-context
      caller (write issue) cannot wait, so we account the time against
@@ -276,7 +318,7 @@ let build ?image cfg =
            (Su_sim.Proc.spawn engine ~name:"copy" (fun () ->
                 Su_sim.Cpu.consume cpu
                   (float_of_int n *. cfg.costs.Costs.copy_per_frag))));
-  { cfg; engine; cpu; disk; driver; cache; syncer; st; extra_stop }
+  { cfg; engine; cpu; disk; driver; cache; syncer; scrub; st; extra_stop }
 
 let make cfg = build cfg
 
@@ -284,4 +326,5 @@ let mount_image cfg image = build ~image cfg
 
 let stop w =
   Su_cache.Syncer.stop w.syncer;
+  (match w.scrub with Some s -> Scrub.stop s | None -> ());
   w.extra_stop ()

@@ -45,11 +45,25 @@ type config = {
   io_max_attempts : int;  (** driver attempts per request (see {!Su_driver.Driver.config}) *)
   io_retry_backoff : float;  (** base retry delay, seconds *)
   io_request_timeout : float;  (** per-attempt deadline, 0 = none *)
+  spare_frags : int;
+      (** spare-sector pool for bad-sector remapping (0 = no fault
+          tolerance; the disk image and golden traces are then
+          bit-identical to a build without this feature) *)
+  scrub_interval : float;
+      (** background scrubber wake-up period in simulated seconds
+          (0.0 = no scrubber) *)
+  health_max_lost : int;
+      (** unrecoverable fragments tolerated before the volume flips
+          read-only (see {!Health}) *)
   trace_sink : Su_obs.Events.t option;
       (** when set, the driver, cache and FS operations emit JSONL
           trace events into the sink (default [None]). Observability
           only: simulation behavior is bit-identical either way. *)
 }
+
+exception Mount_failure of string
+(** The volume cannot be mounted safely: no usable superblock replica
+    survives. Raised by {!mount_image}. *)
 
 val config : ?scheme:scheme_kind -> unit -> config
 (** Paper-faithful defaults per scheme: the scheduler-flag scheme uses
@@ -66,6 +80,7 @@ type world = {
   driver : Su_driver.Driver.t;
   cache : Su_cache.Bcache.t;
   syncer : Su_cache.Syncer.t;
+  scrub : Scrub.t option;  (** background scrubber, when configured *)
   st : State.t;
   extra_stop : unit -> unit;  (** scheme background-process shutdown *)
 }
@@ -81,9 +96,14 @@ val stop : world -> unit
 
 val mount_image : config -> Su_fstypes.Types.cell array -> world
 (** Build a world over an existing disk image (e.g. a crashed-and-
-    repaired one) instead of running mkfs.
+    repaired one) instead of running mkfs. A physical snapshot may
+    carry the spare region and remap-table cell past the media; the
+    in-core remap table is restored from it and the superblock
+    replicas cross-checked (unreadable or invalid copies are restored
+    from a surviving sister, degrading health).
     @raise Invalid_argument if the image does not fit the configured
-    geometry. *)
+    geometry.
+    @raise Mount_failure if no usable superblock replica survives. *)
 
 val journal_region : config -> (int * int) option
 (** [(log_start, log_frags)] for journaled configurations. *)

@@ -53,7 +53,7 @@ let read_dinode ctx inum =
     | Types.Meta (Types.Inodes dinodes) ->
       let d = dinodes.(Geom.inode_index_in_block ctx.geom inum) in
       if d.Types.ftype = Types.F_free then None else Some d
-    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ ->
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
       (* inode block never written: all-free *)
       None
 
@@ -77,7 +77,7 @@ let check_data_extent ctx ~inum ~(din : Types.dinode) ~lbn ~start ~len =
       if f >= 0 && f < Array.length ctx.image then
         match ctx.image.(f) with
         | Types.Frag s when Types.stamp_matches s ~inum ~gen:din.Types.gen -> ()
-        | Types.Frag _ | Types.Empty | Types.Pad | Types.Meta _ | Types.Jlog _ ->
+        | Types.Frag _ | Types.Empty | Types.Pad | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
           viol ctx (Exposure { inum; flbn = (lbn * ctx.geom.Geom.frags_per_block) + i; frag = f })
     done
 
@@ -89,7 +89,7 @@ let read_indirect ctx ~inum ~ptr =
   else
     match ctx.image.(ptr) with
     | Types.Meta (Types.Indirect a) -> Some a
-    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ ->
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
       (* pointer to an uninitialised indirect block *)
       viol ctx (Bad_pointer { inum; lbn = -1; ptr });
       None
@@ -168,7 +168,7 @@ let dir_blocks ctx inum (din : Types.dinode) =
     if ptr <> 0 then
       match ctx.image.(ptr) with
       | Types.Meta (Types.Dir entries) -> out := entries :: !out
-      | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ ->
+      | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
         viol ctx (Bad_dir { inum; reason = Printf.sprintf "unreadable block at %d" ptr })
   in
   let nd = g.Geom.ndaddr in
@@ -278,7 +278,7 @@ let audit ctx =
         if live && not marked_used then incr stale_free
         else if (not live) && marked_used then incr leaked_inodes
       done
-    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ ->
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
       viol ctx (Bad_dir { inum = -c; reason = "unreadable cylinder-group header" })
   done;
   (!leaked_frags, !leaked_inodes, !stale_free, !nlink_high)

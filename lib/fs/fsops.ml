@@ -371,3 +371,51 @@ let fsync st path =
 let sync st =
   emit_op st "sync" "/";
   Su_cache.Bcache.sync_all st.State.cache
+
+(* Typed fault-tolerance boundary. The wrappers below shadow the raw
+   operations: a definitive device failure that escapes the cache
+   surfaces as [Eio] (never a bare [Bcache.Io_error]), and once the
+   health monitor has flipped the volume read-only every mutating
+   operation refuses up front with [Erofs] instead of risking further
+   damage. Composite operations (rename) call the raw versions
+   internally, so the guard runs once per syscall. *)
+
+exception Eio of string
+exception Erofs of string
+
+let () =
+  Printexc.register_printer (function
+    | Eio msg -> Some ("Fsops.Eio: " ^ msg)
+    | Erofs msg -> Some ("Fsops.Erofs: read-only file system: " ^ msg)
+    | _ -> None)
+
+let io_guard path f =
+  try f ()
+  with Su_cache.Bcache.Io_error e ->
+    raise (Eio (path ^ ": " ^ Su_disk.Fault.error_to_string e))
+
+let rw_guard st path f =
+  if Health.readonly st.State.health then raise (Erofs path);
+  io_guard path f
+
+let create st path = rw_guard st path (fun () -> create st path)
+let mkdir st path = rw_guard st path (fun () -> mkdir st path)
+let append st path ~bytes = rw_guard st path (fun () -> append st path ~bytes)
+
+let write_file st path ~bytes =
+  rw_guard st path (fun () -> write_file st path ~bytes)
+
+let unlink st path = rw_guard st path (fun () -> unlink st path)
+let rmdir st path = rw_guard st path (fun () -> rmdir st path)
+let link st ~src ~dst = rw_guard st dst (fun () -> link st ~src ~dst)
+let rename st ~src ~dst = rw_guard st dst (fun () -> rename st ~src ~dst)
+let read_file st path = io_guard path (fun () -> read_file st path)
+let stat st path = io_guard path (fun () -> stat st path)
+let exists st path = io_guard path (fun () -> exists st path)
+let readdir st path = io_guard path (fun () -> readdir st path)
+let resolve st path = io_guard path (fun () -> resolve st path)
+
+(* flushing what is already dirty is allowed even read-only: it cannot
+   make matters worse and lets the volume quiesce *)
+let fsync st path = io_guard path (fun () -> fsync st path)
+let sync st = io_guard "/" (fun () -> sync st)

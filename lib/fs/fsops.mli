@@ -14,6 +14,19 @@ exception Enotempty of string
 exception Einval of string
 (** rename: destination inside the directory being moved *)
 
+exception Eio of string
+(** A device operation failed definitively under this syscall — the
+    driver's retries and bad-sector remapping were both exhausted.
+    The argument is the path plus the underlying
+    {!Su_disk.Fault.error}. Raw {!Su_cache.Bcache.Io_error} never
+    escapes this layer. *)
+
+exception Erofs of string
+(** The volume's {!Health} monitor has flipped it read-only (spare
+    pool exhausted or too many fragments lost); mutating operations
+    refuse up front rather than risking further damage. [fsync],
+    [sync] and all read operations still work. *)
+
 type file_stat = {
   st_inum : int;
   st_ftype : Su_fstypes.Types.ftype;

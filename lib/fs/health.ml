@@ -1,0 +1,80 @@
+(* Online health state of a mounted volume.
+
+   The fault-tolerance machinery (driver remapping, superblock
+   replicas, the scrubber) absorbs media faults silently as long as it
+   can; this module is where the residue lands. Every definitive
+   device failure and every fragment whose content could not be
+   recovered is noted here, and policy thresholds decide when the
+   volume stops pretending: [Degraded] keeps operating (data may need
+   repair reads), [Readonly] refuses mutation with a typed error
+   rather than risking further corruption. *)
+
+type level = Healthy | Degraded | Readonly
+
+let level_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Readonly -> "readonly"
+
+type t = {
+  engine : Su_sim.Engine.t;
+  obs : Su_obs.Events.t option;
+  max_lost : int;
+  mutable level : level;
+  mutable io_errors : int;  (* definitive device failures observed *)
+  mutable lost : int;  (* fragments with unrecoverable content *)
+  mutable sb_restored : int;  (* superblock replicas repaired *)
+}
+
+let create ~engine ?obs ?(max_lost = 8) () =
+  { engine; obs; max_lost; level = Healthy; io_errors = 0; lost = 0;
+    sb_restored = 0 }
+
+let level t = t.level
+let readonly t = t.level = Readonly
+let io_errors t = t.io_errors
+let lost t = t.lost
+let sb_restored t = t.sb_restored
+
+let rank = function Healthy -> 0 | Degraded -> 1 | Readonly -> 2
+
+(* Health only worsens while mounted; repair happens offline (fsck)
+   and a remount starts Healthy again. *)
+let transition t target ~reason =
+  if rank target > rank t.level then begin
+    let from = t.level in
+    t.level <- target;
+    match t.obs with
+    | None -> ()
+    | Some sink ->
+      Su_obs.Events.emit sink
+        ~t_sim:(Su_sim.Engine.now t.engine)
+        ~kind:"fault.health"
+        [
+          ("from", Su_obs.Json.Str (level_name from));
+          ("to", Su_obs.Json.Str (level_name target));
+          ("reason", Su_obs.Json.Str reason);
+        ]
+  end
+
+let note_io_error t (e : Su_disk.Fault.error) =
+  t.io_errors <- t.io_errors + 1;
+  transition t Degraded
+    ~reason:("io error: " ^ Su_disk.Fault.error_to_string e)
+
+let note_lost t ~frag =
+  t.lost <- t.lost + 1;
+  transition t Degraded ~reason:(Printf.sprintf "lost fragment %d" frag);
+  if t.lost > t.max_lost then
+    transition t Readonly
+      ~reason:
+        (Printf.sprintf "%d fragments lost (threshold %d)" t.lost t.max_lost)
+
+let note_sb_restored t =
+  t.sb_restored <- t.sb_restored + 1;
+  transition t Degraded ~reason:"superblock replica restored"
+
+let note_spares_exhausted t =
+  transition t Readonly ~reason:"spare-sector pool exhausted"
+
+let force_readonly t ~reason = transition t Readonly ~reason

@@ -1,0 +1,44 @@
+(** Online health state of a mounted volume.
+
+    Accumulates what the fault-tolerance machinery could not absorb —
+    definitive device failures, unrecoverable fragments, repaired
+    superblock replicas — and applies policy thresholds:
+    [Degraded] keeps operating, [Readonly] makes {!Fsops} refuse
+    mutation with a typed error. Health only worsens while mounted;
+    a remount (after offline repair) starts [Healthy] again. Every
+    transition emits a [fault.health] JSONL event when a sink is
+    attached. *)
+
+type level = Healthy | Degraded | Readonly
+
+val level_name : level -> string
+
+type t
+
+val create :
+  engine:Su_sim.Engine.t -> ?obs:Su_obs.Events.t -> ?max_lost:int -> unit -> t
+(** [max_lost] (default 8): unrecoverable fragments tolerated before
+    the volume flips read-only. *)
+
+val level : t -> level
+val readonly : t -> bool
+
+val note_io_error : t -> Su_disk.Fault.error -> unit
+(** A device operation failed definitively (retries and remapping
+    exhausted). Healthy → Degraded. *)
+
+val note_lost : t -> frag:int -> unit
+(** A fragment's content is unrecoverable (no replica, no clean
+    cached copy). Degrades; past [max_lost], flips read-only. *)
+
+val note_sb_restored : t -> unit
+(** A superblock replica was repaired from a sister copy. *)
+
+val note_spares_exhausted : t -> unit
+(** The remap pool ran dry: flips read-only. *)
+
+val force_readonly : t -> reason:string -> unit
+
+val io_errors : t -> int
+val lost : t -> int
+val sb_restored : t -> int

@@ -25,6 +25,7 @@ type t = {
   softdep_stats : Su_core.Softdep.stats option;
   journal_stats : Su_core.Journaled.stats option;
   obs : Su_obs.Events.t option;
+  health : Health.t;
 }
 
 let charge t cost = Su_sim.Cpu.consume t.cpu cost

@@ -36,6 +36,9 @@ type t = {
   obs : Su_obs.Events.t option;
       (** event sink for the JSONL trace; shared with the driver and
           cache configs when [Fs.config.trace_sink] is set *)
+  health : Health.t;
+      (** online fault-tolerance state; {!Fsops} refuses mutation once
+          it reaches [Readonly] *)
 }
 
 val charge : t -> float -> unit

@@ -51,6 +51,9 @@ type cell =
   | Meta of meta
   | Frag of stamp
   | Jlog of { seq : int; recs : jrec list }
+  | Rmap of (int * int) list
+      (* bad-sector remap table, [(logical, spare)] in allocation
+         order; lives in the reserved slot past the addressable media *)
 
 let magic = 0x011954
 
@@ -109,6 +112,7 @@ let copy_cell = function
   | Meta m -> Meta (copy_meta m)
   | Frag s -> Frag s
   | Jlog { seq; recs } -> Jlog { seq; recs = List.map copy_jrec recs }
+  | Rmap entries -> Rmap entries
 
 let dir_entry_count entries =
   Array.fold_left (fun n e -> match e with Some _ -> n + 1 | None -> n) 0 entries
@@ -156,3 +160,4 @@ let pp_cell ppf = function
   | Meta (Indirect _) -> Format.pp_print_string ppf "indirect"
   | Jlog { seq; recs } ->
     Format.fprintf ppf "jlog[seq=%d,%d recs]" seq (List.length recs)
+  | Rmap entries -> Format.fprintf ppf "rmap[%d entries]" (List.length entries)

@@ -73,6 +73,9 @@ type cell =
   | Frag of stamp
   | Jlog of { seq : int; recs : jrec list }
       (** one committed log transaction (journal region only) *)
+  | Rmap of (int * int) list
+      (** bad-sector remap table, [(logical, spare)] in allocation
+          order; lives in the reserved slot past the addressable media *)
 
 val magic : int
 

@@ -88,7 +88,41 @@ let counters_of (w : Fs.world) =
         ("journal.wraps", f s.Su_core.Journaled.wraps);
       ]
   in
-  base @ softdep @ journal
+  (* fault-tolerance residue: always present (zero on a perfect
+     device) so dashboards can assert on the names unconditionally *)
+  let health = w.Fs.st.State.health in
+  let fault =
+    [
+      ("fault.injected", f (Su_disk.Disk.faults_injected disk));
+      ("fault.remaps", f (Su_disk.Disk.remaps disk));
+      ("fault.spares_total", f (Su_disk.Disk.spares_total disk));
+      ("fault.spares_left", f (Su_disk.Disk.spares_left disk));
+      ("fault.io_remaps", f (Su_driver.Trace.io_remaps tr));
+      ("fault.health_io_errors", f (Su_fs.Health.io_errors health));
+      ("fault.health_lost", f (Su_fs.Health.lost health));
+      ("fault.health_sb_restored", f (Su_fs.Health.sb_restored health));
+      ( "fault.health_level",
+        f
+          (match Su_fs.Health.level health with
+           | Su_fs.Health.Healthy -> 0
+           | Su_fs.Health.Degraded -> 1
+           | Su_fs.Health.Readonly -> 2) );
+    ]
+  in
+  let scrub =
+    match w.Fs.scrub with
+    | None -> []
+    | Some s ->
+      [
+        ("scrub.passes", f (Su_fs.Scrub.passes_run s));
+        ("scrub.scanned", f (Su_fs.Scrub.scanned s));
+        ("scrub.found", f (Su_fs.Scrub.found s));
+        ("scrub.repaired", f (Su_fs.Scrub.repaired s));
+        ("scrub.deferred", f (Su_fs.Scrub.deferred s));
+        ("scrub.lost", f (Su_fs.Scrub.lost s));
+      ]
+  in
+  base @ softdep @ journal @ fault @ scrub
 
 let drop_caches (w : Fs.world) =
   List.iter

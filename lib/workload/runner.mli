@@ -20,9 +20,10 @@ type measures = {
   response_max_ms : float;  (** exact *)
   counters : (string * float) list;
       (** cross-layer counters in one flat namespace ([cache.*],
-          [syncer.*], [io.*], [disk.*], plus [softdep.*] /
-          [journal.*] when the scheme has them); see HACKING.md for
-          the glossary *)
+          [syncer.*], [io.*], [disk.*], [fault.*], plus [softdep.*] /
+          [journal.*] when the scheme has them and [scrub.*] when the
+          background scrubber is configured); see HACKING.md for the
+          glossary *)
   softdep : Su_core.Softdep.stats option;
 }
 

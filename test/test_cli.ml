@@ -105,6 +105,41 @@ let test_bench_assert_shapes_verdicts () =
     (sh "%s --assert-shapes %s >/dev/null 2>&1" benchexe (Filename.quote tmp));
   Sys.remove tmp
 
+(* --- fault flags and the faultsweep campaign ---------------------------- *)
+
+let test_run_fault_flags_validate () =
+  check_exit "out-of-range --fault-rate is a CLI error" 124
+    (sh "%s run copy --fault-rate 1.5 >/dev/null 2>&1" metasim);
+  check_exit "negative --bad-sectors is a CLI error" 124
+    (sh "%s run copy --bad-sectors=-3 >/dev/null 2>&1" metasim);
+  check_exit "negative --spares is a CLI error" 124
+    (sh "%s run copy --spares=-1 >/dev/null 2>&1" metasim)
+
+let test_run_bad_sector_exits_typed () =
+  (* an unreadable metadata sector with no spares must surface as the
+     documented one-line typed failure, exit 3 — never a backtrace *)
+  let err = Filename.temp_file "metasim" ".err" in
+  check_exit "typed I/O failure exits 3" 3
+    (sh "%s run copy -s soft --bad-sectors 16 >/dev/null 2> %s" metasim
+       (Filename.quote err));
+  let msg = read_file err in
+  Sys.remove err;
+  Alcotest.(check bool) "one-line typed message" true
+    (String.length msg > 0
+    && String.sub msg 0 9 = "metasim: "
+    && not (String.exists (fun c -> c = '\n') (String.trim msg)))
+
+let test_faultsweep_smoke () =
+  check_exit "faultsweep campaign passes" 0
+    (sh
+       "%s faultsweep -w renamefile --schemes soft --jobs 2 --max-sectors 6 \
+        --spares 8 >/dev/null 2>&1"
+       metasim)
+
+let test_faultsweep_no_valid_workloads () =
+  check_exit "all-unknown workloads is an error" 2
+    (sh "%s faultsweep -w bogus >/dev/null 2>&1" metasim)
+
 (* --- --json document ---------------------------------------------------- *)
 
 let test_run_json_parses () =
@@ -141,7 +176,10 @@ let test_run_json_parses () =
    | Some (Json.Obj kvs) ->
      Alcotest.(check bool) "counters non-empty" true (List.length kvs > 0);
      Alcotest.(check bool) "cache counters present" true
-       (List.mem_assoc "cache.hits" kvs)
+       (List.mem_assoc "cache.hits" kvs);
+     Alcotest.(check bool) "fault counters present" true
+       (List.mem_assoc "fault.injected" kvs
+       && List.mem_assoc "fault.health_level" kvs)
    | _ -> Alcotest.fail "measures.counters missing")
 
 (* --- --trace-out JSONL replay ------------------------------------------- *)
@@ -214,6 +252,13 @@ let suite =
       test_bench_assert_shapes_bad_input;
     Alcotest.test_case "bench: --assert-shapes verdicts" `Quick
       test_bench_assert_shapes_verdicts;
+    Alcotest.test_case "run: fault flags validate" `Quick
+      test_run_fault_flags_validate;
+    Alcotest.test_case "run: bad sector exits typed" `Quick
+      test_run_bad_sector_exits_typed;
+    Alcotest.test_case "faultsweep: smoke campaign" `Quick test_faultsweep_smoke;
+    Alcotest.test_case "faultsweep: no valid workloads" `Quick
+      test_faultsweep_no_valid_workloads;
     Alcotest.test_case "run --json parses" `Quick test_run_json_parses;
     Alcotest.test_case "run --trace-out replays" `Quick test_trace_out_replays;
   ]

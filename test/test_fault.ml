@@ -23,7 +23,7 @@ let payload n = Array.make n (Types.Frag Types.Zeroed)
 let test_none_is_silent () =
   let f = Fault.create Fault.none in
   for i = 0 to 99 do
-    match Fault.judge f ~op:`Write ~lbn:(i * 8) ~nfrags:8 with
+    match Fault.judge f ~op:`Write ~lbn:(i * 8) ~nfrags:8 () with
     | Fault.Ok_attempt -> ()
     | Fault.Stalled | Fault.Failed _ -> Alcotest.fail "fault without a model"
   done;
@@ -33,7 +33,7 @@ let test_transient_rates () =
   let f = Fault.create (Fault.transient ~seed:7 ~rate:0.1 ()) in
   let fails = ref 0 and stalls = ref 0 in
   for i = 0 to 999 do
-    match Fault.judge f ~op:(if i land 1 = 0 then `Read else `Write) ~lbn:i ~nfrags:4 with
+    match Fault.judge f ~op:(if i land 1 = 0 then `Read else `Write) ~lbn:i ~nfrags:4 () with
     | Fault.Failed _ -> incr fails
     | Fault.Stalled -> incr stalls
     | Fault.Ok_attempt -> ()

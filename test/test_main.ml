@@ -20,6 +20,8 @@ let () =
       ("experiments", Test_experiments.suite);
       ("regressions", Test_regressions.suite);
       ("fault", Test_fault.suite);
+      ("retry", Test_retry.suite);
+      ("faultsweep", Test_faultsweep.suite);
       ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
       ("trace-golden", Test_trace_golden.suite);

@@ -1,0 +1,250 @@
+(* Deterministic driver retry-path tests: the exponential backoff
+   schedule between attempts, typed exhaustion of the attempt budget,
+   the per-request timeout under a seeded stall model, and the
+   retry-exhaustion auto-remap onto the spare pool. *)
+open Su_sim
+open Su_fstypes
+open Su_disk
+
+let payload n = Array.make n (Types.Frag Types.Zeroed)
+
+let mk_stack ?(nfrags = 65536) ?(spare_frags = 0) ?fault
+    ?(config = Su_driver.Driver.default_config) () =
+  let e = Engine.create () in
+  let d =
+    Disk.create ~engine:e ~params:Disk_params.hp_c2447 ~nfrags ?fault
+      ~spare_frags ()
+  in
+  let drv = Su_driver.Driver.create ~engine:e ~disk:d config in
+  (e, d, drv)
+
+let kind_times sink kind =
+  List.filter_map
+    (fun ev ->
+      match Su_obs.Json.member "kind" ev with
+      | Some (Su_obs.Json.Str k) when k = kind ->
+        Su_obs.Json.to_float (Su_obs.Json.get "t" ev)
+      | _ -> None)
+    (Su_obs.Events.events sink)
+
+(* The delay before attempt k+1 is retry_backoff * 2^(k-1). With a
+   backoff (10 s) four orders of magnitude above the ms-scale service
+   times, the gaps between consecutive io.retry emissions — and the
+   final io.fail — pin the doubling schedule exactly. *)
+let test_backoff_schedule () =
+  let sink = Su_obs.Events.create () in
+  let fault = { Fault.none with Fault.bad_sectors = [ 800 ] } in
+  let config =
+    { Su_driver.Driver.default_config with
+      max_attempts = 4;
+      retry_backoff = 10.0;
+      sink = Some sink }
+  in
+  let e, _d, drv = mk_stack ~fault ~config () in
+  let failed = ref false in
+  ignore
+    (Su_driver.Driver.submit drv ~kind:Su_driver.Request.Write ~lbn:800
+       ~nfrags:1 ~payload:(payload 1)
+       ~on_complete:(fun r -> failed := Result.is_error r)
+       ());
+  ignore (Proc.spawn e (fun () -> Su_driver.Driver.quiesce drv));
+  Engine.run e;
+  Alcotest.(check bool) "request failed" true !failed;
+  let retries = kind_times sink "io.retry" in
+  let fails = kind_times sink "io.fail" in
+  Alcotest.(check int) "three retries scheduled" 3 (List.length retries);
+  Alcotest.(check int) "one failure" 1 (List.length fails);
+  let near expected actual =
+    (* backoff-dominated gap: the slack is one attempt's service time *)
+    actual >= expected && actual < expected +. 0.1
+  in
+  (match (retries, fails) with
+   | [ t1; t2; t3 ], [ tf ] ->
+     Alcotest.(check bool) "2nd gap = 2x base"
+       true (near 20.0 (t3 -. t2));
+     Alcotest.(check bool) "3rd gap = 4x base"
+       true (near 40.0 (tf -. t3));
+     Alcotest.(check bool) "1st gap = base"
+       true (near 10.0 (t2 -. t1))
+   | _ -> Alcotest.fail "unexpected event counts")
+
+let test_exhaustion_is_typed () =
+  let sink = Su_obs.Events.create () in
+  let fault = { Fault.none with Fault.bad_sectors = [ 132 ] } in
+  let config =
+    { Su_driver.Driver.default_config with max_attempts = 3; sink = Some sink }
+  in
+  let e, d, drv = mk_stack ~fault ~config () in
+  let result = ref None in
+  ignore
+    (Su_driver.Driver.submit drv ~kind:Su_driver.Request.Write ~lbn:130
+       ~nfrags:4 ~payload:(payload 4)
+       ~on_complete:(fun r -> result := Some r)
+       ());
+  ignore (Proc.spawn e (fun () -> Su_driver.Driver.quiesce drv));
+  Engine.run e;
+  (match !result with
+   | Some (Error (Fault.Bad_sector { lbn })) ->
+     Alcotest.(check int) "typed cause names the sector" 132 lbn
+   | _ -> Alcotest.fail "expected a bad-sector failure");
+  let tr = Su_driver.Driver.trace drv in
+  Alcotest.(check int) "budget minus one retries" 2
+    (Su_driver.Trace.io_retries tr);
+  Alcotest.(check int) "one recorded failure" 1
+    (Su_driver.Trace.io_failures tr);
+  Alcotest.(check int) "no remap without spares" 0
+    (Su_driver.Trace.io_remaps tr);
+  Alcotest.(check int) "attempts all injected" 3 (Disk.faults_injected d);
+  Alcotest.(check int) "io.fail emitted once" 1
+    (Su_obs.Events.count_kind sink "io.fail")
+
+let test_timeout_under_seeded_stall () =
+  (* every attempt stalls at 100x the service time against a 50 ms
+     deadline: each attempt times out, and after the budget the typed
+     [Timeout] cause surfaces with the elapsed/limit pair *)
+  let fault =
+    { Fault.none with Fault.seed = 42; stall = 1.0; stall_factor = 100.0 }
+  in
+  let config =
+    { Su_driver.Driver.default_config with
+      max_attempts = 2;
+      request_timeout = 0.05 }
+  in
+  let e, d, drv = mk_stack ~fault ~config () in
+  let result = ref None in
+  ignore
+    (Su_driver.Driver.submit drv ~kind:Su_driver.Request.Write ~lbn:256
+       ~nfrags:8 ~payload:(payload 8)
+       ~on_complete:(fun r -> result := Some r)
+       ());
+  ignore (Proc.spawn e (fun () -> Su_driver.Driver.quiesce drv));
+  Engine.run e;
+  (match !result with
+   | Some (Error (Fault.Timeout { elapsed; limit })) ->
+     Alcotest.(check (float 1e-9)) "limit echoed" 0.05 limit;
+     Alcotest.(check bool) "elapsed past the limit" true (elapsed > limit)
+   | _ -> Alcotest.fail "expected a timeout failure");
+  let tr = Su_driver.Driver.trace drv in
+  Alcotest.(check int) "one retry before the budget" 1
+    (Su_driver.Trace.io_retries tr);
+  Alcotest.(check int) "one failure" 1 (Su_driver.Trace.io_failures tr);
+  Alcotest.(check int) "both stalls injected" 2 (Disk.faults_injected d)
+
+let test_write_remaps_at_exhaustion () =
+  (* a permanent write fault with spares available: the driver burns
+     its attempt budget, remaps the bad fragment and re-drives — the
+     request completes Ok and the payload is readable at its logical
+     address *)
+  let sink = Su_obs.Events.create () in
+  let fault = { Fault.none with Fault.bad_sectors = [ 702 ] } in
+  let config =
+    { Su_driver.Driver.default_config with max_attempts = 3; sink = Some sink }
+  in
+  let e, d, drv = mk_stack ~fault ~config ~spare_frags:4 () in
+  let p =
+    Array.init 4 (fun i ->
+        Types.Frag (Types.Written { inum = 5; gen = 1; flbn = i }))
+  in
+  let result = ref None in
+  ignore
+    (Su_driver.Driver.submit drv ~kind:Su_driver.Request.Write ~lbn:700
+       ~nfrags:4 ~payload:p
+       ~on_complete:(fun r -> result := Some r)
+       ());
+  ignore (Proc.spawn e (fun () -> Su_driver.Driver.quiesce drv));
+  Engine.run e;
+  (match !result with
+   | Some (Ok _) -> ()
+   | _ -> Alcotest.fail "expected the remapped write to complete");
+  let tr = Su_driver.Driver.trace drv in
+  Alcotest.(check int) "one remap traced" 1 (Su_driver.Trace.io_remaps tr);
+  Alcotest.(check int) "no failure surfaced" 0 (Su_driver.Trace.io_failures tr);
+  Alcotest.(check int) "disk performed one remap" 1 (Disk.remaps d);
+  Alcotest.(check int) "one spare consumed" 3 (Disk.spares_left d);
+  Alcotest.(check int) "io.remap emitted once" 1
+    (Su_obs.Events.count_kind sink "io.remap");
+  (match Disk.remap_entries d with
+   | [ (702, phys) ] ->
+     Alcotest.(check bool) "spare lives past the media" true (phys >= 65536)
+   | _ -> Alcotest.fail "expected exactly the bad fragment remapped");
+  (* the payload must read back whole at its logical address *)
+  Alcotest.(check bool) "remapped fragment readable" true
+    (Disk.peek d 702 = Types.Frag (Types.Written { inum = 5; gen = 1; flbn = 2 }));
+  (* and a further write to the same extent needs no new remap *)
+  let again = ref None in
+  ignore
+    (Su_driver.Driver.submit drv ~kind:Su_driver.Request.Write ~lbn:700
+       ~nfrags:4 ~payload:p
+       ~on_complete:(fun r -> again := Some r)
+       ());
+  ignore (Proc.spawn e (fun () -> Su_driver.Driver.quiesce drv));
+  Engine.run e;
+  (match !again with
+   | Some (Ok _) -> ()
+   | _ -> Alcotest.fail "expected the rewrite to complete");
+  Alcotest.(check int) "still a single remap" 1 (Disk.remaps d)
+
+let test_remap_pool_exhaustion_fails_typed () =
+  (* one spare, two bad write targets: the first fault is absorbed,
+     the second exhausts the pool and surfaces the typed cause *)
+  let fault = { Fault.none with Fault.bad_sectors = [ 900; 1000 ] } in
+  let config = { Su_driver.Driver.default_config with max_attempts = 2 } in
+  let e, d, drv = mk_stack ~fault ~config ~spare_frags:1 () in
+  let first = ref None and second = ref None in
+  ignore
+    (Su_driver.Driver.submit drv ~kind:Su_driver.Request.Write ~lbn:900
+       ~nfrags:1 ~payload:(payload 1)
+       ~on_complete:(fun r -> first := Some r)
+       ());
+  ignore
+    (Su_driver.Driver.submit drv ~kind:Su_driver.Request.Write ~lbn:1000
+       ~nfrags:1 ~payload:(payload 1)
+       ~on_complete:(fun r -> second := Some r)
+       ());
+  ignore (Proc.spawn e (fun () -> Su_driver.Driver.quiesce drv));
+  Engine.run e;
+  (match !first with
+   | Some (Ok _) -> ()
+   | _ -> Alcotest.fail "first fault should be absorbed by the spare");
+  (match !second with
+   | Some (Error (Fault.Bad_sector { lbn })) ->
+     Alcotest.(check int) "typed cause" 1000 lbn
+   | _ -> Alcotest.fail "expected the pool-dry failure to be typed");
+  Alcotest.(check int) "pool dry" 0 (Disk.spares_left d)
+
+(* reads have no payload to relocate: a permanent read fault must
+   fail typed, never remap (that would fabricate content) *)
+let test_read_fault_never_remaps () =
+  let fault = { Fault.none with Fault.bad_sectors = [ 321 ] } in
+  let config = { Su_driver.Driver.default_config with max_attempts = 2 } in
+  let e, d, drv = mk_stack ~fault ~config ~spare_frags:4 () in
+  let result = ref None in
+  ignore
+    (Su_driver.Driver.submit drv ~kind:Su_driver.Request.Read ~lbn:320
+       ~nfrags:4
+       ~on_complete:(fun r -> result := Some r)
+       ());
+  ignore (Proc.spawn e (fun () -> Su_driver.Driver.quiesce drv));
+  Engine.run e;
+  (match !result with
+   | Some (Error (Fault.Bad_sector { lbn })) ->
+     Alcotest.(check int) "typed cause" 321 lbn
+   | _ -> Alcotest.fail "expected a typed read failure");
+  Alcotest.(check int) "no remap" 0 (Disk.remaps d);
+  Alcotest.(check int) "spares untouched" 4 (Disk.spares_left d)
+
+let suite =
+  [
+    Alcotest.test_case "backoff doubles per retry" `Quick
+      test_backoff_schedule;
+    Alcotest.test_case "attempt budget exhausts typed" `Quick
+      test_exhaustion_is_typed;
+    Alcotest.test_case "seeded stall trips the timeout" `Quick
+      test_timeout_under_seeded_stall;
+    Alcotest.test_case "write remaps at retry exhaustion" `Quick
+      test_write_remaps_at_exhaustion;
+    Alcotest.test_case "spare-pool exhaustion fails typed" `Quick
+      test_remap_pool_exhaustion_fails_typed;
+    Alcotest.test_case "read faults never remap" `Quick
+      test_read_fault_never_remaps;
+  ]
