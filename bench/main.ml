@@ -11,6 +11,8 @@
                                               # dispatch/eviction hot paths
      dune exec bench/main.exe -- --crashsweep [--json BENCH_crashsweep.json]
                                               # delta snapshots + work pool
+     dune exec bench/main.exe -- --loadgen [--json BENCH_loadgen.json]
+                                              # load engine + dir-scale gates
      dune exec bench/main.exe -- --list       # available ids *)
 
 let available =
@@ -37,6 +39,9 @@ let usage () =
      \                  anti-regression floor for CI, not a target)\n\
      \  --crashsweep    crash-state materialization (delta log vs deep\n\
      \                  copy) and full-sweep scaling across the pool\n\
+     \  --loadgen       load-engine steady state (zero-major assertion)\n\
+     \                  and directory-scale lookups (10k entries gated\n\
+     \                  within 2x of 100); exit 1 on a failed gate\n\
      \  --json PATH     write results JSON: experiment tables (the\n\
      \                  document EXPERIMENTS.md specifies), or the\n\
      \                  --hotpaths/--crashsweep perf records\n\
@@ -508,6 +513,162 @@ let run_crashsweep ~quick ~jobs ~json_path =
     close_out oc;
     Printf.printf "# wrote %s\n" path
 
+(* --- loadgen steady state + directory-scale hot paths ------------------ *)
+
+(* Three measured claims, written to BENCH_loadgen.json by --json:
+
+   - loadgen-steady: the open-loop multi-tenant engine at a scale
+     whose steady-state loop must complete with ZERO major collections
+     (pooled per-client scratch as a measured number, the same way
+     --hotpaths pins words/event). Ops/sec is host throughput of the
+     whole engine, simulated clients included.
+
+   - dirscale-100 vs dirscale-10k: a fixed count of lookups plus
+     create/unlink churn against one directory pre-filled with 100 vs
+     10_000 entries, directory index on. The gate: the 10k rate must
+     be within 2x of the 100-entry rate — per-op cost no longer scales
+     with directory size. dirscale-10k-scan (index off, fewer ops) is
+     printed for contrast and not gated. *)
+
+let bench_dirscale ~index ~files nops () =
+  let cfg =
+    { (Su_fs.Fs.config ~scheme:Su_fs.Fs.Soft_updates ()) with
+      Su_fs.Fs.dir_index = index
+    }
+  in
+  let w = Su_fs.Fs.make cfg in
+  let st = w.Su_fs.Fs.st in
+  let result = ref (0.0, 0.0, 0) in
+  let controller () =
+    Su_fs.Fsops.mkdir st "/big";
+    let names = Array.init files (fun k -> Printf.sprintf "/big/f%06d" k) in
+    Array.iter (fun n -> ignore (Su_fs.Fsops.create st n)) names;
+    Su_fs.Fsops.sync st;
+    Gc.full_major ();
+    let s0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to nops - 1 do
+      match i land 3 with
+      | 0 | 1 -> ignore (Su_fs.Fsops.stat st names.(i * 7919 mod files))
+      | 2 -> ignore (Su_fs.Fsops.create st "/big/xchurn")
+      | _ -> Su_fs.Fsops.unlink st "/big/xchurn"
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let s1 = Gc.quick_stat () in
+    result :=
+      ( wall,
+        (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int nops,
+        s1.Gc.major_collections - s0.Gc.major_collections );
+    Su_fs.Fs.stop w;
+    Su_driver.Driver.quiesce w.Su_fs.Fs.driver;
+    Su_sim.Engine.stop w.Su_fs.Fs.engine
+  in
+  ignore (Su_sim.Proc.spawn w.Su_fs.Fs.engine ~name:"dirscale" controller);
+  Su_sim.Engine.run w.Su_fs.Fs.engine;
+  let wall, wpo, majors = !result in
+  (nops, wall, wpo, majors)
+
+let bench_loadgen_steady ~quick () =
+  let base = Su_workload.Loadgen.config ~scheme:Su_fs.Fs.Soft_updates () in
+  let cfg =
+    { base with
+      Su_workload.Loadgen.clients = (if quick then 80 else 200);
+      rate = 0.5;
+      duration = (if quick then 10.0 else 16.0);
+      warmup = (if quick then 2.0 else 4.0);
+      files_per_client = 6;
+      shape = Su_workload.Loadgen.Rampup
+    }
+  in
+  let r = Su_workload.Loadgen.run cfg in
+  let ops = r.Su_workload.Loadgen.executed in
+  ( ops,
+    r.Su_workload.Loadgen.host_wall_s,
+    r.Su_workload.Loadgen.minor_words /. float_of_int (max 1 ops),
+    r.Su_workload.Loadgen.major_collections )
+
+let run_loadgen ~quick ~json_path =
+  let reps = if quick then 2 else 3 in
+  let nops = if quick then 800 else 4000 in
+  let benches =
+    [ ("loadgen-steady", bench_loadgen_steady ~quick);
+      ("dirscale-100", bench_dirscale ~index:true ~files:100 nops);
+      ("dirscale-10k", bench_dirscale ~index:true ~files:10_000 nops);
+      ("dirscale-10k-scan", bench_dirscale ~index:false ~files:10_000 (nops / 8))
+    ]
+  in
+  (* best-of-[reps] per bench, as in --hotpaths: wall times of seconds
+     are noisy, the minimum is the stable estimate; GC counts come
+     from the same (fastest) rep. *)
+  let results =
+    List.map
+      (fun (name, bench) ->
+        let best = ref None in
+        for _ = 1 to reps do
+          let ops, wall, wpo, majors = bench () in
+          let eps = if wall > 0.0 then float_of_int ops /. wall else 0.0 in
+          match !best with
+          | Some (_, _, best_wall, _, _, _) when best_wall <= wall -> ()
+          | _ -> best := Some (name, ops, wall, eps, wpo, majors)
+        done;
+        match !best with
+        | Some r -> r
+        | None -> (name, 0, 0.0, 0.0, 0.0, 0))
+      benches
+  in
+  List.iter
+    (fun (name, ops, wall, eps, wpo, majors) ->
+      Printf.printf
+        "%-30s n=%-6d %8.3fs wall %12.0f ops/s %9.1f mwords/op %3d majors\n%!"
+        name ops wall eps wpo majors)
+    results;
+  let eps_of n =
+    let (_, _, _, eps, _, _) =
+      List.find (fun (name, _, _, _, _, _) -> name = n) results
+    in
+    eps
+  in
+  let ratio = eps_of "dirscale-10k" /. eps_of "dirscale-100" in
+  Printf.printf "# dirscale-10k / dirscale-100 ops/s ratio %.2f (gate >= 0.5)\n"
+    ratio;
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Printf.fprintf oc "{\n  \"scale\": \"%s\",\n"
+       (if quick then "quick" else "full");
+     Printf.fprintf oc "  \"results\": [\n";
+     List.iteri
+       (fun i (name, ops, wall, eps, wpo, majors) ->
+         Printf.fprintf oc
+           "    {\"name\": %S, \"ops\": %d, \"wall_s\": %.4f, \
+            \"ops_per_sec\": %.1f, \"minor_words_per_op\": %.1f, \
+            \"major_collections\": %d}%s\n"
+           name ops wall eps wpo majors
+           (if i = List.length results - 1 then "" else ","))
+       results;
+     Printf.fprintf oc "  ],\n  \"dirscale_ratio_10k_vs_100\": %.3f\n}\n" ratio;
+     close_out oc;
+     Printf.printf "# wrote %s\n" path);
+  let failed = ref false in
+  let (_, _, _, _, _, steady_majors) =
+    List.find (fun (name, _, _, _, _, _) -> name = "loadgen-steady") results
+  in
+  if steady_majors <> 0 then begin
+    failed := true;
+    Printf.eprintf
+      "FAIL: loadgen-steady ran %d major collections (want 0: the steady \
+       loop must not allocate long-lived garbage)\n"
+      steady_majors
+  end;
+  if ratio < 0.5 then begin
+    failed := true;
+    Printf.eprintf
+      "FAIL: dirscale-10k at %.2fx of dirscale-100 is outside the 2x gate\n"
+      ratio
+  end;
+  if !failed then exit 1
+
 (* --- main --------------------------------------------------------------- *)
 
 let () =
@@ -600,6 +761,10 @@ let () =
   end;
   if List.mem "--crashsweep" args then begin
     run_crashsweep ~quick ~jobs ~json_path:(json_of args);
+    exit 0
+  end;
+  if List.mem "--loadgen" args then begin
+    run_loadgen ~quick ~json_path:(json_of args);
     exit 0
   end;
   let selected =

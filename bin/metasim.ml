@@ -19,7 +19,7 @@ let scheme_conv =
     | "flag" -> Ok Fs.Scheduler_flag
     | "chains" -> Ok (Fs.Scheduler_chains { barrier_dealloc = false })
     | "chains-barrier" -> Ok (Fs.Scheduler_chains { barrier_dealloc = true })
-    | "soft" | "soft-updates" -> Ok Fs.Soft_updates
+    | "soft" | "soft-updates" | "softdep" -> Ok Fs.Soft_updates
     | "none" | "no-order" -> Ok Fs.No_order
     | "journal" -> Ok (Fs.Journaled { group_commit = false })
     | "journal-group" -> Ok (Fs.Journaled { group_commit = true })
@@ -30,8 +30,8 @@ let scheme_conv =
 
 let scheme_arg =
   let doc =
-    "Ordering scheme: conventional, flag, chains, chains-barrier, soft, \
-     no-order, journal, journal-group."
+    "Ordering scheme: conventional, flag, chains, chains-barrier, soft \
+     (alias softdep), no-order, journal, journal-group."
   in
   Arg.(value & opt scheme_conv Fs.Soft_updates & info [ "s"; "scheme" ] ~doc)
 
@@ -1059,6 +1059,192 @@ let exp_cmd =
           fanned out across domains with --jobs.")
     Term.(const run $ names_arg $ quick_arg $ jobs_arg $ json_arg)
 
+(* --- loadgen: open-loop multi-tenant load engine ------------------------- *)
+
+let loadgen_cmd =
+  (* validating convs, like the fault flags: absurd load parameters
+     are command-line errors, not hung or meaningless runs *)
+  let pos_conv what =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg (what ^ " must be at least 1"))
+      | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let posf_conv what =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when v > 0.0 && Float.is_finite v -> Ok v
+      | Some _ -> Error (`Msg (what ^ " must be positive"))
+      | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+    in
+    Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+  in
+  let shape_conv =
+    let parse s =
+      match Loadgen.shape_of_string (String.lowercase_ascii s) with
+      | Some sh -> Ok sh
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown shape %S (expected fixed, rampup, pausing or shaped)"
+                s))
+    in
+    Arg.conv
+      (parse, fun ppf s -> Format.pp_print_string ppf (Loadgen.shape_name s))
+  in
+  let arrival_conv =
+    let parse s =
+      match Loadgen.arrival_of_string (String.lowercase_ascii s) with
+      | Some a -> Ok a
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown arrival process %S (fixed-rate, poisson)"
+                s))
+    in
+    Arg.conv
+      (parse, fun ppf a -> Format.pp_print_string ppf (Loadgen.arrival_name a))
+  in
+  let clients_arg =
+    Arg.(
+      value
+      & opt (pos_conv "client count") 200
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent tenant clients.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (posf_conv "rate") 0.1
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Operations per client per simulated second.")
+  in
+  let shape_arg =
+    Arg.(
+      value & opt shape_conv Loadgen.Fixed
+      & info [ "shape" ]
+          ~doc:"Load shape: fixed, rampup, pausing, shaped.")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt arrival_conv Loadgen.Poisson
+      & info [ "arrival" ] ~doc:"Arrival process: poisson, fixed-rate.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (posf_conv "duration") 60.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated run length.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt float 15.0
+      & info [ "warmup" ] ~docv:"SECONDS"
+          ~doc:
+            "Operations scheduled before $(docv) are executed but not \
+             measured; the steady-state window is [warmup, duration).")
+  in
+  let files_arg =
+    Arg.(
+      value
+      & opt (pos_conv "files-per-client") 8
+      & info [ "files" ] ~docv:"N" ~doc:"Pre-created files per tenant.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (pos_conv "shard count") 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Split the clients over $(docv) independent simulated worlds. \
+             Part of the experiment definition: the report depends on the \
+             shard count, never on --jobs.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains running the shards (default 1 = serial; 0 = one \
+             per core). The report is byte-identical at any value.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the report as one JSON object (schema in EXPERIMENTS.md) \
+             instead of text.")
+  in
+  let min_ops_arg =
+    Arg.(
+      value
+      & opt (some (posf_conv "ops-per-second floor")) None
+      & info [ "min-ops-per-sec" ] ~docv:"OPS"
+          ~doc:
+            "Fail (exit 1) if HOST throughput — steady-phase operations per \
+             host wall-clock second — falls below $(docv). A generous floor \
+             catches order-of-magnitude regressions in CI.")
+  in
+  let run scheme clients rate shape arrival duration warmup files shards jobs
+      json seed min_ops =
+    if warmup < 0.0 || warmup >= duration then begin
+      Printf.eprintf
+        "metasim: --warmup (%g) must lie in [0, --duration (%g))\n" warmup
+        duration;
+      exit Cmd.Exit.cli_error
+    end;
+    if shards > clients then begin
+      Printf.eprintf "metasim: --shards (%d) exceeds --clients (%d)\n" shards
+        clients;
+      exit Cmd.Exit.cli_error
+    end;
+    let cfg =
+      {
+        (Loadgen.config ~scheme ()) with
+        Loadgen.clients;
+        rate;
+        shape;
+        arrival;
+        duration;
+        warmup;
+        files_per_client = files;
+        shards;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Loadgen.run ~jobs cfg in
+    let wall = Unix.gettimeofday () -. t0 in
+    (* stdout carries only the deterministic report; host-side numbers
+       go to stderr so byte-identity across --jobs holds *)
+    if json then
+      print_endline (Su_obs.Json.to_string_pretty (Loadgen.report_json cfg r))
+    else Su_util.Text_table.print (Loadgen.report_table cfg r);
+    let host_rate = float_of_int r.Loadgen.executed /. wall in
+    Printf.eprintf
+      "loadgen: %d steady-phase ops in %.2f s host wall (%.0f ops/s host, %d \
+       major collections)\n"
+      r.Loadgen.executed wall host_rate r.Loadgen.major_collections;
+    match min_ops with
+    | Some floor when host_rate < floor ->
+      Printf.eprintf
+        "loadgen: host throughput %.0f ops/s is below the --min-ops-per-sec \
+         floor %g\n"
+        host_rate floor;
+      exit 1
+    | Some _ | None -> ()
+  in
+  let doc = "Open-loop multi-tenant load engine (throughput and tail latency)." in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run $ scheme_arg $ clients_arg $ rate_arg $ shape_arg
+      $ arrival_arg $ duration_arg $ warmup_arg $ files_arg $ shards_arg
+      $ jobs_arg $ json_arg $ seed_arg $ min_ops_arg)
+
 (* Typed simulation failures must reach the shell as one clean stderr
    line and a distinct exit code (3), not an OCaml backtrace: a run
    against a fault model that exhausts the stack's tolerance is an
@@ -1087,7 +1273,7 @@ let () =
   let cmds =
     [
       run_cmd; crash_cmd; crashsweep_cmd; faultsweep_cmd; fuzz_cmd; trace_cmd;
-      exp_cmd;
+      exp_cmd; loadgen_cmd;
     ]
   in
   match Cmd.eval_value ~catch:false (Cmd.group info cmds) with

@@ -24,64 +24,37 @@ let free = '\000'
 (* Search the group's data area for [count] contiguous free fragments
    starting at an offset where the run cannot cross a block boundary
    ([aligned] forces block alignment). Returns a group-relative
-   offset. *)
-let find_run st c (cg : Types.cg) ~count ~aligned =
+   offset. The search runs on the group's {!Freemap} bitset mirror —
+   first fit in rotor order, the same offset the historical stepped
+   byte scan returned (see {!Freemap.find_run}). *)
+let find_run st c fm ~count ~aligned =
   let g = st.State.geom in
   let fpb = g.Geom.frags_per_block in
   let base = Geom.cg_base g c in
   let first, total = Geom.cg_data_area g c in
-  let rel_first = first - base in
-  let rotor = st.State.rotor.(c) in
-  let fits off =
-    let rec ok i = i >= count || (Bytes.get cg.Types.frag_map (off + i) = free && ok (i + 1)) in
-    ok 0
-  in
-  let step = if aligned then fpb else 1 in
-  let candidate off =
-    let abs = base + off in
-    let in_block_off = abs mod fpb in
-    (not aligned || in_block_off = 0)
-    && (aligned || in_block_off + count <= fpb)
-    && off + count <= rel_first + total
-    && fits off
-  in
-  let norm off =
-    let off = if off < rel_first then rel_first else off in
-    rel_first + ((off - rel_first) mod total)
-  in
-  let start =
-    let s = norm rotor in
-    if aligned then
-      (* keep block alignment while stepping; the data area start is
-         itself block-aligned, so aligned starts stay aligned *)
-      let abs = base + s in
-      let skew = abs mod fpb in
-      if skew = 0 then s else norm (s + (fpb - skew))
-    else s
-  in
-  let rec scan off remaining =
-    if remaining <= 0 then None
-    else if candidate off then Some off
-    else scan (norm (off + step)) (remaining - step)
-  in
-  scan start (total + step)
+  Freemap.find_run fm ~base ~rel_first:(first - base) ~total ~fpb
+    ~rotor:st.State.rotor.(c) ~count ~aligned
 
-let claim cg off count =
+let claim cg fm off count =
   for i = 0 to count - 1 do
     Bytes.set cg.Types.frag_map (off + i) used
   done;
+  Freemap.note_claim fm ~off ~count;
   cg.Types.nffree <- cg.Types.nffree - count
 
 let alloc_in_group st c ~count ~aligned =
+  let fm = st.State.freemaps.(c) in
   with_cg st c (fun cg ->
       if cg.Types.nffree < count then None
-      else
-        match find_run st c cg ~count ~aligned with
+      else begin
+        Freemap.ensure fm cg;
+        match find_run st c fm ~count ~aligned with
         | None -> None
         | Some off ->
-          claim cg off count;
+          claim cg fm off count;
           st.State.rotor.(c) <- off + count;
-          Some (Geom.cg_base st.State.geom c + off))
+          Some (Geom.cg_base st.State.geom c + off)
+      end)
 
 let alloc_run st ~cg_hint ~count ~aligned =
   State.charge st st.State.costs.Costs.alloc_op;
@@ -114,7 +87,9 @@ let try_extend st ~start ~have ~want =
     State.charge st st.State.costs.Costs.alloc_op;
     with_lock st (fun () ->
         let c = Geom.cg_of_frag g start in
+        let fm = st.State.freemaps.(c) in
         with_cg st c (fun cg ->
+            Freemap.ensure fm cg;
             let base = Geom.cg_base g c in
             let off = start - base in
             let extra = want - have in
@@ -127,6 +102,7 @@ let try_extend st ~start ~have ~want =
               for i = 0 to extra - 1 do
                 Bytes.set cg.Types.frag_map (off + have + i) used
               done;
+              Freemap.note_claim fm ~off:(off + have) ~count:extra;
               cg.Types.nffree <- cg.Types.nffree - extra;
               true
             end
@@ -138,7 +114,9 @@ let free_run st (start, len) =
   with_lock st (fun () ->
       let g = st.State.geom in
       let c = Geom.cg_of_frag g start in
+      let fm = st.State.freemaps.(c) in
       with_cg st c (fun cg ->
+          Freemap.ensure fm cg;
           let base = Geom.cg_base g c in
           for i = 0 to len - 1 do
             let off = start - base + i in
@@ -146,6 +124,7 @@ let free_run st (start, len) =
               failwith "Alloc.free_run: double free"
             else Bytes.set cg.Types.frag_map off free
           done;
+          Freemap.note_release fm ~off:(start - base) ~count:len;
           cg.Types.nffree <- cg.Types.nffree + len))
 
 let alloc_inode st ~cg_hint ~spread =
@@ -164,20 +143,18 @@ let alloc_inode st ~cg_hint ~spread =
         if i >= ncg then failwith "Alloc: out of inodes"
         else
           let c = (start + i) mod ncg in
+          let fm = st.State.freemaps.(c) in
           match
             with_cg st c (fun cg ->
                 if cg.Types.nifree = 0 then None
                 else begin
-                  let n = g.Geom.inodes_per_cg in
-                  let rec find j =
-                    if j >= n then None
-                    else if Bytes.get cg.Types.inode_map j = free then Some j
-                    else find (j + 1)
-                  in
-                  match find 0 with
-                  | None -> None
-                  | Some j ->
+                  Freemap.ensure fm cg;
+                  (* lowest-free-first, as the byte scan allocated *)
+                  match Freemap.min_free_inode fm with
+                  | -1 -> None
+                  | j ->
                     Bytes.set cg.Types.inode_map j used;
+                    Freemap.note_inode_claim fm j;
                     cg.Types.nifree <- cg.Types.nifree - 1;
                     Some (Geom.first_inum_of_cg g c + j)
                 end)
@@ -188,15 +165,23 @@ let alloc_inode st ~cg_hint ~spread =
       try_group 0)
 
 let free_inode st inum =
+  (* a freed directory's lookup index must die with it: the inum may
+     be recycled for an unrelated directory *)
+  (match st.State.dirx with
+   | Some dx -> Dir_index.forget dx inum
+   | None -> ());
   with_lock st (fun () ->
       let g = st.State.geom in
       let c = Geom.cg_of_inode g inum in
+      let fm = st.State.freemaps.(c) in
       with_cg st c (fun cg ->
+          Freemap.ensure fm cg;
           let j = inum - Geom.first_inum_of_cg g c in
           if Bytes.get cg.Types.inode_map j = free then
             failwith "Alloc.free_inode: double free"
           else begin
             Bytes.set cg.Types.inode_map j free;
+            Freemap.note_inode_release fm j;
             cg.Types.nifree <- cg.Types.nifree + 1
           end))
 

@@ -1,0 +1,97 @@
+(* In-core directory lookup index (opt-in, [Fs.config.dir_index]).
+
+   FFS's namei scans a directory's blocks linearly, and so does
+   {!Dir}: O(directory size) per lookup, which dominates once a
+   namespace holds thousands of entries (the loadgen regime). This is
+   the simulator's analogue of FreeBSD's dirhash: a per-directory hash
+   of interned entry names to (block, slot), plus a free-slot count
+   per block with a bitset of non-full blocks so inserts stop probing
+   every block.
+
+   The index is pure in-core acceleration over the cached directory
+   blocks, which stay authoritative on disk; it holds positions, not
+   entries, so it shares no mutable structure with block payloads.
+   Every entry mutation runs in {!Dir} under the directory inode's
+   lock, which makes lazy build and maintenance race-free. Directories
+   are forgotten when their inode is freed. *)
+
+type dir = {
+  slots : (string, int) Hashtbl.t;  (* name -> blk * cap + slot *)
+  mutable nblocks : int;
+  mutable free_count : int array;  (* free slots per block *)
+  free_blocks : Su_util.Bitset.t;  (* blocks with at least one free slot *)
+}
+
+type t = { cap : int; dirs : (int, dir) Hashtbl.t }
+
+let create ~cap () =
+  if cap <= 0 then invalid_arg "Dir_index.create: bad capacity";
+  { cap; dirs = Hashtbl.create 256 }
+
+let known t inum = Hashtbl.mem t.dirs inum
+let forget t inum = Hashtbl.remove t.dirs inum
+
+(* Register a directory of [nblocks] all-free blocks; the builder then
+   replays existing entries through [note_insert]. *)
+let build t inum ~nblocks =
+  let d =
+    {
+      slots = Hashtbl.create (max 16 (nblocks * t.cap / 4));
+      nblocks;
+      free_count = Array.make (max 1 nblocks) t.cap;
+      free_blocks = Su_util.Bitset.create ~capacity:(max 1 nblocks) ();
+    }
+  in
+  for b = 0 to nblocks - 1 do
+    Su_util.Bitset.set d.free_blocks b
+  done;
+  Hashtbl.replace t.dirs inum d
+
+let lookup t inum name =
+  match Hashtbl.find_opt t.dirs inum with
+  | None -> None
+  | Some d -> (
+    match Hashtbl.find_opt d.slots name with
+    | None -> None
+    | Some loc -> Some (loc / t.cap, loc mod t.cap))
+
+let first_free_block t inum =
+  match Hashtbl.find_opt t.dirs inum with
+  | None -> None
+  | Some d ->
+    let b = Su_util.Bitset.min_elt d.free_blocks in
+    if b < 0 then None else Some b
+
+(* The note_* updates are no-ops on unindexed directories, so callers
+   need not distinguish "index disabled" from "not yet built". *)
+
+let note_insert t inum ~blk ~slot name =
+  match Hashtbl.find_opt t.dirs inum with
+  | None -> ()
+  | Some d ->
+    Hashtbl.replace d.slots name ((blk * t.cap) + slot);
+    d.free_count.(blk) <- d.free_count.(blk) - 1;
+    if d.free_count.(blk) = 0 then Su_util.Bitset.clear d.free_blocks blk
+
+let note_remove t inum ~blk name =
+  match Hashtbl.find_opt t.dirs inum with
+  | None -> ()
+  | Some d ->
+    Hashtbl.remove d.slots name;
+    d.free_count.(blk) <- d.free_count.(blk) + 1;
+    if d.free_count.(blk) = 1 then Su_util.Bitset.set d.free_blocks blk
+
+(* A fresh (all-free) block was appended; returns its index. *)
+let note_grow t inum =
+  match Hashtbl.find_opt t.dirs inum with
+  | None -> ()
+  | Some d ->
+    let blk = d.nblocks in
+    if blk >= Array.length d.free_count then begin
+      let bigger = Array.make (2 * Array.length d.free_count) 0 in
+      Array.blit d.free_count 0 bigger 0 (Array.length d.free_count);
+      d.free_count <- bigger
+    end;
+    d.free_count.(blk) <- t.cap;
+    Su_util.Bitset.set d.free_blocks blk;
+    d.nblocks <- blk + 1

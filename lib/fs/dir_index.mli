@@ -1,0 +1,35 @@
+(** In-core directory lookup index (the simulator's dirhash).
+
+    Opt-in via [Fs.config.dir_index]; see {!Dir} for how lookups and
+    inserts use it and what they charge. Maps entry names to
+    (block, slot) per directory and tracks which blocks still have
+    free slots. Purely in-core: the cached directory blocks stay
+    authoritative, and all maintenance happens in {!Dir} under the
+    directory inode's lock. *)
+
+type t
+
+val create : cap:int -> unit -> t
+(** [cap] is the geometry's directory-block entry capacity. *)
+
+val known : t -> int -> bool
+(** Whether directory [inum] has been indexed. *)
+
+val build : t -> int -> nblocks:int -> unit
+(** Register directory [inum] with [nblocks] blocks, all slots free;
+    the caller replays existing entries through {!note_insert}. *)
+
+val forget : t -> int -> unit
+(** Drop a directory (called when its inode is freed). *)
+
+val lookup : t -> int -> string -> (int * int) option
+(** [(blk, slot)] of the named entry, for an indexed directory. *)
+
+val first_free_block : t -> int -> int option
+(** Lowest block with a free slot, for an indexed directory. *)
+
+val note_insert : t -> int -> blk:int -> slot:int -> string -> unit
+val note_remove : t -> int -> blk:int -> string -> unit
+
+val note_grow : t -> int -> unit
+(** A fresh all-free block was appended to the directory. *)

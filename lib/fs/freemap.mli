@@ -1,0 +1,52 @@
+(** Bitset mirror of one cylinder group's allocation maps.
+
+    Replaces the allocator's O(group-size) byte scans with
+    {!Su_util.Bitset} successor queries while leaving the byte maps
+    authoritative: the mirror is built lazily from the cached group
+    block and updated alongside every byte mutation (both under the
+    allocation mutex). {!find_run} returns exactly the offset the
+    historical first-fit byte scan would, so enabling the index
+    changes no allocation decision and keeps golden traces
+    bit-identical; the equivalence is property-tested. *)
+
+type t
+
+val create : unit -> t
+(** Empty, unbuilt mirror. *)
+
+val built : t -> bool
+
+val ensure : t -> Su_fstypes.Types.cg -> unit
+(** Populate the mirror from the group's map bytes if not yet built.
+    Call before any query or [note_*], with the group block resident
+    and the allocation mutex held. *)
+
+val note_claim : t -> off:int -> count:int -> unit
+(** Fragments [off .. off+count-1] (group-relative) became used. *)
+
+val note_release : t -> off:int -> count:int -> unit
+
+val note_inode_claim : t -> int -> unit
+val note_inode_release : t -> int -> unit
+
+val min_free_inode : t -> int
+(** Lowest free inode slot in the group, or [-1] — the same slot the
+    historical lowest-first byte scan finds. *)
+
+val find_run :
+  t ->
+  base:int ->
+  rel_first:int ->
+  total:int ->
+  fpb:int ->
+  rotor:int ->
+  count:int ->
+  aligned:bool ->
+  int option
+(** First-fit search for [count] contiguous free fragments in the
+    group's data area ([rel_first .. rel_first+total-1],
+    group-relative), starting from the rotor with wraparound.
+    [aligned] forces the run to start on a block boundary; otherwise
+    the run may not cross one. [base] is the group's first absolute
+    fragment address (block alignment is absolute). Identical result
+    to the stepped byte scan it replaces. *)

@@ -52,6 +52,7 @@ type config = {
   scrub_interval : float;
   health_max_lost : int;
   trace_sink : Su_obs.Events.t option;
+  dir_index : bool;
 }
 
 exception Mount_failure of string
@@ -92,6 +93,7 @@ let config ?(scheme = Soft_updates) () =
     scrub_interval = 0.0;
     health_max_lost = 8;
     trace_sink = None;
+    dir_index = false;
   }
 
 let journal_region cfg =
@@ -289,6 +291,11 @@ let build ?image cfg =
       alloc_mutex = Su_sim.Sync.Mutex.create engine;
       icache = Hashtbl.create 1024;
       rotor = Array.make (Geom.cg_count cfg.geom) 0;
+      freemaps = Array.init (Geom.cg_count cfg.geom) (fun _ -> Freemap.create ());
+      dirx =
+        (if cfg.dir_index then
+           Some (Dir_index.create ~cap:cfg.geom.Geom.dir_capacity ())
+         else None);
       next_cg = 0;
       gen_counter = 1;
       softdep_stats;

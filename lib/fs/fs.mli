@@ -59,6 +59,11 @@ type config = {
       (** when set, the driver, cache and FS operations emit JSONL
           trace events into the sink (default [None]). Observability
           only: simulation behavior is bit-identical either way. *)
+  dir_index : bool;
+      (** maintain the in-core directory lookup index ({!Dir_index})
+          and charge lookups at dirhash cost instead of a linear scan
+          (default [false]: the paper's namei model, unchanged traces;
+          the load engine turns it on) *)
 }
 
 exception Mount_failure of string

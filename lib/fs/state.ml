@@ -20,6 +20,8 @@ type t = {
   alloc_mutex : Su_sim.Sync.Mutex.t;
   icache : (int, incore) Hashtbl.t;
   rotor : int array;
+  freemaps : Freemap.t array;
+  dirx : Dir_index.t option;
   mutable next_cg : int;
   mutable gen_counter : int;
   softdep_stats : Su_core.Softdep.stats option;

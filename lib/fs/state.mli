@@ -29,6 +29,12 @@ type t = {
   alloc_mutex : Su_sim.Sync.Mutex.t;
   icache : (int, incore) Hashtbl.t;
   rotor : int array;  (** per-group data allocation cursor *)
+  freemaps : Freemap.t array;
+      (** per-group bitset mirror of the allocation maps, built lazily
+          under [alloc_mutex]; same allocation decisions as the byte
+          scans it accelerates (see {!Freemap}) *)
+  dirx : Dir_index.t option;
+      (** directory lookup index, when [Fs.config.dir_index] is set *)
   mutable next_cg : int;  (** round-robin for new directories *)
   mutable gen_counter : int;
   softdep_stats : Su_core.Softdep.stats option;

@@ -87,6 +87,17 @@ let fresh_cg (g : Geom.t) =
 
 let copy_dinode d = { d with db = Array.copy d.db }
 
+(* [{ sb with ... }] would also build a fresh record, but reads as a
+   no-op; spell the copy out so every [copy_*] helper visibly
+   allocates new mutable structure. *)
+let copy_superblock sb =
+  {
+    sb_magic = sb.sb_magic;
+    sb_nfrags = sb.sb_nfrags;
+    sb_ncg = sb.sb_ncg;
+    sb_clean = sb.sb_clean;
+  }
+
 let copy_cg c =
   {
     frag_map = Bytes.copy c.frag_map;
@@ -96,7 +107,7 @@ let copy_cg c =
   }
 
 let copy_meta = function
-  | Superblock sb -> Superblock { sb with sb_magic = sb.sb_magic }
+  | Superblock sb -> Superblock (copy_superblock sb)
   | Cgroup c -> Cgroup (copy_cg c)
   | Inodes ds -> Inodes (Array.map copy_dinode ds)
   | Dir entries -> Dir (Array.copy entries)

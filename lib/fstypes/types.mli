@@ -88,6 +88,7 @@ val fresh_indirect : Geom.t -> int array
 val fresh_cg : Geom.t -> cg
 
 val copy_dinode : dinode -> dinode
+val copy_superblock : superblock -> superblock
 val copy_meta : meta -> meta
 (** Deep copy; used to snapshot write payloads and on reads so cached
     and on-disk state never share mutable structure. *)

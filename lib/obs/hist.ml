@@ -131,6 +131,16 @@ let merge_into ~dst src =
   if raw_min src < raw_min dst then Float.Array.set dst.fl 1 (raw_min src);
   if raw_max src > raw_max dst then Float.Array.set dst.fl 2 (raw_max src)
 
+let copy t =
+  let fl = Float.Array.create 3 in
+  Float.Array.blit t.fl 0 fl 0 3;
+  { t with counts = Array.copy t.counts; fl }
+
+let merge a b =
+  let t = copy a in
+  merge_into ~dst:t b;
+  t
+
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.n <- 0;

@@ -50,6 +50,19 @@ val merge_into : dst:t -> t -> unit
 (** Add every bucket and moment of the source into [dst]. The two must
     share [base] and bucket count. *)
 
+val copy : t -> t
+(** Independent deep copy: mutating either histogram afterwards leaves
+    the other untouched. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding both sample sets: buckets
+    are added pairwise and count/sum/min/max combine exactly, so
+    parallel workers can accumulate independently and merge in any
+    grouping without changing the result (up to float-addition order
+    in [sum]). Neither argument is modified. The two must share [base]
+    and bucket count.
+    @raise Invalid_argument on incompatible histograms. *)
+
 val clear : t -> unit
 
 val buckets : t -> (float * int) list

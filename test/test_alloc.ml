@@ -140,12 +140,74 @@ let test_exhaustion_raises () =
          Alcotest.fail "expected exhaustion"
        with Failure _ -> ()))
 
+(* --- Freemap.find_run vs the reference byte scan ------------------------ *)
+
+(* The bitset search must return exactly the offset the historical
+   stepped byte scan would, for every occupancy pattern — that is the
+   whole contract that lets the allocator index stay always-on without
+   moving a single golden-trace block address. The reference below is
+   the naive spec: walk every candidate offset in rotor order with
+   wraparound and take the first fitting run. Geometry is generated
+   with the invariants real groups have (base, rel_first and total all
+   block-aligned). *)
+let ref_find_run ~free ~base ~rel_first ~total ~fpb ~rotor ~count ~aligned =
+  let area_end = rel_first + total in
+  let norm off =
+    let off = if off < rel_first then rel_first else off in
+    rel_first + ((off - rel_first) mod total)
+  in
+  let fits o =
+    o + count <= area_end
+    && (if aligned then (base + o) mod fpb = 0
+        else ((base + o) mod fpb) + count <= fpb)
+    &&
+    let ok = ref true in
+    for i = o to o + count - 1 do
+      if not free.(i) then ok := false
+    done;
+    !ok
+  in
+  let rec go o stop = if o >= stop then None else if fits o then Some o else go (o + 1) stop in
+  let start = norm rotor in
+  match go start area_end with
+  | Some _ as r -> r
+  | None -> if start > rel_first then go rel_first start else None
+
+let prop_find_run_matches_byte_scan =
+  QCheck.Test.make ~name:"freemap find_run equals reference byte scan"
+    ~count:500
+    QCheck.(
+      quad
+        (int_range 2 16) (* data blocks *)
+        (int_range 0 3) (* header blocks before the data area *)
+        (pair (int_range 0 1000) (int_range 1 8)) (* rotor seed, count *)
+        (pair bool (int_range 0 1000)) (* aligned, occupancy seed *))
+    (fun (nblocks, hdr, (rotor_seed, count), (aligned, occ_seed)) ->
+      let fpb = 8 in
+      let rel_first = hdr * fpb in
+      let total = nblocks * fpb in
+      let area_end = rel_first + total in
+      let base = 3 * fpb in
+      let rotor = rotor_seed mod (2 * area_end) in
+      (* deterministic pseudo-random occupancy from the seed *)
+      let free = Array.make area_end false in
+      let s = ref (occ_seed + 1) in
+      for i = rel_first to area_end - 1 do
+        s := (!s * 1103515245) + 12345;
+        free.(i) <- (!s lsr 16) land 3 <> 0 (* ~75% free *)
+      done;
+      let fm = Freemap.create () in
+      Array.iteri (fun i b -> if b then Freemap.note_release fm ~off:i ~count:1) free;
+      Freemap.find_run fm ~base ~rel_first ~total ~fpb ~rotor ~count ~aligned
+      = ref_find_run ~free ~base ~rel_first ~total ~fpb ~rotor ~count ~aligned)
+
 let suite =
   [
     Alcotest.test_case "block alignment" `Quick test_block_alignment;
     Alcotest.test_case "frag runs within block" `Quick
       test_frag_runs_within_block;
     QCheck_alcotest.to_alcotest prop_no_overlap;
+    QCheck_alcotest.to_alcotest prop_find_run_matches_byte_scan;
     Alcotest.test_case "free restores counts" `Quick test_free_restores_counts;
     Alcotest.test_case "double free detected" `Quick test_double_free_detected;
     Alcotest.test_case "try_extend" `Quick test_try_extend;

@@ -118,6 +118,24 @@ let test_dir_helpers () =
    | None -> Alcotest.fail "entry not found");
   Alcotest.(check bool) "missing" true (Types.dir_find entries "zz" = None)
 
+(* regression: copy_meta's superblock arm used to alias the original
+   record, so flipping sb_clean on a crash-snapshot copy flipped it on
+   the live superblock too *)
+let test_copy_superblock_isolated () =
+  let sb =
+    { Types.sb_magic = 0xF5; sb_nfrags = 1024; sb_ncg = 4; sb_clean = true }
+  in
+  let c = Types.copy_superblock sb in
+  c.Types.sb_clean <- false;
+  Alcotest.(check bool) "direct copy isolated" true sb.Types.sb_clean;
+  Alcotest.(check int) "magic copied" sb.Types.sb_magic c.Types.sb_magic;
+  Alcotest.(check int) "nfrags copied" sb.Types.sb_nfrags c.Types.sb_nfrags;
+  match Types.copy_meta (Types.Superblock sb) with
+  | Types.Superblock cc ->
+    cc.Types.sb_clean <- false;
+    Alcotest.(check bool) "copy_meta isolated" true sb.Types.sb_clean
+  | _ -> Alcotest.fail "wrong copy"
+
 let test_stamp_matching () =
   let s = Types.Written { inum = 7; gen = 3; flbn = 0 } in
   Alcotest.(check bool) "own stamp" true (Types.stamp_matches s ~inum:7 ~gen:3);
@@ -136,6 +154,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_frags_of_bytes;
     Alcotest.test_case "copy dinode isolated" `Quick test_copy_dinode_isolated;
     Alcotest.test_case "copy meta isolated" `Quick test_copy_meta_isolated;
+    Alcotest.test_case "copy superblock isolated" `Quick
+      test_copy_superblock_isolated;
     Alcotest.test_case "dir helpers" `Quick test_dir_helpers;
     Alcotest.test_case "stamp matching" `Quick test_stamp_matching;
   ]

@@ -1,0 +1,163 @@
+(* Load-engine contract tests: the report is a pure function of the
+   configuration (byte-identical at any --jobs), every load shape
+   completes, inconsistent configs are rejected, and the CLI holds the
+   exit-code conventions scripts rely on (124 for bad usage, 1 for a
+   failed throughput floor). *)
+open Su_fs
+module Loadgen = Su_workload.Loadgen
+module Json = Su_obs.Json
+
+let tiny ?(shards = 1) ?(shape = Loadgen.Fixed) () =
+  {
+    (Loadgen.config ~scheme:Fs.Soft_updates ()) with
+    Loadgen.clients = 24;
+    rate = 0.5;
+    shape;
+    duration = 5.0;
+    warmup = 1.0;
+    files_per_client = 3;
+    shards;
+  }
+
+(* --- determinism --------------------------------------------------------- *)
+
+let render cfg r =
+  ( Su_util.Text_table.render (Loadgen.report_table cfg r),
+    Json.to_string (Loadgen.report_json cfg r) )
+
+let test_jobs_invariance () =
+  let cfg = tiny ~shards:2 ~shape:Loadgen.Rampup () in
+  let r1 = Loadgen.run ~jobs:1 cfg in
+  let r4 = Loadgen.run ~jobs:4 cfg in
+  let t1, j1 = render cfg r1 and t4, j4 = render cfg r4 in
+  Alcotest.(check string) "table byte-identical" t1 t4;
+  Alcotest.(check string) "json byte-identical" j1 j4;
+  Alcotest.(check bool) "measured something" true (Loadgen.measured_ops r1 > 0)
+
+let test_shard_merge_counts () =
+  (* the merged report counts every shard's window ops *)
+  let cfg = tiny ~shards:2 () in
+  let r = Loadgen.run cfg in
+  let per_class =
+    Array.fold_left
+      (fun n h -> n + Su_obs.Hist.count h)
+      0 r.Loadgen.class_hist
+  in
+  Alcotest.(check int) "class hists sum to total" per_class
+    (Loadgen.measured_ops r);
+  Alcotest.(check bool) "executed covers the window" true
+    (r.Loadgen.executed >= Loadgen.measured_ops r)
+
+(* --- shapes -------------------------------------------------------------- *)
+
+let test_all_shapes_complete () =
+  List.iter
+    (fun shape ->
+      let cfg = tiny ~shape () in
+      let r = Loadgen.run cfg in
+      Alcotest.(check bool)
+        (Loadgen.shape_name shape ^ " executes ops")
+        true (r.Loadgen.executed > 0))
+    Loadgen.all_shapes
+
+(* --- validation ---------------------------------------------------------- *)
+
+let rejects name mk =
+  match Loadgen.run (mk ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_validation () =
+  rejects "zero clients" (fun () -> { (tiny ()) with Loadgen.clients = 0 });
+  rejects "zero rate" (fun () -> { (tiny ()) with Loadgen.rate = 0.0 });
+  rejects "warmup past duration" (fun () ->
+      { (tiny ()) with Loadgen.warmup = 5.0 });
+  rejects "more shards than clients" (fun () ->
+      { (tiny ()) with Loadgen.shards = 25 })
+
+(* --- CLI ----------------------------------------------------------------- *)
+
+let build_root = Filename.dirname (Filename.dirname Sys.executable_name)
+let metasim = Filename.concat (Filename.concat build_root "bin") "metasim.exe"
+let sh fmt = Printf.ksprintf (fun cmd -> Sys.command cmd) fmt
+
+let tiny_cli = "--clients 8 --files 2 --rate 0.5 --duration 4 --warmup 1"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_cli_bad_usage () =
+  List.iter
+    (fun (name, frag) ->
+      Alcotest.(check int) name 124
+        (sh "%s loadgen %s >/dev/null 2>&1" metasim frag))
+    [
+      ("zero clients", "--clients 0");
+      ("zero rate", "--rate 0");
+      ("unknown shape", "--shape diagonal");
+      ("unknown arrival", "--arrival bursty");
+      ("warmup past duration", "--duration 5 --warmup 5");
+      ("shards exceed clients", "--clients 4 --shards 8");
+    ]
+
+let test_cli_runs_and_floor () =
+  Alcotest.(check int) "tiny run exits 0" 0
+    (sh "%s loadgen %s >/dev/null 2>&1" metasim tiny_cli);
+  Alcotest.(check int) "generous floor passes" 0
+    (sh "%s loadgen %s --min-ops-per-sec 1 >/dev/null 2>&1" metasim tiny_cli);
+  Alcotest.(check int) "absurd floor exits 1" 1
+    (sh "%s loadgen %s --min-ops-per-sec 1e12 >/dev/null 2>&1" metasim
+       tiny_cli)
+
+let test_cli_json_and_jobs () =
+  let out1 = Filename.temp_file "loadgen" ".json" in
+  let out4 = Filename.temp_file "loadgen" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out1;
+      Sys.remove out4)
+    (fun () ->
+      Alcotest.(check int) "json run jobs 1" 0
+        (sh "%s loadgen %s --shards 2 --jobs 1 --json > %s 2>/dev/null"
+           metasim tiny_cli out1);
+      Alcotest.(check int) "json run jobs 4" 0
+        (sh "%s loadgen %s --shards 2 --jobs 4 --json > %s 2>/dev/null"
+           metasim tiny_cli out4);
+      let s1 = read_file out1 in
+      Alcotest.(check string) "stdout byte-identical across --jobs" s1
+        (read_file out4);
+      match Json.parse s1 with
+      | Error e -> Alcotest.fail ("bad JSON: " ^ e)
+      | Ok doc ->
+        Alcotest.(check (option int)) "clients echoed" (Some 8)
+          (Option.bind (Json.member "clients" doc) Json.to_int);
+        Alcotest.(check bool) "throughput present" true
+          (match
+             Option.bind
+               (Json.member "throughput_ops_per_sec" doc)
+               Json.to_float
+           with
+          | Some f -> f >= 0.0
+          | None -> false);
+        let classes =
+          Option.bind (Json.member "classes" doc) Json.to_list
+          |> Option.value ~default:[]
+        in
+        Alcotest.(check int) "five classes plus all" 6 (List.length classes))
+
+let suite =
+  [
+    Alcotest.test_case "report invariant under --jobs" `Quick
+      test_jobs_invariance;
+    Alcotest.test_case "shard merge counts" `Quick test_shard_merge_counts;
+    Alcotest.test_case "all shapes complete" `Quick test_all_shapes_complete;
+    Alcotest.test_case "config validation" `Quick test_validation;
+    Alcotest.test_case "cli bad usage exits 124" `Quick test_cli_bad_usage;
+    Alcotest.test_case "cli run + throughput floor" `Quick
+      test_cli_runs_and_floor;
+    Alcotest.test_case "cli json identical across jobs" `Quick
+      test_cli_json_and_jobs;
+  ]

@@ -27,5 +27,6 @@ let () =
       ("trace-golden", Test_trace_golden.suite);
       ("obs", Test_obs.suite);
       ("shapes", Test_shapes.suite);
+      ("loadgen", Test_loadgen.suite);
       ("cli", Test_cli.suite);
     ]

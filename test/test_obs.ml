@@ -62,6 +62,37 @@ let test_hist_merge () =
   Alcotest.(check (float 0.0)) "min" 0.001 (Hist.min_value a);
   Alcotest.(check (float 0.0)) "max" 3.0 (Hist.max_value a)
 
+(* [Hist.merge a b] must equal adding both sample sets serially into
+   one histogram — this is what lets parallel loadgen shards merge by
+   index and render byte-identical reports at any --jobs. Samples are
+   dyadic rationals (k/1024) so every float sum is exact and equality
+   checks are [=], not approximate. *)
+let prop_merge_matches_serial =
+  QCheck.Test.make ~name:"hist merge equals serial accumulation" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 60) (int_range 1 4096))
+        (list_of_size Gen.(0 -- 60) (int_range 1 4096)))
+    (fun (xs, ys) ->
+      let v k = float_of_int k /. 1024.0 in
+      let a = Hist.create () and b = Hist.create () in
+      let serial = Hist.create () in
+      List.iter (fun k -> Hist.add a (v k)) xs;
+      List.iter (fun k -> Hist.add b (v k)) ys;
+      List.iter (fun k -> Hist.add serial (v k)) (xs @ ys);
+      let m = Hist.merge a b in
+      Hist.count m = Hist.count serial
+      && Hist.sum m = Hist.sum serial
+      && Hist.min_value m = Hist.min_value serial
+      && Hist.max_value m = Hist.max_value serial
+      && Hist.buckets m = Hist.buckets serial
+      && List.for_all
+           (fun p -> Hist.percentile m p = Hist.percentile serial p)
+           [ 0.0; 50.0; 90.0; 99.0; 100.0 ]
+      (* and merge leaves its arguments untouched *)
+      && Hist.count a = List.length xs
+      && Hist.count b = List.length ys)
+
 (* --- Json --------------------------------------------------------------- *)
 
 let sample_doc =
@@ -248,6 +279,7 @@ let suite =
     Alcotest.test_case "hist bucketed percentiles" `Quick
       test_hist_percentile_bucketed;
     Alcotest.test_case "hist merge" `Quick test_hist_merge;
+    QCheck_alcotest.to_alcotest prop_merge_matches_serial;
     Alcotest.test_case "hist add_int matches add" `Quick
       test_hist_add_int_matches_add;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
