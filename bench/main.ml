@@ -13,6 +13,8 @@
                                               # delta snapshots + work pool
      dune exec bench/main.exe -- --loadgen [--json BENCH_loadgen.json]
                                               # load engine + dir-scale gates
+     dune exec bench/main.exe -- --corrupt [--json BENCH_corrupt.json]
+                                              # checksum overhead + gates
      dune exec bench/main.exe -- --list       # available ids *)
 
 let available =
@@ -42,6 +44,10 @@ let usage () =
      \  --loadgen       load-engine steady state (zero-major assertion)\n\
      \                  and directory-scale lookups (10k entries gated\n\
      \                  within 2x of 100); exit 1 on a failed gate\n\
+     \  --corrupt       checksum overhead: driver burst and loadgen\n\
+     \                  steady loops with the digest region off vs on;\n\
+     \                  gates: checksummed steady loop still runs zero\n\
+     \                  major collections, burst overhead within 2x\n\
      \  --json PATH     write results JSON: experiment tables (the\n\
      \                  document EXPERIMENTS.md specifies), or the\n\
      \                  --hotpaths/--crashsweep perf records\n\
@@ -135,11 +141,11 @@ let micro () =
 
 let hotpath_scale quick = if quick then 2_000 else 10_000
 
-let mk_disk_driver ~mode ~policy =
+let mk_disk_driver ?(checksums = false) ~mode ~policy () =
   let e = Su_sim.Engine.create () in
   let d =
     Su_disk.Disk.create ~engine:e ~params:Su_disk.Disk_params.hp_c2447
-      ~nfrags:(1 lsl 20) ()
+      ~nfrags:(1 lsl 20) ~checksums ()
   in
   let drv =
     Su_driver.Driver.create ~engine:e ~disk:d
@@ -158,8 +164,9 @@ let wpayload n = Array.make n Su_fstypes.Types.Empty
    8 MB disk-image allocation, which would otherwise be ~10% of the
    wall at current throughput. *)
 let bench_driver_burst ~mode ?(policy = Su_driver.Driver.Clook)
-    ?(flag_every = 0) ?(read_every = 0) ?(chain = false) n () =
-  let e, drv = mk_disk_driver ~mode ~policy in
+    ?(flag_every = 0) ?(read_every = 0) ?(chain = false) ?(checksums = false)
+    n () =
+  let e, drv = mk_disk_driver ~checksums ~mode ~policy () in
   (* Workload generation is prepare work too: the RNG's int64 mixing
      is measurably more expensive than a dispatch-index lookup, and it
      is not the system under test. *)
@@ -214,7 +221,7 @@ let bench_driver_burst ~mode ?(policy = Su_driver.Driver.Clook)
    capacity must select and evict the LRU clean victim. *)
 let bench_cache_evict n () =
   let e, drv = mk_disk_driver ~mode:Su_driver.Ordering.Unordered
-      ~policy:Su_driver.Driver.Clook in
+      ~policy:Su_driver.Driver.Clook () in
   let bc =
     Su_cache.Bcache.create ~engine:e ~driver:drv
       { Su_cache.Bcache.default_config with capacity_frags = n / 2 }
@@ -236,7 +243,7 @@ let bench_cache_evict n () =
    set and the driver drains an [n]-deep unordered write burst. *)
 let bench_cache_sync_all n () =
   let e, drv = mk_disk_driver ~mode:Su_driver.Ordering.Unordered
-      ~policy:Su_driver.Driver.Clook in
+      ~policy:Su_driver.Driver.Clook () in
   let bc =
     Su_cache.Bcache.create ~engine:e ~driver:drv
       { Su_cache.Bcache.default_config with capacity_frags = 2 * n }
@@ -568,7 +575,7 @@ let bench_dirscale ~index ~files nops () =
   let wall, wpo, majors = !result in
   (nops, wall, wpo, majors)
 
-let bench_loadgen_steady ~quick () =
+let bench_loadgen_steady ?(checksums = false) ~quick () =
   let base = Su_workload.Loadgen.config ~scheme:Su_fs.Fs.Soft_updates () in
   let cfg =
     { base with
@@ -578,6 +585,12 @@ let bench_loadgen_steady ~quick () =
       warmup = (if quick then 2.0 else 4.0);
       files_per_client = 6;
       shape = Su_workload.Loadgen.Rampup
+    }
+  in
+  let cfg =
+    { cfg with
+      Su_workload.Loadgen.fs_cfg =
+        { cfg.Su_workload.Loadgen.fs_cfg with Su_fs.Fs.checksums }
     }
   in
   let r = Su_workload.Loadgen.run cfg in
@@ -591,7 +604,7 @@ let run_loadgen ~quick ~json_path =
   let reps = if quick then 2 else 3 in
   let nops = if quick then 800 else 4000 in
   let benches =
-    [ ("loadgen-steady", bench_loadgen_steady ~quick);
+    [ ("loadgen-steady", fun () -> bench_loadgen_steady ~quick ());
       ("dirscale-100", bench_dirscale ~index:true ~files:100 nops);
       ("dirscale-10k", bench_dirscale ~index:true ~files:10_000 nops);
       ("dirscale-10k-scan", bench_dirscale ~index:false ~files:10_000 (nops / 8))
@@ -666,6 +679,132 @@ let run_loadgen ~quick ~json_path =
     Printf.eprintf
       "FAIL: dirscale-10k at %.2fx of dirscale-100 is outside the 2x gate\n"
       ratio
+  end;
+  if !failed then exit 1
+
+(* --- checksum overhead ------------------------------------------------- *)
+
+(* What turning `checksums` on costs on the two loops the perf story
+   rests on, written to BENCH_corrupt.json: the driver write burst
+   (every acknowledged write now folds its payload into the digest
+   region) and the loadgen steady loop (whole-engine ops/sec with a
+   checksummed world under every shard). Two gates, exit 1 on either:
+   the checksummed steady loop must still run zero major collections —
+   digest upkeep is in-place int stores, not allocation — and the
+   checksummed burst must stay within 2x of the plain one. *)
+
+let run_corrupt ~quick ~json_path =
+  let n = hotpath_scale quick in
+  let reps = if quick then 2 else 5 in
+  (* staged benches bracket the timed run here (as in --hotpaths);
+     loadgen reports its own steady-window measurements *)
+  let measure_staged bench =
+    let run = bench () in
+    Gc.full_major ();
+    let s0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    let events = run () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let s1 = Gc.quick_stat () in
+    ( events,
+      wall,
+      (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int events,
+      s1.Gc.major_collections - s0.Gc.major_collections )
+  in
+  let benches =
+    [ ( "driver-burst-plain",
+        fun () ->
+          measure_staged
+            (bench_driver_burst ~mode:Su_driver.Ordering.Unordered n) );
+      ( "driver-burst-csum",
+        fun () ->
+          measure_staged
+            (bench_driver_burst ~mode:Su_driver.Ordering.Unordered
+               ~checksums:true n) );
+      ("loadgen-steady-plain", fun () -> bench_loadgen_steady ~quick ());
+      ( "loadgen-steady-csum",
+        fun () -> bench_loadgen_steady ~checksums:true ~quick () )
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, bench) ->
+        let best = ref None in
+        for _ = 1 to reps do
+          let ops, wall, wpo, majors = bench () in
+          let eps = if wall > 0.0 then float_of_int ops /. wall else 0.0 in
+          match !best with
+          | Some (_, _, best_wall, _, _, _) when best_wall <= wall -> ()
+          | _ -> best := Some (name, ops, wall, eps, wpo, majors)
+        done;
+        match !best with
+        | Some r -> r
+        | None -> (name, 0, 0.0, 0.0, 0.0, 0))
+      benches
+  in
+  List.iter
+    (fun (name, ops, wall, eps, wpo, majors) ->
+      Printf.printf
+        "%-30s n=%-6d %8.3fs wall %12.0f ops/s %9.1f mwords/op %3d majors\n%!"
+        name ops wall eps wpo majors)
+    results;
+  let eps_of n =
+    let (_, _, _, eps, _, _) =
+      List.find (fun (name, _, _, _, _, _) -> name = n) results
+    in
+    eps
+  in
+  let overhead plain csum =
+    let p = eps_of plain and c = eps_of csum in
+    if c > 0.0 then (p /. c -. 1.0) *. 100.0 else infinity
+  in
+  let burst_pct = overhead "driver-burst-plain" "driver-burst-csum" in
+  let steady_pct = overhead "loadgen-steady-plain" "loadgen-steady-csum" in
+  Printf.printf "# checksum overhead: driver burst %+.1f%%, steady loop %+.1f%%\n"
+    burst_pct steady_pct;
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Printf.fprintf oc "{\n  \"scale\": \"%s\",\n"
+       (if quick then "quick" else "full");
+     Printf.fprintf oc "  \"results\": [\n";
+     List.iteri
+       (fun i (name, ops, wall, eps, wpo, majors) ->
+         Printf.fprintf oc
+           "    {\"name\": %S, \"ops\": %d, \"wall_s\": %.4f, \
+            \"ops_per_sec\": %.1f, \"minor_words_per_op\": %.1f, \
+            \"major_collections\": %d}%s\n"
+           name ops wall eps wpo majors
+           (if i = List.length results - 1 then "" else ","))
+       results;
+     Printf.fprintf oc
+       "  ],\n\
+       \  \"driver_burst_overhead_pct\": %.1f,\n\
+       \  \"loadgen_steady_overhead_pct\": %.1f\n\
+        }\n"
+       burst_pct steady_pct;
+     close_out oc;
+     Printf.printf "# wrote %s\n" path);
+  let failed = ref false in
+  let (_, _, _, _, _, csum_majors) =
+    List.find
+      (fun (name, _, _, _, _, _) -> name = "loadgen-steady-csum")
+      results
+  in
+  if csum_majors <> 0 then begin
+    failed := true;
+    Printf.eprintf
+      "FAIL: checksummed loadgen-steady ran %d major collections (want 0: \
+       digest upkeep must stay allocation-free)\n"
+      csum_majors
+  end;
+  if eps_of "driver-burst-csum" < 0.5 *. eps_of "driver-burst-plain" then begin
+    failed := true;
+    Printf.eprintf
+      "FAIL: checksummed driver burst at %+.1f%% overhead is outside the 2x \
+       gate\n"
+      burst_pct
   end;
   if !failed then exit 1
 
@@ -765,6 +904,10 @@ let () =
   end;
   if List.mem "--loadgen" args then begin
     run_loadgen ~quick ~json_path:(json_of args);
+    exit 0
+  end;
+  if List.mem "--corrupt" args then begin
+    run_corrupt ~quick ~json_path:(json_of args);
     exit 0
   end;
   let selected =

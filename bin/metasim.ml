@@ -110,12 +110,86 @@ let spares_arg ~default =
            the simulation is then bit-identical to a fault-intolerant \
            build).")
 
-let fault_of ~seed ~rate ~bad_sectors =
-  if rate = 0.0 && bad_sectors = [] then Su_disk.Fault.none
-  else if rate > 0.0 then
-    { (Su_disk.Fault.transient ~seed ~rate ()) with
-      Su_disk.Fault.bad_sectors }
-  else { Su_disk.Fault.none with Su_disk.Fault.seed; bad_sectors }
+(* --- silent-fault flags (run / loadgen) -----------------------------
+
+   The classes the device cannot detect: bit rot on reads, lost
+   writes, misdirected writes. Only the checksum layer catches them,
+   so the doc strings point at --checksums. *)
+
+let flip_rate_flag =
+  Arg.(
+    value
+    & opt rate_conv 0.0
+    & info [ "flip-rate" ] ~docv:"R"
+        ~doc:
+          "Silent bit-rot probability per read attempt, in [0, 1]. The \
+           device reports success; only $(b,--checksums) can detect the \
+           corruption.")
+
+let lost_rate_flag =
+  Arg.(
+    value
+    & opt rate_conv 0.0
+    & info [ "lost-rate" ] ~docv:"R"
+        ~doc:
+          "Probability a write attempt is acknowledged but never applied \
+           to the media, in [0, 1]. Detectable only via $(b,--checksums).")
+
+let misdirect_rate_flag =
+  Arg.(
+    value
+    & opt rate_conv 0.0
+    & info [ "misdirect-rate" ] ~docv:"R"
+        ~doc:
+          "Probability a write attempt lands on a random wrong sector, in \
+           [0, 1]. Detectable only via $(b,--checksums).")
+
+let checksums_flag =
+  Arg.(
+    value & flag
+    & info [ "checksums" ]
+        ~doc:
+          "Maintain and verify per-fragment checksums (the end-to-end \
+           integrity layer: verified cache fills, self-healing reads, \
+           scrubber verification). Off by default so traces stay \
+           bit-identical to the checksum-free build.")
+
+let scrub_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "scrub-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Background scrubber wake-up period in simulated seconds \
+           (0 = no scrubber).")
+
+let fault_of ?(flip = 0.0) ?(lost = 0.0) ?(misdirect = 0.0) ~seed ~rate
+    ~bad_sectors () =
+  let base =
+    if rate = 0.0 && bad_sectors = [] then Su_disk.Fault.none
+    else if rate > 0.0 then
+      { (Su_disk.Fault.transient ~seed ~rate ()) with
+        Su_disk.Fault.bad_sectors }
+    else { Su_disk.Fault.none with Su_disk.Fault.seed; bad_sectors }
+  in
+  if flip = 0.0 && lost = 0.0 && misdirect = 0.0 then base
+  else
+    { base with
+      Su_disk.Fault.seed;
+      flip_read = flip;
+      lost_write = lost;
+      misdirect_write = misdirect }
+
+let write_json_file path doc =
+  try
+    let oc = open_out path in
+    output_string oc (Su_obs.Json.to_string_pretty doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "# wrote %s\n" path
+  with Sys_error e ->
+    Printf.eprintf "cannot write %s: %s\n" path e;
+    exit 2
 
 let make_cfg ?sink scheme alloc_init nvram =
   let cfg =
@@ -188,17 +262,9 @@ let run_cmd =
              operation, cache transition and I/O issue/start/complete) to \
              $(docv).")
   in
-  let scrub_arg =
-    Arg.(
-      value
-      & opt float 0.0
-      & info [ "scrub-interval" ] ~docv:"SECONDS"
-          ~doc:
-            "Background scrubber wake-up period in simulated seconds \
-             (0 = no scrubber).")
-  in
   let run bench scheme users seed alloc_init nvram files json trace_out
-      fault_seed fault_rate bad_sectors spares scrub_interval =
+      fault_seed fault_rate bad_sectors spares scrub_interval flip lost
+      misdirect checksums =
     let sink =
       match trace_out with
       | None -> None
@@ -206,9 +272,12 @@ let run_cmd =
     in
     let cfg =
       { (make_cfg ?sink scheme alloc_init nvram) with
-        Fs.fault = fault_of ~seed:fault_seed ~rate:fault_rate ~bad_sectors;
+        Fs.fault =
+          fault_of ~flip ~lost ~misdirect ~seed:fault_seed ~rate:fault_rate
+            ~bad_sectors ();
         spare_frags = spares;
-        scrub_interval }
+        scrub_interval;
+        checksums }
     in
     let emit_json fields =
       print_endline
@@ -295,7 +364,8 @@ let run_cmd =
       const run $ bench_arg $ scheme_arg $ users_arg $ seed_arg
       $ alloc_init_arg $ nvram_arg $ files_arg $ json_arg $ trace_out_arg
       $ fault_seed_arg $ fault_rate_flag $ bad_sectors_arg
-      $ spares_arg ~default:0 $ scrub_arg)
+      $ spares_arg ~default:0 $ scrub_arg $ flip_rate_flag $ lost_rate_flag
+      $ misdirect_rate_flag $ checksums_flag)
 
 let crash_cmd =
   let time_arg =
@@ -455,8 +525,17 @@ let crashsweep_cmd =
       journal_mb = 2;
     }
   in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also write the sweep summaries (one object per scheme x \
+             workload row, with the verdict) as JSON to $(docv).")
+  in
   let run schemes workload_names no_torn faults fault_rate jobs max_boundaries
-      nested fail_fast demand =
+      nested fail_fast demand json_path =
     let schemes =
       match schemes with
       | Some s -> s
@@ -493,6 +572,7 @@ let crashsweep_cmd =
     (* No Order promises only repairability; every ordered scheme (and
        the journal) must come through consistent. *)
     let failed = ref false in
+    let rows = ref [] in
     (try
        List.iter
          (fun scheme ->
@@ -513,6 +593,7 @@ let crashsweep_cmd =
                  else if Su_check.Explorer.repairable s then "repairable"
                  else "BROKEN"
                in
+               rows := (scheme, s, verdict, ok) :: !rows;
                Su_util.Text_table.add_row table
                  ([
                     Fs.scheme_kind_name scheme;
@@ -543,6 +624,39 @@ let crashsweep_cmd =
          schemes
      with Exit -> ());
     Su_util.Text_table.print table;
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let open Su_obs.Json in
+       let sweep_json (scheme, s, verdict, ok) =
+         Obj
+           [
+             ("scheme", Str (Fs.scheme_kind_name scheme));
+             ("workload", Str s.Su_check.Explorer.s_workload);
+             ("writes", Int s.Su_check.Explorer.s_writes);
+             ("states", Int s.Su_check.Explorer.s_states);
+             ("torn_states", Int s.Su_check.Explorer.s_torn_states);
+             ("dirty_states", Int s.Su_check.Explorer.s_dirty_states);
+             ("unrepaired", Int s.Su_check.Explorer.s_unrepaired);
+             ("remount_failures", Int s.Su_check.Explorer.s_remount_failures);
+             ("nested_states", Int s.Su_check.Explorer.s_nested_states);
+             ( "nested_failures",
+               Int
+                 (s.Su_check.Explorer.s_nested_unrecovered
+                 + s.Su_check.Explorer.s_nested_unsettled) );
+             ("verdict", Str verdict);
+             ("ok", Bool ok);
+           ]
+       in
+       write_json_file path
+         (Obj
+            [
+              ("campaign", Str "crashsweep");
+              ("torn", Bool (not no_torn));
+              ("nested", Bool nested);
+              ("ok", Bool (not !failed));
+              ("sweeps", List (List.rev_map sweep_json !rows));
+            ]));
     if !failed then begin
       prerr_endline
         (if fail_fast then
@@ -609,7 +723,7 @@ let crashsweep_cmd =
     Term.(
       const run $ schemes_arg $ workloads_arg $ no_torn_arg $ faults_arg
       $ fault_rate_arg $ jobs_arg $ max_boundaries_arg $ nested_arg
-      $ fail_fast_arg $ demand_arg)
+      $ fail_fast_arg $ demand_arg $ json_arg)
 
 let faultsweep_cmd =
   let schemes_arg =
@@ -664,7 +778,16 @@ let faultsweep_cmd =
       journal_mb = 2;
     }
   in
-  let run schemes workload_names jobs spares max_sectors fail_fast =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also write the sweep summaries (one object per scheme x \
+             workload row, with the verdict) as JSON to $(docv).")
+  in
+  let run schemes workload_names jobs spares max_sectors fail_fast json_path =
     let schemes =
       match schemes with
       | Some s -> s
@@ -698,6 +821,7 @@ let faultsweep_cmd =
           ]
     in
     let failed = ref false in
+    let rows = ref [] in
     (try
        List.iter
          (fun scheme ->
@@ -708,6 +832,7 @@ let faultsweep_cmd =
                    ~fail_fast ~cfg:(sweep_cfg scheme) wl
                in
                let ok = Su_check.Faultsweep.ok s in
+               rows := (scheme, s, ok) :: !rows;
                Su_util.Text_table.add_row table
                  [
                    Fs.scheme_kind_name scheme;
@@ -752,6 +877,33 @@ let faultsweep_cmd =
          schemes
      with Exit -> ());
     Su_util.Text_table.print table;
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let open Su_obs.Json in
+       let sweep_json (scheme, s, ok) =
+         Obj
+           [
+             ("scheme", Str (Fs.scheme_kind_name scheme));
+             ("workload", Str s.Su_check.Faultsweep.fs_workload);
+             ("sectors", Int s.Su_check.Faultsweep.fs_sectors);
+             ("swept", Int s.Su_check.Faultsweep.fs_swept);
+             ("completed", Int s.Su_check.Faultsweep.fs_completed);
+             ("failed_typed", Int s.Su_check.Faultsweep.fs_failed_typed);
+             ("escaped", Int s.Su_check.Faultsweep.fs_escaped);
+             ("remaps", Int s.Su_check.Faultsweep.fs_remaps);
+             ("violations", Int s.Su_check.Faultsweep.fs_violations);
+             ("ok", Bool ok);
+           ]
+       in
+       write_json_file path
+         (Obj
+            [
+              ("campaign", Str "faultsweep");
+              ("spares", Int spares);
+              ("ok", Bool (not !failed));
+              ("sweeps", List (List.rev_map sweep_json !rows));
+            ]));
     if !failed then begin
       prerr_endline
         (if fail_fast then
@@ -772,7 +924,249 @@ let faultsweep_cmd =
           unclean failure.")
     Term.(
       const run $ schemes_arg $ workloads_arg $ jobs_arg
-      $ spares_arg ~default:64 $ max_sectors_arg $ fail_fast_arg)
+      $ spares_arg ~default:64 $ max_sectors_arg $ fail_fast_arg $ json_arg)
+
+let corruptsweep_cmd =
+  let schemes_arg =
+    Arg.(
+      value
+      & opt (some (list scheme_conv)) None
+      & info [ "schemes" ]
+          ~doc:
+            "Comma-separated schemes to sweep (default: the paper's five \
+             plus journaled).")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (list string) [ "smallfiles"; "dirtree"; "renamefile"; "renamedir" ]
+      & info [ "w"; "workloads" ]
+          ~doc:
+            "Comma-separated built-in workloads: smallfiles, dirtree, \
+             renamefile, renamedir (op-list editions, so every run has a \
+             model oracle).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for the per-injection runs (default 1 = serial; \
+             0 = one per core). Verdicts and output are byte-identical at \
+             any value.")
+  in
+  let max_injections_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-injections" ]
+          ~doc:
+            "Cap the (sector, class) pairs injected per sweep (smoke runs; \
+             default: the full plan).")
+  in
+  let fail_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:"Stop at the first verdict that breaks detect-or-fail-clean.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also write the sweep summaries (one object per scheme x \
+             workload row, with the verdict) as JSON to $(docv).")
+  in
+  let sweep_cfg scheme =
+    (* compact volume, as in faultsweep: the campaign re-runs the
+       whole workload once per (sector, class) pair *)
+    {
+      (Fs.config ~scheme ()) with
+      Fs.geom = Su_fstypes.Geom.v ~mb:32 ~cg_mb:16 ~inodes_per_cg:1024 ();
+      cache_mb = 4;
+      journal_mb = 2;
+    }
+  in
+  let run schemes workload_names jobs spares max_injections fail_fast
+      json_path =
+    let schemes =
+      match schemes with
+      | Some s -> s
+      | None -> Fs.all_schemes @ [ Fs.Journaled { group_commit = false } ]
+    in
+    let cases =
+      List.filter_map
+        (fun name ->
+          match Fuzz.find_case name with
+          | Some ops -> Some (name, ops)
+          | None ->
+            Printf.eprintf "unknown workload %S (skipped)\n" name;
+            None)
+        workload_names
+    in
+    if cases = [] then begin
+      prerr_endline "corruptsweep: no valid workloads left to sweep";
+      exit 2
+    end;
+    let table =
+      Su_util.Text_table.create
+        ~title:
+          (Printf.sprintf
+             "corruption sweep: every silent-fault class on every touched \
+              sector, checksums on (%d spares)"
+             spares)
+        ~headers:
+          [
+            "scheme"; "workload"; "reads"; "writes"; "swept"; "completed";
+            "typed"; "escaped"; "detected"; "repaired"; "silent"; "violations";
+            "verdict";
+          ]
+    in
+    let failed = ref false in
+    let rows = ref [] in
+    (try
+       List.iter
+         (fun scheme ->
+           List.iter
+             (fun (name, ops) ->
+               let cfg = sweep_cfg scheme in
+               let wl = Fuzz.workload_of_ops ~name ops in
+               (* the oracle mounts the final logical image of a
+                  checksummed, spare-provisioned run — its config must
+                  admit the same image shape *)
+               let oracle_cfg =
+                 { cfg with Fs.checksums = true; Fs.spare_frags = spares }
+               in
+               let oracle image =
+                 Fuzz.check_final_image ~cfg:oracle_cfg image ops
+               in
+               let s =
+                 Su_check.Corruptsweep.sweep ~jobs ~spares ?max_injections
+                   ~fail_fast ~cfg ~oracle wl
+               in
+               let ok = Su_check.Corruptsweep.ok s in
+               rows := (scheme, s, ok) :: !rows;
+               Su_util.Text_table.add_row table
+                 [
+                   Fs.scheme_kind_name scheme;
+                   s.Su_check.Corruptsweep.cs_workload;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Corruptsweep.cs_read_sectors;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Corruptsweep.cs_write_sectors;
+                   Su_util.Text_table.cell_i s.Su_check.Corruptsweep.cs_swept;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Corruptsweep.cs_completed;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Corruptsweep.cs_failed_typed;
+                   Su_util.Text_table.cell_i s.Su_check.Corruptsweep.cs_escaped;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Corruptsweep.cs_detected;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Corruptsweep.cs_repaired;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Corruptsweep.cs_silent_escapes;
+                   Su_util.Text_table.cell_i
+                     s.Su_check.Corruptsweep.cs_violations;
+                   (if ok then "detects-or-fails-clean" else "BROKEN *");
+                 ];
+               if not ok then begin
+                 failed := true;
+                 List.iter
+                   (fun v ->
+                     if
+                       (not (Su_check.Corruptsweep.cv_clean v))
+                       || Su_check.Corruptsweep.cv_silent_escape v
+                     then
+                       Printf.eprintf
+                         "  %s/%s %s sector %d: %s%s (injected %b, detected \
+                          %d, repaired %d, pre %d, converged %b, post %d, \
+                          remount %b, diverged %d)\n"
+                         (Fs.scheme_kind_name scheme)
+                         s.Su_check.Corruptsweep.cs_workload
+                         (Su_check.Corruptsweep.class_name
+                            v.Su_check.Corruptsweep.cv_class)
+                         v.Su_check.Corruptsweep.cv_sector
+                         (Su_check.Corruptsweep.outcome_name
+                            v.Su_check.Corruptsweep.cv_outcome)
+                         (match v.Su_check.Corruptsweep.cv_outcome with
+                          | Su_check.Corruptsweep.Failed_typed m
+                          | Su_check.Corruptsweep.Escaped m ->
+                            " [" ^ m ^ "]"
+                          | Su_check.Corruptsweep.Completed -> "")
+                         v.Su_check.Corruptsweep.cv_injected
+                         v.Su_check.Corruptsweep.cv_detected
+                         v.Su_check.Corruptsweep.cv_repaired
+                         v.Su_check.Corruptsweep.cv_pre_violations
+                         v.Su_check.Corruptsweep.cv_repair_converged
+                         v.Su_check.Corruptsweep.cv_post_violations
+                         v.Su_check.Corruptsweep.cv_remount_ok
+                         v.Su_check.Corruptsweep.cv_divergences)
+                   s.Su_check.Corruptsweep.cs_verdicts;
+                 if fail_fast then raise Exit
+               end)
+             cases)
+         schemes
+     with Exit -> ());
+    Su_util.Text_table.print table;
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let open Su_obs.Json in
+       let sweep_json (scheme, s, ok) =
+         Obj
+           [
+             ("scheme", Str (Fs.scheme_kind_name scheme));
+             ("workload", Str s.Su_check.Corruptsweep.cs_workload);
+             ("read_sectors", Int s.Su_check.Corruptsweep.cs_read_sectors);
+             ("write_sectors", Int s.Su_check.Corruptsweep.cs_write_sectors);
+             ("planned", Int s.Su_check.Corruptsweep.cs_planned);
+             ("swept", Int s.Su_check.Corruptsweep.cs_swept);
+             ("completed", Int s.Su_check.Corruptsweep.cs_completed);
+             ("failed_typed", Int s.Su_check.Corruptsweep.cs_failed_typed);
+             ("escaped", Int s.Su_check.Corruptsweep.cs_escaped);
+             ("detected", Int s.Su_check.Corruptsweep.cs_detected);
+             ("repaired", Int s.Su_check.Corruptsweep.cs_repaired);
+             ("silent_escapes", Int s.Su_check.Corruptsweep.cs_silent_escapes);
+             ("violations", Int s.Su_check.Corruptsweep.cs_violations);
+             ("ok", Bool ok);
+           ]
+       in
+       write_json_file path
+         (Obj
+            [
+              ("campaign", Str "corruptsweep");
+              ("spares", Int spares);
+              ("ok", Bool (not !failed));
+              ("sweeps", List (List.rev_map sweep_json !rows));
+            ]));
+    if !failed then begin
+      prerr_endline
+        (if fail_fast then
+           "corruptsweep: violation found (stopped early; * marks the \
+            failing row)"
+         else "corruptsweep: violation found (* marks failing rows)");
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "corruptsweep"
+       ~doc:
+         "Systematically inject every silent-fault class — a bit-flipped \
+          read, a lost write, a misdirected write — on every sector a \
+          workload touches, with checksums on, and verify \
+          detect-or-fail-clean per scheme: each run either completes with a \
+          final image matching the in-memory model (the checksum ladder \
+          healed the corruption), or stops with a typed error leaving a \
+          repairable, remountable volume. A completed run whose image \
+          silently diverges from the model is the defining failure. Exits \
+          non-zero on any escape, silent escape or unclean failure.")
+    Term.(
+      const run $ schemes_arg $ workloads_arg $ jobs_arg
+      $ spares_arg ~default:64 $ max_injections_arg $ fail_fast_arg
+      $ json_arg)
 
 let fuzz_cmd =
   let seed_arg =
@@ -827,17 +1221,18 @@ let fuzz_cmd =
       value & flag
       & info [ "fail-fast" ] ~doc:"Stop at the first failing case.")
   in
-  let fuzz_cfg ~fault scheme =
+  let fuzz_cfg ~fault ~checksums scheme =
     {
       (Fs.config ~scheme ()) with
       Fs.geom = Su_fstypes.Geom.v ~mb:32 ~cg_mb:16 ~inodes_per_cg:1024 ();
       cache_mb = 4;
       journal_mb = 2;
       fault;
+      checksums;
     }
   in
   let run seed0 ops_n count schemes jobs max_boundaries no_torn no_nested
-      fail_fast fault_seed fault_rate =
+      fail_fast fault_seed fault_rate flip lost misdirect checksums =
     let schemes =
       match schemes with
       | Some s -> s
@@ -864,8 +1259,9 @@ let fuzz_cmd =
            let cfg =
              fuzz_cfg
                ~fault:
-                 (fault_of ~seed:fault_seed ~rate:fault_rate ~bad_sectors:[])
-               scheme
+                 (fault_of ~flip ~lost ~misdirect ~seed:fault_seed
+                    ~rate:fault_rate ~bad_sectors:[] ())
+               ~checksums scheme
            in
            for k = 0 to count - 1 do
              let seed = seed0 + k in
@@ -929,7 +1325,8 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ ops_arg $ count_arg $ schemes_arg $ jobs_arg
       $ max_boundaries_arg $ no_torn_arg $ no_nested_arg $ fail_fast_arg
-      $ fault_seed_arg $ fault_rate_flag)
+      $ fault_seed_arg $ fault_rate_flag $ flip_rate_flag $ lost_rate_flag
+      $ misdirect_rate_flag $ checksums_flag)
 
 let trace_cmd =
   let count_arg =
@@ -1042,15 +1439,7 @@ let exp_cmd =
           ~scale:(if quick then "quick" else "full")
           (Array.to_list results)
       in
-      (try
-         let oc = open_out path in
-         output_string oc (Su_obs.Json.to_string_pretty doc);
-         output_char oc '\n';
-         close_out oc;
-         Printf.eprintf "# wrote %s\n" path
-       with Sys_error e ->
-         Printf.eprintf "cannot write %s: %s\n" path e;
-         exit 2)
+      write_json_file path doc
   in
   Cmd.v
     (Cmd.info "exp"
@@ -1190,7 +1579,8 @@ let loadgen_cmd =
              catches order-of-magnitude regressions in CI.")
   in
   let run scheme clients rate shape arrival duration warmup files shards jobs
-      json seed min_ops =
+      json seed min_ops fault_seed fault_rate bad_sectors spares scrub_interval
+      flip lost misdirect checksums =
     if warmup < 0.0 || warmup >= duration then begin
       Printf.eprintf
         "metasim: --warmup (%g) must lie in [0, --duration (%g))\n" warmup
@@ -1214,6 +1604,24 @@ let loadgen_cmd =
         files_per_client = files;
         shards;
         seed;
+      }
+    in
+    (* every shard is an independent world built from this one fs_cfg;
+       the fault model's RNG is per-world, so the report stays a pure
+       function of the config at any --jobs *)
+    let cfg =
+      {
+        cfg with
+        Loadgen.fs_cfg =
+          {
+            cfg.Loadgen.fs_cfg with
+            Fs.fault =
+              fault_of ~flip ~lost ~misdirect ~seed:fault_seed
+                ~rate:fault_rate ~bad_sectors ();
+            spare_frags = spares;
+            scrub_interval;
+            checksums;
+          };
       }
     in
     let t0 = Unix.gettimeofday () in
@@ -1243,7 +1651,10 @@ let loadgen_cmd =
     Term.(
       const run $ scheme_arg $ clients_arg $ rate_arg $ shape_arg
       $ arrival_arg $ duration_arg $ warmup_arg $ files_arg $ shards_arg
-      $ jobs_arg $ json_arg $ seed_arg $ min_ops_arg)
+      $ jobs_arg $ json_arg $ seed_arg $ min_ops_arg $ fault_seed_arg
+      $ fault_rate_flag $ bad_sectors_arg $ spares_arg ~default:0 $ scrub_arg
+      $ flip_rate_flag $ lost_rate_flag $ misdirect_rate_flag
+      $ checksums_flag)
 
 (* Typed simulation failures must reach the shell as one clean stderr
    line and a distinct exit code (3), not an OCaml backtrace: a run
@@ -1272,8 +1683,8 @@ let () =
   in
   let cmds =
     [
-      run_cmd; crash_cmd; crashsweep_cmd; faultsweep_cmd; fuzz_cmd; trace_cmd;
-      exp_cmd; loadgen_cmd;
+      run_cmd; crash_cmd; crashsweep_cmd; faultsweep_cmd; corruptsweep_cmd;
+      fuzz_cmd; trace_cmd; exp_cmd; loadgen_cmd;
     ]
   in
   match Cmd.eval_value ~catch:false (Cmd.group info cmds) with

@@ -53,6 +53,14 @@ type hooks = {
   mutable pre_write : Buf.t -> Buf.content * bool;
   mutable post_write : Buf.t -> unit;
   mutable pre_invalidate : Buf.t -> unit;
+  mutable verify_fill :
+    (lbn:int -> Su_fstypes.Types.cell array -> Su_fstypes.Types.cell array)
+      option;
+      (* integrity hook, run (process context) on every fill read
+         before the cells become a buffer: returns the cells to trust
+         (possibly repaired) or raises [Io_error (Checksum _)] when
+         the repair ladder is exhausted. Installed by the fs layer —
+         the cache cannot see the checksum region's owner directly *)
 }
 
 type config = {
@@ -98,6 +106,7 @@ let default_hooks () =
     pre_write = (fun b -> (Buf.copy_content b.Buf.content, false));
     post_write = (fun _ -> ());
     pre_invalidate = (fun _ -> ());
+    verify_fill = None;
   }
 
 let create ~engine ~driver config =
@@ -466,7 +475,25 @@ let bread t ~lbn ~nfrags =
        b.Buf.refcount <- b.Buf.refcount + 1;
        touch t b;
        b
-     | None -> new_buf t ~lbn ~nfrags (Buf.of_cells cells))
+     | None ->
+       (* verify the fill end-to-end before the cells become cached
+          truth; the hook may re-read, repair, or raise a typed
+          checksum error (it runs in this process's context) *)
+       let cells =
+         match t.hooks.verify_fill with
+         | None -> cells
+         | Some verify ->
+           (try verify ~lbn cells
+            with Io_error e as exn ->
+              note_io_error t e;
+              raise exn)
+       in
+       (match Hashtbl.find_opt t.tbl lbn with
+        | Some b ->
+          b.Buf.refcount <- b.Buf.refcount + 1;
+          touch t b;
+          b
+        | None -> new_buf t ~lbn ~nfrags (Buf.of_cells cells)))
 
 let release t (b : Buf.t) =
   if b.Buf.refcount <= 0 then invalid_arg "Bcache.release: not referenced";

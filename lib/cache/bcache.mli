@@ -48,6 +48,14 @@ type hooks = {
       (** dependency processing after a write completes *)
   mutable pre_invalidate : Buf.t -> unit;
       (** scheme must detach any dependency state *)
+  mutable verify_fill :
+    (lbn:int -> Su_fstypes.Types.cell array -> Su_fstypes.Types.cell array)
+      option;
+      (** integrity hook, run (process context) on every fill read
+          before the cells become a buffer: returns the cells to
+          trust (possibly repaired), or raises
+          [Io_error (Checksum _)] when the repair ladder is
+          exhausted. Installed by the fs layer. *)
 }
 
 type config = {

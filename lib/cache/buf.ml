@@ -53,10 +53,12 @@ let of_cells cells =
   if Array.length cells = 0 then invalid_arg "Buf.of_cells: empty extent";
   match cells.(0) with
   | Types.Meta m -> Cmeta m
-  | Types.Frag _ | Types.Empty | Types.Pad | Types.Jlog _ | Types.Rmap _ ->
+  | Types.Frag _ | Types.Empty | Types.Pad | Types.Jlog _ | Types.Rmap _
+  | Types.Csum _ ->
     Cdata
       (Array.map
          (function
            | Types.Frag s -> Some s
-           | Types.Empty | Types.Pad | Types.Meta _ | Types.Jlog _ | Types.Rmap _ -> None)
+           | Types.Empty | Types.Pad | Types.Meta _ | Types.Jlog _
+           | Types.Rmap _ | Types.Csum _ -> None)
          cells)

@@ -114,6 +114,15 @@ let rec_writes r =
 let record ~cfg wl =
   let w = Fs.make cfg in
   let initial = Su_disk.Disk.image_snapshot w.Fs.disk in
+  (* digest refreshes happen at write acknowledgement and do not flow
+     through the delta observer, so a synthesized crash state cannot
+     carry a truthful checksum region; drop it — crash states are
+     judged on structure, and recovery resynchronises the digests
+     anyway (fsck's Resynced_csums) *)
+  Array.iteri
+    (fun i c ->
+      match c with Types.Csum _ -> initial.(i) <- Types.Empty | _ -> ())
+    initial;
   let deltas = ref [] in
   Su_disk.Disk.set_delta_observer w.Fs.disk (fun ~lbn ~pre ~post ->
       deltas := Delta.v ~lbn ~pre ~post :: !deltas);

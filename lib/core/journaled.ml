@@ -165,7 +165,9 @@ let replay_meta ?observer _geom image blk fresh f =
   let m =
     match image.(blk) with
     | Types.Meta m -> Types.copy_meta m
-    | Types.Empty | Types.Pad | Types.Frag _ | Types.Jlog _ | Types.Rmap _ -> fresh ()
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Jlog _ | Types.Rmap _
+    | Types.Csum _ ->
+      fresh ()
   in
   f m;
   Imglog.write ?observer image blk (Types.Meta m)

@@ -21,6 +21,15 @@ type t = {
      addressing is logical; [remap] translates on access. *)
   media : int;
   remap : Remap.t option;
+  csum : int array option;
+  (* per-fragment digest of the logical media, keyed by logical
+     address; aliases the [Types.Csum] cell at [csum_slot] so
+     snapshots carry it (deep-copied by [Types.copy_cell]). Updated at
+     write *acknowledgement*: a lost write refreshes the digest while
+     the media keeps stale data, a misdirected write refreshes its
+     intended range while the payload lands elsewhere — both therefore
+     detectable by an end-to-end verify, which is the point. *)
+  csum_slot : int;
   mutable nremaps : int;
   mutable cur_cyl : int;
   mutable busy : bool;
@@ -107,6 +116,13 @@ let destages t = t.ndestages
 let set_idle_callback t f = t.on_idle <- f
 let fault t = t.fault
 let faults_injected t = Fault.injected t.fault
+let silent_faults t = Fault.silent_injected t.fault
+let checksums_enabled t = t.csum <> None
+
+let expected_digest t lbn =
+  match t.csum with
+  | Some ca when lbn >= 0 && lbn < t.media -> Some ca.(lbn)
+  | Some _ | None -> None
 
 let inflight_write t =
   match t.inflight_payload with
@@ -295,6 +311,17 @@ let apply_write t ~lbn ~nfrags cells =
     done
   end
 
+(* Refresh the checksum region for [nfrags] payload cells acknowledged
+   at logical [lbn] — the ack-time half of the end-to-end argument
+   (see the [csum] field comment). *)
+let ack_csums t ~lbn ~nfrags cells =
+  match t.csum with
+  | None -> ()
+  | Some ca ->
+    for i = 0 to nfrags - 1 do
+      ca.(lbn + i) <- Types.cell_digest cells.(i)
+    done
+
 (* Completion of the stashed foreground operation: same sequence as
    the seed's per-submit closure, reading the [p_*] fields instead of
    captured variables. The fields are read out (and [p_on_done] and
@@ -319,9 +346,58 @@ let complete_op t =
        the media before the failure *)
     (match op, payload with
      | Write, Some cells when applied > 0 ->
-       apply_write t ~lbn ~nfrags:applied cells
+       apply_write t ~lbn ~nfrags:applied cells;
+       ack_csums t ~lbn ~nfrags:applied cells
      | _ -> ());
     on_done (Error err) svc;
+    maybe_destage t
+  | Fault.Silent s ->
+    (* the device lies: the attempt reports success *)
+    let result =
+      match op, s with
+      | Read, Fault.Flip_read { frag } ->
+        advance_stream t lbn nfrags;
+        let cells =
+          Array.init nfrags (fun i ->
+              Types.copy_cell t.image.(phys_of t (lbn + i)))
+        in
+        let i = frag - lbn in
+        if i >= 0 && i < nfrags then
+          cells.(i) <- Fault.corrupt t.fault cells.(i);
+        Some cells
+      | Write, Fault.Lost_write ->
+        (* acknowledged, never applied: digests refresh, media stays *)
+        (match payload with
+         | Some cells -> ack_csums t ~lbn ~nfrags cells
+         | None -> ());
+        None
+      | Write, Fault.Misdirect_write { target } ->
+        (match payload with
+         | Some cells ->
+           ack_csums t ~lbn ~nfrags cells;
+           (* the payload lands on the victim extent instead; the
+              victim's digests are *not* refreshed (the device does
+              not know it wrote there), so both sectors verify dirty *)
+           let len = min nfrags (t.media - target) in
+           if len > 0 then apply_write t ~lbn:target ~nfrags:len cells
+         | None -> ());
+        None
+      | Read, (Fault.Lost_write | Fault.Misdirect_write _) ->
+        advance_stream t lbn nfrags;
+        Some
+          (Array.init nfrags (fun i ->
+               Types.copy_cell t.image.(phys_of t (lbn + i))))
+      | Write, Fault.Flip_read _ ->
+        (match payload with
+         | Some cells ->
+           if not nvram_hit then begin
+             apply_write t ~lbn ~nfrags cells;
+             ack_csums t ~lbn ~nfrags cells
+           end;
+           None
+         | None -> None)
+    in
+    on_done (Ok result) svc;
     maybe_destage t
   | Fault.Ok_attempt | Fault.Stalled ->
     let result =
@@ -338,6 +414,7 @@ let complete_op t =
         (match payload with
          | Some cells ->
            if not nvram_hit then apply_write t ~lbn ~nfrags cells;
+           ack_csums t ~lbn ~nfrags cells;
            None
          | None -> None)
     in
@@ -372,11 +449,11 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
   let verdict =
     if nvram_hit then Fault.Ok_attempt
     else if has_remaps t then
-      Fault.judge t.fault ~phys:(phys_of t)
+      Fault.judge t.fault ~phys:(phys_of t) ~media:t.media
         ~op:(match op with Read -> `Read | Write -> `Write)
         ~lbn ~nfrags ()
     else
-      Fault.judge t.fault
+      Fault.judge t.fault ~media:t.media
         ~op:(match op with Read -> `Read | Write -> `Write)
         ~lbn ~nfrags ()
   in
@@ -386,7 +463,7 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
       let base = service_time_for t ~lbn ~nfrags ~op ~now in
       match verdict with
       | Fault.Stalled -> base *. (Fault.config t.fault).Fault.stall_factor
-      | Fault.Ok_attempt | Fault.Failed _ -> base
+      | Fault.Ok_attempt | Fault.Failed _ | Fault.Silent _ -> base
   in
   t.busy <- true;
   if nvram_hit then begin
@@ -415,12 +492,21 @@ let submit t ~lbn ~nfrags ~op ~payload ~on_done =
   Su_sim.Engine.after_handler t.engine svc t.done_h 0
 
 let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none)
-    ?(spare_frags = 0) () =
+    ?(spare_frags = 0) ?(checksums = false) () =
   if nfrags > Disk_params.capacity_frags params then
     invalid_arg "Disk.create: file system larger than the drive";
   if spare_frags < 0 then invalid_arg "Disk.create: negative spare pool";
-  (* spares (and the remap-table cell) live past the addressable media *)
-  let extra = if spare_frags > 0 then spare_frags + 1 else 0 in
+  (* spares (and the remap-table cell) live past the addressable
+     media; the checksum region takes one more reserved cell past the
+     spares *)
+  let extra_remap = if spare_frags > 0 then spare_frags + 1 else 0 in
+  let extra = extra_remap + if checksums then 1 else 0 in
+  let csum_slot = nfrags + extra_remap in
+  let csum =
+    if checksums then
+      Some (Array.make nfrags (Types.cell_digest Types.Empty))
+    else None
+  in
   let t =
     {
       engine;
@@ -428,6 +514,8 @@ let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none)
       fault = Fault.create fault;
       image = Array.make (nfrags + extra) Types.Empty;
       media = nfrags;
+      csum;
+      csum_slot;
       remap =
         (if spare_frags > 0 then
            Some (Remap.create ~media:nfrags ~nspares:spare_frags)
@@ -465,13 +553,27 @@ let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none)
     (sqrt (float_of_int (params.Disk_params.cylinders - 2)));
   t.done_h <- Su_sim.Engine.register engine (fun _ -> complete_op t);
   t.destage_h <- Su_sim.Engine.register engine (fun _ -> complete_destage t);
+  (match csum with Some ca -> t.image.(csum_slot) <- Types.Csum ca | None -> ());
   t
 
 let install t lbn cell =
   if lbn < 0 || lbn >= Array.length t.image then
     invalid_arg "Disk.install: address out of range";
-  let lbn = if lbn < t.media then phys_of t lbn else lbn in
-  t.image.(lbn) <- cell
+  let phys = if lbn < t.media then phys_of t lbn else lbn in
+  t.image.(phys) <- cell;
+  match t.csum with
+  | Some ca when lbn < t.media -> ca.(lbn) <- Types.cell_digest cell
+  | Some _ | None -> ()
+
+(* Load a persisted checksum region (a [Types.Csum] cell from a prior
+   incarnation's image) over the live one, replacing the digests
+   [install] computed from the installed cells — corruption that
+   predates the mount therefore stays detectable. *)
+let install_csum t cell =
+  match t.csum, cell with
+  | Some ca, Types.Csum src ->
+    Array.blit src 0 ca 0 (min (Array.length src) (Array.length ca))
+  | (Some _ | None), _ -> ()
 
 let peek t lbn =
   if lbn < 0 || lbn >= Array.length t.image then
@@ -531,7 +633,19 @@ let resolve_image cells ~nfrags =
               logical.(lbn) <- Types.copy_cell cells.(phys))
          entries
      | _ -> ());
-    logical
+    (* carry the checksum region (wherever past the media it lives)
+       into the logical image, right after the media: checkers of a
+       rebuilt replacement drive keep end-to-end verification *)
+    let rec find_csum i =
+      if i >= Array.length cells then None
+      else
+        match cells.(i) with
+        | Types.Csum _ as c -> Some (Types.copy_cell c)
+        | _ -> find_csum (i + 1)
+    in
+    match find_csum nfrags with
+    | Some c -> Array.append logical [| c |]
+    | None -> logical
   end
 
 let logical_snapshot t = resolve_image t.image ~nfrags:t.media

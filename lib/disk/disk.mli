@@ -28,6 +28,7 @@ val create :
   ?nvram_frags:int ->
   ?fault:Fault.config ->
   ?spare_frags:int ->
+  ?checksums:bool ->
   unit ->
   t
 (** @raise Invalid_argument if [nfrags] exceeds the drive capacity.
@@ -48,7 +49,15 @@ val create :
     table. Logical addressing ([nfrags], [submit] bounds) is
     unchanged; remapped fragments are transparently redirected. With
     no remap entries the device behaves bit-identically to a disk
-    without spares. *)
+    without spares.
+
+    [checksums] (default false) reserves one more cell past the
+    spares holding a per-fragment digest of the logical media
+    ({!Su_fstypes.Types.cell_digest} per cell), refreshed at write
+    {e acknowledgement} — so a lost or misdirected write leaves a
+    detectable digest/media disagreement, which is what the integrity
+    layer above verifies on every cache fill. Off, the device is
+    bit-identical to before the region existed. *)
 
 val busy : t -> bool
 
@@ -104,6 +113,19 @@ val reload_remap : t -> unit
 (** Restore the in-core remap table from the persisted cell (mount
     after {!install}ing a captured image). No-op without spares. *)
 
+val install_csum : t -> Su_fstypes.Types.cell -> unit
+(** Load a persisted checksum region (a {!Su_fstypes.Types.cell.Csum}
+    cell captured from a prior incarnation) over the live one,
+    replacing the digests {!install} computed from the installed cells
+    — corruption that predates the mount stays detectable. No-op
+    without [checksums] or for any other cell. *)
+
+val checksums_enabled : t -> bool
+
+val expected_digest : t -> int -> int option
+(** The checksum region's digest for a (logical) media fragment;
+    [None] without [checksums] or out of range. *)
+
 val try_remap : t -> lbn:int -> bool
 (** Allocate a spare for a (logically addressed) bad fragment and
     persist the updated table, notifying the write observers. Returns
@@ -153,6 +175,9 @@ val fault : t -> Fault.t
 (** The attached fault model ({!Fault.none} by default). *)
 
 val faults_injected : t -> int
+
+val silent_faults : t -> int
+(** Silent faults injected so far (included in {!faults_injected}). *)
 
 val inflight_write : t -> (int * Su_fstypes.Types.cell array) option
 (** The mechanical write being serviced right now, if any, as

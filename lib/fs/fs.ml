@@ -49,6 +49,7 @@ type config = {
   io_retry_backoff : float;
   io_request_timeout : float;
   spare_frags : int;
+  checksums : bool;
   scrub_interval : float;
   health_max_lost : int;
   trace_sink : Su_obs.Events.t option;
@@ -90,6 +91,7 @@ let config ?(scheme = Soft_updates) () =
     io_retry_backoff = Su_driver.Driver.default_config.retry_backoff;
     io_request_timeout = Su_driver.Driver.default_config.request_timeout;
     spare_frags = 0;
+    checksums = false;
     scrub_interval = 0.0;
     health_max_lost = 8;
     trace_sink = None;
@@ -105,6 +107,27 @@ let journal_region cfg =
 let recover_image ?observer cfg image =
   match journal_region cfg with
   | Some (log_start, log_frags) ->
+    (* Replayed cells are acknowledged writes: a captured checksum
+       region must follow them, or every fragment recovery touches
+       would read back as corrupt after remount. *)
+    let csum =
+      let rec go i =
+        if i < cfg.geom.Geom.nfrags then None
+        else
+          match image.(i) with Types.Csum ca -> Some ca | _ -> go (i - 1)
+      in
+      go (Array.length image - 1)
+    in
+    let observer =
+      match csum with
+      | None -> observer
+      | Some ca ->
+        let lim = Array.length ca in
+        Some
+          (fun ~lbn ~pre ~post ->
+            if lbn < lim then ca.(lbn) <- Types.cell_digest post;
+            match observer with None -> () | Some f -> f ~lbn ~pre ~post)
+    in
     Su_core.Journaled.recover ?observer ~geom:cfg.geom ~log_start ~log_frags
       image
   | None -> ()
@@ -125,6 +148,7 @@ type world = {
   cache : Su_cache.Bcache.t;
   syncer : Su_cache.Syncer.t;
   scrub : Scrub.t option;
+  integrity : Integrity.t option;
   st : State.t;
   extra_stop : unit -> unit;
 }
@@ -199,22 +223,33 @@ let build ?image cfg =
     Su_disk.Disk.create ~engine ~params:cfg.disk_params ~nfrags:total_frags
       ?nvram_frags:
         (match cfg.nvram_mb with 0 -> None | mb -> Some (mb * 1024))
-      ~fault:cfg.fault ~spare_frags:cfg.spare_frags ()
+      ~fault:cfg.fault ~spare_frags:cfg.spare_frags ~checksums:cfg.checksums ()
   in
   let health =
     Health.create ~engine ?obs:cfg.trace_sink ~max_lost:cfg.health_max_lost ()
   in
-  (* a physical snapshot may carry the spare region and remap-table
-     cell past the media *)
+  (* a physical snapshot may carry the spare region, remap-table cell
+     and checksum region past the media *)
   let max_image =
-    total_frags + (if cfg.spare_frags > 0 then cfg.spare_frags + 1 else 0)
+    total_frags
+    + (if cfg.spare_frags > 0 then cfg.spare_frags + 1 else 0)
+    + (if cfg.checksums then 1 else 0)
   in
   (match image with
    | None -> mkfs disk cfg.geom
    | Some cells ->
      if Array.length cells > max_image then
        invalid_arg "Fs.mount_image: image larger than the configured disk";
-     Array.iteri (fun i c -> Su_disk.Disk.install disk i (Types.copy_cell c)) cells;
+     (* a captured checksum region is loaded over the digests the
+        installs compute, so pre-mount corruption stays detectable; it
+        must not be installed positionally (the source layout's slot
+        may differ from ours) *)
+     Array.iteri
+       (fun i c ->
+         match c with
+         | Types.Csum _ -> Su_disk.Disk.install_csum disk c
+         | _ -> Su_disk.Disk.install disk i (Types.copy_cell c))
+       cells;
      (* restore the in-core remap table before anything reads through
         the device, then cross-check the superblock replicas *)
      Su_disk.Disk.reload_remap disk;
@@ -308,11 +343,25 @@ let build ?image cfg =
      cache observes *)
   Su_cache.Bcache.set_io_error_callback cache (fun e ->
       Health.note_io_error health e);
+  let integrity =
+    if cfg.checksums then begin
+      let integ =
+        Integrity.create ~engine ~disk ~driver ~cache ~health ~geom:cfg.geom
+          ?obs:cfg.trace_sink ()
+      in
+      (* every fill read is verified (and self-healed) before the
+         cells become a buffer *)
+      (Su_cache.Bcache.hooks cache).Su_cache.Bcache.verify_fill <-
+        Some (fun ~lbn cells -> Integrity.verify_fill integ ~lbn cells);
+      Some integ
+    end
+    else None
+  in
   let scrub =
     if cfg.scrub_interval > 0.0 then
       Some
         (Scrub.start ~engine ~disk ~driver ~cache ~health ~geom:cfg.geom
-           ~interval:cfg.scrub_interval ?obs:cfg.trace_sink ())
+           ?integrity ~interval:cfg.scrub_interval ?obs:cfg.trace_sink ())
     else None
   in
   (* copy costs go to the CPU without blocking: an engine-context
@@ -325,7 +374,8 @@ let build ?image cfg =
            (Su_sim.Proc.spawn engine ~name:"copy" (fun () ->
                 Su_sim.Cpu.consume cpu
                   (float_of_int n *. cfg.costs.Costs.copy_per_frag))));
-  { cfg; engine; cpu; disk; driver; cache; syncer; scrub; st; extra_stop }
+  { cfg; engine; cpu; disk; driver; cache; syncer; scrub; integrity; st;
+    extra_stop }
 
 let make cfg = build cfg
 

@@ -49,6 +49,12 @@ type config = {
       (** spare-sector pool for bad-sector remapping (0 = no fault
           tolerance; the disk image and golden traces are then
           bit-identical to a build without this feature) *)
+  checksums : bool;
+      (** maintain the per-fragment checksum region and verify every
+          cache fill against it, self-healing mismatches
+          ({!Integrity}); off (the default) the device image, golden
+          traces and benchmark shapes are bit-identical to a build
+          without the feature *)
   scrub_interval : float;
       (** background scrubber wake-up period in simulated seconds
           (0.0 = no scrubber) *)
@@ -86,6 +92,8 @@ type world = {
   cache : Su_cache.Bcache.t;
   syncer : Su_cache.Syncer.t;
   scrub : Scrub.t option;  (** background scrubber, when configured *)
+  integrity : Integrity.t option;
+      (** checksum verification and self-healing, when [checksums] *)
   st : State.t;
   extra_stop : unit -> unit;  (** scheme background-process shutdown *)
 }

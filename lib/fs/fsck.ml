@@ -7,6 +7,7 @@ type violation =
   | Nlink_low of { inum : int; nlink : int; refs : int }
   | Exposure of { inum : int; flbn : int; frag : int }
   | Bad_dir of { inum : int; reason : string }
+  | Csum_mismatch of { frag : int }
 
 type report = {
   violations : violation list;
@@ -32,6 +33,8 @@ let pp_violation ppf = function
       frag
   | Bad_dir { inum; reason } ->
     Format.fprintf ppf "directory %d: %s" inum reason
+  | Csum_mismatch { frag } ->
+    Format.fprintf ppf "fragment %d disagrees with its checksum" frag
 
 type ctx = {
   geom : Geom.t;
@@ -53,7 +56,7 @@ let read_dinode ctx inum =
     | Types.Meta (Types.Inodes dinodes) ->
       let d = dinodes.(Geom.inode_index_in_block ctx.geom inum) in
       if d.Types.ftype = Types.F_free then None else Some d
-    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ | Types.Csum _ ->
       (* inode block never written: all-free *)
       None
 
@@ -77,7 +80,7 @@ let check_data_extent ctx ~inum ~(din : Types.dinode) ~lbn ~start ~len =
       if f >= 0 && f < Array.length ctx.image then
         match ctx.image.(f) with
         | Types.Frag s when Types.stamp_matches s ~inum ~gen:din.Types.gen -> ()
-        | Types.Frag _ | Types.Empty | Types.Pad | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
+        | Types.Frag _ | Types.Empty | Types.Pad | Types.Meta _ | Types.Jlog _ | Types.Rmap _ | Types.Csum _ ->
           viol ctx (Exposure { inum; flbn = (lbn * ctx.geom.Geom.frags_per_block) + i; frag = f })
     done
 
@@ -89,7 +92,7 @@ let read_indirect ctx ~inum ~ptr =
   else
     match ctx.image.(ptr) with
     | Types.Meta (Types.Indirect a) -> Some a
-    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ | Types.Csum _ ->
       (* pointer to an uninitialised indirect block *)
       viol ctx (Bad_pointer { inum; lbn = -1; ptr });
       None
@@ -168,7 +171,7 @@ let dir_blocks ctx inum (din : Types.dinode) =
     if ptr <> 0 then
       match ctx.image.(ptr) with
       | Types.Meta (Types.Dir entries) -> out := entries :: !out
-      | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
+      | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ | Types.Csum _ ->
         viol ctx (Bad_dir { inum; reason = Printf.sprintf "unreadable block at %d" ptr })
   in
   let nd = g.Geom.ndaddr in
@@ -278,10 +281,37 @@ let audit ctx =
         if live && not marked_used then incr stale_free
         else if (not live) && marked_used then incr leaked_inodes
       done
-    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ ->
+    | Types.Empty | Types.Pad | Types.Frag _ | Types.Meta _ | Types.Jlog _ | Types.Rmap _ | Types.Csum _ ->
       viol ctx (Bad_dir { inum = -c; reason = "unreadable cylinder-group header" })
   done;
   (!leaked_frags, !leaked_inodes, !stale_free, !nlink_high)
+
+(* The persisted checksum region, when the image carries one (always
+   past the addressable media — never inside it). *)
+let find_csum ~geom image =
+  let rec go i =
+    if i < geom.Geom.nfrags then None
+    else
+      match image.(i) with
+      | Types.Csum ca -> Some (i, ca)
+      | _ -> go (i - 1)
+  in
+  go (Array.length image - 1)
+
+(* Verify every covered fragment against the region (auto-detected:
+   images from checksum-less configurations have no region and no
+   checksum phase). *)
+let csum_violations ~geom image =
+  match find_csum ~geom image with
+  | None -> []
+  | Some (_, ca) ->
+    let lim = min (Array.length ca) (Array.length image) in
+    let out = ref [] in
+    for f = lim - 1 downto 0 do
+      if Types.cell_digest image.(f) <> ca.(f) then
+        out := Csum_mismatch { frag = f } :: !out
+    done;
+    !out
 
 let check ~geom ~image ~check_exposure =
   let ctx =
@@ -304,7 +334,7 @@ let check ~geom ~image ~check_exposure =
       ctx.live 0
   in
   {
-    violations = List.rev ctx.violations;
+    violations = List.rev ctx.violations @ csum_violations ~geom image;
     leaked_frags;
     leaked_inodes;
     stale_free;
@@ -325,6 +355,7 @@ type repair_action =
   | Restored_dots of { inum : int }
   | Freed_unreachable of { inodes : int }
   | Rebuilt_maps
+  | Resynced_csums of { frags : int }
 
 let pp_repair_action ppf = function
   | Cleared_entry { dir; name } ->
@@ -339,6 +370,8 @@ let pp_repair_action ppf = function
   | Freed_unreachable { inodes } ->
     Format.fprintf ppf "reclaimed %d unreachable inode(s)" inodes
   | Rebuilt_maps -> Format.fprintf ppf "rebuilt allocation maps"
+  | Resynced_csums { frags } ->
+    Format.fprintf ppf "resynchronised %d checksum(s)" frags
 
 (* Read access to an inode slot. The returned record aliases the
    image: callers must not mutate it — all repair writes go through
@@ -560,7 +593,9 @@ let repair ?observer ~geom ~image ~check_exposure () =
       let r = check ~geom ~image ~check_exposure in
       let structural =
         List.filter
-          (function Nlink_low _ -> false | _ -> true)
+          (function
+            | Nlink_low _ | Csum_mismatch _ -> false
+            | _ -> true)
           r.violations
       in
       if structural = [] then continue_ := false
@@ -594,7 +629,7 @@ let repair ?observer ~geom ~image ~check_exposure () =
                 clear_bad_dir_block ?observer geom image inum;
                 note (Cleared_dir_block { inum; ptr = 0 })
               end
-            | Bad_dir _ | Nlink_low _ -> ())
+            | Bad_dir _ | Nlink_low _ | Csum_mismatch _ -> ())
           structural
       end
     end
@@ -638,6 +673,28 @@ let repair ?observer ~geom ~image ~check_exposure () =
   if !freed > 0 then note (Freed_unreachable { inodes = !freed });
   Su_core.Journaled.rebuild_maps ?observer geom image;
   note Rebuilt_maps;
+  (* resynchronise the checksum region to the repaired image: data the
+     structural phase could not save is already gone (typed, reported
+     above) — what matters now is that every fragment verifies so the
+     volume remounts clean. One equality-suppressed write keeps the
+     pass idempotent. *)
+  (match find_csum ~geom image with
+   | None -> ()
+   | Some (slot, ca) ->
+     let fresh = Array.copy ca in
+     let lim = min (Array.length fresh) (Array.length image) in
+     let changed = ref 0 in
+     for f = 0 to lim - 1 do
+       let d = Types.cell_digest image.(f) in
+       if fresh.(f) <> d then begin
+         fresh.(f) <- d;
+         incr changed
+       end
+     done;
+     if !changed > 0 then begin
+       Imglog.write ?observer image slot (Types.Csum fresh);
+       note (Resynced_csums { frags = !changed })
+     end);
   let final = check ~geom ~image ~check_exposure in
   {
     actions = List.rev !actions;

@@ -26,6 +26,10 @@ type violation =
           another file's stale data is readable *)
   | Bad_dir of { inum : int; reason : string }
       (** unreadable directory block / missing "." or ".." *)
+  | Csum_mismatch of { frag : int }
+      (** fragment content disagrees with the image's persisted
+          checksum region (silent corruption the online ladder never
+          healed); only reported when the image carries a region *)
 
 type report = {
   violations : violation list;
@@ -59,6 +63,11 @@ type repair_action =
   | Restored_dots of { inum : int }
   | Freed_unreachable of { inodes : int }
   | Rebuilt_maps
+  | Resynced_csums of { frags : int }
+      (** checksum region resynchronised to the repaired image as the
+          last step: structural repair (not fsck's checksum pass)
+          decides what data survives, then every fragment is made to
+          verify again so the volume remounts clean *)
 
 val pp_repair_action : Format.formatter -> repair_action -> unit
 

@@ -1,0 +1,83 @@
+(** End-to-end metadata integrity: checksum verification and
+    self-healing reads.
+
+    The disk's checksum region (see {!Su_disk.Disk.create}) digests
+    every fragment at write-{e acknowledgement} time, so silent faults
+    — read bit-flips, lost writes, misdirected writes — leave a
+    detectable disagreement between the region and the media. This
+    module verifies every cache fill against the region (installed as
+    the {!Su_cache.Bcache.hooks} [verify_fill] hook by {!Fs.build}
+    when [config.checksums] is set) and escalates mismatches through a
+    repair ladder:
+
+    + {b re-read} — a flipped transfer corrupts only the returned
+      copy, so a fresh read usually verifies;
+    + {b superblock replica} — sister copies carry the same block;
+    + {b clean cached copy} — the last acknowledged content, accepted
+      only when it digests to the acknowledged value, re-written
+      through the driver (whose retry-exhaustion path remaps a
+      fragment that keeps failing);
+    + {b typed failure} — [Su_cache.Bcache.Io_error (Checksum _)] and
+      a [note_lost] to the {!Health} automaton; never silent.
+
+    All counters feed the run report as [integrity.*]. *)
+
+type t
+
+val create :
+  engine:Su_sim.Engine.t ->
+  disk:Su_disk.Disk.t ->
+  driver:Su_driver.Driver.t ->
+  cache:Su_cache.Bcache.t ->
+  health:Health.t ->
+  geom:Su_fstypes.Geom.t ->
+  ?obs:Su_obs.Events.t ->
+  unit ->
+  t
+
+val verify_fill :
+  t -> lbn:int -> Su_fstypes.Types.cell array -> Su_fstypes.Types.cell array
+(** The cache-fill hook: verify [cells] (read at [lbn]) against the
+    checksum region and return the cells to trust — the originals, a
+    clean re-read, or a repaired copy (also rewritten to the media).
+    Process context.
+    @raise Su_cache.Bcache.Io_error with [Checksum _] when the ladder
+    is exhausted; the affected fragments are reported lost to the
+    health automaton first. *)
+
+type at_rest = Clean | Repaired | Lost
+
+val verify_frag : t -> int -> at_rest
+(** Verify one media fragment {e at rest} against the checksum region,
+    repairing a disagreement through the ladder's offline rungs
+    (replica, clean cached copy — re-reading cannot help when the
+    media itself is the disagreeing party). [Lost] fragments are
+    reported to the health automaton. The scrubber calls this on every
+    fragment it probes. Process context. *)
+
+val full_verify : t -> int
+(** Verify every media fragment {e at rest} against the checksum
+    region and repair what the ladder's offline rungs (replica, clean
+    cached copy) can reach — lost and misdirected writes the workload
+    never re-read surface only here. Returns the number of fragments
+    left unrepaired (each reported lost to the health automaton).
+    Process context; run after a sync, before unmount. *)
+
+(** {2 Counters} *)
+
+val fills_verified : t -> int
+(** Cache fills checked ([integrity.fills]). *)
+
+val mismatches : t -> int
+(** Fragments whose digest disagreed ([integrity.mismatches]). *)
+
+val repaired : t -> int
+(** Total fragments healed, all rungs ([integrity.repaired]). *)
+
+val repaired_reread : t -> int
+val repaired_replica : t -> int
+val repaired_cache : t -> int
+
+val unrepairable : t -> int
+(** Fragments the ladder could not heal ([integrity.lost]); each
+    raised a typed error or failed [full_verify]. *)

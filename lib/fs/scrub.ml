@@ -20,6 +20,7 @@ type t = {
   cache : Su_cache.Bcache.t;
   health : Health.t;
   geom : Geom.t;
+  integrity : Integrity.t option;
   interval : float;
   slice : int;
   obs : Su_obs.Events.t option;
@@ -161,7 +162,24 @@ let repair t frag =
 let scan_one t frag =
   t.scanned <- t.scanned + 1;
   match read_frag t frag with
-  | Ok () -> ()
+  | Ok () -> (
+    (* the sector is readable; with checksums the content must also
+       agree with its acknowledged digest — a lost or misdirected
+       write surfaces here even if no foreground read ever lands on
+       the fragment *)
+    match t.integrity with
+    | None -> ()
+    | Some integ -> (
+      match Integrity.verify_frag integ frag with
+      | Integrity.Clean -> ()
+      | Integrity.Repaired ->
+        t.found <- t.found + 1;
+        t.repaired <- t.repaired + 1;
+        emit t ~kind:"scrub.found" [ ("frag", Su_obs.Json.Int frag) ]
+      | Integrity.Lost ->
+        t.found <- t.found + 1;
+        t.lost <- t.lost + 1;
+        emit t ~kind:"scrub.found" [ ("frag", Su_obs.Json.Int frag) ]))
   | Error (Su_disk.Fault.Bad_sector _) ->
     t.found <- t.found + 1;
     emit t ~kind:"scrub.found" [ ("frag", Su_obs.Json.Int frag) ];
@@ -188,8 +206,8 @@ let rec loop t () =
     loop t ()
   end
 
-let start ~engine ~disk ~driver ~cache ~health ~geom ~interval ?(slice = 64)
-    ?obs () =
+let start ~engine ~disk ~driver ~cache ~health ~geom ?integrity ~interval
+    ?(slice = 64) ?obs () =
   let t =
     {
       engine;
@@ -198,6 +216,7 @@ let start ~engine ~disk ~driver ~cache ~health ~geom ~interval ?(slice = 64)
       cache;
       health;
       geom;
+      integrity;
       interval;
       slice;
       obs;

@@ -21,13 +21,18 @@ val start :
   cache:Su_cache.Bcache.t ->
   health:Health.t ->
   geom:Su_fstypes.Geom.t ->
+  ?integrity:Integrity.t ->
   interval:float ->
   ?slice:int ->
   ?obs:Su_obs.Events.t ->
   unit ->
   t
 (** Spawn the scrubber process ([slice] default 64 fragments per
-    wake-up). *)
+    wake-up). With [integrity], every readable fragment is also
+    verified against the checksum region ({!Integrity.verify_frag}) —
+    a silent corruption the foreground never reads is found and
+    healed (or reported lost) by the sweep; such fragments count in
+    {!found} and {!repaired}/{!lost}. *)
 
 val stop : t -> unit
 

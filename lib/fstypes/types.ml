@@ -54,8 +54,114 @@ type cell =
   | Rmap of (int * int) list
       (* bad-sector remap table, [(logical, spare)] in allocation
          order; lives in the reserved slot past the addressable media *)
+  | Csum of int array
+      (* per-fragment checksum region, one digest per media fragment;
+         lives in the reserved slot past the media and the spares *)
 
 let magic = 0x011954
+
+(* --- structural digest (FNV-1a over a canonical serialization) ------ *)
+
+(* 64-bit FNV-1a constants, truncated to OCaml's 63-bit native int.
+   Multiplication wraps; the fold is deterministic on any 64-bit
+   platform, which is all the checksum layer needs. *)
+let fnv_offset = 0x25cbf29ce484222
+let fnv_prime = 0x100000001b3
+
+let d_byte h b = (h lxor (b land 0xff)) * fnv_prime
+
+let d_int h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := d_byte !h ((v asr (i * 8)) land 0xff)
+  done;
+  !h
+
+let d_bool h b = d_byte h (if b then 1 else 0)
+
+let d_float h f =
+  let bits = Int64.bits_of_float f in
+  let lo = Int64.to_int (Int64.logand bits 0xffffffffL) in
+  let hi = Int64.to_int (Int64.shift_right_logical bits 32) in
+  d_int (d_int h lo) hi
+
+let d_string h s =
+  let h = ref (d_int h (String.length s)) in
+  String.iter (fun c -> h := d_byte !h (Char.code c)) s;
+  !h
+
+let d_bytes h b = d_string h (Bytes.to_string b)
+let d_int_array h a = Array.fold_left d_int (d_int h (Array.length a)) a
+
+let d_stamp h = function
+  | Zeroed -> d_byte h 1
+  | Written { inum; gen; flbn } ->
+    d_int (d_int (d_int (d_byte h 2) inum) gen) flbn
+
+let d_ftype h t =
+  d_byte h (match t with F_free -> 1 | F_reg -> 2 | F_dir -> 3)
+
+let d_dinode h d =
+  let h = d_ftype h d.ftype in
+  let h = d_int h d.nlink in
+  let h = d_int h d.size in
+  let h = d_int h d.gen in
+  let h = d_int_array h d.db in
+  let h = d_int h d.ib in
+  let h = d_int h d.ib2 in
+  d_float h d.mtime
+
+let d_dirent h = function
+  | None -> d_byte h 0
+  | Some e -> d_int (d_string (d_byte h 1) e.name) e.inum
+
+let d_meta h = function
+  | Superblock sb ->
+    let h = d_byte h 1 in
+    let h = d_int h sb.sb_magic in
+    let h = d_int h sb.sb_nfrags in
+    let h = d_int h sb.sb_ncg in
+    d_bool h sb.sb_clean
+  | Cgroup c ->
+    let h = d_byte h 2 in
+    let h = d_bytes h c.frag_map in
+    let h = d_bytes h c.inode_map in
+    let h = d_int h c.nffree in
+    d_int h c.nifree
+  | Inodes ds ->
+    Array.fold_left d_dinode (d_int (d_byte h 3) (Array.length ds)) ds
+  | Dir entries ->
+    Array.fold_left d_dirent (d_int (d_byte h 4) (Array.length entries)) entries
+  | Indirect ptrs -> d_int_array (d_byte h 5) ptrs
+
+let d_jrec h = function
+  | J_dinode { inum; din } -> d_dinode (d_int (d_byte h 1) inum) din
+  | J_entry { blk; slot; entry } ->
+    d_dirent (d_int (d_int (d_byte h 2) blk) slot) entry
+  | J_dir_init { blk } -> d_int (d_byte h 3) blk
+  | J_ind_init { blk } -> d_int (d_byte h 4) blk
+  | J_ind_set { blk; slot; ptr } ->
+    d_int (d_int (d_int (d_byte h 5) blk) slot) ptr
+
+let cell_digest c =
+  let h =
+    match c with
+    | Empty -> d_byte fnv_offset 1
+    | Pad -> d_byte fnv_offset 2
+    | Frag s -> d_stamp (d_byte fnv_offset 3) s
+    | Meta m -> d_meta (d_byte fnv_offset 4) m
+    | Jlog { seq; recs } ->
+      List.fold_left d_jrec
+        (d_int (d_int (d_byte fnv_offset 5) seq) (List.length recs))
+        recs
+    | Rmap entries ->
+      List.fold_left
+        (fun h (l, s) -> d_int (d_int h l) s)
+        (d_int (d_byte fnv_offset 6) (List.length entries))
+        entries
+    | Csum a -> d_int_array (d_byte fnv_offset 7) a
+  in
+  h land max_int
 
 let free_dinode (g : Geom.t) =
   {
@@ -124,6 +230,7 @@ let copy_cell = function
   | Frag s -> Frag s
   | Jlog { seq; recs } -> Jlog { seq; recs = List.map copy_jrec recs }
   | Rmap entries -> Rmap entries
+  | Csum a -> Csum (Array.copy a)
 
 let dir_entry_count entries =
   Array.fold_left (fun n e -> match e with Some _ -> n + 1 | None -> n) 0 entries
@@ -172,3 +279,4 @@ let pp_cell ppf = function
   | Jlog { seq; recs } ->
     Format.fprintf ppf "jlog[seq=%d,%d recs]" seq (List.length recs)
   | Rmap entries -> Format.fprintf ppf "rmap[%d entries]" (List.length entries)
+  | Csum a -> Format.fprintf ppf "csum[%d frags]" (Array.length a)

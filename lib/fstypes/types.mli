@@ -76,8 +76,17 @@ type cell =
   | Rmap of (int * int) list
       (** bad-sector remap table, [(logical, spare)] in allocation
           order; lives in the reserved slot past the addressable media *)
+  | Csum of int array
+      (** per-fragment checksum region, one {!cell_digest} per media
+          fragment; lives in the reserved slot past the media and the
+          spares *)
 
 val magic : int
+
+val cell_digest : cell -> int
+(** Structural digest of a cell's canonical serialization (FNV-1a,
+    stdlib-only), non-negative. Equal cells digest equal; the checksum
+    layer treats a digest mismatch as silent corruption. *)
 
 val free_dinode : Geom.t -> dinode
 (** A zeroed inode slot. *)

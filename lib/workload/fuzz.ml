@@ -295,6 +295,70 @@ let model_of_ops ops =
 let workload_of_ops ~name ops =
   { Su_check.Explorer.wl_name = name; wl_run = (fun st -> run_ops st ops) }
 
+(* Deterministic op-list editions of the explorer's built-in
+   workloads. Campaigns that need both a runnable workload and the
+   model oracle over the same behavior (the corruption sweep) start
+   from these: [workload_of_ops] gives the run, [check_final_image]
+   the oracle, over one op list. *)
+let builtin_cases =
+  let smallfiles =
+    let body =
+      List.concat
+        (List.init 12 (fun i ->
+             let p = Printf.sprintf "/sf/f%d" (i + 1) in
+             let ops = [ Create p; Append (p, 1024 * (1 + (i mod 5))) ] in
+             if i mod 3 = 2 then ops @ [ Unlink p ] else ops))
+    in
+    (Mkdir "/sf" :: body) @ [ Sync ]
+  in
+  let dirtree =
+    (Mkdir "/t"
+     :: List.concat
+          (List.init 5 (fun i ->
+               let d = Printf.sprintf "/t/d%d" (i + 1) in
+               [
+                 Mkdir d;
+                 Create (d ^ "/a");
+                 Append (d ^ "/a", 2048);
+                 Rename { src = d ^ "/a"; dst = d ^ "/b" };
+               ]
+               @
+               if (i + 1) mod 2 = 0 then [ Unlink (d ^ "/b"); Rmdir d ]
+               else [])))
+    @ [ Link { src = "/t/d1/b"; dst = "/t/hard" }; Sync ]
+  in
+  let renamefile =
+    [
+      Mkdir "/ra";
+      Mkdir "/rb";
+      Create "/ra/f";
+      Append ("/ra/f", 3072);
+      Rename { src = "/ra/f"; dst = "/rb/g" };
+      Rename { src = "/rb/g"; dst = "/rb/h" };
+      Sync;
+    ]
+  in
+  let renamedir =
+    [
+      Mkdir "/ra";
+      Mkdir "/rb";
+      Mkdir "/ra/d";
+      Create "/ra/d/f";
+      Append ("/ra/d/f", 2048);
+      Rename { src = "/ra/d"; dst = "/rb/e" };
+      Rename { src = "/rb/e"; dst = "/ra/d2" };
+      Sync;
+    ]
+  in
+  [
+    ("smallfiles", smallfiles);
+    ("dirtree", dirtree);
+    ("renamefile", renamefile);
+    ("renamedir", renamedir);
+  ]
+
+let find_case name = List.assoc_opt name builtin_cases
+
 (* ---------- the oracle ------------------------------------------------ *)
 
 (* Mount the final (recovered) image and walk the model against it:

@@ -54,6 +54,15 @@ val workload_of_ops : name:string -> op list -> Su_check.Explorer.workload
 (** A workload running the model-valid subsequence of [ops], then a
     final [sync] (clean shutdown). *)
 
+val builtin_cases : (string * op list) list
+(** Deterministic op-list editions of the explorer's built-in
+    workloads (smallfiles, dirtree, renamefile, renamedir): the same
+    behavior available simultaneously as a runnable workload
+    ({!workload_of_ops}) and as a model oracle
+    ({!check_final_image}) — what the corruption sweep needs. *)
+
+val find_case : string -> op list option
+
 val check_final_image :
   cfg:Su_fs.Fs.config ->
   Su_fstypes.Types.cell array ->

@@ -94,6 +94,7 @@ let counters_of (w : Fs.world) =
   let fault =
     [
       ("fault.injected", f (Su_disk.Disk.faults_injected disk));
+      ("fault.silent", f (Su_disk.Disk.silent_faults disk));
       ("fault.remaps", f (Su_disk.Disk.remaps disk));
       ("fault.spares_total", f (Su_disk.Disk.spares_total disk));
       ("fault.spares_left", f (Su_disk.Disk.spares_left disk));
@@ -122,7 +123,21 @@ let counters_of (w : Fs.world) =
         ("scrub.lost", f (Su_fs.Scrub.lost s));
       ]
   in
-  base @ softdep @ journal @ fault @ scrub
+  let integrity =
+    match w.Fs.integrity with
+    | None -> []
+    | Some i ->
+      [
+        ("integrity.fills", f (Su_fs.Integrity.fills_verified i));
+        ("integrity.mismatches", f (Su_fs.Integrity.mismatches i));
+        ("integrity.repaired", f (Su_fs.Integrity.repaired i));
+        ("integrity.repaired_reread", f (Su_fs.Integrity.repaired_reread i));
+        ("integrity.repaired_replica", f (Su_fs.Integrity.repaired_replica i));
+        ("integrity.repaired_cache", f (Su_fs.Integrity.repaired_cache i));
+        ("integrity.lost", f (Su_fs.Integrity.unrepairable i));
+      ]
+  in
+  base @ softdep @ journal @ fault @ scrub @ integrity
 
 let drop_caches (w : Fs.world) =
   List.iter

@@ -25,7 +25,8 @@ let test_none_is_silent () =
   for i = 0 to 99 do
     match Fault.judge f ~op:`Write ~lbn:(i * 8) ~nfrags:8 () with
     | Fault.Ok_attempt -> ()
-    | Fault.Stalled | Fault.Failed _ -> Alcotest.fail "fault without a model"
+    | Fault.Stalled | Fault.Failed _ | Fault.Silent _ ->
+      Alcotest.fail "fault without a model"
   done;
   Alcotest.(check int) "nothing injected" 0 (Fault.injected f)
 
@@ -37,6 +38,7 @@ let test_transient_rates () =
     | Fault.Failed _ -> incr fails
     | Fault.Stalled -> incr stalls
     | Fault.Ok_attempt -> ()
+    | Fault.Silent _ -> Alcotest.fail "silent classes are off"
   done;
   Alcotest.(check bool) "failures drawn" true (!fails > 50 && !fails < 200);
   Alcotest.(check bool) "stalls drawn" true (!stalls > 0);

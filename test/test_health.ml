@@ -1,0 +1,99 @@
+(* The volume-health automaton: monotone Healthy -> Degraded ->
+   Readonly, the max_lost threshold edge, and transition events. *)
+open Su_fs
+
+let mk ?obs ?max_lost () =
+  let e = Su_sim.Engine.create () in
+  Health.create ~engine:e ?obs ?max_lost ()
+
+let lvl =
+  Alcotest.testable
+    (fun ppf l -> Format.pp_print_string ppf (Health.level_name l))
+    ( = )
+
+let test_fresh_is_healthy () =
+  let h = mk () in
+  Alcotest.check lvl "fresh" Health.Healthy (Health.level h);
+  Alcotest.(check bool) "not readonly" false (Health.readonly h);
+  Alcotest.(check int) "no io errors" 0 (Health.io_errors h);
+  Alcotest.(check int) "no lost frags" 0 (Health.lost h);
+  Alcotest.(check int) "no sb repairs" 0 (Health.sb_restored h)
+
+let test_io_error_degrades () =
+  let h = mk () in
+  Health.note_io_error h (Su_disk.Fault.Bad_sector { lbn = 7 });
+  Alcotest.check lvl "degraded" Health.Degraded (Health.level h);
+  Health.note_io_error h (Su_disk.Fault.Transient { op = `Read; lbn = 9 });
+  Alcotest.check lvl "still degraded" Health.Degraded (Health.level h);
+  Alcotest.(check int) "both counted" 2 (Health.io_errors h);
+  Alcotest.(check bool) "operable" false (Health.readonly h)
+
+let test_lost_threshold_edge () =
+  (* readonly strictly past max_lost: exactly max_lost lost fragments
+     leaves the volume degraded-but-writable *)
+  let h = mk ~max_lost:3 () in
+  for frag = 1 to 3 do
+    Health.note_lost h ~frag
+  done;
+  Alcotest.check lvl "at the threshold" Health.Degraded (Health.level h);
+  Alcotest.(check int) "all counted" 3 (Health.lost h);
+  Health.note_lost h ~frag:4;
+  Alcotest.check lvl "past the threshold" Health.Readonly (Health.level h);
+  Alcotest.(check bool) "readonly" true (Health.readonly h)
+
+let test_sb_restored_degrades_only () =
+  let h = mk () in
+  Health.note_sb_restored h;
+  Alcotest.check lvl "degraded" Health.Degraded (Health.level h);
+  Alcotest.(check int) "counted" 1 (Health.sb_restored h)
+
+let test_spares_exhausted_is_readonly () =
+  let h = mk () in
+  Health.note_spares_exhausted h;
+  Alcotest.check lvl "readonly" Health.Readonly (Health.level h)
+
+let test_force_readonly () =
+  let h = mk () in
+  Health.force_readonly h ~reason:"test";
+  Alcotest.check lvl "readonly" Health.Readonly (Health.level h)
+
+let test_monotone_never_regresses () =
+  (* later, milder notes must not improve the level: health only
+     worsens while mounted; repair happens offline *)
+  let h = mk ~max_lost:0 () in
+  Health.note_lost h ~frag:1;
+  Alcotest.check lvl "readonly" Health.Readonly (Health.level h);
+  Health.note_sb_restored h;
+  Health.note_io_error h (Su_disk.Fault.Bad_sector { lbn = 3 });
+  Alcotest.check lvl "repairs don't regress the state" Health.Readonly
+    (Health.level h);
+  Alcotest.(check int) "counters still advance" 1 (Health.sb_restored h)
+
+let test_transitions_emit_events () =
+  (* one fault.health event per level change, none for repeats *)
+  let obs = Su_obs.Events.create () in
+  let h = mk ~obs ~max_lost:1 () in
+  Health.note_io_error h (Su_disk.Fault.Bad_sector { lbn = 1 });
+  Health.note_io_error h (Su_disk.Fault.Bad_sector { lbn = 2 });
+  Alcotest.(check int) "one degrade event" 1 (Su_obs.Events.count obs);
+  Health.note_lost h ~frag:1;
+  Health.note_lost h ~frag:2;
+  Alcotest.(check int) "one readonly event" 2 (Su_obs.Events.count obs);
+  Health.force_readonly h ~reason:"again";
+  Alcotest.(check int) "no event for a repeat" 2 (Su_obs.Events.count obs)
+
+let suite =
+  [
+    Alcotest.test_case "fresh is healthy" `Quick test_fresh_is_healthy;
+    Alcotest.test_case "io error degrades" `Quick test_io_error_degrades;
+    Alcotest.test_case "lost threshold edge" `Quick test_lost_threshold_edge;
+    Alcotest.test_case "sb restore degrades only" `Quick
+      test_sb_restored_degrades_only;
+    Alcotest.test_case "spares exhausted flips readonly" `Quick
+      test_spares_exhausted_is_readonly;
+    Alcotest.test_case "force readonly" `Quick test_force_readonly;
+    Alcotest.test_case "monotone, never regresses" `Quick
+      test_monotone_never_regresses;
+    Alcotest.test_case "transitions emit events" `Quick
+      test_transitions_emit_events;
+  ]

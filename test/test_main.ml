@@ -22,6 +22,8 @@ let () =
       ("fault", Test_fault.suite);
       ("retry", Test_retry.suite);
       ("faultsweep", Test_faultsweep.suite);
+      ("health", Test_health.suite);
+      ("integrity", Test_integrity.suite);
       ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
       ("trace-golden", Test_trace_golden.suite);
