@@ -48,6 +48,9 @@ let usage () =
      \                  steady loops with the digest region off vs on;\n\
      \                  gates: checksummed steady loop still runs zero\n\
      \                  major collections, burst overhead within 2x\n\
+     \  --volume        compact volume image: mkfs at 1M-inode scale\n\
+     \                  (minor words/inode gate), resident bytes/inode\n\
+     \                  gate, and the load engine on the big volume\n\
      \  --json PATH     write results JSON: experiment tables (the\n\
      \                  document EXPERIMENTS.md specifies), or the\n\
      \                  --hotpaths/--crashsweep perf records\n\
@@ -808,6 +811,181 @@ let run_corrupt ~quick ~json_path =
   end;
   if !failed then exit 1
 
+(* --- compact volume ----------------------------------------------------- *)
+
+(* The claims behind the slab-backed image ({!Su_fstypes.Volume}),
+   written to BENCH_volume.json:
+
+   - volume-mkfs: formatting a paper-disk-scale volume (full: 8 GB /
+     512 cylinder groups / 1,048,576 inodes on a widened HP C2447;
+     quick: 1 GB / 131,072 inodes on the stock drive). Reported: wall
+     seconds and minor words per inode. The gate asserts formatting
+     allocates O(blocks), not O(inodes): fresh inode blocks share one
+     canonical free dinode and encode straight into slabs, so mkfs
+     must stay under 64 minor words per inode (one boxed dinode record
+     alone costs ~22 words before its block array lands).
+
+   - volume-resident: live major-heap bytes per inode with the
+     formatted volume fully resident (measured across Fs.make between
+     two full majors), next to the volume's own slab accounting
+     (Disk.image_stats). Gate: <= 192 resident bytes per inode — the
+     bound that makes a million-inode volume a ~100-200 MB object
+     instead of an unbounded record graph.
+
+   - loadgen-bigvol: the multi-tenant load engine running on that
+     volume (full: 120,000 clients; quick: 5,000), same steady-window
+     report as --loadgen. Gate: steady ops executed > 0. Majors and
+     words/op are reported, not gated: past the cache's capacity every
+     fill decodes fresh records (exactly the copy_cell cost the boxed
+     image paid), so eviction churn allocates proportionally to miss
+     traffic at any client count. *)
+
+let volume_geometry ~quick =
+  let geom =
+    if quick then Su_fstypes.Geom.v ~mb:1024 ~cg_mb:16 ~inodes_per_cg:2048 ()
+    else Su_fstypes.Geom.v ~mb:8192 ~cg_mb:16 ~inodes_per_cg:2048 ()
+  in
+  let params =
+    if
+      Su_disk.Disk_params.capacity_frags Su_disk.Disk_params.hp_c2447
+      >= geom.Su_fstypes.Geom.nfrags
+    then Su_disk.Disk_params.hp_c2447
+    else
+      { Su_disk.Disk_params.hp_c2447 with
+        Su_disk.Disk_params.cylinders = 17_000
+      }
+  in
+  (geom, params)
+
+let run_volume ~quick ~json_path =
+  let geom, params = volume_geometry ~quick in
+  let inodes = Su_fstypes.Geom.total_inodes geom in
+  let fs_cfg =
+    { (Su_fs.Fs.config ~scheme:Su_fs.Fs.Soft_updates ()) with
+      Su_fs.Fs.geom;
+      disk_params = params;
+      dir_index = true
+    }
+  in
+  (* mkfs + residency: one build, minor words and wall bracketed
+     around it, live heap compared between full majors on each side.
+     mkfs leaves untouched inode blocks Empty (they materialize on
+     first allocation), so the bracket also installs the entire inode
+     area — the resident figure is the worst case, every inode block
+     encoded, not the sparse freshly-formatted image. *)
+  Gc.full_major ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let w = Su_fs.Fs.make fs_cfg in
+  let disk = w.Su_fs.Fs.disk in
+  for c = 0 to Su_fstypes.Geom.cg_count geom - 1 do
+    let first, count = Su_fstypes.Geom.cg_inode_area geom c in
+    let fpb = geom.Su_fstypes.Geom.frags_per_block in
+    let blk = ref first in
+    while !blk < first + count do
+      (match Su_disk.Disk.peek disk !blk with
+       | Su_fstypes.Types.Empty ->
+         Su_disk.Disk.install disk !blk
+           (Su_fstypes.Types.Meta (Su_fstypes.Types.fresh_inode_block geom));
+         for i = 1 to fpb - 1 do
+           Su_disk.Disk.install disk (!blk + i) Su_fstypes.Types.Pad
+         done
+       | _ -> ());
+      blk := !blk + fpb
+    done
+  done;
+  let mkfs_wall = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  let mkfs_wpi =
+    (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int inodes
+  in
+  Gc.full_major ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  let bytes_per_inode =
+    float_of_int ((live1 - live0) * 8) /. float_of_int inodes
+  in
+  let st = Su_disk.Disk.image_stats disk in
+  let slab_bpi =
+    float_of_int st.Su_fstypes.Volume.slab_bytes /. float_of_int inodes
+  in
+  Printf.printf
+    "%-30s inodes=%-8d %8.3fs wall %9.1f mwords/inode\n%!"
+    "volume-mkfs" inodes mkfs_wall mkfs_wpi;
+  Printf.printf
+    "%-30s %9.1f bytes/inode resident (%.1f slab) %6d ino-slabs %6d boxed\n%!"
+    "volume-resident" bytes_per_inode slab_bpi
+    st.Su_fstypes.Volume.inode_slabs st.Su_fstypes.Volume.boxed;
+  Su_fs.Fs.stop w;
+  (* the load engine on the big volume *)
+  let base = Su_workload.Loadgen.config ~scheme:Su_fs.Fs.Soft_updates () in
+  let clients = if quick then 5_000 else 120_000 in
+  let lg_cfg =
+    { base with
+      Su_workload.Loadgen.fs_cfg;
+      clients;
+      rate = (if quick then 0.2 else 0.02);
+      duration = (if quick then 6.0 else 10.0);
+      warmup = 2.0;
+      files_per_client = 1
+    }
+  in
+  let r = Su_workload.Loadgen.run lg_cfg in
+  let ops = r.Su_workload.Loadgen.executed in
+  let lg_wall = r.Su_workload.Loadgen.host_wall_s in
+  let lg_eps = if lg_wall > 0.0 then float_of_int ops /. lg_wall else 0.0 in
+  let lg_wpo =
+    r.Su_workload.Loadgen.minor_words /. float_of_int (max 1 ops)
+  in
+  let lg_majors = r.Su_workload.Loadgen.major_collections in
+  Printf.printf
+    "%-30s n=%-6d %8.3fs wall %12.0f ops/s %9.1f mwords/op %3d majors \
+     (%d clients)\n%!"
+    "loadgen-bigvol" ops lg_wall lg_eps lg_wpo lg_majors clients;
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Printf.fprintf oc "{\n  \"scale\": \"%s\",\n"
+       (if quick then "quick" else "full");
+     Printf.fprintf oc
+       "  \"mkfs\": {\"inodes\": %d, \"wall_s\": %.4f, \
+        \"minor_words_per_inode\": %.2f},\n"
+       inodes mkfs_wall mkfs_wpi;
+     Printf.fprintf oc
+       "  \"resident\": {\"bytes_per_inode\": %.1f, \
+        \"slab_bytes_per_inode\": %.1f, \"inode_slabs\": %d, \
+        \"dir_slabs\": %d, \"indirect_slabs\": %d, \"boxed\": %d},\n"
+       bytes_per_inode slab_bpi st.Su_fstypes.Volume.inode_slabs
+       st.Su_fstypes.Volume.dir_slabs st.Su_fstypes.Volume.indirect_slabs
+       st.Su_fstypes.Volume.boxed;
+     Printf.fprintf oc
+       "  \"loadgen\": {\"clients\": %d, \"ops\": %d, \"wall_s\": %.4f, \
+        \"ops_per_sec\": %.1f, \"minor_words_per_op\": %.1f, \
+        \"major_collections\": %d}\n}\n"
+       clients ops lg_wall lg_eps lg_wpo lg_majors;
+     close_out oc;
+     Printf.printf "# wrote %s\n" path);
+  let failed = ref false in
+  if mkfs_wpi > 64.0 then begin
+    failed := true;
+    Printf.eprintf
+      "FAIL: mkfs allocated %.1f minor words per inode (want <= 64: \
+       formatting must be O(blocks), not O(inodes))\n"
+      mkfs_wpi
+  end;
+  if bytes_per_inode > 192.0 then begin
+    failed := true;
+    Printf.eprintf
+      "FAIL: resident volume costs %.1f bytes per inode (want <= 192)\n"
+      bytes_per_inode
+  end;
+  if ops <= 0 then begin
+    failed := true;
+    Printf.eprintf "FAIL: loadgen-bigvol executed no steady operations\n"
+  end;
+  if !failed then exit 1
+
 (* --- main --------------------------------------------------------------- *)
 
 let () =
@@ -904,6 +1082,10 @@ let () =
   end;
   if List.mem "--loadgen" args then begin
     run_loadgen ~quick ~json_path:(json_of args);
+    exit 0
+  end;
+  if List.mem "--volume" args then begin
+    run_volume ~quick ~json_path:(json_of args);
     exit 0
   end;
   if List.mem "--corrupt" args then begin

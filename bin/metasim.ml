@@ -1578,9 +1578,20 @@ let loadgen_cmd =
              host wall-clock second — falls below $(docv). A generous floor \
              catches order-of-magnitude regressions in CI.")
   in
+  let volume_mb_arg =
+    Arg.(
+      value
+      & opt (some (pos_conv "volume size")) None
+      & info [ "volume-mb" ] ~docv:"MB"
+          ~doc:
+            "Volume size per shard in megabytes (16 MB cylinder groups, 2048 \
+             inodes each; the drive is widened to fit). Default: the \
+             engine's stock 1 GB geometry. The compact slab-backed image \
+             keeps multi-GB volumes resident — see BENCH_volume.json.")
+  in
   let run scheme clients rate shape arrival duration warmup files shards jobs
-      json seed min_ops fault_seed fault_rate bad_sectors spares scrub_interval
-      flip lost misdirect checksums =
+      json seed min_ops volume_mb fault_seed fault_rate bad_sectors spares
+      scrub_interval flip lost misdirect checksums =
     if warmup < 0.0 || warmup >= duration then begin
       Printf.eprintf
         "metasim: --warmup (%g) must lie in [0, --duration (%g))\n" warmup
@@ -1609,12 +1620,39 @@ let loadgen_cmd =
     (* every shard is an independent world built from this one fs_cfg;
        the fault model's RNG is per-world, so the report stays a pure
        function of the config at any --jobs *)
+    let geom, disk_params =
+      match volume_mb with
+      | None ->
+        ( cfg.Loadgen.fs_cfg.Fs.geom,
+          cfg.Loadgen.fs_cfg.Fs.disk_params )
+      | Some mb -> (
+        match Su_fstypes.Geom.v ~mb ~cg_mb:16 ~inodes_per_cg:2048 () with
+        | exception Invalid_argument msg ->
+          Printf.eprintf "metasim: --volume-mb %d: %s\n" mb msg;
+          exit Cmd.Exit.cli_error
+        | geom ->
+          let base = cfg.Loadgen.fs_cfg.Fs.disk_params in
+          let params =
+            if Su_disk.Disk_params.capacity_frags base
+               >= geom.Su_fstypes.Geom.nfrags
+            then base
+            else
+              let fpc = Su_disk.Disk_params.frags_per_cyl base in
+              { base with
+                Su_disk.Disk_params.cylinders =
+                  (geom.Su_fstypes.Geom.nfrags + fpc - 1) / fpc
+              }
+          in
+          (geom, params))
+    in
     let cfg =
       {
         cfg with
         Loadgen.fs_cfg =
           {
             cfg.Loadgen.fs_cfg with
+            Fs.geom;
+            disk_params;
             Fs.fault =
               fault_of ~flip ~lost ~misdirect ~seed:fault_seed
                 ~rate:fault_rate ~bad_sectors ();
@@ -1651,8 +1689,9 @@ let loadgen_cmd =
     Term.(
       const run $ scheme_arg $ clients_arg $ rate_arg $ shape_arg
       $ arrival_arg $ duration_arg $ warmup_arg $ files_arg $ shards_arg
-      $ jobs_arg $ json_arg $ seed_arg $ min_ops_arg $ fault_seed_arg
-      $ fault_rate_flag $ bad_sectors_arg $ spares_arg ~default:0 $ scrub_arg
+      $ jobs_arg $ json_arg $ seed_arg $ min_ops_arg $ volume_mb_arg
+      $ fault_seed_arg $ fault_rate_flag $ bad_sectors_arg
+      $ spares_arg ~default:0 $ scrub_arg
       $ flip_rate_flag $ lost_rate_flag $ misdirect_rate_flag
       $ checksums_flag)
 

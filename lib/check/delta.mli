@@ -16,7 +16,16 @@
     cells are never mutated in place once recorded — every consumer
     that needs to mutate (fsck repair, journal replay) works on a
     {!Su_fstypes.Types.copy_cell} snapshot of the materialized image,
-    exactly as it would on a disk-owned image. *)
+    exactly as it would on a disk-owned image.
+
+    With the slab-backed {!Su_fstypes.Volume} behind the disk, the
+    observer's [pre]/[post] extents are {e decoded} cells — private
+    values that share no structure with the live image — so a logged
+    delta can never be corrupted by later volume writes, and replaying
+    the whole log forward (or undoing it backward) over an
+    [image_snapshot] reproduces the volume's final (or initial)
+    snapshot exactly; [test/test_volume.ml] pins that round-trip
+    against a volume-backed disk. *)
 
 open Su_fstypes
 

@@ -14,11 +14,14 @@ type t = {
   engine : Su_sim.Engine.t;
   params : Disk_params.t;
   fault : Fault.t;
-  image : Types.cell array;
+  image : Volume.t;
   (* [image] covers the addressable media ([0, media)) plus, when a
      spare pool is configured, one reserved cell for the persisted
      remap table at [media] and the spares above it. All external
-     addressing is logical; [remap] translates on access. *)
+     addressing is logical; [remap] translates on access. The volume
+     stores the slab-class metadata kinds compactly (see Volume);
+     reserved boxed cells keep the legacy aliasing — the [Csum] cell
+     below IS the live [csum] array. *)
   media : int;
   remap : Remap.t option;
   csum : int array option;
@@ -251,10 +254,12 @@ let apply_phys_run t ~phys ~src ~len cells =
   let pre =
     match t.delta_observer with
     | Some _ when len > 0 ->
-      Some (Array.init len (fun i -> Types.copy_cell t.image.(phys + i)))
+      Some (Array.init len (fun i -> Volume.read t.image (phys + i)))
     | Some _ | None -> None
   in
-  Array.blit cells src t.image phys len;
+  for i = 0 to len - 1 do
+    Volume.set t.image (phys + i) cells.(src + i)
+  done;
   (match t.write_observer with
    | Some f when len > 0 ->
      f ~lbn:phys (Array.init len (fun i -> Types.copy_cell cells.(src + i)))
@@ -272,10 +277,12 @@ let apply_write t ~lbn ~nfrags cells =
     let pre =
       match t.delta_observer with
       | Some _ when nfrags > 0 ->
-        Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+        Some (Array.init nfrags (fun i -> Volume.read t.image (lbn + i)))
       | Some _ | None -> None
     in
-    Array.blit cells 0 t.image lbn nfrags;
+    for i = 0 to nfrags - 1 do
+      Volume.set t.image (lbn + i) cells.(i)
+    done;
     (* a write invalidates overlapping cached streams *)
     t.streams <-
       List.filter (fun s -> s.limit <= lbn || s.next_lbn >= lbn + nfrags) t.streams;
@@ -358,8 +365,7 @@ let complete_op t =
       | Read, Fault.Flip_read { frag } ->
         advance_stream t lbn nfrags;
         let cells =
-          Array.init nfrags (fun i ->
-              Types.copy_cell t.image.(phys_of t (lbn + i)))
+          Array.init nfrags (fun i -> Volume.read t.image (phys_of t (lbn + i)))
         in
         let i = frag - lbn in
         if i >= 0 && i < nfrags then
@@ -385,8 +391,7 @@ let complete_op t =
       | Read, (Fault.Lost_write | Fault.Misdirect_write _) ->
         advance_stream t lbn nfrags;
         Some
-          (Array.init nfrags (fun i ->
-               Types.copy_cell t.image.(phys_of t (lbn + i))))
+          (Array.init nfrags (fun i -> Volume.read t.image (phys_of t (lbn + i))))
       | Write, Fault.Flip_read _ ->
         (match payload with
          | Some cells ->
@@ -407,9 +412,8 @@ let complete_op t =
         if has_remaps t then
           Some
             (Array.init nfrags (fun i ->
-                 Types.copy_cell t.image.(phys_of t (lbn + i))))
-        else
-          Some (Array.init nfrags (fun i -> Types.copy_cell t.image.(lbn + i)))
+                 Volume.read t.image (phys_of t (lbn + i))))
+        else Some (Array.init nfrags (fun i -> Volume.read t.image (lbn + i)))
       | Write ->
         (match payload with
          | Some cells ->
@@ -512,7 +516,7 @@ let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none)
       engine;
       params;
       fault = Fault.create fault;
-      image = Array.make (nfrags + extra) Types.Empty;
+      image = Volume.create (nfrags + extra);
       media = nfrags;
       csum;
       csum_slot;
@@ -553,14 +557,18 @@ let create ~engine ~params ~nfrags ?(nvram_frags = 0) ?(fault = Fault.none)
     (sqrt (float_of_int (params.Disk_params.cylinders - 2)));
   t.done_h <- Su_sim.Engine.register engine (fun _ -> complete_op t);
   t.destage_h <- Su_sim.Engine.register engine (fun _ -> complete_destage t);
-  (match csum with Some ca -> t.image.(csum_slot) <- Types.Csum ca | None -> ());
+  (* boxed as-is in the volume, so [t.csum] keeps aliasing the stored
+     cell exactly as the legacy cell-array image did *)
+  (match csum with
+   | Some ca -> Volume.set t.image csum_slot (Types.Csum ca)
+   | None -> ());
   t
 
 let install t lbn cell =
-  if lbn < 0 || lbn >= Array.length t.image then
+  if lbn < 0 || lbn >= Volume.length t.image then
     invalid_arg "Disk.install: address out of range";
   let phys = if lbn < t.media then phys_of t lbn else lbn in
-  t.image.(phys) <- cell;
+  Volume.set t.image phys cell;
   match t.csum with
   | Some ca when lbn < t.media -> ca.(lbn) <- Types.cell_digest cell
   | Some _ | None -> ()
@@ -576,11 +584,20 @@ let install_csum t cell =
   | (Some _ | None), _ -> ()
 
 let peek t lbn =
-  if lbn < 0 || lbn >= Array.length t.image then
+  if lbn < 0 || lbn >= Volume.length t.image then
     invalid_arg "Disk.peek: address out of range";
-  if lbn < t.media then t.image.(phys_of t lbn) else t.image.(lbn)
+  if lbn < t.media then Volume.peek t.image (phys_of t lbn)
+  else Volume.peek t.image lbn
 
-let image_snapshot t = Array.map Types.copy_cell t.image
+let frag_digest t lbn =
+  if lbn < 0 || lbn >= Volume.length t.image then
+    invalid_arg "Disk.frag_digest: address out of range";
+  if lbn < t.media then Volume.digest t.image (phys_of t lbn)
+  else Volume.digest t.image lbn
+
+let image_snapshot t = Volume.snapshot t.image
+
+let image_stats t = Volume.stats t.image
 
 (* --- bad-sector remapping --------------------------------------------- *)
 
@@ -592,10 +609,10 @@ let persist_remap t r =
   let cell = Remap.cell r in
   let pre =
     match t.delta_observer with
-    | Some _ -> Some [| Types.copy_cell t.image.(slot) |]
+    | Some _ -> Some [| Volume.read t.image slot |]
     | None -> None
   in
-  t.image.(slot) <- cell;
+  Volume.set t.image slot cell;
   (match t.write_observer with
    | Some f -> f ~lbn:slot [| Types.copy_cell cell |]
    | None -> ());
@@ -619,7 +636,7 @@ let try_remap t ~lbn =
 let reload_remap t =
   match t.remap with
   | None -> ()
-  | Some r -> Remap.load r t.image.(Remap.table_slot r)
+  | Some r -> Remap.load r (Volume.peek t.image (Remap.table_slot r))
 
 let resolve_image cells ~nfrags =
   if Array.length cells <= nfrags then Array.map Types.copy_cell cells
@@ -648,4 +665,30 @@ let resolve_image cells ~nfrags =
     | None -> logical
   end
 
-let logical_snapshot t = resolve_image t.image ~nfrags:t.media
+(* Same construction as [resolve_image], reading the volume directly
+   (decoded copies) instead of snapshotting the whole physical image
+   first. *)
+let logical_snapshot t =
+  let total = Volume.length t.image in
+  if total <= t.media then Array.init total (fun i -> Volume.read t.image i)
+  else begin
+    let logical = Array.init t.media (fun i -> Volume.read t.image i) in
+    (match Volume.peek t.image t.media with
+     | Types.Rmap entries ->
+       List.iter
+         (fun (lbn, phys) ->
+            if lbn >= 0 && lbn < t.media && phys < total then
+              logical.(lbn) <- Volume.read t.image phys)
+         entries
+     | _ -> ());
+    let rec find_csum i =
+      if i >= total then None
+      else
+        match Volume.peek t.image i with
+        | Types.Csum _ -> Some (Volume.read t.image i)
+        | _ -> find_csum (i + 1)
+    in
+    match find_csum t.media with
+    | Some c -> Array.append logical [| c |]
+    | None -> logical
+  end

@@ -88,13 +88,28 @@ val install : t -> int -> Su_fstypes.Types.cell -> unit
     region. *)
 
 val peek : t -> int -> Su_fstypes.Types.cell
-(** Read the image directly (fsck / tests); no copy, do not mutate.
+(** Read one image cell directly (fsck / tests). Slab-encoded kinds
+    (fragments, inode/dir/indirect blocks) decode to a fresh value —
+    mutating the result cannot corrupt the image. Reserved boxed cells
+    (superblock, cgroup, journal, remap table, checksum region) are
+    returned live without a copy: treat those as read-only, and route
+    every image mutation through {!install} (or the write path).
     Media addresses are translated through the remap table; addresses
     past the media read the raw spare region. *)
+
+val frag_digest : t -> int -> int
+(** {!Su_fstypes.Types.cell_digest} of the image cell at a (logical)
+    address, folded straight off the compact representation — the
+    at-rest verifier's accessor, equivalent to digesting {!peek}'s
+    result without materializing it. *)
 
 val image_snapshot : t -> Su_fstypes.Types.cell array
 (** Deep copy of the whole {e physical} image (crash-state capture),
     spare region and remap-table cell included when configured. *)
+
+val image_stats : t -> Su_fstypes.Volume.stats
+(** Representation accounting of the live image (slab/boxed counts,
+    slab bytes) — for benches and capacity reporting. *)
 
 val logical_snapshot : t -> Su_fstypes.Types.cell array
 (** Deep copy of the addressable media ([nfrags] cells) with every

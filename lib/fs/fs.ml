@@ -199,12 +199,15 @@ let mkfs disk (g : Geom.t) =
     | Types.Superblock _ | Types.Cgroup _ | Types.Dir _ | Types.Indirect _ ->
       assert false
   in
-  let root = dinodes.(0) in
+  (* replace the slot rather than mutating it: free slots of a fresh
+     block share one canonical dinode *)
+  let root = Types.free_dinode g in
   root.Types.ftype <- Types.F_dir;
   root.Types.nlink <- 2;
   root.Types.size <- Geom.block_bytes g;
   root.Types.gen <- 1;
   root.Types.db.(0) <- root_block;
+  dinodes.(0) <- root;
   install_meta (Geom.inode_block_frag g Geom.root_inum) (Types.Inodes dinodes);
   (* root directory block: "." and ".." both point at the root *)
   let entries = Types.fresh_dir_block g in

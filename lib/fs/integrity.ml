@@ -266,7 +266,7 @@ let verify_frag t frag =
   match Su_disk.Disk.expected_digest t.disk frag with
   | None -> Clean
   | Some d ->
-    if d = Types.cell_digest (Su_disk.Disk.peek t.disk frag) then Clean
+    if d = Su_disk.Disk.frag_digest t.disk frag then Clean
     else begin
       t.mismatches <- t.mismatches + 1;
       emit t ~kind:"integrity.mismatch" [ ("frag", Su_obs.Json.Int frag) ];

@@ -40,6 +40,9 @@ let check_and_restore ~geom disk =
   match List.find_opt (fun f -> usable ~geom disk f) cs with
   | None -> Error "no usable superblock replica"
   | Some good ->
+    (* the copy is load-bearing: a superblock is one of the boxed
+       kinds [Disk.peek] returns live, and the restored replicas must
+       not share its mutable record *)
     let cell = Types.copy_cell (Su_disk.Disk.peek disk good) in
     let restored =
       List.fold_left

@@ -83,6 +83,8 @@ let replica_content t frag =
     | f :: rest when f = !home -> try_sisters rest
     | f :: rest -> (
       match read_frag t (f + !off) with
+      (* copy before rewriting elsewhere: superblock replicas are
+         boxed, so [peek] returns the live cell *)
       | Ok () -> Some (Types.copy_cell (Su_disk.Disk.peek t.disk (f + !off)))
       | Error _ -> try_sisters rest)
   in

@@ -90,7 +90,18 @@ let d_string h s =
   String.iter (fun c -> h := d_byte !h (Char.code c)) s;
   !h
 
-let d_bytes h b = d_string h (Bytes.to_string b)
+(* Same fold as [d_string] over the same bytes — length, then each
+   byte — but reading the buffer in place. [Bytes.to_string] here used
+   to copy every cg frag/inode map (kilobytes per cell) on each
+   structural digest, which is hot under [--checksums] and in
+   golden-trace digesting. *)
+let d_bytes h b =
+  let n = Bytes.length b in
+  let h = ref (d_int h n) in
+  for i = 0 to n - 1 do
+    h := d_byte !h (Char.code (Bytes.unsafe_get b i))
+  done;
+  !h
 let d_int_array h a = Array.fold_left d_int (d_int h (Array.length a)) a
 
 let d_stamp h = function
@@ -175,8 +186,34 @@ let free_dinode (g : Geom.t) =
     mtime = 0.0;
   }
 
+(* One canonical all-free dinode, shared by every slot of every fresh
+   inode block. The contract that makes the sharing sound: a dinode
+   held inside an [Inodes] array is never mutated in place — writers
+   replace the slot ([dinodes.(i) <- copy_dinode d]) and every repair
+   or rollback path copies the block first ([copy_meta]/[copy_dinode]
+   unshare). Before this, each fresh block allocated
+   [inodes_per_block] records and [db] arrays that existed only to
+   read back as "free": on a large mkfs that is millions of dead
+   arrays before first use. *)
+let canonical_free_dinode =
+  {
+    ftype = F_free;
+    nlink = 0;
+    size = 0;
+    gen = 0;
+    db = Array.make 12 0;
+    ib = 0;
+    ib2 = 0;
+    mtime = 0.0;
+  }
+
 let fresh_inode_block g =
-  Inodes (Array.init g.Geom.inodes_per_block (fun _ -> free_dinode g))
+  let d =
+    if g.Geom.ndaddr = Array.length canonical_free_dinode.db then
+      canonical_free_dinode
+    else free_dinode g
+  in
+  Inodes (Array.make g.Geom.inodes_per_block d)
 
 let fresh_dir_block (g : Geom.t) : dirent option array =
   Array.make g.Geom.dir_capacity None

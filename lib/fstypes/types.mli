@@ -88,9 +88,41 @@ val cell_digest : cell -> int
     stdlib-only), non-negative. Equal cells digest equal; the checksum
     layer treats a digest mismatch as silent corruption. *)
 
-val free_dinode : Geom.t -> dinode
-(** A zeroed inode slot. *)
+(** {2 Digest internals}
 
+    The FNV-1a fold underneath {!cell_digest}, exposed so
+    {!Volume.digest} can fold the compact slab encoding directly —
+    without materializing a [cell] — and still produce bit-identical
+    digests. Treat as private: anything else should call
+    {!cell_digest}. Every [d_*] threads the running hash [h]; a full
+    digest starts at {!fnv_offset} and masks with [land max_int]. *)
+
+val fnv_offset : int
+val d_byte : int -> int -> int
+val d_int : int -> int -> int
+val d_bool : int -> bool -> int
+val d_float : int -> float -> int
+val d_string : int -> string -> int
+
+val d_bytes : int -> Bytes.t -> int
+(** Folds length then each byte in place (same result as
+    [d_string h (Bytes.to_string b)], without the copy). *)
+
+val d_int_array : int -> int array -> int
+val d_stamp : int -> stamp -> int
+val d_ftype : int -> ftype -> int
+val d_dinode : int -> dinode -> int
+val d_dirent : int -> dirent option -> int
+val d_meta : int -> meta -> int
+
+val free_dinode : Geom.t -> dinode
+(** A zeroed inode slot (freshly allocated: callers may mutate it). *)
+
+(** An all-free [Inodes] block whose slots share one canonical zeroed
+    dinode. Never mutate a dinode in place through an [Inodes] array —
+    replace the slot (or {!copy_dinode} first), as every fs/fsck path
+    already does; mutating through a slot would alter every free slot
+    of every fresh block at once. *)
 val fresh_inode_block : Geom.t -> meta
 val fresh_dir_block : Geom.t -> dirent option array
 val fresh_indirect : Geom.t -> int array

@@ -1,0 +1,483 @@
+(* Compact slab-backed disk image. See volume.mli and HACKING.md
+   "Volume representation" for the layout contract; the invariants the
+   whole refactor rests on are
+
+     read (set t i c) == c           (structural equality, all cells)
+     digest t i = Types.cell_digest (read t i)   (bit-identical)
+
+   so the representation swap is invisible to digests, golden traces
+   and the crash/fault/corrupt sweeps. *)
+
+(* --- tag plane --------------------------------------------------------- *)
+
+(* One byte per cell says what the payload word [aux] means. *)
+let tag_empty = 0
+let tag_pad = 1
+let tag_frag0 = 2 (* Frag Zeroed, no payload *)
+let tag_fragw = 3 (* Frag (Written _) packed into aux *)
+let tag_ino = 4 (* aux = inode-slab arena index *)
+let tag_dir = 5 (* aux = dir-slab arena index *)
+let tag_ind = 6 (* aux = indirect-slab arena index *)
+let tag_box = 7 (* aux = boxed-cell arena index *)
+
+(* Packed [Written] stamp: inum:21 | gen:19 | flbn:20 = 60 bits, safely
+   inside OCaml's 63-bit int. Covers 2M inodes, 512k generations and
+   1 GB files; anything larger boxes. *)
+let inum_bits = 21
+let gen_bits = 19
+let flbn_bits = 20
+let fits bits v = v >= 0 && v < 1 lsl bits
+
+let u32_ok v = v >= 0 && v <= 0xffffffff
+
+(* --- growable arenas --------------------------------------------------- *)
+
+type 'a arena = {
+  mutable items : 'a array;
+  mutable used : int; (* high-water mark *)
+  mutable freel : int list; (* released slots below the mark *)
+  dummy : 'a; (* fills released slots so the GC drops the payload *)
+}
+
+let arena dummy = { items = [||]; used = 0; freel = []; dummy }
+
+let arena_alloc a v =
+  match a.freel with
+  | i :: tl ->
+    a.freel <- tl;
+    a.items.(i) <- v;
+    i
+  | [] ->
+    if a.used = Array.length a.items then begin
+      let items = Array.make (max 8 (2 * a.used)) a.dummy in
+      Array.blit a.items 0 items 0 a.used;
+      a.items <- items
+    end;
+    let i = a.used in
+    a.items.(i) <- v;
+    a.used <- i + 1;
+    i
+
+let arena_release a i =
+  a.items.(i) <- a.dummy;
+  a.freel <- i :: a.freel
+
+let arena_map f a =
+  { items = Array.map f a.items; used = a.used; freel = a.freel; dummy = a.dummy }
+
+let arena_live a = a.used - List.length a.freel
+
+(* --- slab encodings ---------------------------------------------------- *)
+
+let get_u32 b o = Int32.to_int (Bytes.get_int32_le b o) land 0xffffffff
+let set_u32 b o v = Bytes.set_int32_le b o (Int32.of_int v)
+
+(* Inode slab: [u32 ipb][u32 ndaddr], then [ipb] records of
+   [36 + 4*ndaddr] bytes — i64 size, i64 mtime bits, u32 ftype code /
+   nlink / gen / ib / ib2, u32 db[ndaddr]. *)
+
+let ino_stride nd = 36 + (4 * nd)
+
+let ino_ndaddr ds = if Array.length ds = 0 then 0 else Array.length ds.(0).Types.db
+
+let ino_bytes ds = 8 + (Array.length ds * ino_stride (ino_ndaddr ds))
+
+let ftype_code = function Types.F_free -> 1 | Types.F_reg -> 2 | Types.F_dir -> 3
+
+let dinode_conforms nd (d : Types.dinode) =
+  Array.length d.Types.db = nd
+  && u32_ok d.Types.nlink && u32_ok d.Types.gen && u32_ok d.Types.ib
+  && u32_ok d.Types.ib2 && d.Types.size >= 0
+  && Array.for_all u32_ok d.Types.db
+
+let ino_conforms ds =
+  let nd = ino_ndaddr ds in
+  Array.for_all (dinode_conforms nd) ds
+
+let encode_ino b ds =
+  let nd = ino_ndaddr ds in
+  let stride = ino_stride nd in
+  set_u32 b 0 (Array.length ds);
+  set_u32 b 4 nd;
+  Array.iteri
+    (fun s (d : Types.dinode) ->
+      let off = 8 + (s * stride) in
+      Bytes.set_int64_le b off (Int64.of_int d.Types.size);
+      Bytes.set_int64_le b (off + 8) (Int64.bits_of_float d.Types.mtime);
+      set_u32 b (off + 16) (ftype_code d.Types.ftype);
+      set_u32 b (off + 20) d.Types.nlink;
+      set_u32 b (off + 24) d.Types.gen;
+      set_u32 b (off + 28) d.Types.ib;
+      set_u32 b (off + 32) d.Types.ib2;
+      for k = 0 to nd - 1 do
+        set_u32 b (off + 36 + (4 * k)) d.Types.db.(k)
+      done)
+    ds
+
+let decode_dinode b nd slot =
+  let off = 8 + (slot * ino_stride nd) in
+  {
+    Types.ftype =
+      (match get_u32 b (off + 16) with
+       | 1 -> Types.F_free
+       | 2 -> Types.F_reg
+       | _ -> Types.F_dir);
+    nlink = get_u32 b (off + 20);
+    size = Int64.to_int (Bytes.get_int64_le b off);
+    gen = get_u32 b (off + 24);
+    db = Array.init nd (fun k -> get_u32 b (off + 36 + (4 * k)));
+    ib = get_u32 b (off + 28);
+    ib2 = get_u32 b (off + 32);
+    mtime = Int64.float_of_bits (Bytes.get_int64_le b (off + 8));
+  }
+
+let decode_ino b =
+  let ipb = get_u32 b 0 in
+  let nd = get_u32 b 4 in
+  Types.Inodes (Array.init ipb (fun s -> decode_dinode b nd s))
+
+(* Dir slab: parallel arrays, one slot per directory slot. [None] is
+   the [none_inum] sentinel; names are shared immutable strings. *)
+
+type dirslab = { dnames : string array; dinums : int array }
+
+let none_inum = min_int
+let no_dirslab = { dnames = [||]; dinums = [||] }
+
+let dir_conforms entries =
+  Array.for_all
+    (function None -> true | Some e -> e.Types.inum <> none_inum)
+    entries
+
+let encode_dir slab entries =
+  Array.iteri
+    (fun k e ->
+      match e with
+      | None ->
+        slab.dnames.(k) <- "";
+        slab.dinums.(k) <- none_inum
+      | Some e ->
+        slab.dnames.(k) <- e.Types.name;
+        slab.dinums.(k) <- e.Types.inum)
+    entries
+
+let decode_dir slab =
+  Types.Dir
+    (Array.init (Array.length slab.dinums) (fun k ->
+         if slab.dinums.(k) = none_inum then None
+         else Some { Types.name = slab.dnames.(k); inum = slab.dinums.(k) }))
+
+(* Indirect slab: u32 per block pointer. *)
+
+let encode_ind b ptrs = Array.iteri (fun k p -> set_u32 b (4 * k) p) ptrs
+
+let decode_ind b =
+  Types.Indirect (Array.init (Bytes.length b / 4) (fun k -> get_u32 b (4 * k)))
+
+(* --- the volume -------------------------------------------------------- *)
+
+type t = {
+  n : int;
+  tags : Bytes.t;
+  aux : int array;
+  ino : Bytes.t arena;
+  dir : dirslab arena;
+  ind : Bytes.t arena;
+  box : Types.cell arena;
+}
+
+type stats = {
+  cells : int;
+  inode_slabs : int;
+  dir_slabs : int;
+  indirect_slabs : int;
+  boxed : int;
+  slab_bytes : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Volume.create: negative size";
+  {
+    n;
+    tags = Bytes.make n '\000';
+    aux = Array.make n 0;
+    ino = arena Bytes.empty;
+    dir = arena no_dirslab;
+    ind = arena Bytes.empty;
+    box = arena Types.Empty;
+  }
+
+let length t = t.n
+
+let check t i who =
+  if i < 0 || i >= t.n then invalid_arg ("Volume." ^ who ^ ": address out of range")
+
+let release t i =
+  match Bytes.get_uint8 t.tags i with
+  | 4 -> arena_release t.ino t.aux.(i)
+  | 5 -> arena_release t.dir t.aux.(i)
+  | 6 -> arena_release t.ind t.aux.(i)
+  | 7 -> arena_release t.box t.aux.(i)
+  | _ -> ()
+
+let set t i cell =
+  check t i "set";
+  let old = Bytes.get_uint8 t.tags i in
+  let box c =
+    if old = tag_box then t.box.items.(t.aux.(i)) <- c
+    else begin
+      release t i;
+      t.aux.(i) <- arena_alloc t.box c;
+      Bytes.set_uint8 t.tags i tag_box
+    end
+  in
+  match cell with
+  | Types.Empty ->
+    release t i;
+    Bytes.set_uint8 t.tags i tag_empty
+  | Types.Pad ->
+    release t i;
+    Bytes.set_uint8 t.tags i tag_pad
+  | Types.Frag Types.Zeroed ->
+    release t i;
+    Bytes.set_uint8 t.tags i tag_frag0
+  | Types.Frag (Types.Written { inum; gen; flbn })
+    when fits inum_bits inum && fits gen_bits gen && fits flbn_bits flbn ->
+    release t i;
+    t.aux.(i) <- (inum lsl (gen_bits + flbn_bits)) lor (gen lsl flbn_bits) lor flbn;
+    Bytes.set_uint8 t.tags i tag_fragw
+  | Types.Meta (Types.Inodes ds) when ino_conforms ds ->
+    let need = ino_bytes ds in
+    if old = tag_ino && Bytes.length t.ino.items.(t.aux.(i)) = need then
+      encode_ino t.ino.items.(t.aux.(i)) ds
+    else begin
+      release t i;
+      let b = Bytes.create need in
+      encode_ino b ds;
+      t.aux.(i) <- arena_alloc t.ino b;
+      Bytes.set_uint8 t.tags i tag_ino
+    end
+  | Types.Meta (Types.Dir entries) when dir_conforms entries ->
+    let len = Array.length entries in
+    if old = tag_dir && Array.length t.dir.items.(t.aux.(i)).dinums = len then
+      encode_dir t.dir.items.(t.aux.(i)) entries
+    else begin
+      release t i;
+      let slab = { dnames = Array.make len ""; dinums = Array.make len none_inum } in
+      encode_dir slab entries;
+      t.aux.(i) <- arena_alloc t.dir slab;
+      Bytes.set_uint8 t.tags i tag_dir
+    end
+  | Types.Meta (Types.Indirect ptrs) when Array.for_all u32_ok ptrs ->
+    let need = 4 * Array.length ptrs in
+    if old = tag_ind && Bytes.length t.ind.items.(t.aux.(i)) = need then
+      encode_ind t.ind.items.(t.aux.(i)) ptrs
+    else begin
+      release t i;
+      let b = Bytes.create need in
+      encode_ind b ptrs;
+      t.aux.(i) <- arena_alloc t.ind b;
+      Bytes.set_uint8 t.tags i tag_ind
+    end
+  | Types.Frag (Types.Written _)
+  | Types.Meta (Types.Superblock _ | Types.Cgroup _ | Types.Inodes _
+               | Types.Dir _ | Types.Indirect _)
+  | Types.Jlog _ | Types.Rmap _ | Types.Csum _ ->
+    box cell
+
+let unpack_written a =
+  Types.Written
+    {
+      inum = a lsr (gen_bits + flbn_bits);
+      gen = (a lsr flbn_bits) land ((1 lsl gen_bits) - 1);
+      flbn = a land ((1 lsl flbn_bits) - 1);
+    }
+
+let get t i ~live =
+  match Bytes.get_uint8 t.tags i with
+  | 0 -> Types.Empty
+  | 1 -> Types.Pad
+  | 2 -> Types.Frag Types.Zeroed
+  | 3 -> Types.Frag (unpack_written t.aux.(i))
+  | 4 -> Types.Meta (decode_ino t.ino.items.(t.aux.(i)))
+  | 5 -> Types.Meta (decode_dir t.dir.items.(t.aux.(i)))
+  | 6 -> Types.Meta (decode_ind t.ind.items.(t.aux.(i)))
+  | _ ->
+    let c = t.box.items.(t.aux.(i)) in
+    if live then c else Types.copy_cell c
+
+let read t i =
+  check t i "read";
+  get t i ~live:false
+
+let peek t i =
+  check t i "peek";
+  get t i ~live:true
+
+let is_compact t i =
+  check t i "is_compact";
+  Bytes.get_uint8 t.tags i <> tag_box
+
+(* --- digests off the slabs --------------------------------------------- *)
+
+(* Each arm reproduces exactly the [Types.cell_digest] fold of the
+   decoded cell; the unit and qcheck suites pin the equality. *)
+
+let digest_ino b =
+  let ipb = get_u32 b 0 in
+  let nd = get_u32 b 4 in
+  let stride = ino_stride nd in
+  let h = Types.d_byte (Types.d_byte Types.fnv_offset 4) 3 in
+  let h = ref (Types.d_int h ipb) in
+  for s = 0 to ipb - 1 do
+    let off = 8 + (s * stride) in
+    h := Types.d_byte !h (get_u32 b (off + 16)); (* d_ftype: the stored code *)
+    h := Types.d_int !h (get_u32 b (off + 20)); (* nlink *)
+    h := Types.d_int !h (Int64.to_int (Bytes.get_int64_le b off)); (* size *)
+    h := Types.d_int !h (get_u32 b (off + 24)); (* gen *)
+    h := Types.d_int !h nd; (* d_int_array length prefix *)
+    for k = 0 to nd - 1 do
+      h := Types.d_int !h (get_u32 b (off + 36 + (4 * k)))
+    done;
+    h := Types.d_int !h (get_u32 b (off + 28)); (* ib *)
+    h := Types.d_int !h (get_u32 b (off + 32)); (* ib2 *)
+    let bits = Bytes.get_int64_le b (off + 8) in (* d_float over mtime *)
+    h := Types.d_int !h (Int64.to_int (Int64.logand bits 0xffffffffL));
+    h := Types.d_int !h (Int64.to_int (Int64.shift_right_logical bits 32))
+  done;
+  !h land max_int
+
+let digest_dir slab =
+  let len = Array.length slab.dinums in
+  let h = Types.d_byte (Types.d_byte Types.fnv_offset 4) 4 in
+  let h = ref (Types.d_int h len) in
+  for k = 0 to len - 1 do
+    if slab.dinums.(k) = none_inum then h := Types.d_byte !h 0
+    else
+      h := Types.d_int (Types.d_string (Types.d_byte !h 1) slab.dnames.(k))
+             slab.dinums.(k)
+  done;
+  !h land max_int
+
+let digest_ind b =
+  let len = Bytes.length b / 4 in
+  let h = Types.d_byte (Types.d_byte Types.fnv_offset 4) 5 in
+  let h = ref (Types.d_int h len) in
+  for k = 0 to len - 1 do
+    h := Types.d_int !h (get_u32 b (4 * k))
+  done;
+  !h land max_int
+
+let digest t i =
+  check t i "digest";
+  match Bytes.get_uint8 t.tags i with
+  | 0 -> Types.d_byte Types.fnv_offset 1 land max_int
+  | 1 -> Types.d_byte Types.fnv_offset 2 land max_int
+  | 2 -> Types.d_byte (Types.d_byte Types.fnv_offset 3) 1 land max_int
+  | 3 ->
+    let h = Types.d_byte (Types.d_byte Types.fnv_offset 3) 2 in
+    let a = t.aux.(i) in
+    Types.d_int
+      (Types.d_int
+         (Types.d_int h (a lsr (gen_bits + flbn_bits)))
+         ((a lsr flbn_bits) land ((1 lsl gen_bits) - 1)))
+      (a land ((1 lsl flbn_bits) - 1))
+    land max_int
+  | 4 -> digest_ino t.ino.items.(t.aux.(i))
+  | 5 -> digest_dir t.dir.items.(t.aux.(i))
+  | 6 -> digest_ind t.ind.items.(t.aux.(i))
+  | _ -> Types.cell_digest t.box.items.(t.aux.(i))
+
+(* --- snapshots --------------------------------------------------------- *)
+
+let copy t =
+  {
+    n = t.n;
+    tags = Bytes.copy t.tags;
+    aux = Array.copy t.aux;
+    ino = arena_map Bytes.copy t.ino;
+    dir =
+      arena_map
+        (fun s -> { dnames = Array.copy s.dnames; dinums = Array.copy s.dinums })
+        t.dir;
+    ind = arena_map Bytes.copy t.ind;
+    box = arena_map Types.copy_cell t.box;
+  }
+
+let snapshot t = Array.init t.n (fun i -> get t i ~live:false)
+
+let of_cells cells =
+  let t = create (Array.length cells) in
+  Array.iteri (fun i c -> set t i c) cells;
+  t
+
+let stats t =
+  let slab_bytes a =
+    let s = ref 0 in
+    for i = 0 to a.used - 1 do
+      s := !s + Bytes.length a.items.(i)
+    done;
+    !s
+  in
+  {
+    cells = t.n;
+    inode_slabs = arena_live t.ino;
+    dir_slabs = arena_live t.dir;
+    indirect_slabs = arena_live t.ind;
+    boxed = arena_live t.box;
+    slab_bytes = slab_bytes t.ino + slab_bytes t.ind + Bytes.length t.tags;
+  }
+
+(* --- (lbn, slot) accessors --------------------------------------------- *)
+
+let inode_at t ~lbn ~slot =
+  check t lbn "inode_at";
+  match Bytes.get_uint8 t.tags lbn with
+  | 4 ->
+    let b = t.ino.items.(t.aux.(lbn)) in
+    let ipb = get_u32 b 0 in
+    if slot < 0 || slot >= ipb then invalid_arg "Volume.inode_at: bad slot";
+    decode_dinode b (get_u32 b 4) slot
+  | 7 -> (
+    match t.box.items.(t.aux.(lbn)) with
+    | Types.Meta (Types.Inodes ds) ->
+      if slot < 0 || slot >= Array.length ds then
+        invalid_arg "Volume.inode_at: bad slot";
+      Types.copy_dinode ds.(slot)
+    | _ -> failwith "Volume.inode_at: not an inode block")
+  | _ -> failwith "Volume.inode_at: not an inode block"
+
+let dirent_at t ~lbn ~slot =
+  check t lbn "dirent_at";
+  match Bytes.get_uint8 t.tags lbn with
+  | 5 ->
+    let s = t.dir.items.(t.aux.(lbn)) in
+    if slot < 0 || slot >= Array.length s.dinums then
+      invalid_arg "Volume.dirent_at: bad slot";
+    if s.dinums.(slot) = none_inum then None
+    else Some { Types.name = s.dnames.(slot); inum = s.dinums.(slot) }
+  | 7 -> (
+    match t.box.items.(t.aux.(lbn)) with
+    | Types.Meta (Types.Dir entries) ->
+      if slot < 0 || slot >= Array.length entries then
+        invalid_arg "Volume.dirent_at: bad slot";
+      entries.(slot)
+    | _ -> failwith "Volume.dirent_at: not a directory block")
+  | _ -> failwith "Volume.dirent_at: not a directory block"
+
+let indirect_at t ~lbn ~slot =
+  check t lbn "indirect_at";
+  match Bytes.get_uint8 t.tags lbn with
+  | 6 ->
+    let b = t.ind.items.(t.aux.(lbn)) in
+    if slot < 0 || slot >= Bytes.length b / 4 then
+      invalid_arg "Volume.indirect_at: bad slot";
+    get_u32 b (4 * slot)
+  | 7 -> (
+    match t.box.items.(t.aux.(lbn)) with
+    | Types.Meta (Types.Indirect ptrs) ->
+      if slot < 0 || slot >= Array.length ptrs then
+        invalid_arg "Volume.indirect_at: bad slot";
+      ptrs.(slot)
+    | _ -> failwith "Volume.indirect_at: not an indirect block")
+  | _ -> failwith "Volume.indirect_at: not an indirect block"

@@ -144,6 +144,52 @@ let test_stamp_matching () =
   Alcotest.(check bool) "zeroed always safe" true
     (Types.stamp_matches Types.Zeroed ~inum:1 ~gen:1)
 
+(* d_bytes folds in place; it must still equal the digest of the
+   string the bytes spell (what the old [Bytes.to_string] copy
+   computed), byte for byte — cg digests depend on it. *)
+let test_d_bytes_in_place () =
+  let rng = Su_util.Rng.create 11 in
+  for _ = 1 to 200 do
+    let b =
+      Bytes.init (Su_util.Rng.int rng 64) (fun _ ->
+          Char.chr (Su_util.Rng.int rng 256))
+    in
+    let h0 = Su_util.Rng.int rng max_int in
+    Alcotest.(check int) "d_bytes = d_string of contents"
+      (Types.d_string h0 (Bytes.to_string b))
+      (Types.d_bytes h0 b)
+  done;
+  Alcotest.(check int) "empty" (Types.d_string 7 "") (Types.d_bytes 7 Bytes.empty)
+
+(* Free slots of a fresh inode block share one canonical zeroed dinode
+   (mkfs allocation is O(blocks), not O(inodes)) — and replacing a
+   slot, as every writer does, leaves the canonical record intact. *)
+let test_fresh_inode_block_shared () =
+  let g = Geom.small in
+  let b1 = Types.fresh_inode_block g in
+  let b2 = Types.fresh_inode_block g in
+  (match (b1, b2) with
+   | Types.Inodes a, Types.Inodes b ->
+     Alcotest.(check bool) "slots share one record" true (a.(0) == a.(63));
+     Alcotest.(check bool) "blocks share it too" true (a.(0) == b.(1));
+     (* replace — never mutate — a slot *)
+     let d = Types.free_dinode g in
+     d.Types.ftype <- Types.F_reg;
+     d.Types.nlink <- 1;
+     a.(5) <- d;
+     Alcotest.(check bool) "canonical untouched" true
+       (b.(0).Types.ftype = Types.F_free && b.(0).Types.nlink = 0)
+   | _ -> Alcotest.fail "not inode blocks");
+  (* allocation cost: a fresh block is one array, not 64 records *)
+  let before = Gc.minor_words () in
+  let keep = Array.init 64 (fun _ -> Types.fresh_inode_block g) in
+  let words = Gc.minor_words () -. before in
+  ignore (Sys.opaque_identity keep);
+  Alcotest.(check bool)
+    (Printf.sprintf "64 blocks cost %.0f words (bounded)" words)
+    true
+    (words < 64.0 *. 100.0)
+
 let suite =
   [
     Alcotest.test_case "geom basics" `Quick test_geom_basics;
@@ -158,4 +204,7 @@ let suite =
       test_copy_superblock_isolated;
     Alcotest.test_case "dir helpers" `Quick test_dir_helpers;
     Alcotest.test_case "stamp matching" `Quick test_stamp_matching;
+    Alcotest.test_case "d_bytes digests in place" `Quick test_d_bytes_in_place;
+    Alcotest.test_case "fresh inode block shares canonical dinode" `Quick
+      test_fresh_inode_block_shared;
   ]

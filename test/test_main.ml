@@ -7,6 +7,7 @@ let () =
       ("driver", Test_driver.suite);
       ("cache", Test_cache.suite);
       ("fstypes", Test_fstypes.suite);
+      ("volume", Test_volume.suite);
       ("alloc", Test_alloc.suite);
       ("fs", Test_fs.suite);
       ("fsops-edge", Test_fsops_edge.suite);
